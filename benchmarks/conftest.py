@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every module regenerates one table/figure from the paper's §6; the
+formatted output is written to ``bench_results/`` next to this directory
+and echoed to stdout (run with ``-s`` to see it live).
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "bench_results")
+
+
+def write_report(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print()
+    print(text)

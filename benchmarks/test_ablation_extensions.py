@@ -1,0 +1,241 @@
+"""Extension ablations beyond the paper's figures — each isolates one
+design choice the paper claims but does not plot:
+
+- CCLe selective encryption vs whole-state encryption (§4: "instead of
+  encrypting the whole contract states, only sensitive ones are
+  encrypted ... which greatly saves computation cost");
+- the SDM memory cache (§3.2.1: "a memory cache for I/O efficiency");
+- exit-less status emission vs per-message ocalls (§5.3 monitor system).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_report
+from repro.bench.reporting import format_table
+from repro.ccle import encode as ccle_encode
+from repro.ccle import parse_schema
+from repro.core.d_protocol import StateAad, StateCipher
+from repro.core.sdm import SecureDataModule
+from repro.tee import Enclave, EnclaveMonitor, Platform
+
+_SCHEMA = parse_schema("""
+attribute "map";
+attribute "confidential";
+
+table Ledger {
+  ledger_id: string;
+  institution: string;
+  public_report: string;
+  entries: [Entry](map);
+}
+table Entry {
+  entry_id: string;
+  amount: ulong;
+  counterparty: string(confidential);
+}
+root_type Ledger;
+""")
+
+
+def _ledger(num_entries: int, public_bytes: int = 2000) -> dict:
+    return {
+        "ledger_id": "L-1",
+        "institution": "INST_A",
+        "public_report": "r" * public_bytes,
+        "entries": {
+            f"e{i}": {
+                "entry_id": f"e{i}",
+                "amount": 100 + i,
+                "counterparty": f"cp-{i}",
+            }
+            for i in range(num_entries)
+        },
+    }
+
+
+class _StoreEnclave(Enclave):
+    def ecall_run(self, thunk):
+        return thunk()
+
+
+def _sdm_rig():
+    platform = Platform("ablate")
+    enclave = _StoreEnclave(platform, "store")
+    backing: dict[bytes, bytes] = {}
+    enclave.register_ocall("kv_get", backing.get)
+    enclave.register_ocall("kv_set", lambda k, v: backing.__setitem__(k, v))
+    cipher = StateCipher(b"k" * 16)
+    sdm = SecureDataModule(enclave, cipher)
+    aad = StateAad(b"\x01" * 20, b"\x02" * 20, 1)
+    return enclave, sdm, aad, backing
+
+
+def test_ccle_selective_vs_full_encryption(benchmark):
+    enclave, sdm, aad, _ = _sdm_rig()
+    blob = ccle_encode(_SCHEMA, _ledger(20))
+    rounds = 20
+
+    def run_mode(use_ccle: bool) -> float:
+        started = time.perf_counter()
+
+        def work():
+            for i in range(rounds):
+                key = f"k{i}".encode()
+                if use_ccle:
+                    sdm.store_ccle(key, blob, aad, _SCHEMA)
+                    sdm.clear_cache()
+                    sdm.load_ccle(key, aad, _SCHEMA)
+                else:
+                    sdm.store(key, blob, aad)
+                    sdm.clear_cache()
+                    sdm.load(key, aad)
+
+        enclave.ecall("run", work, user_check=True)
+        return time.perf_counter() - started
+
+    full_s = benchmark.pedantic(lambda: run_mode(False), rounds=1, iterations=1)
+    selective_s = run_mode(True)
+    ciphertext_full = len(blob)
+    from repro.ccle import split
+    from repro.ccle.confidential import secret_to_bytes
+    _, secret = split(_SCHEMA, _ledger(20))
+    ciphertext_selective = len(secret_to_bytes(secret))
+    report = format_table(
+        ["mode", "roundtrip time", "bytes encrypted per store"],
+        [
+            ["whole-state encryption", f"{full_s * 1000:8.1f} ms",
+             str(ciphertext_full)],
+            ["CCLe selective", f"{selective_s * 1000:8.1f} ms",
+             str(ciphertext_selective)],
+        ],
+        title="Ablation — CCLe selective encryption vs whole-state (20 stores+loads)",
+    )
+    write_report("ablation_ccle.txt", report)
+    # Selective encrypts an order of magnitude fewer bytes.
+    assert ciphertext_selective < ciphertext_full / 4
+
+
+def test_sdm_cache_ablation(benchmark):
+    enclave, sdm, aad, _ = _sdm_rig()
+    payload = b"v" * 2048
+
+    def seed():
+        sdm.store(b"hot", payload, aad)
+
+    enclave.ecall("run", seed, user_check=True)
+    reads = 50
+
+    def read_all(clear: bool) -> float:
+        started = time.perf_counter()
+
+        def work():
+            for _ in range(reads):
+                if clear:
+                    sdm.clear_cache()
+                assert sdm.load(b"hot", aad) == payload
+
+        enclave.ecall("run", work, user_check=True)
+        return time.perf_counter() - started
+
+    cold_s = benchmark.pedantic(lambda: read_all(True), rounds=1, iterations=1)
+    warm_s = read_all(False)
+    report = format_table(
+        ["mode", "50 reads", "per read"],
+        [
+            ["no cache (decrypt every read)", f"{cold_s * 1000:7.1f} ms",
+             f"{cold_s / reads * 1e6:7.0f} us"],
+            ["SDM memory cache", f"{warm_s * 1000:7.1f} ms",
+             f"{warm_s / reads * 1e6:7.0f} us"],
+        ],
+        title="Ablation — SDM memory cache on hot-state reads",
+    )
+    write_report("ablation_sdm_cache.txt", report)
+    assert warm_s < cold_s / 5
+
+
+def test_epc_pressure_with_and_without_pool(benchmark):
+    """§5.3 memory wall: a working set beyond the 93.5 MB EPC budget
+    forces page swapping; the memory pool's freelist keeps transient
+    allocations from churning pages at all."""
+    from repro.tee.epc import PAGE_SIZE, EpcAllocator
+    from repro.tee.transitions import CycleAccountant
+
+    budget = 24 * 1024 * 1024  # shrunk EPC so the bench stays fast
+    vm_footprint = 1 << 20     # one VM instantiation
+
+    def run_mode(use_pool: bool):
+        accountant = CycleAccountant()
+        allocator = EpcAllocator(accountant, budget_bytes=budget,
+                                 use_pool=use_pool)
+        # Resident contract caches occupy most of the EPC (with the
+        # allocator-fragmentation factor, the raw mode overshoots the
+        # budget; the pooled mode fits)...
+        resident = [allocator.allocate(4 * 1024 * 1024) for _ in range(5)]
+        # ...and 200 transaction executions allocate/free VM memory.
+        for _ in range(200):
+            handle = allocator.allocate(vm_footprint)
+            allocator.free(handle)
+        for handle in resident:
+            allocator.touch(handle)  # page resident sets back in if evicted
+        return accountant
+
+    pooled = benchmark.pedantic(lambda: run_mode(True), rounds=1, iterations=1)
+    raw = run_mode(False)
+    report = format_table(
+        ["mode", "pages swapped", "modeled overhead"],
+        [
+            ["no memory pool", str(raw.pages_swapped),
+             f"{raw.model.cycles_to_seconds(raw.cycles) * 1000:7.3f} ms"],
+            ["memory pool (OPT1)", str(pooled.pages_swapped),
+             f"{pooled.model.cycles_to_seconds(pooled.cycles) * 1000:7.3f} ms"],
+        ],
+        title="Ablation — EPC paging under a 24 MB budget (200 VM instantiations)",
+    )
+    write_report("ablation_epc.txt", report)
+    assert pooled.pages_swapped < raw.pages_swapped
+    assert pooled.cycles < raw.cycles
+
+
+def test_exitless_monitor_vs_ocall(benchmark):
+    platform = Platform("monitor-bench")
+    enclave = _StoreEnclave(platform, "noisy")
+    monitor = EnclaveMonitor(enclave, capacity=100_000)
+    messages = 2000
+
+    def emit(exitless: bool) -> tuple[float, float]:
+        before_cycles = platform.accountant.cycles
+        started = time.perf_counter()
+
+        def work():
+            for i in range(messages):
+                if exitless:
+                    monitor.emit_exitless("status ok")
+                else:
+                    monitor.emit_ocall("status ok")
+
+        enclave.ecall("run", work, user_check=True)
+        wall = time.perf_counter() - started
+        modeled = platform.accountant.model.cycles_to_seconds(
+            platform.accountant.cycles - before_cycles
+        )
+        monitor.poll()
+        return wall, modeled
+
+    ocall_wall, ocall_model = benchmark.pedantic(
+        lambda: emit(False), rounds=1, iterations=1
+    )
+    exitless_wall, exitless_model = emit(True)
+    report = format_table(
+        ["path", "wall", "modeled transition overhead"],
+        [
+            ["ocall per message", f"{ocall_wall * 1000:7.1f} ms",
+             f"{ocall_model * 1000:7.3f} ms"],
+            ["exit-less ring buffer", f"{exitless_wall * 1000:7.1f} ms",
+             f"{exitless_model * 1000:7.3f} ms"],
+        ],
+        title=f"Ablation — monitor emission paths ({messages} status messages)",
+    )
+    write_report("ablation_monitor.txt", report)
+    assert exitless_model < ocall_model / 100

@@ -1,0 +1,54 @@
+"""Extension sweep — confidentiality overhead vs state payload size.
+
+The paper attributes TEE slowdown to "workload dependent overhead"
+(D-Protocol crypto + enclave transitions per state I/O).  This sweep
+quantifies the dependence: the e-notes depository with payloads from
+256 B to 8 KiB, public vs confidential, on CONFIDE-VM.  The overhead
+factor should grow with payload size (more bytes sealed per write), the
+paper's crossover story for I/O-heavy contracts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_report
+from repro.bench.harness import build_confidential_rig, build_public_rig, run_throughput
+from repro.bench.reporting import format_table
+from repro.workloads.synthetic import synthetic_workloads
+
+_SIZES = (256, 1024, 4096, 8192)
+
+
+def _tps(size: int, confidential: bool) -> float:
+    workload = synthetic_workloads(enote_bytes=size)["enotes-depository"]
+    if confidential:
+        rig = build_confidential_rig(workload, "wasm")
+    else:
+        rig = build_public_rig(workload, "wasm")
+    return run_throughput(rig, num_txs=4, preverify=True).tps
+
+
+def test_payload_size_sweep(benchmark):
+    def sweep():
+        rows = []
+        for size in _SIZES:
+            public = _tps(size, False)
+            tee = _tps(size, True)
+            rows.append((size, public, tee, public / tee))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["payload", "public tx/s", "TEE tx/s", "overhead factor"],
+        [
+            [f"{size} B", f"{pub:8.1f}", f"{tee:7.1f}", f"{factor:6.1f}x"]
+            for size, pub, tee, factor in rows
+        ],
+        title="Sweep — e-notes depository: confidentiality cost vs payload size",
+    )
+    write_report("sweep_payload.txt", table)
+    factors = [factor for _, _, _, factor in rows]
+    # TEE always costs something, and the cost grows with payload size.
+    assert all(f > 1.5 for f in factors), factors
+    assert factors[-1] > factors[0], factors

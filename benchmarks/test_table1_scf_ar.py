@@ -1,0 +1,47 @@
+"""Table 1 — operation breakdown of one SCF-AR asset transfer (§6.3).
+
+Paper values (per transfer): Contract Call 32.46 ms / 31 / 86.1%,
+GetStorage 4.80 ms / 151 / 12.7%, SetStorage 0.55 ms / 9 / 1.5%,
+Transaction Verify 0.22 ms / 1 / 0.6%, Transaction Decryption
+0.10 ms / 1 / 0.3%.
+
+The reproduction asserts the operation *counts* exactly (they are a
+property of the contract suite, not the machine) and that Contract Call
+dominates the time, as in the paper.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+from repro.bench import table1_rows
+from repro.bench.reporting import format_table1
+from repro.core.stats import (
+    CONTRACT_CALL,
+    GET_STORAGE,
+    SET_STORAGE,
+    TX_DECRYPT,
+    TX_VERIFY,
+)
+
+_PAPER_COUNTS = {
+    CONTRACT_CALL: 31,
+    GET_STORAGE: 151,
+    SET_STORAGE: 9,
+    TX_VERIFY: 1,
+    TX_DECRYPT: 1,
+}
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(lambda: table1_rows(runs=3), rounds=1, iterations=1)
+    write_report("table1_scf_ar.txt", format_table1(rows))
+    by_method = {r.method: r for r in rows}
+    for op, expected in _PAPER_COUNTS.items():
+        assert by_method[op].count == expected, (
+            f"{op}: {by_method[op].count} != paper count {expected}"
+        )
+    # Contract Call dominates, as the paper's 86% says (loose bound —
+    # the absolute split depends on the substrate's crypto/VM ratio).
+    assert by_method[CONTRACT_CALL].ratio > 0.5, by_method[CONTRACT_CALL]
+    assert by_method[CONTRACT_CALL].duration_ms > by_method[GET_STORAGE].duration_ms
+    assert by_method[GET_STORAGE].duration_ms > by_method[SET_STORAGE].duration_ms

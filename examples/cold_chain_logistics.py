@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Cold-chain logistics with IoT provenance (one of CONFIDE's production
+applications, §1/§8).
+
+A carrier registers refrigerated shipments; sensors post temperature
+readings as confidential transactions.  Everyone on the consortium can
+see each shipment's public pass/fail compliance flag, but the raw
+telemetry history is encrypted state only the Confidential-Engine can
+read — carriers do not leak their fleet's thermal profile to
+competitors.
+
+Run:  python examples/cold_chain_logistics.py
+"""
+
+from repro.core import ConfidentialEngine, bootstrap_founder
+from repro.crypto.ecc import decode_point
+from repro.lang import compile_source
+from repro.storage import MemoryKV
+from repro.workloads import (
+    COLDCHAIN_CONTRACT,
+    Client,
+    decode_history,
+    decode_status,
+    encode_reading,
+    encode_register,
+)
+
+
+def main() -> None:
+    engine = ConfidentialEngine(MemoryKV())
+    bootstrap_founder(engine.km)
+    pk = decode_point(engine.provision_from_km())
+    carrier = Client.from_seed(b"polar-logistics")
+
+    artifact = compile_source(COLDCHAIN_CONTRACT, "wasm")
+    tx, address = carrier.confidential_deploy(pk, artifact)
+    assert engine.execute(tx).receipt.success
+
+    # Register two shipments: frozen goods (-20C..-15C) and vaccines (2C..8C).
+    shipments = {
+        b"FROZEN01": (-200, -150),
+        b"VACCINE1": (20, 80),
+    }
+    for sid, (lo, hi) in shipments.items():
+        tx = carrier.confidential_call(
+            pk, address, "register", encode_register(sid, lo, hi)
+        )
+        outcome = engine.execute(tx)
+        assert outcome.receipt.success, outcome.receipt.error
+        print(f"registered {sid.decode()} range [{lo / 10}C, {hi / 10}C]")
+
+    # Sensors report. The vaccine shipment suffers a warm excursion.
+    readings = [
+        (b"FROZEN01", -180, b"S-001"),
+        (b"FROZEN01", -172, b"S-001"),
+        (b"VACCINE1", 45, b"S-007"),
+        (b"VACCINE1", 95, b"S-007"),   # breach: 9.5C > 8.0C
+        (b"VACCINE1", 60, b"S-007"),
+    ]
+    for sid, temp, sensor in readings:
+        tx = carrier.confidential_call(
+            pk, address, "record", encode_reading(sid, temp, sensor)
+        )
+        outcome = engine.execute(tx)
+        assert outcome.receipt.success, outcome.receipt.error
+        if b"breach" in outcome.receipt.logs:
+            print(f"  breach event logged for {sid.decode()} at {temp / 10}C")
+
+    # Public view: anyone can query the compliance flag.
+    print("\npublic compliance status:")
+    for sid in shipments:
+        count, compliant = decode_status(
+            engine.call_readonly(address, "status", sid)
+        )
+        print(f"  {sid.decode()}: {count} readings, "
+              f"{'COMPLIANT' if compliant else 'BREACHED'}")
+
+    # Telemetry is ciphertext in the node's database.
+    telemetry_keys = [k for k, _ in engine.kv.items() if k.startswith(b"s:")]
+    plaintext_hits = [
+        k for k, v in engine.kv.items()
+        if (-180 & ((1 << 64) - 1)).to_bytes(8, "big") in v
+    ]
+    print(f"\nstate entries in the database: {len(telemetry_keys)} "
+          f"(all ciphertext); raw telemetry visible: {len(plaintext_hits)}")
+
+    # The consignee with authorization (here: via the engine) audits history.
+    history = decode_history(engine.call_readonly(address, "history", b"VACCINE1"))
+    print("vaccine shipment history (via the Confidential-Engine):")
+    for temp, sensor in history:
+        print(f"  {temp / 10:+.1f}C from sensor {sensor.decode()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy and call a confidential smart contract.
+
+Walks the CONFIDE pipeline end to end on a single node:
+
+1. stand up a Confidential-Engine (KM enclave generates keys, provisions
+   the CS enclave over the local-attestation channel);
+2. write a contract in CWScript, compile it for CONFIDE-VM;
+3. send a confidential deploy + calls through the T-Protocol envelope;
+4. open the sealed receipt with the client's one-time transaction key;
+5. peek at the node's database to confirm the state is ciphertext.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ConfidentialEngine, bootstrap_founder
+from repro.crypto.ecc import decode_point
+from repro.lang import compile_source
+from repro.storage import MemoryKV
+from repro.workloads import Client
+
+GREETER = """
+fn set_greeting() {
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+    storage_set("greeting", 8, buf, n);
+    output(buf, n);
+}
+fn greet() {
+    let buf = alloc(256);
+    let n = storage_get("greeting", 8, buf, 256);
+    if (n < 0) { abort("nothing stored yet", 18); }
+    output(buf, n);
+}
+"""
+
+
+def main() -> None:
+    # --- node side: engine + enclave keys -------------------------------
+    kv = MemoryKV()
+    engine = ConfidentialEngine(kv)
+    bootstrap_founder(engine.km)          # KM enclave generates sk_tx/k_states
+    pk_tx = decode_point(engine.provision_from_km())
+    print(f"engine ready; pk_tx fingerprint = {engine.pk_tx.hex()[:16]}…")
+
+    # --- client side: compile, deploy, call -----------------------------
+    client = Client.from_seed(b"quickstart-user")
+    artifact = compile_source(GREETER, "wasm")
+    print(f"compiled greeter: {len(artifact.code)} bytes of CONFIDE-VM module")
+
+    deploy_tx, address = client.confidential_deploy(pk_tx, artifact)
+    outcome = engine.execute(deploy_tx)
+    assert outcome.receipt.success, outcome.receipt.error
+    print(f"deployed at {address.hex()}")
+
+    raw = client.call_raw(address, "set_greeting", b"hello, consortium!")
+    tx = client.seal(pk_tx, raw)
+    engine.preverify(tx)                  # §5.2 pre-verification
+    outcome = engine.execute(tx)
+    receipt = client.open_receipt(raw.tx_hash, outcome.sealed_receipt)
+    print(f"receipt opened by owner: success={receipt.success}, "
+          f"output={receipt.output!r}")
+
+    # --- confidentiality check -------------------------------------------
+    leaked = [
+        (k, v) for k, v in kv.items() if b"hello, consortium" in v
+    ]
+    print(f"plaintext greetings visible in the node's database: {len(leaked)}")
+    assert not leaked, "confidential state leaked!"
+
+    value = engine.call_readonly(address, "greet", b"")
+    print(f"read back through the enclave: {value!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim so `pip install -e .` works without the `wheel` package."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CONFIDE: confidentiality support over financial-grade consortium "
+        "blockchain (SIGMOD 2020) — full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

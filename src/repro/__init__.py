@@ -1,0 +1,22 @@
+"""repro — a full reproduction of CONFIDE (SIGMOD 2020).
+
+"Confidentiality Support over Financial Grade Consortium Blockchain",
+Yan et al., Ant Financial, SIGMOD 2020.
+
+The package is organised as the paper's system plus every substrate it
+depends on:
+
+- :mod:`repro.crypto`    pure-Python AES-GCM / secp256k1 / Keccak / HKDF
+- :mod:`repro.tee`       software SGX-enclave simulator (EPC, ecall/ocall,
+  attestation, exit-less monitoring)
+- :mod:`repro.storage`   KV stores, RLP, merkle trees
+- :mod:`repro.vm`        CONFIDE-VM (wasm-like) and an EVM baseline
+- :mod:`repro.lang`      CWScript contract language compiling to both VMs
+- :mod:`repro.ccle`      Confidential Contract Language extension (IDL)
+- :mod:`repro.core`      the Confidential-Engine and T/D/K protocols
+- :mod:`repro.chain`     consortium-blockchain substrate
+- :mod:`repro.workloads` the paper's evaluation workloads
+- :mod:`repro.bench`     harness utilities for the tables/figures
+"""
+
+__version__ = "1.0.0"

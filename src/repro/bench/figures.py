@@ -1,0 +1,295 @@
+"""Per-experiment harnesses: one function per table/figure of the paper.
+
+Each returns plain data structures; the pytest benches in ``benchmarks/``
+call these, print the paper-style tables, and assert the shape
+properties (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+from repro.bench.harness import (
+    ThroughputResult,
+    build_confidential_rig,
+    build_public_rig,
+    run_throughput,
+)
+from repro.chain.consensus import PBFTOrderer
+from repro.chain.executor import lane_schedule
+from repro.chain.network import NetworkModel, zones_for
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.stats import TABLE1_ORDER
+from repro.crypto.ecc import decode_point
+from repro.errors import ReproError
+from repro.storage import MemoryKV
+from repro.workloads.abs import abs_workload
+from repro.workloads.clients import Client
+from repro.workloads.scf import ScfSuite, make_transfer_input, setup_plan
+from repro.workloads.synthetic import Workload, synthetic_workloads
+
+# ---------------------------------------------------------------------------
+# Figure 10 — synthetic workloads on {EVM, CONFIDE-VM} x {public, TEE}
+# ---------------------------------------------------------------------------
+
+FIG10_CONFIGS = (
+    ("EVM", "evm", False),
+    ("EVM-TEE", "evm", True),
+    ("CONFIDE-VM", "wasm", False),
+    ("CONFIDE-VM-TEE", "wasm", True),
+)
+
+
+def fig10_point(workload: Workload, vm: str, confidential: bool,
+                num_txs: int = 8) -> ThroughputResult:
+    """One Figure 10 bar.  Pre-verification is on for both engines (the
+    production configuration); the measurement isolates the execution
+    phase, which is what the figure compares."""
+    if confidential:
+        rig = build_confidential_rig(workload, vm)
+    else:
+        rig = build_public_rig(workload, vm)
+    return run_throughput(rig, num_txs, preverify=True)
+
+
+def fig10_series(num_txs: int = 8, **workload_sizes) -> dict[str, dict[str, float]]:
+    """{workload: {config: tps}} for all four configurations."""
+    series: dict[str, dict[str, float]] = {}
+    for name, workload in synthetic_workloads(**workload_sizes).items():
+        series[name] = {}
+        for label, vm, confidential in FIG10_CONFIGS:
+            result = fig10_point(workload, vm, confidential, num_txs)
+            series[name][label] = result.tps
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — scalability with the ABS workload
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    num_nodes: int
+    lanes: int
+    num_zones: int
+    tps: float
+    exec_makespan_s: float
+    consensus_round_s: float
+
+
+def fig11_point(
+    num_nodes: int,
+    lanes: int,
+    num_zones: int = 1,
+    num_txs: int = 16,
+    model: NetworkModel | None = None,
+) -> ScalabilityPoint:
+    """One scalability point: execution makespan vs ordering latency.
+
+    Execution is identical on every replica, so one engine's measured
+    per-tx durations + read/write sets feed the k-lane schedule; the
+    ordering round comes from the PBFT simulator over the zoned network.
+    Steady state pipelines ordering and execution, so block throughput is
+    bounded by the slower stage.
+    """
+    model = model or NetworkModel()
+    workload = abs_workload("flatbuffers")
+    rig = build_confidential_rig(workload, "wasm")
+    txs = [rig.make_tx(i) for i in range(num_txs)]
+    for tx in txs:
+        rig.engine.preverify(tx)
+    outcomes = [rig.execute(tx) for tx in txs]
+    makespan, _ = lane_schedule(outcomes, lanes)
+    zones = zones_for(num_nodes, num_zones)
+    orderer = PBFTOrderer(zones, model)
+    block_bytes = sum(len(tx.encode()) for tx in txs)
+    # Blocks pipeline through ordering; throughput is bandwidth-bound.
+    round_s = orderer.pipelined_block_interval(block_bytes)
+    bottleneck = max(makespan, round_s)
+    return ScalabilityPoint(
+        num_nodes=num_nodes,
+        lanes=lanes,
+        num_zones=num_zones,
+        tps=num_txs / bottleneck if bottleneck else 0.0,
+        exec_makespan_s=makespan,
+        consensus_round_s=round_s,
+    )
+
+
+def fig11_series(
+    node_counts: tuple[int, ...] = (4, 8, 12, 16, 20),
+    lane_settings: tuple[int, ...] = (1, 4, 6),
+    num_txs: int = 16,
+) -> list[ScalabilityPoint]:
+    points = []
+    for lanes in lane_settings:
+        for nodes in node_counts:
+            points.append(fig11_point(nodes, lanes, 1, num_txs))
+    for nodes in node_counts:
+        points.append(fig11_point(nodes, 1, 2, num_txs))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — SCF-AR operation breakdown
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Row:
+    method: str
+    duration_ms: float
+    count: int
+    ratio: float
+
+
+def table1_rows(runs: int = 3, preverify: bool = False) -> list[Table1Row]:
+    """Execute SCF-AR asset transfers and average the operation stats."""
+    from repro.core import ConfidentialEngine, bootstrap_founder
+
+    suite = ScfSuite.compile("wasm")
+    engine = ConfidentialEngine(MemoryKV())
+    bootstrap_founder(engine.km)
+    pk = decode_point(engine.provision_from_km())
+    client = Client.from_seed(b"scf-bench")
+    addresses = {}
+    for name, artifact in suite.artifacts.items():
+        tx, address = client.confidential_deploy(pk, artifact)
+        outcome = engine.execute(tx)
+        if not outcome.receipt.success:
+            raise ReproError(f"deploy {name}: {outcome.receipt.error}")
+        addresses[name] = address
+    for cname, method, args in setup_plan(addresses):
+        tx = client.confidential_call(pk, addresses[cname], method, args)
+        outcome = engine.execute(tx)
+        if not outcome.receipt.success:
+            raise ReproError(f"setup {cname}: {outcome.receipt.error}")
+    # Warm the code cache + SDM cache, as production steady state would be.
+    warm = client.confidential_call(
+        pk, addresses["gateway"], "transfer", make_transfer_input()
+    )
+    engine.preverify(warm)
+    outcome = engine.execute(warm)
+    if not outcome.receipt.success:
+        raise ReproError(f"warm transfer: {outcome.receipt.error}")
+    engine.stats.reset()
+    for run in range(runs):
+        from_id = f"AC{run:06d}".encode()
+        to_id = f"AD{run:06d}".encode()
+        cert = f"CT{run:06d}".encode()
+        tx = client.confidential_call(
+            pk, addresses["gateway"], "transfer",
+            make_transfer_input(from_id, to_id, cert),
+        )
+        if preverify:
+            engine.preverify(tx)
+        outcome = engine.execute(tx)
+        if not outcome.receipt.success:
+            raise ReproError(f"transfer run {run}: {outcome.receipt.error}")
+    rows = []
+    for op in TABLE1_ORDER:
+        rows.append(
+            Table1Row(
+                method=op,
+                duration_ms=engine.stats.duration_ms(op) / runs,
+                count=engine.stats.count(op) // runs,
+                ratio=engine.stats.ratio(op),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — optimization ablation on the ABS workload
+# ---------------------------------------------------------------------------
+
+def fig12_series(num_txs: int = 8) -> list[tuple[str, float]]:
+    """Cumulative OPT1..OPT4 throughput on ABS transfers."""
+    baseline = DEFAULT_CONFIG.without_optimizations()
+    steps: list[tuple[str, EngineConfig, str, bool]] = [
+        ("baseline", baseline, "json", False),
+        ("+OPT1 code cache & memory", replace(
+            baseline, use_code_cache=True, use_memory_pool=True), "json", False),
+        ("+OPT2 flatbuffers", replace(
+            baseline, use_code_cache=True, use_memory_pool=True), "flatbuffers", False),
+        ("+OPT3 pre-verification", replace(
+            baseline, use_code_cache=True, use_memory_pool=True,
+            use_preverification=True), "flatbuffers", True),
+        ("+OPT4 instruction fusion", replace(
+            baseline, use_code_cache=True, use_memory_pool=True,
+            use_preverification=True, use_instruction_fusion=True),
+         "flatbuffers", True),
+    ]
+    series = []
+    for label, config, variant, preverify in steps:
+        workload = abs_workload(variant)
+        rig = build_confidential_rig(workload, "wasm", config)
+        result = run_throughput(rig, num_txs, preverify=preverify)
+        series.append((label, result.tps))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# §6.4 production metrics
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProductionMetrics:
+    block_exec_ms: float
+    empty_block_ms: float
+    block_write_ms: float
+
+
+def sec64_metrics(num_txs: int = 8, ssd_latency_ms: float = 5.0) -> ProductionMetrics:
+    """Block execution / empty block / block write durations.
+
+    The cloud-SSD write is a measured fsync'd append plus a modeled
+    device latency (the paper's environment writes to network-attached
+    SSD; a laptop fsync alone underestimates it).
+    """
+    import os
+    import tempfile
+
+    from repro.chain.node import Node
+    from repro.core import bootstrap_founder
+
+    node = Node(0)
+    bootstrap_founder(node.confidential.km)
+    node.confidential.provision_from_km()
+    pk = node.pk_tx
+    client = Client.from_seed(b"prod-bench")
+    workload = abs_workload("flatbuffers")
+    from repro.lang import compile_source
+
+    artifact = compile_source(workload.source, "wasm")
+    tx, address = client.confidential_deploy(pk, artifact, workload.schema_source)
+    node.receive_transaction(tx)
+    node.preverify_pending()
+    node.apply_transactions(node.draft_block(max_bytes=1 << 20))
+    # Execution block
+    for i in range(num_txs):
+        node.receive_transaction(client.confidential_call(
+            pk, address, workload.method, workload.make_input(i)))
+    node.preverify_pending()
+    applied = node.apply_transactions(node.draft_block(max_bytes=1 << 20))
+    for outcome in applied.report.outcomes:
+        if not outcome.receipt.success:
+            raise ReproError(f"block tx failed: {outcome.receipt.error}")
+    block_exec_ms = applied.exec_seconds * 1000
+    # Empty block: whole pipeline (execute nothing, commit header/state root)
+    started = time.perf_counter()
+    node.apply_transactions([])
+    empty_ms = (time.perf_counter() - started) * 1000
+    # Block write latency on a durable store + modeled SSD latency
+    from repro.storage.kv import AppendLogKV
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = AppendLogKV(os.path.join(tmp, "blocks.db"), sync=True)
+        payload = os.urandom(4096)
+        started = time.perf_counter()
+        rounds = 5
+        for i in range(rounds):
+            store.write_batch({f"blk{i}".encode(): payload})
+        write_ms = (time.perf_counter() - started) / rounds * 1000 + ssd_latency_ms
+        store.close()
+    return ProductionMetrics(block_exec_ms, empty_ms, write_ms)

@@ -1,0 +1,174 @@
+"""Benchmark harness: engine setup, workload deployment, throughput runs.
+
+The harness measures *combined time*: wall-clock execution plus the
+modeled TEE overhead accrued by the platform accountant (enclave
+transitions, boundary copies, EPC paging) — see DESIGN.md's measurement
+note.  Throughput figures therefore carry the hardware costs a pure
+software simulation cannot exhibit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core import ConfidentialEngine, PublicEngine, bootstrap_founder
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.crypto.ecc import decode_point
+from repro.errors import ReproError
+from repro.lang import compile_source
+from repro.storage import MemoryKV
+from repro.workloads.clients import Client
+from repro.workloads.synthetic import Workload
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of one throughput run."""
+
+    name: str
+    transactions: int
+    wall_seconds: float
+    modeled_overhead_seconds: float = 0.0
+
+    @property
+    def combined_seconds(self) -> float:
+        return self.wall_seconds + self.modeled_overhead_seconds
+
+    @property
+    def tps(self) -> float:
+        return self.transactions / self.combined_seconds if self.combined_seconds else 0.0
+
+    @property
+    def latency_ms(self) -> float:
+        return self.combined_seconds / self.transactions * 1000 if self.transactions else 0.0
+
+
+@dataclass
+class PublicRig:
+    """A Public-Engine with one workload contract deployed."""
+
+    engine: PublicEngine
+    client: Client
+    contract: bytes
+    workload: Workload
+
+    def make_tx(self, index: int):
+        raw = self.client.call_raw(
+            self.contract, self.workload.method, self.workload.make_input(index)
+        )
+        return Client.public(raw)
+
+    def execute(self, tx):
+        outcome = self.engine.execute(tx)
+        if not outcome.receipt.success:
+            raise ReproError(f"bench tx failed: {outcome.receipt.error}")
+        return outcome
+
+    def overhead_seconds(self) -> float:
+        return 0.0
+
+
+@dataclass
+class ConfidentialRig:
+    """A Confidential-Engine with one workload contract deployed."""
+
+    engine: ConfidentialEngine
+    client: Client
+    contract: bytes
+    workload: Workload
+
+    @property
+    def pk_tx(self):
+        return decode_point(self.engine.pk_tx)
+
+    def make_tx(self, index: int):
+        return self.client.confidential_call(
+            self.pk_tx, self.contract, self.workload.method,
+            self.workload.make_input(index),
+        )
+
+    def execute(self, tx):
+        outcome = self.engine.execute(tx)
+        if not outcome.receipt.success:
+            raise ReproError(f"bench tx failed: {outcome.receipt.error}")
+        return outcome
+
+    def overhead_seconds(self) -> float:
+        return self.engine.platform.accountant.seconds
+
+
+def build_public_rig(
+    workload: Workload,
+    vm: str = "wasm",
+    config: EngineConfig = DEFAULT_CONFIG,
+    seed: bytes = b"bench-public",
+) -> PublicRig:
+    """Deploy the workload contract into a fresh Public-Engine."""
+    engine = PublicEngine(MemoryKV(), config)
+    client = Client.from_seed(seed)
+    artifact = compile_source(workload.source, vm)
+    raw, address = client.deploy_raw(artifact, workload.schema_source)
+    outcome = engine.execute(Client.public(raw))
+    if not outcome.receipt.success:
+        raise ReproError(f"deploy failed: {outcome.receipt.error}")
+    return PublicRig(engine, client, address, workload)
+
+
+def build_confidential_rig(
+    workload: Workload,
+    vm: str = "wasm",
+    config: EngineConfig = DEFAULT_CONFIG,
+    seed: bytes = b"bench-confidential",
+) -> ConfidentialRig:
+    """Deploy the workload contract into a fresh Confidential-Engine."""
+    engine = ConfidentialEngine(MemoryKV(), config)
+    bootstrap_founder(engine.km)
+    engine.provision_from_km()
+    client = Client.from_seed(seed)
+    artifact = compile_source(workload.source, vm)
+    tx, address = client.confidential_deploy(
+        decode_point(engine.pk_tx), artifact, workload.schema_source
+    )
+    outcome = engine.execute(tx)
+    if not outcome.receipt.success:
+        raise ReproError(f"deploy failed: {outcome.receipt.error}")
+    return ConfidentialRig(engine, client, address, workload)
+
+
+def build_rig(workload: Workload, vm: str, confidential: bool,
+              config: EngineConfig = DEFAULT_CONFIG):
+    if confidential:
+        return build_confidential_rig(workload, vm, config)
+    return build_public_rig(workload, vm, config)
+
+
+def run_throughput(
+    rig,
+    num_txs: int = 10,
+    preverify: bool = False,
+    start_index: int = 0,
+    warmup: int = 2,
+) -> ThroughputResult:
+    """Build txs up-front, then time the execution phase."""
+    for w in range(warmup):
+        tx = rig.make_tx(1_000_000 + start_index + w)
+        if preverify:
+            rig.engine.preverify(tx)
+        rig.execute(tx)
+    txs = [rig.make_tx(start_index + i) for i in range(num_txs)]
+    if preverify:
+        for tx in txs:
+            rig.engine.preverify(tx)
+    overhead_before = rig.overhead_seconds()
+    started = time.perf_counter()
+    for tx in txs:
+        rig.execute(tx)
+    wall = time.perf_counter() - started
+    overhead = rig.overhead_seconds() - overhead_before
+    return ThroughputResult(
+        name=f"{rig.workload.name}",
+        transactions=num_txs,
+        wall_seconds=wall,
+        modeled_overhead_seconds=overhead,
+    )

@@ -1,0 +1,143 @@
+'''CCLe → CWScript accessor codegen (the paper's "codegen tool").
+
+Given a schema, emits CWScript helper functions that read encoded tables
+directly from VM linear memory by offset arithmetic — no parsing.  This
+is what lets the ABS contract switch from in-VM JSON parsing to
+Flatbuffers-style field access (OPT2, Figure 12).
+
+Generated names (all internal, prefixed with ``_``):
+
+- scalars:  ``_<Table>_<field>(buf) -> i64``
+- strings:  ``_<Table>_<field>_ptr(buf)`` / ``_<Table>_<field>_len(buf)``
+- vectors:  ``_<Table>_<field>_count(buf)`` / ``_<Table>_<field>_at(buf, j)``
+- maps:     the vector accessors plus
+  ``_<Table>_<field>_lookup(buf, kptr, klen)`` (string key) or
+  ``_<Table>_<field>_lookup_int(buf, key)`` (scalar key); both return a
+  pointer to the element table, or 0 when absent.
+
+Plus a shared ``_ccle_streq(ap, al, bp, bl) -> i64``.
+'''
+
+from __future__ import annotations
+
+from repro.ccle.schema import SCALAR_SIZES, SIGNED_SCALARS, Field, Schema, Table
+from repro.errors import SchemaError
+
+_LOADS = {1: "load8", 2: "load16", 4: "load32", 8: "load64"}
+
+_STREQ = """
+fn _ccle_streq(ap, al, bp, bl) -> i64 {
+    if (al != bl) { return 0; }
+    let i = 0;
+    while (i < al) {
+        if (load8(ap + i) != load8(bp + i)) { return 0; }
+        i = i + 1;
+    }
+    return 1;
+}
+"""
+
+
+def _offset_expr(index: int) -> str:
+    return f"load32(buf + {2 + 4 * index})"
+
+
+def _scalar_accessor(table: Table, fld: Field, index: int) -> str:
+    size = SCALAR_SIZES[fld.type.name]
+    load = _LOADS[size]
+    lines = [
+        f"fn _{table.name}_{fld.name}(buf) -> i64 {{",
+        f"    let off = {_offset_expr(index)};",
+        "    if (off == 0) { return 0; }",
+        f"    let v = {load}(buf + off);",
+    ]
+    if fld.type.name in SIGNED_SCALARS:
+        bits = size * 8
+        lines.append(f"    if (v >= {1 << (bits - 1)}) {{ v = v - {1 << bits}; }}")
+    lines.append("    return v;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _string_accessors(table: Table, fld: Field, index: int) -> str:
+    return f"""
+fn _{table.name}_{fld.name}_ptr(buf) -> i64 {{
+    let off = {_offset_expr(index)};
+    if (off == 0) {{ return 0; }}
+    return buf + off + 4;
+}}
+fn _{table.name}_{fld.name}_len(buf) -> i64 {{
+    let off = {_offset_expr(index)};
+    if (off == 0) {{ return 0; }}
+    return load32(buf + off);
+}}
+"""
+
+
+def _vector_accessors(table: Table, fld: Field, index: int) -> str:
+    return f"""
+fn _{table.name}_{fld.name}_count(buf) -> i64 {{
+    let off = {_offset_expr(index)};
+    if (off == 0) {{ return 0; }}
+    return load32(buf + off);
+}}
+fn _{table.name}_{fld.name}_at(buf, j) -> i64 {{
+    let off = {_offset_expr(index)};
+    let rel = load32(buf + off + 4 + 4 * j);
+    return buf + off + rel;
+}}
+"""
+
+
+def _map_lookup(schema: Schema, table: Table, fld: Field, index: int) -> str:
+    element = schema.tables[fld.type.name]
+    key = element.fields[0]
+    key_off = "load32(e + 2)"  # key is field 0 of the element table
+    if key.type.is_string:
+        return f"""
+fn _{table.name}_{fld.name}_lookup(buf, kptr, klen) -> i64 {{
+    let n = _{table.name}_{fld.name}_count(buf);
+    let j = 0;
+    while (j < n) {{
+        let e = _{table.name}_{fld.name}_at(buf, j);
+        let ko = {key_off};
+        if (_ccle_streq(e + ko + 4, load32(e + ko), kptr, klen)) {{
+            return e;
+        }}
+        j = j + 1;
+    }}
+    return 0;
+}}
+"""
+    if key.type.is_scalar:
+        return f"""
+fn _{table.name}_{fld.name}_lookup_int(buf, key) -> i64 {{
+    let n = _{table.name}_{fld.name}_count(buf);
+    let j = 0;
+    while (j < n) {{
+        let e = _{table.name}_{fld.name}_at(buf, j);
+        if (_{element.name}_{key.name}(e) == key) {{
+            return e;
+        }}
+        j = j + 1;
+    }}
+    return 0;
+}}
+"""
+    raise SchemaError(f"map key of '{table.name}.{fld.name}' is not lookup-able")
+
+
+def generate_accessors(schema: Schema) -> str:
+    """Emit the full CWScript accessor source for a schema."""
+    parts = [_STREQ]
+    for table in schema.tables.values():
+        for index, fld in enumerate(table.fields):
+            if fld.type.is_scalar:
+                parts.append(_scalar_accessor(table, fld, index))
+            elif fld.type.is_string:
+                parts.append(_string_accessors(table, fld, index))
+            else:
+                parts.append(_vector_accessors(table, fld, index))
+                if fld.is_map:
+                    parts.append(_map_lookup(schema, table, fld, index))
+    return "\n".join(parts) + "\n"

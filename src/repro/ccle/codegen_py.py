@@ -1,0 +1,130 @@
+"""CCLe → Python accessor codegen.
+
+Generates lightweight view classes over an encoded buffer: field reads
+are lazy offset lookups, mirroring what the CWScript accessors do inside
+the VM.  Useful for clients inspecting the public part of contract state
+without fully decoding it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.ccle.schema import SCALAR_SIZES, SIGNED_SCALARS, Field, Schema, Table
+from repro.errors import EncodingError
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+
+class TableView:
+    """Lazy read-only view of one encoded table."""
+
+    _schema: Schema
+    _table: Table
+
+    def __init__(self, data: bytes, base: int = 0):
+        self._data = data
+        self._base = base
+        (nfields,) = _U16.unpack_from(data, base)
+        if nfields != len(self._table.fields):
+            raise EncodingError(
+                f"field count mismatch for '{self._table.name}'"
+            )
+
+    def _field_offset(self, index: int) -> int:
+        (off,) = _U32.unpack_from(self._data, self._base + 2 + 4 * index)
+        return off
+
+    def _read(self, index: int):
+        fld = self._table.fields[index]
+        off = self._field_offset(index)
+        if off == 0:
+            if fld.type.is_scalar:
+                return False if fld.type.name == "bool" else 0
+            if fld.type.is_string:
+                return ""
+            return MapView(self, fld, 0, empty=True) if fld.is_map else []
+        pos = self._base + off
+        data = self._data
+        if fld.type.is_scalar:
+            size = SCALAR_SIZES[fld.type.name]
+            value = int.from_bytes(
+                data[pos : pos + size], "big", signed=fld.type.name in SIGNED_SCALARS
+            )
+            return bool(value) if fld.type.name == "bool" else value
+        if fld.type.is_string:
+            (length,) = _U32.unpack_from(data, pos)
+            raw = data[pos + 4 : pos + 4 + length]
+            try:
+                return raw.decode("utf-8")
+            except UnicodeDecodeError:
+                return raw
+        view_cls = _view_class(self._schema, self._schema.tables[fld.type.name])
+        (count,) = _U32.unpack_from(data, pos)
+        elements = []
+        for j in range(count):
+            (rel,) = _U32.unpack_from(data, pos + 4 + 4 * j)
+            elements.append(view_cls(data, pos + rel))
+        if fld.is_map:
+            return MapView(self, fld, pos, elements=elements)
+        return elements
+
+
+class MapView:
+    """Keyed access over a map field's elements (linear scan, like the
+    in-VM lookup accessor)."""
+
+    def __init__(self, parent: TableView, fld: Field, pos: int, elements=None, empty=False):
+        self._fld = fld
+        schema = parent._schema
+        self._key_name = schema.tables[fld.type.name].fields[0].name
+        self._elements = [] if empty else (elements or [])
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def keys(self):
+        return [getattr(e, self._key_name) for e in self._elements]
+
+    def __getitem__(self, key):
+        for element in self._elements:
+            if getattr(element, self._key_name) == key:
+                return element
+        raise KeyError(key)
+
+    def __contains__(self, key) -> bool:
+        return any(getattr(e, self._key_name) == key for e in self._elements)
+
+    def __iter__(self):
+        return iter(self.keys())
+
+
+_CACHE: dict[tuple[int, str], type] = {}
+
+
+def _view_class(schema: Schema, table: Table) -> type:
+    cache_key = (id(schema), table.name)
+    cached = _CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    namespace: dict = {"_schema": schema, "_table": table}
+    for index, fld in enumerate(table.fields):
+        namespace[fld.name] = property(
+            lambda self, _i=index: self._read(_i),
+            doc=f"{table.name}.{fld.name} ({fld.type.name})",
+        )
+    cls = type(f"{table.name}View", (TableView,), namespace)
+    _CACHE[cache_key] = cls
+    return cls
+
+
+def generate_views(schema: Schema) -> dict[str, type]:
+    """Return a {table_name: ViewClass} mapping for a schema."""
+    return {name: _view_class(schema, table) for name, table in schema.tables.items()}
+
+
+def root_view(schema: Schema, data: bytes) -> TableView:
+    """A view over an encoded root-table value."""
+    return _view_class(schema, schema.root)(data, 0)

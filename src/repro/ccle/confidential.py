@@ -1,0 +1,239 @@
+"""Confidential-field partitioning (the heart of CCLe, paper §4).
+
+Instead of encrypting whole contract states, CCLe splits a value into
+
+- a **public part** — the original tree with every ``confidential``
+  subtree removed, still encodable with the binary codec and readable by
+  auditors without keys; and
+- a **secret part** — only the confidential subtrees, positioned by the
+  same container keys/indices, canonically serialized for D-Protocol
+  encryption.
+
+``merge`` inverts the split after the Confidential-Engine decrypts the
+secret part.  The canonical serialization is deterministic (sorted map
+keys) because replicated nodes must produce identical ciphertext.
+"""
+
+from __future__ import annotations
+
+from repro.ccle.schema import Schema, Table
+from repro.errors import EncodingError
+from repro.storage import rlp
+
+_SECRET_MARK = "__ccle_secret__"
+
+
+def split(schema: Schema, value: dict) -> tuple[dict, dict]:
+    """Split a root-table value into (public, secret) trees."""
+    return _split_table(schema, schema.root, value)
+
+
+def _split_table(schema: Schema, table: Table, value: dict) -> tuple[dict, dict]:
+    public: dict = {}
+    secret: dict = {}
+    for fld in table.fields:
+        if fld.name not in value:
+            continue
+        item = value[fld.name]
+        if fld.confidential:
+            secret[fld.name] = item
+            continue
+        if fld.type.is_vector and item is not None:
+            element = schema.tables[fld.type.name]
+            if fld.is_map:
+                pub_map: dict = {}
+                sec_map: dict = {}
+                for key, elem in item.items():
+                    pub_elem, sec_elem = _split_table(schema, element, elem)
+                    pub_map[key] = pub_elem
+                    if sec_elem:
+                        sec_map[key] = sec_elem
+                public[fld.name] = pub_map
+                if sec_map:
+                    secret[fld.name] = sec_map
+            else:
+                pub_list = []
+                sec_list: dict = {}
+                for index, elem in enumerate(item):
+                    pub_elem, sec_elem = _split_table(schema, element, elem)
+                    pub_list.append(pub_elem)
+                    if sec_elem:
+                        sec_list[index] = sec_elem
+                public[fld.name] = pub_list
+                if sec_list:
+                    secret[fld.name] = sec_list
+        else:
+            public[fld.name] = item
+    return public, secret
+
+
+def split_by_role(schema: Schema, value: dict) -> tuple[dict, dict[str, dict]]:
+    """Access-control split: (public, {role: secret-tree}).
+
+    Confidential fields without a role tag land under the default role
+    ``""``; tagged fields land under their tag.  Each role's tree can be
+    sealed under a role-derived subkey, so one role's data is releasable
+    without exposing the others.  ``merge`` recombines role trees one at
+    a time (it is additive).
+    """
+    return _split_table_roles(schema, schema.root, value)
+
+
+def _split_table_roles(
+    schema: Schema, table: Table, value: dict
+) -> tuple[dict, dict[str, dict]]:
+    public: dict = {}
+    secrets: dict[str, dict] = {}
+
+    def bucket(role: str) -> dict:
+        return secrets.setdefault(role, {})
+
+    for fld in table.fields:
+        if fld.name not in value:
+            continue
+        item = value[fld.name]
+        if fld.confidential:
+            bucket(fld.role)[fld.name] = item
+            continue
+        if fld.type.is_vector and item is not None:
+            element = schema.tables[fld.type.name]
+            if fld.is_map:
+                pub_map: dict = {}
+                sec_maps: dict[str, dict] = {}
+                for key, elem in item.items():
+                    pub_elem, elem_secrets = _split_table_roles(
+                        schema, element, elem
+                    )
+                    pub_map[key] = pub_elem
+                    for role, tree in elem_secrets.items():
+                        sec_maps.setdefault(role, {})[key] = tree
+                public[fld.name] = pub_map
+                for role, tree in sec_maps.items():
+                    bucket(role)[fld.name] = tree
+            else:
+                pub_list = []
+                sec_lists: dict[str, dict] = {}
+                for index, elem in enumerate(item):
+                    pub_elem, elem_secrets = _split_table_roles(
+                        schema, element, elem
+                    )
+                    pub_list.append(pub_elem)
+                    for role, tree in elem_secrets.items():
+                        sec_lists.setdefault(role, {})[index] = tree
+                public[fld.name] = pub_list
+                for role, tree in sec_lists.items():
+                    bucket(role)[fld.name] = tree
+        else:
+            public[fld.name] = item
+    return public, {role: tree for role, tree in secrets.items() if tree}
+
+
+def merge(schema: Schema, public: dict, secret: dict) -> dict:
+    """Recombine the trees produced by :func:`split`."""
+    return _merge_table(schema, schema.root, public, secret)
+
+
+def _merge_table(schema: Schema, table: Table, public: dict, secret: dict) -> dict:
+    out = dict(public)
+    for fld in table.fields:
+        if fld.confidential:
+            if fld.name in secret:
+                out[fld.name] = secret[fld.name]
+            continue
+        if fld.name not in secret:
+            continue
+        if not fld.type.is_vector:
+            raise EncodingError(
+                f"secret part has non-confidential scalar '{fld.name}'"
+            )
+        element = schema.tables[fld.type.name]
+        container = out.get(fld.name)
+        if fld.is_map:
+            merged_map = dict(container or {})
+            for key, sec_elem in secret[fld.name].items():
+                merged_map[key] = _merge_table(
+                    schema, element, merged_map.get(key, {}), sec_elem
+                )
+            out[fld.name] = merged_map
+        else:
+            merged_list = list(container or [])
+            for index, sec_elem in secret[fld.name].items():
+                while len(merged_list) <= index:
+                    merged_list.append({})
+                merged_list[index] = _merge_table(
+                    schema, element, merged_list[index], sec_elem
+                )
+            out[fld.name] = merged_list
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Canonical secret serialization (deterministic across replicas)
+# ---------------------------------------------------------------------------
+
+_T_NONE = b"\x00"
+_T_INT = b"\x01"
+_T_NEG = b"\x02"
+_T_BOOL = b"\x03"
+_T_STR = b"\x04"
+_T_BYTES = b"\x05"
+_T_LIST = b"\x06"
+_T_DICT = b"\x07"
+
+
+def _canon(value) -> list:
+    if value is None:
+        return [_T_NONE, b""]
+    if isinstance(value, bool):
+        return [_T_BOOL, b"\x01" if value else b""]
+    if isinstance(value, int):
+        if value < 0:
+            return [_T_NEG, rlp.encode_int(-value)]
+        return [_T_INT, rlp.encode_int(value)]
+    if isinstance(value, str):
+        return [_T_STR, value.encode("utf-8")]
+    if isinstance(value, bytes):
+        return [_T_BYTES, value]
+    if isinstance(value, list):
+        return [_T_LIST, [_canon(v) for v in value]]
+    if isinstance(value, dict):
+        pairs = sorted(
+            ([_canon(k), _canon(v)] for k, v in value.items()),
+            key=lambda pair: rlp.encode(pair[0]),
+        )
+        return [_T_DICT, pairs]
+    raise EncodingError(f"cannot canonicalize {type(value).__name__}")
+
+
+def _uncanon(node):
+    tag, payload = node[0], node[1]
+    if tag == _T_NONE:
+        return None
+    if tag == _T_BOOL:
+        return bool(payload)
+    if tag == _T_INT:
+        return rlp.decode_int(payload)
+    if tag == _T_NEG:
+        return -rlp.decode_int(payload)
+    if tag == _T_STR:
+        return payload.decode("utf-8")
+    if tag == _T_BYTES:
+        return payload
+    if tag == _T_LIST:
+        return [_uncanon(v) for v in payload]
+    if tag == _T_DICT:
+        return {_uncanon(k): _uncanon(v) for k, v in payload}
+    raise EncodingError(f"bad canonical tag {tag!r}")
+
+
+def secret_to_bytes(secret: dict) -> bytes:
+    """Deterministically serialize a secret tree."""
+    return rlp.encode(_canon(secret))
+
+
+def secret_from_bytes(data: bytes) -> dict:
+    """Inverse of :func:`secret_to_bytes`."""
+    value = _uncanon(rlp.decode(data))
+    if not isinstance(value, dict):
+        raise EncodingError("secret payload is not a tree")
+    return value

@@ -1,0 +1,155 @@
+"""CCLe IDL parser.
+
+Accepts the paper's Listing 1 syntax::
+
+    attribute "map";
+    attribute "confidential";
+
+    table Demo {
+      owner: string;
+      admin: [Administrator];
+      account_map: [Account](map);
+    }
+    table Account {
+      user_id: string;
+      organization: string(confidential);
+      asset_map: [Asset](map, confidential);
+    }
+    root_type Demo;
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ccle.schema import Field, FieldType, Schema, Table
+from repro.errors import SchemaError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<str>"[^"]*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[{}\[\]():,;])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(source: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise SchemaError(f"unexpected character {source[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._tokens = _tokenize(source)
+        self._i = 0
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._i] if self._i < len(self._tokens) else None
+
+    def _eat(self) -> str:
+        if self._i >= len(self._tokens):
+            raise SchemaError("unexpected end of schema")
+        token = self._tokens[self._i]
+        self._i += 1
+        return token
+
+    def _expect(self, want: str) -> str:
+        token = self._eat()
+        if token != want:
+            raise SchemaError(f"expected {want!r}, found {token!r}")
+        return token
+
+    def parse(self) -> Schema:
+        schema = Schema()
+        while (token := self._peek()) is not None:
+            if token == "attribute":
+                self._eat()
+                name = self._eat()
+                if not (name.startswith('"') and name.endswith('"')):
+                    raise SchemaError("attribute name must be a string literal")
+                schema.attributes.add(name[1:-1])
+                self._expect(";")
+            elif token == "table":
+                table = self._table()
+                if table.name in schema.tables:
+                    raise SchemaError(f"duplicate table '{table.name}'")
+                schema.tables[table.name] = table
+            elif token == "root_type":
+                self._eat()
+                schema.root_type = self._eat()
+                self._expect(";")
+            else:
+                raise SchemaError(f"unexpected token {token!r} at top level")
+        schema.validate()
+        return schema
+
+    def _table(self) -> Table:
+        self._expect("table")
+        name = self._eat()
+        self._expect("{")
+        table = Table(name)
+        while self._peek() != "}":
+            table.fields.append(self._field())
+        self._expect("}")
+        return table
+
+    def _field(self) -> Field:
+        name = self._eat()
+        self._expect(":")
+        if self._peek() == "[":
+            self._eat()
+            element = self._eat()
+            self._expect("]")
+            ftype = FieldType(element, is_vector=True)
+        else:
+            ftype = FieldType(self._eat())
+        confidential = False
+        is_map = False
+        role = ""
+        if self._peek() == "(":
+            self._eat()
+            while True:
+                attr = self._eat()
+                if attr == "confidential":
+                    confidential = True
+                    # Access-control extension: confidential("role-name")
+                    if self._peek() == "(":
+                        self._eat()
+                        tag = self._eat()
+                        if not (tag.startswith('"') and tag.endswith('"')):
+                            raise SchemaError(
+                                "role tag must be a string literal"
+                            )
+                        role = tag[1:-1]
+                        if not role:
+                            raise SchemaError("role tag must not be empty")
+                        self._expect(")")
+                elif attr == "map":
+                    is_map = True
+                else:
+                    raise SchemaError(f"unknown field attribute '{attr}'")
+                if self._peek() == ",":
+                    self._eat()
+                    continue
+                break
+            self._expect(")")
+        self._expect(";")
+        return Field(
+            name, ftype, confidential=confidential, is_map=is_map, role=role
+        )
+
+
+def parse_schema(source: str) -> Schema:
+    """Parse and validate CCLe IDL source."""
+    return _Parser(source).parse()

@@ -1,0 +1,194 @@
+"""CCLe schema model (paper §4).
+
+CCLe is an IDL extension in the spirit of Flatbuffers, adding two
+attributes:
+
+- ``confidential`` — the field (and, for composites, everything under
+  it) is encrypted by the D-Protocol; public fields stay plaintext so
+  third-party auditors can read them without keys.
+- ``map`` — a keyed collection of tables; the element table's first
+  field is the key (the paper's ``account:asset`` model).
+
+The model here is what the parser produces and everything else (codec,
+codegen, confidential partitioning) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+SCALAR_SIZES: dict[str, int] = {
+    "bool": 1,
+    "byte": 1,
+    "ubyte": 1,
+    "short": 2,
+    "ushort": 2,
+    "int": 4,
+    "uint": 4,
+    "long": 8,
+    "ulong": 8,
+}
+
+SIGNED_SCALARS = frozenset({"byte", "short", "int", "long"})
+
+#: types encoded inline with a fixed size
+SCALARS = frozenset(SCALAR_SIZES)
+
+
+@dataclass(frozen=True)
+class FieldType:
+    """Either a scalar/string, or a vector of some table."""
+
+    name: str  # scalar name, 'string', or the element table name
+    is_vector: bool = False
+
+    @property
+    def is_scalar(self) -> bool:
+        return not self.is_vector and self.name in SCALARS
+
+    @property
+    def is_string(self) -> bool:
+        return not self.is_vector and self.name == "string"
+
+
+#: role tag for fields that are confidential but not role-scoped
+DEFAULT_ROLE = ""
+
+
+@dataclass(frozen=True)
+class Field:
+    name: str
+    type: FieldType
+    confidential: bool = False
+    is_map: bool = False
+    # Access-control extension (paper §4: "CCLe can be further extended
+    # to support more attributes easily, such as data access control"):
+    # a confidential field may carry a role tag — `confidential("risk")`
+    # — and is then sealed under a role-derived subkey, so the engine
+    # can release one role's data without exposing the rest.
+    role: str = DEFAULT_ROLE
+
+
+@dataclass
+class Table:
+    name: str
+    fields: list[Field] = field(default_factory=list)
+
+    def field_index(self, name: str) -> int:
+        for i, fld in enumerate(self.fields):
+            if fld.name == name:
+                return i
+        raise SchemaError(f"table '{self.name}' has no field '{name}'")
+
+    def field_named(self, name: str) -> Field:
+        return self.fields[self.field_index(name)]
+
+
+@dataclass
+class Schema:
+    attributes: set[str] = field(default_factory=set)
+    tables: dict[str, Table] = field(default_factory=dict)
+    root_type: str = ""
+
+    @property
+    def root(self) -> Table:
+        return self.tables[self.root_type]
+
+    def validate(self) -> None:
+        """Check referential integrity, map rules, and acyclicity."""
+        if not self.root_type:
+            raise SchemaError("schema declares no root_type")
+        if self.root_type not in self.tables:
+            raise SchemaError(f"root_type '{self.root_type}' is not a table")
+        for table in self.tables.values():
+            names = [f.name for f in table.fields]
+            if len(set(names)) != len(names):
+                raise SchemaError(f"duplicate field name in table '{table.name}'")
+            for fld in table.fields:
+                if fld.type.is_vector:
+                    if fld.type.name not in self.tables:
+                        raise SchemaError(
+                            f"{table.name}.{fld.name}: unknown element table "
+                            f"'{fld.type.name}'"
+                        )
+                elif not (fld.type.is_scalar or fld.type.is_string):
+                    raise SchemaError(
+                        f"{table.name}.{fld.name}: unknown type '{fld.type.name}'"
+                    )
+                if fld.is_map:
+                    if not fld.type.is_vector:
+                        raise SchemaError(
+                            f"{table.name}.{fld.name}: 'map' requires a table vector"
+                        )
+                    element = self.tables[fld.type.name]
+                    if not element.fields:
+                        raise SchemaError(
+                            f"{table.name}.{fld.name}: map element table is empty"
+                        )
+                    key = element.fields[0]
+                    if not (key.type.is_scalar or key.type.is_string):
+                        raise SchemaError(
+                            f"{table.name}.{fld.name}: map key "
+                            f"({element.name}.{key.name}) must be scalar or string"
+                        )
+                if fld.confidential and "confidential" not in self.attributes:
+                    raise SchemaError(
+                        "attribute \"confidential\" used but not declared"
+                    )
+                if fld.role and not fld.confidential:
+                    raise SchemaError(
+                        f"{table.name}.{fld.name}: a role tag requires "
+                        "the confidential attribute"
+                    )
+                if fld.is_map and "map" not in self.attributes:
+                    raise SchemaError('attribute "map" used but not declared')
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self.tables}
+
+        def visit(name: str) -> None:
+            color[name] = GRAY
+            for fld in self.tables[name].fields:
+                if fld.type.is_vector:
+                    child = fld.type.name
+                    if color[child] == GRAY:
+                        raise SchemaError(
+                            f"recursive table nesting via '{name}' -> '{child}'"
+                        )
+                    if color[child] == WHITE:
+                        visit(child)
+            color[name] = BLACK
+
+        for name in self.tables:
+            if color[name] == WHITE:
+                visit(name)
+
+    def roles(self) -> set[str]:
+        """All role tags used by confidential fields (excluding the
+        default unscoped tag)."""
+        found: set[str] = set()
+        for table in self.tables.values():
+            for fld in table.fields:
+                if fld.role:
+                    found.add(fld.role)
+        return found
+
+    def confidential_paths(self) -> list[tuple[str, ...]]:
+        """All (table-path rooted at root_type) field paths marked
+        confidential, e.g. ``('account_map', 'organization')``."""
+        paths: list[tuple[str, ...]] = []
+
+        def walk(table: Table, prefix: tuple[str, ...]) -> None:
+            for fld in table.fields:
+                path = prefix + (fld.name,)
+                if fld.confidential:
+                    paths.append(path)
+                elif fld.type.is_vector:
+                    walk(self.tables[fld.type.name], path)
+
+        walk(self.root, ())
+        return paths

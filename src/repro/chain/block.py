@@ -1,0 +1,93 @@
+"""Blocks and headers.
+
+Each header commits to the ordered transactions (tx root), the post-state
+(state root) and the execution receipts (receipts root) — the three
+commitments the security argument of §3.3 leans on.  Confidential
+receipts are committed in *sealed* form; determinstic receipt sealing
+(synthetic nonces under ``k_tx``) makes those roots agree across
+replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.transaction import Transaction
+from repro.crypto.hashes import sha256
+from repro.errors import ChainError
+from repro.storage import rlp
+from repro.storage.merkle import MerkleTree
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    height: int
+    prev_hash: bytes
+    tx_root: bytes
+    state_root: bytes
+    receipts_root: bytes
+    proposer: bytes
+    timestamp: int  # logical time (ms since genesis); deterministic
+
+    def encode(self) -> bytes:
+        return rlp.encode(
+            [
+                rlp.encode_int(self.height),
+                self.prev_hash,
+                self.tx_root,
+                self.state_root,
+                self.receipts_root,
+                self.proposer,
+                rlp.encode_int(self.timestamp),
+            ]
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BlockHeader":
+        items = rlp.decode(data)
+        if not isinstance(items, list) or len(items) != 7:
+            raise ChainError("malformed block header")
+        return cls(
+            height=rlp.decode_int(items[0]),
+            prev_hash=items[1],
+            tx_root=items[2],
+            state_root=items[3],
+            receipts_root=items[4],
+            proposer=items[5],
+            timestamp=rlp.decode_int(items[6]),
+        )
+
+    @property
+    def block_hash(self) -> bytes:
+        return sha256(self.encode())
+
+
+@dataclass
+class Block:
+    header: BlockHeader
+    transactions: list[Transaction] = field(default_factory=list)
+
+    @property
+    def block_hash(self) -> bytes:
+        return self.header.block_hash
+
+    @property
+    def byte_size(self) -> int:
+        return len(self.header.encode()) + sum(
+            len(tx.encode()) for tx in self.transactions
+        )
+
+    def verify_tx_root(self) -> bool:
+        return tx_merkle_root(self.transactions) == self.header.tx_root
+
+
+def tx_merkle_root(transactions: list[Transaction]) -> bytes:
+    return MerkleTree([tx.tx_hash for tx in transactions]).root
+
+
+def receipts_merkle_root(receipt_blobs: list[bytes]) -> bytes:
+    """Root over receipt encodings (sealed ones for confidential txs)."""
+    return MerkleTree(receipt_blobs).root
+
+
+GENESIS_HASH = sha256(b"repro-confide-genesis")

@@ -1,0 +1,57 @@
+"""Transaction pools (Figure 7).
+
+Incoming transactions — valid or not — land in the *unverified pool*;
+the pre-verification phase (parallelizable, §5.2) moves the valid ones
+to the *verified pool*, from which the proposer drafts blocks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.chain.transaction import Transaction
+from repro.errors import ChainError
+
+
+class TxPool:
+    """FIFO pool with hash-based deduplication."""
+
+    def __init__(self, capacity: int = 100_000):
+        self._txs: OrderedDict[bytes, Transaction] = OrderedDict()
+        self._capacity = capacity
+
+    def add(self, tx: Transaction) -> bool:
+        """Insert; returns False when the tx is a duplicate."""
+        if tx.tx_hash in self._txs:
+            return False
+        if len(self._txs) >= self._capacity:
+            raise ChainError("transaction pool full")
+        self._txs[tx.tx_hash] = tx
+        return True
+
+    def pop_batch(self, max_count: int | None = None,
+                  max_bytes: int | None = None) -> list[Transaction]:
+        """Remove and return the oldest transactions, bounded by count
+        and/or total encoded size (the paper's 4 KB block budget)."""
+        batch: list[Transaction] = []
+        size = 0
+        while self._txs:
+            if max_count is not None and len(batch) >= max_count:
+                break
+            tx_hash, tx = next(iter(self._txs.items()))
+            tx_size = len(tx.encode())
+            if max_bytes is not None and batch and size + tx_size > max_bytes:
+                break
+            del self._txs[tx_hash]
+            batch.append(tx)
+            size += tx_size
+        return batch
+
+    def remove(self, tx_hash: bytes) -> None:
+        self._txs.pop(tx_hash, None)
+
+    def __len__(self) -> int:
+        return len(self._txs)
+
+    def __contains__(self, tx_hash: bytes) -> bool:
+        return tx_hash in self._txs

@@ -1,0 +1,66 @@
+"""Network latency/bandwidth model for the consensus simulator.
+
+Reproduces the two deployment shapes of §6.2:
+
+- a single zone (one VPC): sub-millisecond latency, 10 Gbit/s links;
+- two zones (Shanghai/Beijing over public internet): tens of
+  milliseconds of latency and far less bandwidth between zones.
+
+Per-node uplinks serialize: a node broadcasting to n-1 peers queues the
+messages on its uplink, which is what makes all-to-all PBFT phases
+degrade with node count across a thin inter-zone pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Pairwise latency + per-link bandwidth, by zone membership."""
+
+    intra_zone_latency_s: float = 0.0005
+    inter_zone_latency_s: float = 0.030
+    intra_zone_bandwidth_bps: float = 10e9
+    # Public-internet pipe between the two cities; *shared* by all
+    # cross-zone traffic (see PBFTOrderer.pipelined_block_interval).
+    inter_zone_bandwidth_bps: float = 20e6
+
+    def latency(self, zone_a: int, zone_b: int) -> float:
+        if zone_a == zone_b:
+            return self.intra_zone_latency_s
+        return self.inter_zone_latency_s
+
+    def transfer_time(self, zone_a: int, zone_b: int, num_bytes: int) -> float:
+        bandwidth = (
+            self.intra_zone_bandwidth_bps
+            if zone_a == zone_b
+            else self.inter_zone_bandwidth_bps
+        )
+        return num_bytes * 8.0 / bandwidth
+
+    def delivery_time(self, zone_a: int, zone_b: int, num_bytes: int) -> float:
+        return self.latency(zone_a, zone_b) + self.transfer_time(zone_a, zone_b, num_bytes)
+
+
+SINGLE_ZONE = NetworkModel()
+
+
+def zones_for(num_nodes: int, num_zones: int, ratio: tuple[int, ...] = (1, 2)) -> list[int]:
+    """Assign nodes to zones.
+
+    For two zones the paper uses a 1:2 split between the city groups;
+    `ratio` generalizes that.
+    """
+    if num_zones <= 1:
+        return [0] * num_nodes
+    ratio = ratio[:num_zones]
+    total = sum(ratio)
+    counts = [num_nodes * r // total for r in ratio]
+    while sum(counts) < num_nodes:
+        counts[counts.index(min(counts))] += 1
+    zones: list[int] = []
+    for zone, count in enumerate(counts):
+        zones.extend([zone] * count)
+    return zones[:num_nodes]

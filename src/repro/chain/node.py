@@ -1,0 +1,335 @@
+"""A full consortium-blockchain node, and consortium assembly helpers.
+
+A node wires together everything below it: KV storage, the two execution
+engines (the CONFIDE Confidential-Engine plugs in beside the platform's
+Public-Engine, exactly the plugin architecture of Figure 2), transaction
+pools, a block executor, and the chain itself.
+
+:func:`build_consortium` stands up an n-node network: every platform is
+registered with the attestation service and the protocol secrets are
+agreed through the chosen K-Protocol mode (decentralized MAP by default,
+centralized KMS optionally).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.chain.block import (
+    GENESIS_HASH,
+    Block,
+    BlockHeader,
+    receipts_merkle_root,
+    tx_merkle_root,
+)
+from repro.chain.executor import BlockExecutionReport, BlockExecutor
+from repro.chain.mempool import TxPool
+from repro.chain.transaction import Transaction
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.engine import ConfidentialEngine, PublicEngine
+from repro.core.k_protocol import (
+    CentralizedKMS,
+    bootstrap_founder,
+    mutual_attested_provision,
+)
+from repro.crypto.ecc import Point, decode_point
+from repro.errors import ChainError
+from repro.storage.kv import KVStore, MemoryKV
+from repro.storage.merkle import state_root as compute_state_root
+from repro.tee.attestation import AttestationService
+
+DEFAULT_BLOCK_BYTES = 4096  # the paper's 4 KB block size (§6.1)
+
+# Key prefixes that belong to replicated consensus state.  Everything
+# else in the KV store is node-local (platform-sealed key backups,
+# header cache, ...) and must not enter the state commitment.
+CONSENSUS_PREFIXES = (b"s:", b"c:", b"n:")
+
+
+def consensus_state(kv: KVStore) -> dict[bytes, bytes]:
+    """The replicated portion of a node's KV store."""
+    return {
+        key: value
+        for key, value in kv.items()
+        if key.startswith(CONSENSUS_PREFIXES)
+    }
+
+
+@dataclass
+class AppliedBlock:
+    block: Block
+    report: BlockExecutionReport
+    exec_seconds: float
+    write_seconds: float
+
+
+class Node:
+    """One consortium node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        zone: int = 0,
+        kv: KVStore | None = None,
+        config: EngineConfig = DEFAULT_CONFIG,
+        lanes: int = 1,
+    ):
+        self.node_id = node_id
+        self.zone = zone
+        self.kv = kv if kv is not None else MemoryKV()
+        self.config = config
+        self.confidential = ConfidentialEngine(self.kv, config)
+        self.public = PublicEngine(self.kv, config)
+        self.executor = BlockExecutor(self.confidential, self.public, lanes)
+        self.unverified = TxPool()
+        self.verified = TxPool()
+        self.chain: list[Block] = []
+        self.receipts: dict[bytes, bytes] = {}  # tx hash -> receipt blob
+        self._receipt_blobs_by_height: dict[int, list[bytes]] = {}
+
+    # -- key agreement helpers ---------------------------------------------
+
+    @property
+    def pk_tx(self) -> Point:
+        return decode_point(self.confidential.pk_tx)
+
+    # -- transaction intake -----------------------------------------------------
+
+    def receive_transaction(self, tx: Transaction) -> bool:
+        """Client submission: goes to the unverified pool."""
+        return self.unverified.add(tx)
+
+    def preverify_pending(self) -> int:
+        """Run the pre-verification phase over the unverified pool.
+
+        Confidential transactions are pushed into the CS enclave in
+        batches (one transition per batch, Figure 7 step P1); public
+        transactions verify outside the enclave.
+        """
+        moved = 0
+        while len(self.unverified):
+            batch = self.unverified.pop_batch(max_count=64)
+            confidential = [tx for tx in batch if tx.is_confidential]
+            verdicts: dict[bytes, bool] = {}
+            if confidential:
+                results = self.confidential.preverify_batch(confidential)
+                verdicts = {
+                    tx.tx_hash: ok for tx, ok in zip(confidential, results)
+                }
+            for tx in batch:
+                if tx.is_confidential:
+                    ok = verdicts[tx.tx_hash]
+                else:
+                    ok = self.public.preverify(tx)
+                if ok:
+                    self.verified.add(tx)
+                    moved += 1
+        return moved
+
+    # -- block lifecycle --------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return len(self.chain)
+
+    @property
+    def head_hash(self) -> bytes:
+        return self.chain[-1].block_hash if self.chain else GENESIS_HASH
+
+    def draft_block(
+        self,
+        max_bytes: int = DEFAULT_BLOCK_BYTES,
+        max_txs: int | None = None,
+    ) -> list[Transaction]:
+        """Pull transactions for the next block (leader role)."""
+        return self.verified.pop_batch(max_count=max_txs, max_bytes=max_bytes)
+
+    def apply_transactions(
+        self, transactions: list[Transaction], proposer: int = 0
+    ) -> AppliedBlock:
+        """Execute an ordered batch and append the resulting block.
+
+        `proposer` is the consensus leader's id — part of the replicated
+        header, identical on every node.
+        """
+        exec_started = time.perf_counter()
+        report = self.executor.execute_block(transactions)
+        exec_seconds = time.perf_counter() - exec_started
+
+        receipt_blobs = []
+        for tx, outcome in zip(transactions, report.outcomes):
+            blob = (
+                outcome.sealed_receipt
+                if outcome.sealed_receipt is not None
+                else outcome.receipt.encode()
+            )
+            receipt_blobs.append(blob)
+            self.receipts[tx.tx_hash] = blob
+
+        state_root = compute_state_root(consensus_state(self.kv))
+        header = BlockHeader(
+            height=self.height + 1,
+            prev_hash=self.head_hash,
+            tx_root=tx_merkle_root(transactions),
+            state_root=state_root,
+            receipts_root=receipts_merkle_root(receipt_blobs),
+            proposer=proposer.to_bytes(8, "big"),
+            timestamp=self.height + 1,
+        )
+        block = Block(header, list(transactions))
+
+        write_started = time.perf_counter()
+        self.kv.write_batch({b"blk:" + header.block_hash: header.encode()})
+        write_seconds = time.perf_counter() - write_started
+
+        self.chain.append(block)
+        self._receipt_blobs_by_height[header.height] = receipt_blobs
+        return AppliedBlock(block, report, exec_seconds, write_seconds)
+
+    def verify_block(self, block: Block) -> None:
+        """Validate a block received from the (untrusted) leader before
+        applying it: height continuity, parent linkage, tx commitment."""
+        header = block.header
+        if header.height != self.height + 1:
+            raise ChainError(
+                f"block height {header.height}, expected {self.height + 1}"
+            )
+        if header.prev_hash != self.head_hash:
+            raise ChainError("block does not extend this chain")
+        if not block.verify_tx_root():
+            raise ChainError("block transaction root mismatch")
+
+    def apply_block(self, block: Block) -> AppliedBlock:
+        """Verify then execute a leader-proposed block; the locally
+        computed header must match the proposed one bit for bit."""
+        self.verify_block(block)
+        applied = self.apply_transactions(
+            block.transactions,
+            proposer=int.from_bytes(block.header.proposer, "big"),
+        )
+        if applied.block.block_hash != block.block_hash:
+            # Roll back would be needed in a real system; here we surface
+            # the divergence (state roots disagree -> consensus failure).
+            raise ChainError(
+                "executed block diverges from the proposed header "
+                f"(state root {applied.block.header.state_root.hex()[:16]} vs "
+                f"{block.header.state_root.hex()[:16]})"
+            )
+        return applied
+
+    def sync_from(self, peer: "Node") -> int:
+        """Catch up by replaying a peer's blocks (new-node join).
+
+        Each block is fully verified and re-executed locally; the
+        locally computed headers must match the peer's bit for bit, so a
+        lying peer cannot feed this node a forged history.  Requires the
+        engines to already share keys (K-Protocol).  Returns the number
+        of blocks applied.
+        """
+        applied = 0
+        while self.height < peer.height:
+            block = peer.chain[self.height]
+            self.apply_block(block)
+            applied += 1
+        return applied
+
+    def header_at(self, height: int) -> BlockHeader:
+        if not 1 <= height <= self.height:
+            raise ChainError(f"no block at height {height}")
+        return self.chain[height - 1].header
+
+    def receipt_blobs_at(self, height: int) -> list[bytes]:
+        return list(self._receipt_blobs_by_height.get(height, []))
+
+
+class Consortium:
+    """A running consortium: leader rotation, block propagation, and
+    cross-replica verification in one object."""
+
+    def __init__(self, nodes: list[Node], rotate_leader: bool = True):
+        if not nodes:
+            raise ChainError("a consortium needs nodes")
+        self.nodes = nodes
+        self.rotate_leader = rotate_leader
+        self._round = 0
+
+    @property
+    def leader(self) -> Node:
+        return self.nodes[self._round % len(self.nodes) if self.rotate_leader else 0]
+
+    def broadcast(self, tx: Transaction) -> None:
+        """Client submission: every node hears about the transaction."""
+        for node in self.nodes:
+            node.receive_transaction(tx)
+
+    def run_round(self, max_bytes: int = DEFAULT_BLOCK_BYTES,
+                  max_txs: int | None = None) -> AppliedBlock:
+        """One consensus round: pre-verify everywhere, leader proposes,
+        replicas verify + apply, all headers must agree."""
+        leader = self.leader
+        for node in self.nodes:
+            node.preverify_pending()
+        batch = leader.draft_block(max_bytes=max_bytes, max_txs=max_txs)
+        applied = leader.apply_transactions(batch, proposer=leader.node_id)
+        for replica in self.nodes:
+            if replica is leader:
+                continue
+            # Replicas drop the proposed txs from their own pools.
+            for tx in batch:
+                replica.verified.remove(tx.tx_hash)
+            replica.apply_block(applied.block)
+        self._round += 1
+        return applied
+
+    def run_until_empty(self, max_rounds: int = 1000,
+                        max_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+        """Run rounds until no node has pending transactions."""
+        rounds = 0
+        while rounds < max_rounds:
+            pending = any(
+                len(n.unverified) or len(n.verified) for n in self.nodes
+            )
+            if not pending:
+                return rounds
+            self.run_round(max_bytes=max_bytes)
+            rounds += 1
+        raise ChainError("consortium did not drain within max_rounds")
+
+    @property
+    def height(self) -> int:
+        return self.nodes[0].height
+
+
+def build_consortium(
+    num_nodes: int,
+    zones: list[int] | None = None,
+    config: EngineConfig = DEFAULT_CONFIG,
+    lanes: int = 1,
+    key_mode: str = "decentralized",
+) -> tuple[list[Node], AttestationService]:
+    """Create nodes and run the K-Protocol so all engines share keys."""
+    if num_nodes < 1:
+        raise ChainError("need at least one node")
+    zones = zones or [0] * num_nodes
+    nodes = [
+        Node(i, zone=zones[i], config=config, lanes=lanes) for i in range(num_nodes)
+    ]
+    attestation = AttestationService()
+    for node in nodes:
+        attestation.register_platform(node.confidential.platform)
+    if key_mode == "decentralized":
+        bootstrap_founder(nodes[0].confidential.km)
+        for joiner in nodes[1:]:
+            mutual_attested_provision(
+                nodes[0].confidential.km, joiner.confidential.km, attestation
+            )
+    elif key_mode == "centralized":
+        kms = CentralizedKMS(attestation)
+        for node in nodes:
+            kms.provision(node.confidential.km)
+    else:
+        raise ChainError(f"unknown key mode '{key_mode}'")
+    for node in nodes:
+        node.confidential.provision_from_km()
+    return nodes, attestation

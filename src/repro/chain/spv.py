@@ -1,0 +1,87 @@
+"""Consensus reads (SPV-style verification, paper §3.3).
+
+"The correctness of a query from a single node is not guaranteed since a
+malicious host can hack the storage or the code of the platform ...
+Therefore, to query blockchain data from other nodes, a consensus read
+(e.g. SPV) should be performed."
+
+Two pieces implement that:
+
+- :func:`consensus_header` — fetch the header at a height from every
+  node and require a 2f+1 quorum on the block hash (a single lying node
+  cannot forge history);
+- receipt inclusion proofs — a node hands out
+  ``(receipt blob, merkle proof)``; the client verifies against the
+  quorum-agreed header's receipts root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.block import BlockHeader
+from repro.chain.node import Node
+from repro.errors import ChainError
+from repro.storage.merkle import MerkleProof, MerkleTree, verify_proof
+
+
+@dataclass(frozen=True)
+class ReceiptProof:
+    height: int
+    receipt_blob: bytes
+    proof: MerkleProof
+
+
+def consensus_header(nodes: list[Node], height: int) -> BlockHeader:
+    """Header at `height` agreed by a 2f+1 quorum of the nodes."""
+    n = len(nodes)
+    f = (n - 1) // 3
+    quorum = 2 * f + 1
+    votes: dict[bytes, list[BlockHeader]] = {}
+    for node in nodes:
+        try:
+            header = node.header_at(height)
+        except ChainError:
+            continue
+        votes.setdefault(header.block_hash, []).append(header)
+    if not votes:
+        raise ChainError(f"no node has a block at height {height}")
+    best_hash, headers = max(votes.items(), key=lambda kv: len(kv[1]))
+    if len(headers) < quorum:
+        raise ChainError(
+            f"no quorum on header at height {height}: "
+            f"best {len(headers)} < {quorum}"
+        )
+    return headers[0]
+
+
+def prove_receipt(node: Node, tx_hash: bytes) -> ReceiptProof:
+    """Build an inclusion proof for a transaction's receipt."""
+    for height in range(node.height, 0, -1):
+        block = node.chain[height - 1]
+        for index, tx in enumerate(block.transactions):
+            if tx.tx_hash == tx_hash:
+                blobs = node.receipt_blobs_at(height)
+                tree = MerkleTree(blobs)
+                return ReceiptProof(height, blobs[index], tree.prove(index))
+    raise ChainError(f"transaction {tx_hash.hex()} not found on chain")
+
+
+def verify_receipt(header: BlockHeader, receipt_proof: ReceiptProof) -> bool:
+    """Check a receipt proof against a (quorum-agreed) header."""
+    return verify_proof(
+        header.receipts_root, receipt_proof.receipt_blob, receipt_proof.proof
+    )
+
+
+def consensus_read_receipt(
+    nodes: list[Node], source: Node, tx_hash: bytes
+) -> bytes:
+    """Fetch a receipt from one (untrusted) node, verified against the
+    quorum of all nodes.  Returns the receipt blob (sealed when the
+    transaction was confidential)."""
+    proof = prove_receipt(source, tx_hash)
+    header = consensus_header(nodes, proof.height)
+    if not verify_receipt(header, proof):
+        raise ChainError("receipt proof failed verification against quorum header")
+    return proof.receipt_blob

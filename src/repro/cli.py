@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``compile <file.cws> [--target wasm|evm] [-o out]`` — compile a
+  CWScript contract and write the artifact.
+- ``disasm <file.cws> [--target ...] [--fuse]`` — compile and print the
+  disassembly (``--fuse`` shows the post-OPT4 superinstruction form).
+- ``histogram <file.cws> [--target ...]`` — static opcode frequencies.
+- ``demo`` — run the quickstart flow (single confidential node).
+- ``bench [--quick]`` — print the paper's tables/figures from a quick run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.lang import compile_source
+from repro.vm.disasm import disassemble_artifact, instruction_histogram
+
+
+def _read_source(path: str) -> str:
+    with open(path) as f:
+        return f.read()
+
+
+def cmd_compile(args) -> int:
+    artifact = compile_source(_read_source(args.file), args.target)
+    out = args.output or (args.file.rsplit(".", 1)[0] + f".{args.target}.bin")
+    with open(out, "wb") as f:
+        f.write(artifact.encode())
+    print(f"{args.file} -> {out}: {len(artifact.code)} code bytes, "
+          f"methods: {', '.join(artifact.methods)}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    artifact = compile_source(_read_source(args.file), args.target)
+    print(disassemble_artifact(artifact, fuse=args.fuse))
+    return 0
+
+
+def cmd_histogram(args) -> int:
+    artifact = compile_source(_read_source(args.file), args.target)
+    histogram = instruction_histogram(artifact)
+    total = sum(histogram.values())
+    print(f"{total} static instructions, {len(histogram)} distinct opcodes")
+    for name, count in sorted(histogram.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:16s} {count:6d}  {count / total * 100:5.1f}%")
+    return 0
+
+
+def cmd_demo(_args) -> int:
+    from repro.core import ConfidentialEngine, bootstrap_founder
+    from repro.crypto.ecc import decode_point
+    from repro.storage import MemoryKV
+    from repro.workloads import Client
+
+    engine = ConfidentialEngine(MemoryKV())
+    bootstrap_founder(engine.km)
+    pk = decode_point(engine.provision_from_km())
+    client = Client.from_seed(b"cli-demo")
+    artifact = compile_source(
+        """
+        fn main() {
+            let v = alloc(8);
+            store64(v, 42);
+            storage_set("answer", 6, v, 8);
+            output(v, 8);
+        }
+        """,
+        "wasm",
+    )
+    tx, address = client.confidential_deploy(pk, artifact)
+    engine.execute(tx)
+    raw = client.call_raw(address, "main", b"")
+    outcome = engine.execute(client.seal(pk, raw))
+    receipt = client.open_receipt(raw.tx_hash, outcome.sealed_receipt)
+    print(f"deployed at {address.hex()}")
+    print(f"sealed receipt opened: output={int.from_bytes(receipt.output, 'big')}")
+    ciphertext = [k for k, _ in engine.kv.items() if k.startswith(b"s:")]
+    print(f"{len(ciphertext)} encrypted state entries in the node database")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import (
+        fig10_series,
+        fig11_point,
+        fig12_series,
+        sec64_metrics,
+        table1_rows,
+    )
+    from repro.bench import reporting
+
+    num_txs = 4 if args.quick else 8
+    print(reporting.format_fig10(fig10_series(num_txs=num_txs, json_kv=30)))
+    print()
+    points = [fig11_point(n, lanes, zones, 12)
+              for zones in (1, 2)
+              for lanes in ((1, 4) if zones == 1 else (1,))
+              for n in (4, 12, 20)]
+    print(reporting.format_fig11(points))
+    print()
+    print(reporting.format_table1(table1_rows(runs=2)))
+    print()
+    print(reporting.format_fig12(fig12_series(num_txs=num_txs)))
+    print()
+    print(reporting.format_sec64(sec64_metrics(num_txs=6)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CONFIDE reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a CWScript contract")
+    p.add_argument("file")
+    p.add_argument("--target", choices=("wasm", "evm"), default="wasm")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("disasm", help="compile and disassemble")
+    p.add_argument("file")
+    p.add_argument("--target", choices=("wasm", "evm"), default="wasm")
+    p.add_argument("--fuse", action="store_true",
+                   help="show the fused (OPT4) instruction stream")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("histogram", help="static opcode frequencies")
+    p.add_argument("file")
+    p.add_argument("--target", choices=("wasm", "evm"), default="wasm")
+    p.set_defaults(func=cmd_histogram)
+
+    p = sub.add_parser("demo", help="run the confidential quickstart flow")
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("bench", help="print the paper's tables/figures")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

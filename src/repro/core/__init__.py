@@ -1,0 +1,47 @@
+"""CONFIDE core: the Confidential-Engine and the T/D/K protocols."""
+
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.d_protocol import StateAad, StateCipher
+from repro.core.engine import (
+    ConfidentialEngine,
+    CSEnclave,
+    ExecutionOutcome,
+    PublicEngine,
+)
+from repro.core.k_protocol import (
+    CentralizedKMS,
+    bootstrap_founder,
+    mutual_attested_provision,
+)
+from repro.core.kmm import KMEnclave
+from repro.core.preprocessor import PreProcessor, ProcessedTx, TxMetadata
+from repro.core.receipts import AccessRequest, AuthorizationChainCode, Receipt
+from repro.core.sdm import SecureDataModule
+from repro.core.stats import OperationStats, TABLE1_ORDER
+from repro.core import roles, t_protocol
+
+__all__ = [
+    "AccessRequest",
+    "AuthorizationChainCode",
+    "CSEnclave",
+    "CentralizedKMS",
+    "ConfidentialEngine",
+    "DEFAULT_CONFIG",
+    "EngineConfig",
+    "ExecutionOutcome",
+    "KMEnclave",
+    "OperationStats",
+    "PreProcessor",
+    "ProcessedTx",
+    "PublicEngine",
+    "Receipt",
+    "SecureDataModule",
+    "StateAad",
+    "StateCipher",
+    "TABLE1_ORDER",
+    "TxMetadata",
+    "bootstrap_founder",
+    "mutual_attested_provision",
+    "roles",
+    "t_protocol",
+]

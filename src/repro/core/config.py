@@ -1,0 +1,48 @@
+"""Engine configuration, including the paper's optimization toggles.
+
+Figure 12's ablation flips these switches cumulatively:
+
+- OPT1 — ``use_code_cache`` + ``use_memory_pool`` (decoded-module cache,
+  pooled enclave allocation);
+- OPT2 — a *workload* property (Flatbuffers vs JSON contract variants in
+  :mod:`repro.workloads.abs`), not an engine switch;
+- OPT3 — ``use_preverification`` (§5.2 metadata cache);
+- OPT4 — ``use_instruction_fusion`` (superinstructions / reduced
+  dispatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.vm.evm.interpreter import DEFAULT_GAS_LIMIT
+from repro.vm.wasm.interpreter import DEFAULT_MAX_STEPS
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Behavioural switches for a contract execution engine."""
+
+    default_vm: str = "wasm"  # VM used when a deploy does not specify one
+    use_code_cache: bool = True
+    use_memory_pool: bool = True
+    use_preverification: bool = True
+    use_instruction_fusion: bool = True
+    code_cache_capacity: int = 64
+    max_steps: int = DEFAULT_MAX_STEPS
+    gas_limit: int = DEFAULT_GAS_LIMIT
+    max_call_depth: int = 64
+    security_version: int = 1
+
+    def without_optimizations(self) -> "EngineConfig":
+        """Baseline configuration with every OPT switch off."""
+        return replace(
+            self,
+            use_code_cache=False,
+            use_memory_pool=False,
+            use_preverification=False,
+            use_instruction_fusion=False,
+        )
+
+
+DEFAULT_CONFIG = EngineConfig()

@@ -1,0 +1,116 @@
+"""K-Protocol: secret-key agreement among blockchain nodes (paper §3.2.2).
+
+Every node's Confidential-Engine must hold the same ``sk_tx`` and
+``k_states`` so each replica can independently decrypt confidential
+transactions and produce identical encrypted state.  Two agreement modes
+ship, as in the paper:
+
+- :class:`CentralizedKMS` — a key-management service (the stand-in for
+  an HSM-backed service): it verifies a node's KM-enclave quote, then
+  provisions the master keys over an ECIES channel to the enclave's
+  ephemeral exchange key.
+- :func:`mutual_attested_provision` — the decentralized Mutual
+  Authenticated Protocol (MAP): the first node generates keys; each
+  joining node runs mutual remote attestation with an existing member
+  (both sides verify the other's quote and measurement, with the
+  exchange key fingerprint bound into the report data) before the keys
+  are transferred.
+"""
+
+from __future__ import annotations
+
+from repro.core.kmm import KMEnclave
+from repro.crypto import ecies
+from repro.crypto.ecc import decode_point
+from repro.crypto.keys import KeyPair, SymmetricKey
+from repro.errors import AttestationError, ProtocolError
+from repro.storage import rlp
+from repro.tee.attestation import AttestationService, create_quote
+
+_KMS_AAD = b"confide/k-protocol/key-exchange"
+
+
+class CentralizedKMS:
+    """HSM-style centralized key service."""
+
+    def __init__(self, attestation: AttestationService):
+        self._attestation = attestation
+        self._master = KeyPair.generate()
+        self._k_states = SymmetricKey.generate().material
+        self._expected_measurement = None
+
+    @property
+    def pk_tx(self) -> bytes:
+        return self._master.public_bytes()
+
+    def pin_measurement(self, measurement) -> None:
+        """Only provision enclaves with this code identity."""
+        self._expected_measurement = measurement
+
+    def provision(self, km: KMEnclave) -> bytes:
+        """Provision the master keys into a node's KM enclave.
+
+        Returns pk_tx as installed, which callers cross-check.
+        """
+        exchange_pub = km.ecall("begin_exchange")
+        quote = create_quote(
+            km, AttestationService.report_data_for_key(exchange_pub)
+        )
+        self._attestation.verify(quote, self._expected_measurement)
+        if quote.report_data[:32] != AttestationService.report_data_for_key(
+            exchange_pub
+        )[:32]:
+            raise AttestationError("exchange key not bound into quote")
+        payload = rlp.encode(
+            [self._master.private.to_bytes(32, "big"), self._k_states]
+        )
+        blob = ecies.encrypt(decode_point(exchange_pub), payload, _KMS_AAD)
+        installed_pk = km.ecall("finish_exchange", blob)
+        if installed_pk != self.pk_tx:
+            raise ProtocolError("provisioned pk_tx mismatch")
+        return installed_pk
+
+
+def mutual_attested_provision(
+    member: KMEnclave,
+    joiner: KMEnclave,
+    attestation: AttestationService,
+) -> bytes:
+    """Decentralized MAP: transfer keys from a member to a joining node.
+
+    Both directions attest:
+
+    1. the joiner creates an ephemeral exchange key and a quote binding
+       its fingerprint; the member verifies the quote **and** requires
+       the joiner to run the same enclave code (measurement equality);
+    2. the member produces its own quote binding pk_tx's fingerprint;
+       the joiner verifies it before trusting the received keys.
+    """
+    if not member.has_keys:
+        raise ProtocolError("member node has no keys to share")
+    # Joiner -> member direction.
+    exchange_pub = joiner.ecall("begin_exchange")
+    joiner_quote = create_quote(
+        joiner, AttestationService.report_data_for_key(exchange_pub)
+    )
+    attestation.verify(joiner_quote, expected_measurement=member.measurement)
+    # Member -> joiner direction: quote binds pk_tx so a MITM cannot swap it.
+    member_pk = member.ecall("public_key")
+    member_quote = create_quote(
+        member, AttestationService.report_data_for_key(member_pk)
+    )
+    attestation.verify(member_quote, expected_measurement=joiner.measurement)
+    if member_quote.report_data[:32] != AttestationService.report_data_for_key(
+        member_pk
+    )[:32]:
+        raise AttestationError("pk_tx fingerprint not locked into member quote")
+    blob = member.ecall("export_keys", exchange_pub)
+    installed_pk = joiner.ecall("finish_exchange", blob)
+    if installed_pk != member_pk:
+        raise ProtocolError("joined node installed a different pk_tx")
+    return installed_pk
+
+
+def bootstrap_founder(km: KMEnclave) -> bytes:
+    """First node in the network: generate the secrets locally."""
+    return km.ecall("generate_keys")

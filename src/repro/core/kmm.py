@@ -1,0 +1,132 @@
+"""Key Management enclave (KM Enclave, paper §5.1).
+
+Generates and guards the two protocol secrets:
+
+- ``sk_tx``    — the asymmetric private key opening T-Protocol envelopes;
+- ``k_states`` — the symmetric root key for D-Protocol state encryption.
+
+Key material only ever leaves the enclave (a) sealed to the platform, or
+(b) encrypted to an attested peer enclave's ephemeral exchange key
+(K-Protocol, remote) or to the platform-local secure channel with the CS
+enclave (local attestation path).
+
+Because key management is low-frequency, the KM enclave is destroyed as
+soon as provisioning finishes to release EPC memory (§5.3).
+"""
+
+from __future__ import annotations
+
+from repro.crypto import ecies
+from repro.crypto.ecc import decode_point
+from repro.crypto.keys import KeyPair, SymmetricKey
+from repro.errors import EnclaveError, ProtocolError
+from repro.storage import rlp
+from repro.tee.enclave import Enclave, Platform
+
+_EXCHANGE_AAD = b"confide/k-protocol/key-exchange"
+_SEAL_AAD = b"confide/kmm/sealed-keys"
+_LOCAL_AAD = b"confide/kmm/local-provision"
+
+
+class KMEnclave(Enclave):
+    """The key-management enclave."""
+
+    VERSION = 1
+
+    def __init__(self, platform: Platform, name: str = "km-enclave"):
+        super().__init__(platform, name)
+        self._km_heap = self.malloc(512 * 1024)  # key structures + RA buffers
+
+    # -- trusted entry points ------------------------------------------------
+
+    def ecall_generate_keys(self) -> bytes:
+        """Generate sk_tx + k_states locally (founder node); returns pk_tx."""
+        if "sk_tx" in self.trusted:
+            raise ProtocolError("keys already installed")
+        keypair = KeyPair.generate()
+        self.trusted["sk_tx"] = keypair
+        self.trusted["k_states"] = SymmetricKey.generate().material
+        return keypair.public_bytes()
+
+    def ecall_public_key(self) -> bytes:
+        """pk_tx (public; fingerprint goes into the attestation report)."""
+        return self._keypair().public_bytes()
+
+    def ecall_begin_exchange(self) -> bytes:
+        """Create an ephemeral exchange key; returns its public half."""
+        ephemeral = KeyPair.generate()
+        self.trusted["exchange"] = ephemeral
+        return ephemeral.public_bytes()
+
+    def ecall_export_keys(self, peer_exchange_pub: bytes) -> bytes:
+        """Encrypt (sk_tx, k_states) to a peer's exchange public key.
+
+        Callers must have verified the peer's quote *before* invoking
+        this (K-Protocol handles that); the enclave additionally refuses
+        to export when no keys are installed.
+        """
+        keypair = self._keypair()
+        peer = decode_point(peer_exchange_pub)
+        payload = rlp.encode(
+            [keypair.private.to_bytes(32, "big"), self.trusted["k_states"]]
+        )
+        return ecies.encrypt(peer, payload, _EXCHANGE_AAD)
+
+    def ecall_finish_exchange(self, blob: bytes) -> bytes:
+        """Install keys received from a peer; returns pk_tx for checking."""
+        ephemeral = self.trusted.pop("exchange", None)
+        if ephemeral is None:
+            raise ProtocolError("no exchange in progress")
+        payload = ecies.decrypt(ephemeral, blob, _EXCHANGE_AAD)
+        items = rlp.decode(payload)
+        if not isinstance(items, list) or len(items) != 2:
+            raise ProtocolError("malformed key payload")
+        keypair = KeyPair.from_private(int.from_bytes(items[0], "big"))
+        self.trusted["sk_tx"] = keypair
+        self.trusted["k_states"] = items[1]
+        return keypair.public_bytes()
+
+    def ecall_seal_keys(self) -> bytes:
+        """Seal the keys to this platform for restart persistence."""
+        keypair = self._keypair()
+        payload = rlp.encode(
+            [keypair.private.to_bytes(32, "big"), self.trusted["k_states"]]
+        )
+        return self.seal(payload, _SEAL_AAD)
+
+    def ecall_unseal_keys(self, sealed: bytes) -> bytes:
+        payload = self.unseal(sealed, _SEAL_AAD)
+        items = rlp.decode(payload)
+        keypair = KeyPair.from_private(int.from_bytes(items[0], "big"))
+        self.trusted["sk_tx"] = keypair
+        self.trusted["k_states"] = items[1]
+        return keypair.public_bytes()
+
+    def ecall_provision_cs(self, cs_measurement_digest: bytes) -> bytes:
+        """Encrypt the keys over the local-attestation channel to the CS
+        enclave on this platform (paper Figure 6)."""
+        from repro.crypto.gcm import AesGcm, deterministic_nonce
+        from repro.tee.enclave import Measurement
+
+        keypair = self._keypair()
+        channel = self.platform.local_channel_key(
+            self.measurement, Measurement(cs_measurement_digest)
+        )
+        payload = rlp.encode(
+            [keypair.private.to_bytes(32, "big"), self.trusted["k_states"]]
+        )
+        nonce = deterministic_nonce(channel, payload, _LOCAL_AAD)
+        return nonce + AesGcm(channel).seal(nonce, payload, _LOCAL_AAD)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _keypair(self) -> KeyPair:
+        keypair = self.trusted.get("sk_tx")
+        if keypair is None:
+            raise EnclaveError("KM enclave has no keys installed")
+        return keypair
+
+    @property
+    def has_keys(self) -> bool:
+        # Inspectable from outside without exposing material.
+        return "sk_tx" in self._trusted_state

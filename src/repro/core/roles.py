@@ -1,0 +1,30 @@
+"""Role-scoped data release (the CCLe access-control extension).
+
+With role-tagged confidential fields (``confidential("risk")``), each
+role's subtree is sealed under an HKDF subkey of ``k_states``.  The
+engine can release one role's subkey to an authorized party — gated by
+the contract's own ``acl_role`` method — and that party can then read
+the role's data straight out of any replica's database, without ever
+holding ``k_states`` or seeing other roles' fields.
+"""
+
+from __future__ import annotations
+
+from repro.ccle.confidential import secret_from_bytes
+from repro.core.d_protocol import StateAad, StateCipher
+from repro.crypto import ecies
+from repro.crypto.keys import KeyPair
+
+ROLE_ACL_METHOD = "acl_role"
+ROLE_RELEASE_AAD = b"confide/ccle-role-release"
+
+
+def unwrap_role_key(requester: KeyPair, wrapped: bytes) -> bytes:
+    """Requester side: recover the released role subkey."""
+    return ecies.decrypt(requester, wrapped, ROLE_RELEASE_AAD)
+
+
+def open_role_blob(role_key: bytes, sealed: bytes, aad: StateAad) -> dict:
+    """Decrypt one role's sealed subtree (a ``…#sec@<role>`` database
+    entry) into the secret tree."""
+    return secret_from_bytes(StateCipher(role_key).open(sealed, aad))

@@ -1,0 +1,55 @@
+"""Per-operation timing statistics (the data behind Table 1).
+
+The engines record wall-clock durations and counts of the operations the
+paper profiles for the SCF-AR workload: Contract Call, GetStorage,
+SetStorage, Transaction Verify, Transaction Decryption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CONTRACT_CALL = "Contract Call"
+GET_STORAGE = "GetStorage"
+SET_STORAGE = "SetStorage"
+TX_VERIFY = "Transaction Verify"
+TX_DECRYPT = "Transaction Decryption"
+
+TABLE1_ORDER = (CONTRACT_CALL, GET_STORAGE, SET_STORAGE, TX_VERIFY, TX_DECRYPT)
+
+
+@dataclass
+class OperationStats:
+    """Accumulated (duration, count) per operation name."""
+
+    durations: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str, seconds: float) -> None:
+        self.durations[op] = self.durations.get(op, 0.0) + seconds
+        self.counts[op] = self.counts.get(op, 0) + 1
+
+    def count(self, op: str) -> int:
+        return self.counts.get(op, 0)
+
+    def duration_ms(self, op: str) -> float:
+        return self.durations.get(op, 0.0) * 1000.0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.durations.values())
+
+    def ratio(self, op: str) -> float:
+        total = self.total_seconds
+        return self.durations.get(op, 0.0) / total if total else 0.0
+
+    def reset(self) -> None:
+        self.durations.clear()
+        self.counts.clear()
+
+    def table_rows(self) -> list[tuple[str, float, int, float]]:
+        """(op, duration_ms, count, ratio) rows in the paper's order."""
+        return [
+            (op, self.duration_ms(op), self.count(op), self.ratio(op))
+            for op in TABLE1_ORDER
+        ]

@@ -1,0 +1,40 @@
+"""Pure-Python cryptographic substrate for the CONFIDE reproduction.
+
+Everything the paper's protocols need, with no external dependencies:
+AES-128/256-GCM, SHA-256, Keccak-256, secp256k1 ECDSA/ECDH, ECIES
+envelopes, and HKDF.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.ecc import G, INFINITY, N, P, Point, decode_point, scalar_mult
+from repro.crypto.ecdsa import Signature, require_valid, sign, verify
+from repro.crypto.gcm import AesGcm, deterministic_nonce, random_nonce
+from repro.crypto.hashes import keccak256, sha256, sha256_hex
+from repro.crypto.hkdf import hkdf
+from repro.crypto.keys import KeyPair, SymmetricKey
+from repro.crypto import ecies
+
+__all__ = [
+    "AES",
+    "AesGcm",
+    "G",
+    "INFINITY",
+    "KeyPair",
+    "N",
+    "P",
+    "Point",
+    "Signature",
+    "SymmetricKey",
+    "decode_point",
+    "deterministic_nonce",
+    "ecies",
+    "hkdf",
+    "keccak256",
+    "random_nonce",
+    "require_valid",
+    "scalar_mult",
+    "sha256",
+    "sha256_hex",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,175 @@
+"""Pure-Python AES block cipher (encrypt direction only).
+
+CONFIDE uses AES exclusively in GCM mode, which needs only the forward
+cipher, so the inverse cipher is intentionally not implemented.  The
+implementation uses the classic 32-bit T-table formulation for speed.
+
+Supports AES-128 and AES-256 keys.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8]
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a = (a ^ 0x1B) & 0xFF
+    return a
+
+
+def _build_tables() -> tuple[list[int], list[int], list[int], list[int]]:
+    te0, te1, te2, te3 = [], [], [], []
+    for x in range(256):
+        s = _SBOX[x]
+        s2 = _xtime(s)
+        s3 = s2 ^ s
+        t = (s2 << 24) | (s << 16) | (s << 8) | s3
+        te0.append(t)
+        te1.append(((t >> 8) | (t << 24)) & 0xFFFFFFFF)
+        te2.append(((t >> 16) | (t << 16)) & 0xFFFFFFFF)
+        te3.append(((t >> 24) | (t << 8)) & 0xFFFFFFFF)
+    return te0, te1, te2, te3
+
+
+_TE0, _TE1, _TE2, _TE3 = _build_tables()
+
+
+def _sub_word(word: int) -> int:
+    return (
+        (_SBOX[(word >> 24) & 0xFF] << 24)
+        | (_SBOX[(word >> 16) & 0xFF] << 16)
+        | (_SBOX[(word >> 8) & 0xFF] << 8)
+        | _SBOX[word & 0xFF]
+    )
+
+
+def _rot_word(word: int) -> int:
+    return ((word << 8) | (word >> 24)) & 0xFFFFFFFF
+
+
+def expand_key(key: bytes) -> list[int]:
+    """Expand a 16- or 32-byte key into the round-key word schedule."""
+    if len(key) not in (16, 32):
+        raise CryptoError(f"AES key must be 16 or 32 bytes, got {len(key)}")
+    nk = len(key) // 4
+    rounds = nk + 6
+    words = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(nk)]
+    for i in range(nk, 4 * (rounds + 1)):
+        temp = words[i - 1]
+        if i % nk == 0:
+            temp = _sub_word(_rot_word(temp)) ^ (_RCON[i // nk - 1] << 24)
+        elif nk > 6 and i % nk == 4:
+            temp = _sub_word(temp)
+        words.append(words[i - nk] ^ temp)
+    return words
+
+
+class AES:
+    """Forward AES cipher bound to a single expanded key."""
+
+    def __init__(self, key: bytes):
+        self._rk = expand_key(key)
+        self._rounds = len(self._rk) // 4 - 1
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != 16:
+            raise CryptoError("AES block must be 16 bytes")
+        rk = self._rk
+        te0, te1, te2, te3 = _TE0, _TE1, _TE2, _TE3
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        k = 4
+        for _ in range(self._rounds - 1):
+            t0 = (
+                te0[(s0 >> 24) & 0xFF]
+                ^ te1[(s1 >> 16) & 0xFF]
+                ^ te2[(s2 >> 8) & 0xFF]
+                ^ te3[s3 & 0xFF]
+                ^ rk[k]
+            )
+            t1 = (
+                te0[(s1 >> 24) & 0xFF]
+                ^ te1[(s2 >> 16) & 0xFF]
+                ^ te2[(s3 >> 8) & 0xFF]
+                ^ te3[s0 & 0xFF]
+                ^ rk[k + 1]
+            )
+            t2 = (
+                te0[(s2 >> 24) & 0xFF]
+                ^ te1[(s3 >> 16) & 0xFF]
+                ^ te2[(s0 >> 8) & 0xFF]
+                ^ te3[s1 & 0xFF]
+                ^ rk[k + 2]
+            )
+            t3 = (
+                te0[(s3 >> 24) & 0xFF]
+                ^ te1[(s0 >> 16) & 0xFF]
+                ^ te2[(s1 >> 8) & 0xFF]
+                ^ te3[s2 & 0xFF]
+                ^ rk[k + 3]
+            )
+            s0, s1, s2, s3 = t0, t1, t2, t3
+            k += 4
+        sbox = _SBOX
+        out0 = (
+            (sbox[(s0 >> 24) & 0xFF] << 24)
+            | (sbox[(s1 >> 16) & 0xFF] << 16)
+            | (sbox[(s2 >> 8) & 0xFF] << 8)
+            | sbox[s3 & 0xFF]
+        ) ^ rk[k]
+        out1 = (
+            (sbox[(s1 >> 24) & 0xFF] << 24)
+            | (sbox[(s2 >> 16) & 0xFF] << 16)
+            | (sbox[(s3 >> 8) & 0xFF] << 8)
+            | sbox[s0 & 0xFF]
+        ) ^ rk[k + 1]
+        out2 = (
+            (sbox[(s2 >> 24) & 0xFF] << 24)
+            | (sbox[(s3 >> 16) & 0xFF] << 16)
+            | (sbox[(s0 >> 8) & 0xFF] << 8)
+            | sbox[s1 & 0xFF]
+        ) ^ rk[k + 2]
+        out3 = (
+            (sbox[(s3 >> 24) & 0xFF] << 24)
+            | (sbox[(s0 >> 16) & 0xFF] << 16)
+            | (sbox[(s1 >> 8) & 0xFF] << 8)
+            | sbox[s2 & 0xFF]
+        ) ^ rk[k + 3]
+        return (
+            out0.to_bytes(4, "big")
+            + out1.to_bytes(4, "big")
+            + out2.to_bytes(4, "big")
+            + out3.to_bytes(4, "big")
+        )

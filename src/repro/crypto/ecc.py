@@ -1,0 +1,168 @@
+"""secp256k1 elliptic-curve group arithmetic.
+
+The curve underlying CONFIDE's T-Protocol envelope (ECIES), the node
+transaction keys (sk_tx / pk_tx) and transaction signatures (ECDSA).
+Jacobian coordinates are used internally so scalar multiplication needs a
+single modular inversion at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+# secp256k1 domain parameters
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+A = 0
+B = 7
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine point on secp256k1; ``None`` coordinates mean infinity."""
+
+    x: int | None
+    y: int | None
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def encode(self, compressed: bool = True) -> bytes:
+        """SEC1 encoding (33 bytes compressed, 65 uncompressed)."""
+        if self.is_infinity:
+            raise CryptoError("cannot encode the point at infinity")
+        assert self.x is not None and self.y is not None
+        if compressed:
+            prefix = b"\x03" if self.y & 1 else b"\x02"
+            return prefix + self.x.to_bytes(32, "big")
+        return b"\x04" + self.x.to_bytes(32, "big") + self.y.to_bytes(32, "big")
+
+
+INFINITY = Point(None, None)
+G = Point(GX, GY)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Check the curve equation y^2 = x^3 + 7 (mod p)."""
+    if point.is_infinity:
+        return True
+    assert point.x is not None and point.y is not None
+    return (point.y * point.y - point.x * point.x * point.x - B) % P == 0
+
+
+def decode_point(data: bytes) -> Point:
+    """Decode a SEC1 compressed or uncompressed point."""
+    if len(data) == 33 and data[0] in (2, 3):
+        x = int.from_bytes(data[1:], "big")
+        if x >= P:
+            raise CryptoError("point x out of range")
+        y_sq = (pow(x, 3, P) + B) % P
+        y = pow(y_sq, (P + 1) // 4, P)
+        if (y * y) % P != y_sq:
+            raise CryptoError("point not on curve")
+        if (y & 1) != (data[0] & 1):
+            y = P - y
+        return Point(x, y)
+    if len(data) == 65 and data[0] == 4:
+        x = int.from_bytes(data[1:33], "big")
+        y = int.from_bytes(data[33:], "big")
+        point = Point(x, y)
+        if not is_on_curve(point):
+            raise CryptoError("point not on curve")
+        return point
+    raise CryptoError("malformed SEC1 point encoding")
+
+
+# ---------------------------------------------------------------------------
+# Jacobian-coordinate internals
+# ---------------------------------------------------------------------------
+
+def _to_jacobian(point: Point) -> tuple[int, int, int]:
+    if point.is_infinity:
+        return (0, 1, 0)
+    assert point.x is not None and point.y is not None
+    return (point.x, point.y, 1)
+
+
+def _from_jacobian(j: tuple[int, int, int]) -> Point:
+    x, y, z = j
+    if z == 0:
+        return INFINITY
+    z_inv = pow(z, P - 2, P)
+    z_inv2 = (z_inv * z_inv) % P
+    return Point((x * z_inv2) % P, (y * z_inv2 * z_inv) % P)
+
+
+def _jacobian_double(j: tuple[int, int, int]) -> tuple[int, int, int]:
+    x, y, z = j
+    if z == 0 or y == 0:
+        return (0, 1, 0)
+    ysq = (y * y) % P
+    s = (4 * x * ysq) % P
+    m = (3 * x * x) % P  # a == 0 for secp256k1
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = (2 * y * z) % P
+    return (nx, ny, nz)
+
+
+def _jacobian_add(
+    j1: tuple[int, int, int], j2: tuple[int, int, int]
+) -> tuple[int, int, int]:
+    x1, y1, z1 = j1
+    x2, y2, z2 = j2
+    if z1 == 0:
+        return j2
+    if z2 == 0:
+        return j1
+    z1sq = (z1 * z1) % P
+    z2sq = (z2 * z2) % P
+    u1 = (x1 * z2sq) % P
+    u2 = (x2 * z1sq) % P
+    s1 = (y1 * z2sq * z2) % P
+    s2 = (y2 * z1sq * z1) % P
+    if u1 == u2:
+        if s1 != s2:
+            return (0, 1, 0)
+        return _jacobian_double(j1)
+    h = (u2 - u1) % P
+    r = (s2 - s1) % P
+    h2 = (h * h) % P
+    h3 = (h * h2) % P
+    u1h2 = (u1 * h2) % P
+    nx = (r * r - h3 - 2 * u1h2) % P
+    ny = (r * (u1h2 - nx) - s1 * h3) % P
+    nz = (h * z1 * z2) % P
+    return (nx, ny, nz)
+
+
+def add(p1: Point, p2: Point) -> Point:
+    """Group addition of two affine points."""
+    return _from_jacobian(_jacobian_add(_to_jacobian(p1), _to_jacobian(p2)))
+
+
+def scalar_mult(k: int, point: Point = G) -> Point:
+    """Compute k * point with double-and-add over Jacobian coordinates."""
+    k %= N
+    if k == 0 or point.is_infinity:
+        return INFINITY
+    result = (0, 1, 0)
+    addend = _to_jacobian(point)
+    while k:
+        if k & 1:
+            result = _jacobian_add(result, addend)
+        addend = _jacobian_double(addend)
+        k >>= 1
+    return _from_jacobian(result)
+
+
+def mod_inverse(value: int, modulus: int = N) -> int:
+    """Modular inverse via Fermat (modulus must be prime)."""
+    if value % modulus == 0:
+        raise CryptoError("no inverse for zero")
+    return pow(value, modulus - 2, modulus)

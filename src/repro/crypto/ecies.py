@@ -1,0 +1,50 @@
+"""ECIES digital envelope over secp256k1 + AES-128-GCM.
+
+This is the asymmetric half of the T-Protocol envelope:
+``Enc(pk_tx, k_tx)`` in the paper's formula (1).  The sender generates an
+ephemeral keypair, derives an AES key from the ECDH shared secret with
+HKDF, and seals the payload; the wire format is::
+
+    ephemeral-pubkey (33 bytes, compressed) || nonce (12) || ct || tag (16)
+
+Decryption requires the recipient's private scalar (sk_tx), which in
+CONFIDE lives only inside the Confidential-Engine's enclave.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto import ecc
+from repro.crypto.gcm import NONCE_SIZE, AesGcm
+from repro.crypto.hkdf import hkdf
+from repro.crypto.keys import KeyPair
+from repro.errors import AuthenticationError, CryptoError
+
+_INFO = b"repro-ecies-v1"
+_PUB_SIZE = 33
+
+
+def encrypt(recipient: ecc.Point, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Seal plaintext to the recipient public key."""
+    ephemeral = KeyPair.generate()
+    shared = ephemeral.ecdh(recipient)
+    key = hkdf(shared, info=_INFO, length=16)
+    nonce = secrets.token_bytes(NONCE_SIZE)
+    sealed = AesGcm(key).seal(nonce, plaintext, aad)
+    return ephemeral.public_bytes() + nonce + sealed
+
+
+def decrypt(recipient: KeyPair, envelope: bytes, aad: bytes = b"") -> bytes:
+    """Open an envelope with the recipient's private key."""
+    if len(envelope) < _PUB_SIZE + NONCE_SIZE + 16:
+        raise AuthenticationError("ECIES envelope too short")
+    try:
+        ephemeral_pub = ecc.decode_point(envelope[:_PUB_SIZE])
+    except CryptoError as exc:
+        raise AuthenticationError(f"bad ephemeral key: {exc}") from exc
+    nonce = envelope[_PUB_SIZE : _PUB_SIZE + NONCE_SIZE]
+    sealed = envelope[_PUB_SIZE + NONCE_SIZE :]
+    shared = recipient.ecdh(ephemeral_pub)
+    key = hkdf(shared, info=_INFO, length=16)
+    return AesGcm(key).open(nonce, sealed, aad)

@@ -1,0 +1,208 @@
+"""AES-GCM authenticated encryption (NIST SP 800-38D).
+
+This is the AEAD used by CONFIDE's D-Protocol for contract states/code and
+by the T-Protocol digital envelope.  GHASH uses Shoup's 4-bit table method
+for a usable pure-Python speed; the table is precomputed per key, so reuse
+an :class:`AesGcm` instance when encrypting many payloads under one key.
+
+Replicated-state determinism
+----------------------------
+Every consensus node must produce *bit-identical* ciphertext for the same
+plaintext state, otherwise encrypted contract states could never agree in
+the state merkle root.  :func:`deterministic_nonce` derives an SIV-style
+nonce from (key, aad, plaintext), which the D-Protocol uses instead of a
+random nonce.  Nonce reuse then only happens when key, AAD *and* plaintext
+are all equal — in which case the ciphertext is identical anyway and no
+information leaks beyond equality, which the replicated ledger exposes by
+construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+
+from repro.crypto.aes import AES
+from repro.errors import AuthenticationError, CryptoError
+
+TAG_SIZE = 16
+NONCE_SIZE = 12
+
+_MASK128 = (1 << 128) - 1
+_R = 0xE1000000000000000000000000000000
+
+
+def _mulx(v: int) -> int:
+    """Multiply a GCM field element by x (one-bit shift with reduction)."""
+    if v & 1:
+        return (v >> 1) ^ _R
+    return v >> 1
+
+
+def _build_reduction_table() -> list[int]:
+    # red4[j] == mulx(mulx(mulx(mulx(j)))) for the low 4 bits j; combined
+    # with a plain >>4 this gives a one-step "multiply by x^4".
+    table = []
+    for j in range(16):
+        v = j
+        for _ in range(4):
+            v = _mulx(v)
+        table.append(v)
+    return table
+
+
+_RED4 = _build_reduction_table()
+
+
+def _gf_mult_slow(x: int, y: int) -> int:
+    """Bit-by-bit GF(2^128) multiply, used only for table construction."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        v = _mulx(v)
+    return z
+
+
+class _Ghash:
+    """GHASH keyed by H, with a 16-entry Shoup table."""
+
+    def __init__(self, h: int):
+        # T[n] = H * (b3 + b2*x + b1*x^2 + b0*x^3) for nibble n = b3b2b1b0.
+        t = [0] * 16
+        t[8] = h
+        t[4] = _mulx(h)
+        t[2] = _mulx(t[4])
+        t[1] = _mulx(t[2])
+        for n in range(16):
+            acc = 0
+            if n & 8:
+                acc ^= t[8]
+            if n & 4:
+                acc ^= t[4]
+            if n & 2:
+                acc ^= t[2]
+            if n & 1:
+                acc ^= t[1]
+            t[n] = acc
+        self._table = t
+
+    def _mult_h(self, y: int) -> int:
+        """Return y * H using 32 nibble steps (Horner in the GCM field)."""
+        # In GCM's reflected bit order the *low* nibble of y carries the
+        # highest power of x, so Horner evaluation walks from bit 0 upward.
+        table = self._table
+        red4 = _RED4
+        z = table[y & 0xF]
+        shift = 4
+        for _ in range(31):
+            z = (z >> 4) ^ red4[z & 0xF]
+            z ^= table[(y >> shift) & 0xF]
+            shift += 4
+        return z
+
+    def digest(self, aad: bytes, ciphertext: bytes) -> int:
+        y = 0
+        for data in (aad, ciphertext):
+            for off in range(0, len(data), 16):
+                block = data[off : off + 16]
+                if len(block) < 16:
+                    block = block + b"\x00" * (16 - len(block))
+                y = self._mult_h(y ^ int.from_bytes(block, "big"))
+        lengths = ((len(aad) * 8) << 64) | (len(ciphertext) * 8)
+        return self._mult_h(y ^ lengths)
+
+
+class AesGcm:
+    """AES-GCM bound to one key; reusable across many messages."""
+
+    def __init__(self, key: bytes):
+        self._aes = AES(key)
+        self._key = bytes(key)
+        h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
+        self._ghash = _Ghash(h)
+
+    def _ctr_stream(self, j0: int, length: int) -> bytes:
+        encrypt = self._aes.encrypt_block
+        blocks = []
+        counter = j0
+        for _ in range((length + 15) // 16):
+            counter = (counter & ~0xFFFFFFFF) | ((counter + 1) & 0xFFFFFFFF)
+            blocks.append(encrypt(counter.to_bytes(16, "big")))
+        return b"".join(blocks)[:length]
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ciphertext || 16-byte tag."""
+        if len(nonce) != NONCE_SIZE:
+            raise CryptoError(f"GCM nonce must be {NONCE_SIZE} bytes")
+        j0 = (int.from_bytes(nonce, "big") << 32) | 1
+        stream = self._ctr_stream(j0, len(plaintext))
+        n = len(plaintext)
+        ciphertext = (
+            int.from_bytes(plaintext, "big") ^ int.from_bytes(stream, "big")
+        ).to_bytes(n, "big") if n else b""
+        s = self._ghash.digest(aad, ciphertext)
+        tag_mask = int.from_bytes(self._aes.encrypt_block(j0.to_bytes(16, "big")), "big")
+        tag = (s ^ tag_mask).to_bytes(16, "big")
+        return ciphertext + tag
+
+    def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+        """Verify the tag and decrypt; raises AuthenticationError on tamper."""
+        if len(nonce) != NONCE_SIZE:
+            raise CryptoError(f"GCM nonce must be {NONCE_SIZE} bytes")
+        if len(sealed) < TAG_SIZE:
+            raise AuthenticationError("sealed payload shorter than GCM tag")
+        ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
+        j0 = (int.from_bytes(nonce, "big") << 32) | 1
+        s = self._ghash.digest(aad, ciphertext)
+        tag_mask = int.from_bytes(self._aes.encrypt_block(j0.to_bytes(16, "big")), "big")
+        expected = (s ^ tag_mask).to_bytes(16, "big")
+        if not hmac.compare_digest(expected, tag):
+            raise AuthenticationError("GCM tag mismatch")
+        n = len(ciphertext)
+        stream = self._ctr_stream(j0, n)
+        if not n:
+            return b""
+        return (
+            int.from_bytes(ciphertext, "big") ^ int.from_bytes(stream, "big")
+        ).to_bytes(n, "big")
+
+    def deterministic_nonce(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """SIV-style nonce so replicated encryption is deterministic."""
+        return deterministic_nonce(self._key, plaintext, aad)
+
+
+def deterministic_nonce(key: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Derive a 12-byte synthetic nonce from (key, aad, plaintext)."""
+    mac = hmac.new(key, digestmod=hashlib.sha256)
+    mac.update(len(aad).to_bytes(8, "big"))
+    mac.update(aad)
+    mac.update(plaintext)
+    return mac.digest()[:NONCE_SIZE]
+
+
+def random_nonce() -> bytes:
+    """A fresh random 12-byte nonce (for non-replicated uses)."""
+    return secrets.token_bytes(NONCE_SIZE)
+
+
+def seal(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """One-shot AES-GCM seal (prefer AesGcm for repeated use of one key)."""
+    return AesGcm(key).seal(nonce, plaintext, aad)
+
+
+def open_(key: bytes, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """One-shot AES-GCM open (prefer AesGcm for repeated use of one key)."""
+    return AesGcm(key).open(nonce, sealed, aad)
+
+
+# Internal hook used by tests to validate the fast GHASH against the
+# reference bit-by-bit multiply.
+def _gf_mult_fast(h: int, y: int) -> int:
+    return _Ghash(h)._mult_h(y)
+
+
+def _gf_mult_reference(h: int, y: int) -> int:
+    return _gf_mult_slow(h, y & _MASK128)

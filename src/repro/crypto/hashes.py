@@ -1,0 +1,101 @@
+"""Hash functions used by CONFIDE contracts and protocols.
+
+- :func:`sha256` wraps the stdlib (the paper's crypto-hash workload uses it
+  as a contract building block).
+- :func:`keccak256` is the Ethereum-style Keccak (pad byte 0x01, not SHA-3's
+  0x06), implemented from the Keccak-f[1600] permutation because the stdlib
+  only ships the final SHA-3 padding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_ROUND_CONSTANTS = [
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+]
+
+_ROTATION = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _rol(value: int, shift: int) -> int:
+    if shift == 0:
+        return value
+    return ((value << shift) | (value >> (64 - shift))) & _MASK64
+
+
+def _keccak_f(state: list[int]) -> None:
+    """In-place Keccak-f[1600] permutation on a 25-lane state."""
+    for rc in _ROUND_CONSTANTS:
+        # theta
+        c = [
+            state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20]
+            for x in range(5)
+        ]
+        d = [c[(x - 1) % 5] ^ _rol(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            dx = d[x]
+            state[x] ^= dx
+            state[x + 5] ^= dx
+            state[x + 10] ^= dx
+            state[x + 15] ^= dx
+            state[x + 20] ^= dx
+        # rho + pi
+        b = [0] * 25
+        for x in range(5):
+            for y in range(5):
+                b[y + 5 * ((2 * x + 3 * y) % 5)] = _rol(
+                    state[x + 5 * y], _ROTATION[x][y]
+                )
+        # chi
+        for y in range(0, 25, 5):
+            row = b[y : y + 5]
+            for x in range(5):
+                state[x + y] = row[x] ^ ((~row[(x + 1) % 5]) & row[(x + 2) % 5])
+        # iota
+        state[0] ^= rc
+
+
+_RATE = 136  # bytes, for 256-bit output
+
+
+def keccak256(data: bytes) -> bytes:
+    """Keccak-256 digest (Ethereum variant, pad10*1 with 0x01)."""
+    state = [0] * 25
+    padded = bytearray(data)
+    pad_len = _RATE - (len(padded) % _RATE)
+    padded += b"\x00" * pad_len
+    padded[len(data)] ^= 0x01
+    padded[-1] ^= 0x80
+    for off in range(0, len(padded), _RATE):
+        block = padded[off : off + _RATE]
+        for lane in range(_RATE // 8):
+            state[lane] ^= int.from_bytes(block[8 * lane : 8 * lane + 8], "little")
+        _keccak_f(state)
+    out = b"".join(state[i].to_bytes(8, "little") for i in range(4))
+    return out
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """SHA-256 digest as a hex string."""
+    return hashlib.sha256(data).hexdigest()

@@ -1,0 +1,40 @@
+"""HKDF-SHA256 (RFC 5869) key derivation.
+
+Used to turn ECDH shared secrets into AES keys (ECIES, K-Protocol secure
+channels) and to derive per-transaction keys from user root keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: PRK = HMAC(salt, ikm)."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand PRK into `length` bytes of output keying material."""
+    if length > 255 * _HASH_LEN:
+        raise CryptoError("HKDF output too long")
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+def hkdf(ikm: bytes, *, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """Extract-then-expand in one call."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -1,0 +1,80 @@
+"""Key types used across the protocols.
+
+- :class:`KeyPair` — secp256k1 keypair (node transaction keys, client
+  signing keys, attestation keys).
+- :class:`SymmetricKey` — AES key material (k_states, k_tx, channel keys).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto import ecc
+from repro.crypto.hkdf import hkdf
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A secp256k1 private scalar and its public point."""
+
+    private: int
+    public: ecc.Point
+
+    @classmethod
+    def generate(cls) -> "KeyPair":
+        private = 0
+        while not 1 <= private < ecc.N:
+            private = int.from_bytes(secrets.token_bytes(32), "big")
+        return cls(private, ecc.scalar_mult(private))
+
+    @classmethod
+    def from_private(cls, private: int) -> "KeyPair":
+        if not 1 <= private < ecc.N:
+            raise CryptoError("private key out of range")
+        return cls(private, ecc.scalar_mult(private))
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "KeyPair":
+        """Deterministic keypair from a seed (tests and fixtures)."""
+        scalar = int.from_bytes(hkdf(seed, info=b"repro-keypair"), "big") % ecc.N
+        if scalar == 0:
+            scalar = 1
+        return cls.from_private(scalar)
+
+    def public_bytes(self, compressed: bool = True) -> bytes:
+        return self.public.encode(compressed)
+
+    def ecdh(self, peer: ecc.Point) -> bytes:
+        """Raw ECDH shared secret (x-coordinate of private * peer)."""
+        shared = ecc.scalar_mult(self.private, peer)
+        if shared.is_infinity:
+            raise CryptoError("ECDH produced the point at infinity")
+        assert shared.x is not None
+        return shared.x.to_bytes(32, "big")
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """AES key material with a hex fingerprint for logs/AAD."""
+
+    material: bytes = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.material) not in (16, 32):
+            raise CryptoError("symmetric key must be 16 or 32 bytes")
+
+    @classmethod
+    def generate(cls, size: int = 16) -> "SymmetricKey":
+        return cls(secrets.token_bytes(size))
+
+    @classmethod
+    def derive(cls, root: bytes, info: bytes, size: int = 16) -> "SymmetricKey":
+        """HKDF-derive a subkey (e.g. k_tx from user root key + tx hash)."""
+        return cls(hkdf(root, info=info, length=size))
+
+    def fingerprint(self) -> str:
+        from repro.crypto.hashes import sha256_hex
+
+        return sha256_hex(self.material)[:16]

@@ -1,0 +1,6 @@
+"""CWScript: the contract language compiling to CONFIDE-VM and EVM."""
+
+from repro.lang.compiler import TARGETS, ContractArtifact, compile_source
+from repro.lang.parser import parse, tokenize
+
+__all__ = ["ContractArtifact", "TARGETS", "compile_source", "parse", "tokenize"]

@@ -1,0 +1,131 @@
+"""CWScript abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Position:
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, col {self.column}"
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class Expr:
+    pos: Position
+
+
+@dataclass
+class Num(Expr):
+    value: int
+
+
+@dataclass
+class Str(Expr):
+    """A string literal; evaluates to its address in linear memory."""
+
+    value: bytes
+
+
+@dataclass
+class Var(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '-', '!', '~'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: list[Expr]
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    pos: Position
+
+
+@dataclass
+class Let(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: list[Stmt]
+    else_body: list[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: list[Stmt]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+# -- top level -----------------------------------------------------------------
+
+@dataclass
+class Func:
+    name: str
+    params: list[str]
+    has_result: bool
+    body: list[Stmt]
+    pos: Position
+
+    @property
+    def exported(self) -> bool:
+        return not self.name.startswith("_")
+
+
+@dataclass
+class Program:
+    consts: dict[str, int] = field(default_factory=dict)
+    globals: dict[str, int] = field(default_factory=dict)  # name -> init value
+    funcs: list[Func] = field(default_factory=list)

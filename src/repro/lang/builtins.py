@@ -1,0 +1,73 @@
+"""CWScript builtin catalogue.
+
+Three families:
+
+- **memory intrinsics** — compile to VM memory instructions;
+- **host functions** — compile to host calls (the canonical table in
+  :mod:`repro.vm.host`);
+- **compiler intrinsics** — ``alloc`` (rewritten to the injected
+  ``__alloc``), ``sizeof`` (string-literal length, folded at compile
+  time), ``memcopy``/``memfill`` (native on CONFIDE-VM, lowered to the
+  injected byte-loop helpers on the EVM), and ``memsize``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.host import HOST_INDEX, HOST_TABLE
+
+MEM_INTRINSICS: dict[str, tuple[int, bool]] = {
+    # name -> (arity, has_result)
+    "load8": (1, True),
+    "load16": (1, True),
+    "load32": (1, True),
+    "load64": (1, True),
+    "store8": (2, False),
+    "store16": (2, False),
+    "store32": (2, False),
+    "store64": (2, False),
+    "memcopy": (3, False),
+    "memfill": (3, False),
+    "memsize": (0, True),
+}
+
+
+@dataclass(frozen=True)
+class HostBuiltin:
+    index: int
+    arity: int
+    has_result: bool
+
+
+HOST_BUILTINS: dict[str, HostBuiltin] = {
+    imp.name: HostBuiltin(HOST_INDEX[imp.name], imp.nparams, imp.nresults == 1)
+    for imp in HOST_TABLE
+}
+
+# Source injected ahead of every program.  __alloc is the bump allocator
+# over the heap-pointer cell; __memcopy/__memfill are used only by the
+# EVM backend (CONFIDE-VM has native bulk-memory ops).
+PRELUDE_SOURCE = """
+fn __alloc(n) -> i64 {
+    let p = load64(8);
+    store64(8, p + ((n + 7) & (0 - 8)));
+    return p;
+}
+fn __memcopy_soft(d, s, l) {
+    let i = 0;
+    while (i < l) {
+        store8(d + i, load8(s + i));
+        i = i + 1;
+    }
+}
+fn __memfill_soft(d, b, l) {
+    let i = 0;
+    while (i < l) {
+        store8(d + i, b);
+        i = i + 1;
+    }
+}
+"""
+
+PRELUDE_NAMES = ("__alloc", "__memcopy_soft", "__memfill_soft")

@@ -1,0 +1,568 @@
+"""CWScript → EVM code generation.
+
+Structural notes (all of which contribute to EVM's measured slowdown, as
+the paper's Figure 10 expects):
+
+- locals live in static 32-byte memory frames (no recursion across the
+  same function — the blockchain-contract norm), every access is an
+  MLOAD/MSTORE;
+- i64 semantics are enforced by masking after wrap-prone ops and
+  SIGNEXTEND before signed comparisons/division, exactly the way
+  Solidity compiles small integer types;
+- byte loads go through a full 32-byte MLOAD plus a shift; 64-bit stores
+  are read-modify-write word sequences;
+- calls are label pushes + JUMPs with the return address on the stack;
+- the initial memory image (string pool, globals, heap pointer) is
+  appended to the bytecode and CODECOPY'd in by the entry prologue.
+
+The stack convention for binary ops follows push order (left operand
+pushed first), matching this repo's EVM interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.lang import ast_nodes as ast
+from repro.lang.builtins import HOST_BUILTINS, MEM_INTRINSICS, PRELUDE_NAMES
+from repro.lang.layout import HEAP_PTR_ADDR, Layout
+from repro.vm.evm import opcodes as op
+
+_MASK64 = (1 << 64) - 1
+
+_LOAD_SHIFTS = {"load8": 248, "load16": 240, "load32": 224, "load64": 192}
+_STORE_PARAMS = {
+    "store16": (0xFFFF, 240),
+    "store32": (0xFFFFFFFF, 224),
+    "store64": (_MASK64, 192),
+}
+
+
+@dataclass
+class Asm:
+    """Two-pass assembler with 4-byte label pushes."""
+
+    items: list[tuple[str, object]] = field(default_factory=list)
+
+    def op(self, opcode: int) -> None:
+        self.items.append(("op", opcode))
+
+    def push(self, value: int) -> None:
+        if value < 0:
+            value &= (1 << 256) - 1
+        self.items.append(("push", value))
+
+    def push_label(self, label: str) -> None:
+        self.items.append(("pushlabel", label))
+
+    def label(self, name: str) -> None:
+        self.items.append(("label", name))
+
+    def raw(self, data: bytes) -> None:
+        self.items.append(("bytes", data))
+
+    def assemble(self) -> tuple[bytes, dict[str, int]]:
+        offsets: dict[str, int] = {}
+        pc = 0
+        for kind, payload in self.items:
+            if kind == "op":
+                pc += 1
+            elif kind == "push":
+                value = int(payload)  # type: ignore[arg-type]
+                width = max(1, (value.bit_length() + 7) // 8)
+                pc += 1 + width
+            elif kind == "pushlabel":
+                pc += 5  # PUSH4 + 4 bytes
+            elif kind == "bytes":
+                pc += len(payload)  # type: ignore[arg-type]
+            else:  # label
+                name = str(payload)
+                if name in offsets:
+                    raise CompileError(f"duplicate label '{name}'")
+                offsets[name] = pc
+        out = bytearray()
+        for kind, payload in self.items:
+            if kind == "op":
+                out.append(int(payload))  # type: ignore[arg-type]
+            elif kind == "push":
+                value = int(payload)  # type: ignore[arg-type]
+                width = max(1, (value.bit_length() + 7) // 8)
+                out.append(op.PUSH1 + width - 1)
+                out += value.to_bytes(width, "big")
+            elif kind == "pushlabel":
+                target = offsets.get(str(payload))
+                if target is None:
+                    raise CompileError(f"undefined label '{payload}'")
+                out.append(op.PUSH1 + 3)
+                out += target.to_bytes(4, "big")
+            elif kind == "bytes":
+                out += payload  # type: ignore[operator]
+        return bytes(out), offsets
+
+
+class EvmCodegen:
+    """Generates EVM bytecode + per-method entry offsets."""
+
+    def __init__(self, program: ast.Program, layout: Layout):
+        self.program = program
+        self.layout = layout
+        self.func_by_name = {f.name: f for f in program.funcs}
+        self.asm = Asm()
+        self._label_counter = 0
+
+    # -- helpers --------------------------------------------------------------
+
+    def _fresh(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{hint}_{self._label_counter}"
+
+    def _mask(self) -> None:
+        self.asm.push(_MASK64)
+        self.asm.op(op.AND)
+
+    def _sext_top(self) -> None:
+        self.asm.push(7)
+        self.asm.op(op.SIGNEXTEND)
+
+    def _sext_both(self) -> None:
+        self._sext_top()
+        self.asm.op(op.SWAP1)
+        self._sext_top()
+        self.asm.op(op.SWAP1)
+
+    def _slot_addr(self, func_name: str, index: int) -> int:
+        return self.layout.frame_bases[func_name] + 32 * index
+
+    # -- top level --------------------------------------------------------------
+
+    def generate(self) -> tuple[bytes, dict[str, int]]:
+        exported = [
+            f for f in self.program.funcs
+            if f.exported and f.name not in PRELUDE_NAMES
+        ]
+        for func in exported:
+            if func.params:
+                raise CompileError(
+                    f"exported function '{func.name}' must take no parameters"
+                )
+            self._entry_stub(func)
+        self._init_routine()
+        self._panic_routines()
+        for func in self.program.funcs:
+            self._gen_func(func)
+        image = self.layout.memory_image(self.program)
+        self.asm.op(op.INVALID)  # guard so falling into data traps
+        self.asm.label("__data__")
+        self.asm.raw(image)
+        bytecode, offsets = self.asm.assemble()
+        entries = {f.name: offsets[f"entry_{f.name}"] for f in exported}
+        return bytecode, entries
+
+    def _entry_stub(self, func: ast.Func) -> None:
+        asm = self.asm
+        asm.label(f"entry_{func.name}")
+        asm.op(op.JUMPDEST)
+        after = self._fresh(f"after_{func.name}")
+        asm.push_label(after)
+        asm.push_label("__init__")
+        asm.op(op.JUMP)
+        asm.label(after)
+        asm.op(op.JUMPDEST)
+        halt = self._fresh(f"halt_{func.name}")
+        asm.push_label(halt)
+        asm.push_label(f"fn_{func.name}")
+        asm.op(op.JUMP)
+        asm.label(halt)
+        asm.op(op.JUMPDEST)
+        if func.has_result:
+            asm.op(op.POP)
+        asm.op(op.STOP)
+
+    def _div_guard(self) -> None:
+        """Trap on a zero divisor (rhs on top), like Solidity's panic."""
+        asm = self.asm
+        asm.op(op.DUP1)
+        asm.op(op.ISZERO)
+        asm.push_label("__divzero__")
+        asm.op(op.JUMPI)
+
+    def _panic_routines(self) -> None:
+        asm = self.asm
+        asm.label("__divzero__")
+        asm.op(op.JUMPDEST)
+        asm.push(0)
+        asm.push(0)
+        asm.op(op.REVERT)
+
+    def _init_routine(self) -> None:
+        asm = self.asm
+        asm.label("__init__")
+        asm.op(op.JUMPDEST)
+        image_len = len(self.layout.memory_image(self.program))
+        asm.push(image_len)
+        asm.push_label("__data__")
+        asm.push(HEAP_PTR_ADDR)
+        asm.op(op.CODECOPY)
+        asm.op(op.JUMP)
+
+    # -- functions ----------------------------------------------------------------
+
+    def _gen_func(self, func: ast.Func) -> None:
+        asm = self.asm
+        asm.label(f"fn_{func.name}")
+        asm.op(op.JUMPDEST)
+        locals_: dict[str, int] = {name: i for i, name in enumerate(func.params)}
+        # Args were pushed left-to-right, so the last parameter is on top.
+        for index in reversed(range(len(func.params))):
+            asm.push(self._slot_addr(func.name, index))
+            asm.op(op.MSTORE)
+        loop_stack: list[tuple[str, str]] = []  # (continue label, break label)
+        for stmt in func.body:
+            self._stmt(func, locals_, loop_stack, stmt)
+        if func.has_result:
+            asm.push(0)
+            asm.op(op.SWAP1)
+        asm.op(op.JUMP)
+
+    # -- statements -------------------------------------------------------------------
+
+    def _stmt(
+        self,
+        func: ast.Func,
+        locals_: dict[str, int],
+        loop_stack: list[tuple[str, str]],
+        stmt: ast.Stmt,
+    ) -> None:
+        asm = self.asm
+        if isinstance(stmt, ast.Let):
+            if stmt.name in locals_:
+                raise CompileError(f"duplicate local '{stmt.name}' at {stmt.pos}")
+            self._expr(func, locals_, stmt.value)
+            locals_[stmt.name] = len(locals_)
+            asm.push(self._slot_addr(func.name, locals_[stmt.name]))
+            asm.op(op.MSTORE)
+        elif isinstance(stmt, ast.Assign):
+            if stmt.name in locals_:
+                self._expr(func, locals_, stmt.value)
+                asm.push(self._slot_addr(func.name, locals_[stmt.name]))
+                asm.op(op.MSTORE)
+            elif stmt.name in self.layout.global_addrs:
+                asm.push(self.layout.global_addrs[stmt.name])
+                self._expr(func, locals_, stmt.value)
+                self._emit_store_wide(_MASK64, 192)
+            else:
+                raise CompileError(
+                    f"assignment to unknown name '{stmt.name}' at {stmt.pos}"
+                )
+        elif isinstance(stmt, ast.If):
+            self._expr(func, locals_, stmt.cond)
+            asm.op(op.ISZERO)
+            label_else = self._fresh("else")
+            label_end = self._fresh("endif")
+            asm.push_label(label_else)
+            asm.op(op.JUMPI)
+            for inner in stmt.then_body:
+                self._stmt(func, locals_, loop_stack, inner)
+            asm.push_label(label_end)
+            asm.op(op.JUMP)
+            asm.label(label_else)
+            asm.op(op.JUMPDEST)
+            for inner in stmt.else_body:
+                self._stmt(func, locals_, loop_stack, inner)
+            asm.label(label_end)
+            asm.op(op.JUMPDEST)
+        elif isinstance(stmt, ast.While):
+            label_head = self._fresh("while")
+            label_end = self._fresh("wend")
+            asm.label(label_head)
+            asm.op(op.JUMPDEST)
+            self._expr(func, locals_, stmt.cond)
+            asm.op(op.ISZERO)
+            asm.push_label(label_end)
+            asm.op(op.JUMPI)
+            loop_stack.append((label_head, label_end))
+            for inner in stmt.body:
+                self._stmt(func, locals_, loop_stack, inner)
+            loop_stack.pop()
+            asm.push_label(label_head)
+            asm.op(op.JUMP)
+            asm.label(label_end)
+            asm.op(op.JUMPDEST)
+        elif isinstance(stmt, ast.Break):
+            if not loop_stack:
+                raise CompileError(f"'break' outside loop at {stmt.pos}")
+            asm.push_label(loop_stack[-1][1])
+            asm.op(op.JUMP)
+        elif isinstance(stmt, ast.Continue):
+            if not loop_stack:
+                raise CompileError(f"'continue' outside loop at {stmt.pos}")
+            asm.push_label(loop_stack[-1][0])
+            asm.op(op.JUMP)
+        elif isinstance(stmt, ast.Return):
+            if func.has_result:
+                if stmt.value is None:
+                    raise CompileError(f"'{func.name}' must return a value ({stmt.pos})")
+                self._expr(func, locals_, stmt.value)
+                asm.op(op.SWAP1)
+            elif stmt.value is not None:
+                raise CompileError(
+                    f"'{func.name}' has no result but returns one ({stmt.pos})"
+                )
+            asm.op(op.JUMP)
+        elif isinstance(stmt, ast.ExprStmt):
+            produces = self._expr(func, locals_, stmt.expr, allow_void=True)
+            if produces:
+                asm.op(op.POP)
+        else:
+            raise CompileError(f"unknown statement {type(stmt).__name__}")
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _expr(
+        self,
+        func: ast.Func,
+        locals_: dict[str, int],
+        expr: ast.Expr,
+        allow_void: bool = False,
+    ) -> bool:
+        asm = self.asm
+        if isinstance(expr, ast.Num):
+            asm.push(expr.value & _MASK64)
+            return True
+        if isinstance(expr, ast.Str):
+            asm.push(self.layout.string_addrs[expr.value])
+            return True
+        if isinstance(expr, ast.Var):
+            name = expr.name
+            if name in locals_:
+                asm.push(self._slot_addr(func.name, locals_[name]))
+                asm.op(op.MLOAD)
+            elif name in self.program.consts:
+                asm.push(self.program.consts[name] & _MASK64)
+            elif name in self.layout.global_addrs:
+                asm.push(self.layout.global_addrs[name])
+                asm.op(op.MLOAD)
+                asm.push(192)
+                asm.op(op.SHR)
+            else:
+                raise CompileError(f"unknown name '{name}' at {expr.pos}")
+            return True
+        if isinstance(expr, ast.Unary):
+            if expr.op == "-":
+                self._expr(func, locals_, expr.operand)
+                asm.push(0)
+                asm.op(op.SWAP1)
+                asm.op(op.SUB)
+                self._mask()
+            elif expr.op == "!":
+                self._expr(func, locals_, expr.operand)
+                asm.op(op.ISZERO)
+            else:  # '~'
+                self._expr(func, locals_, expr.operand)
+                asm.push(_MASK64)
+                asm.op(op.XOR)
+            return True
+        if isinstance(expr, ast.Binary):
+            return self._binary(func, locals_, expr)
+        if isinstance(expr, ast.Call):
+            return self._call(func, locals_, expr, allow_void)
+        raise CompileError(f"unknown expression {type(expr).__name__}")
+
+    def _binary(self, func: ast.Func, locals_: dict[str, int], expr: ast.Binary) -> bool:
+        asm = self.asm
+        if expr.op == "&&":
+            label_false = self._fresh("andf")
+            label_end = self._fresh("ande")
+            self._expr(func, locals_, expr.left)
+            asm.op(op.ISZERO)
+            asm.push_label(label_false)
+            asm.op(op.JUMPI)
+            self._expr(func, locals_, expr.right)
+            asm.op(op.ISZERO)
+            asm.op(op.ISZERO)
+            asm.push_label(label_end)
+            asm.op(op.JUMP)
+            asm.label(label_false)
+            asm.op(op.JUMPDEST)
+            asm.push(0)
+            asm.label(label_end)
+            asm.op(op.JUMPDEST)
+            return True
+        if expr.op == "||":
+            label_true = self._fresh("ort")
+            label_end = self._fresh("ore")
+            self._expr(func, locals_, expr.left)
+            asm.push_label(label_true)
+            asm.op(op.JUMPI)
+            self._expr(func, locals_, expr.right)
+            asm.op(op.ISZERO)
+            asm.op(op.ISZERO)
+            asm.push_label(label_end)
+            asm.op(op.JUMP)
+            asm.label(label_true)
+            asm.op(op.JUMPDEST)
+            asm.push(1)
+            asm.label(label_end)
+            asm.op(op.JUMPDEST)
+            return True
+        self._expr(func, locals_, expr.left)
+        self._expr(func, locals_, expr.right)
+        operator = expr.op
+        if operator == "+":
+            asm.op(op.ADD)
+            self._mask()
+        elif operator == "-":
+            asm.op(op.SUB)
+            self._mask()
+        elif operator == "*":
+            asm.op(op.MUL)
+            self._mask()
+        elif operator == "/":
+            self._div_guard()
+            self._sext_both()
+            asm.op(op.SDIV)
+            self._mask()
+        elif operator == "%":
+            self._div_guard()
+            self._sext_both()
+            asm.op(op.SMOD)
+            self._mask()
+        elif operator == "&":
+            asm.op(op.AND)
+        elif operator == "|":
+            asm.op(op.OR)
+        elif operator == "^":
+            asm.op(op.XOR)
+        elif operator == "<<":
+            asm.op(op.SHL)
+            self._mask()
+        elif operator == ">>":
+            asm.op(op.SHR)
+        elif operator == "==":
+            asm.op(op.EQ)
+        elif operator == "!=":
+            asm.op(op.EQ)
+            asm.op(op.ISZERO)
+        elif operator == "<":
+            self._sext_both()
+            asm.op(op.SLT)
+        elif operator == "<=":
+            self._sext_both()
+            asm.op(op.SGT)
+            asm.op(op.ISZERO)
+        elif operator == ">":
+            self._sext_both()
+            asm.op(op.SGT)
+        elif operator == ">=":
+            self._sext_both()
+            asm.op(op.SLT)
+            asm.op(op.ISZERO)
+        else:
+            raise CompileError(f"unknown operator '{operator}' at {expr.pos}")
+        return True
+
+    # -- calls --------------------------------------------------------------------------
+
+    def _call(
+        self,
+        func: ast.Func,
+        locals_: dict[str, int],
+        expr: ast.Call,
+        allow_void: bool,
+    ) -> bool:
+        asm = self.asm
+        name = expr.name
+        if name == "sizeof":
+            if len(expr.args) != 1 or not isinstance(expr.args[0], ast.Str):
+                raise CompileError(f"sizeof() takes one string literal ({expr.pos})")
+            asm.push(len(expr.args[0].value))
+            return True
+        if name == "alloc":
+            name = "__alloc"
+        if name == "memcopy":
+            name = "__memcopy_soft"
+        if name == "memfill":
+            name = "__memfill_soft"
+        if name in MEM_INTRINSICS:
+            arity, has_result = MEM_INTRINSICS[name]
+            self._check_arity(expr, arity)
+            for arg in expr.args:
+                self._expr(func, locals_, arg)
+            if name in _LOAD_SHIFTS:
+                asm.op(op.MLOAD)
+                asm.push(_LOAD_SHIFTS[name])
+                asm.op(op.SHR)
+            elif name == "store8":
+                asm.op(op.SWAP1)
+                asm.op(op.MSTORE8)
+            elif name in _STORE_PARAMS:
+                mask, shift = _STORE_PARAMS[name]
+                self._emit_store_wide(mask, shift)
+            elif name == "memsize":
+                asm.op(op.MSIZE)
+            else:
+                raise CompileError(f"internal: unhandled intrinsic '{name}'")
+            return self._result(expr, has_result, allow_void)
+        if name in HOST_BUILTINS:
+            builtin = HOST_BUILTINS[name]
+            self._check_arity(expr, builtin.arity)
+            for arg in expr.args:
+                self._expr(func, locals_, arg)
+            asm.push(builtin.index)
+            asm.op(op.HOSTCALL)
+            return self._result(expr, builtin.has_result, allow_void)
+        callee = self.func_by_name.get(name)
+        if callee is None:
+            raise CompileError(f"call to unknown function '{name}' at {expr.pos}")
+        self._check_arity(expr, len(callee.params))
+        ret = self._fresh("ret")
+        asm.push_label(ret)
+        for arg in expr.args:
+            self._expr(func, locals_, arg)
+        asm.push_label(f"fn_{name}")
+        asm.op(op.JUMP)
+        asm.label(ret)
+        asm.op(op.JUMPDEST)
+        return self._result(expr, callee.has_result, allow_void)
+
+    def _emit_store_wide(self, value_mask: int, shift: int) -> None:
+        """RMW store of a sub-word value at the word's high end.
+
+        Expects stack [addr, value]; writes ``value`` (masked) into the
+        top ``256 - shift`` bits of the word at ``addr`` while preserving
+        the low ``shift`` bits (the trailing bytes of the word).
+        """
+        asm = self.asm
+        if value_mask != _MASK64:
+            asm.push(value_mask)
+            asm.op(op.AND)
+        asm.op(op.SWAP1)             # [v, p]
+        asm.op(op.DUP1)              # [v, p, p]
+        asm.op(op.MLOAD)             # [v, p, w]
+        asm.push((1 << shift) - 1)
+        asm.op(op.AND)               # [v, p, w_low]
+        asm.op(op.SWAP1 + 1)  # SWAP2             # [w_low, p, v]
+        asm.push(shift)
+        asm.op(op.SHL)               # [w_low, p, v << shift]
+        asm.op(op.SWAP1)             # [w_low, v << shift, p]
+        asm.op(op.SWAP1 + 1)  # SWAP2             # [p, v << shift, w_low]
+        asm.op(op.OR)                # [p, new_word]
+        asm.op(op.SWAP1)             # [new_word, p]
+        asm.op(op.MSTORE)
+
+    @staticmethod
+    def _check_arity(expr: ast.Call, arity: int) -> None:
+        if len(expr.args) != arity:
+            raise CompileError(
+                f"'{expr.name}' expects {arity} args, got {len(expr.args)} at {expr.pos}"
+            )
+
+    @staticmethod
+    def _result(expr: ast.Call, has_result: bool, allow_void: bool) -> bool:
+        if not has_result and not allow_void:
+            raise CompileError(
+                f"'{expr.name}' returns no value and cannot be used in an "
+                f"expression ({expr.pos})"
+            )
+        return has_result

@@ -1,0 +1,299 @@
+"""CWScript → CONFIDE-VM code generation."""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.lang import ast_nodes as ast
+from repro.lang.builtins import HOST_BUILTINS, MEM_INTRINSICS, PRELUDE_NAMES
+from repro.lang.layout import HEAP_PTR_ADDR, Layout
+from repro.vm.host import HOST_TABLE
+from repro.vm.wasm import opcodes as op
+from repro.vm.wasm.module import DataSegment, Function, Module
+
+_BINOPS = {
+    "+": op.ADD,
+    "-": op.SUB,
+    "*": op.MUL,
+    "/": op.DIV_S,
+    "%": op.REM_S,
+    "&": op.AND,
+    "|": op.OR,
+    "^": op.XOR,
+    "<<": op.SHL,
+    ">>": op.SHR_U,
+    "==": op.EQ,
+    "!=": op.NE,
+    "<": op.LT_S,
+    "<=": op.LE_S,
+    ">": op.GT_S,
+    ">=": op.GE_S,
+}
+
+_MEM_OPS = {
+    "load8": op.LOAD8_U,
+    "load16": op.LOAD16_U,
+    "load32": op.LOAD32_U,
+    "load64": op.LOAD64,
+    "store8": op.STORE8,
+    "store16": op.STORE16,
+    "store32": op.STORE32,
+    "store64": op.STORE64,
+}
+
+_PENDING = -1  # placeholder jump target, patched before return
+
+
+class _FuncCtx:
+    """Per-function codegen state."""
+
+    def __init__(self, func: ast.Func):
+        self.func = func
+        self.code: list[list[int]] = []  # mutable instrs, frozen at the end
+        self.locals: dict[str, int] = {name: i for i, name in enumerate(func.params)}
+        self.loop_stack: list[tuple[int, list[int]]] = []  # (head, break patches)
+
+    def emit(self, opcode: int, a: int = 0, b: int = 0) -> int:
+        self.code.append([opcode, a, b])
+        return len(self.code) - 1
+
+    @property
+    def here(self) -> int:
+        return len(self.code)
+
+
+class WasmCodegen:
+    """Generates a :class:`Module` from a parsed program."""
+
+    def __init__(self, program: ast.Program, layout: Layout, memory_pages: int):
+        self.program = program
+        self.layout = layout
+        self.memory_pages = memory_pages
+        self.func_index = {f.name: i for i, f in enumerate(program.funcs)}
+        self.func_by_name = {f.name: f for f in program.funcs}
+
+    def generate(self) -> Module:
+        module = Module(hosts=list(HOST_TABLE), memory_pages=self.memory_pages)
+        image = self.layout.memory_image(self.program)
+        if image:
+            module.data.append(DataSegment(HEAP_PTR_ADDR, image))
+        for func in self.program.funcs:
+            module.functions.append(self._gen_func(func))
+            if func.exported and func.name not in PRELUDE_NAMES:
+                if func.params:
+                    raise CompileError(
+                        f"exported function '{func.name}' must take no parameters"
+                    )
+                module.exports[func.name] = self.func_index[func.name]
+        return module
+
+    # -- functions -------------------------------------------------------
+
+    def _gen_func(self, func: ast.Func) -> Function:
+        ctx = _FuncCtx(func)
+        for stmt in func.body:
+            self._stmt(ctx, stmt)
+        # Implicit return so every path terminates.
+        if func.has_result:
+            ctx.emit(op.CONST, 0)
+        ctx.emit(op.RETURN)
+        for instr in ctx.code:
+            if instr[0] in op.BRANCH_OPS and instr[1] == _PENDING:
+                raise CompileError(f"internal: unpatched jump in '{func.name}'")
+        return Function(
+            nparams=len(func.params),
+            nlocals=len(ctx.locals) - len(func.params),
+            nresults=1 if func.has_result else 0,
+            code=[tuple(i) for i in ctx.code],  # type: ignore[misc]
+        )
+
+    # -- statements -------------------------------------------------------
+
+    def _stmt(self, ctx: _FuncCtx, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Let):
+            if stmt.name in ctx.locals:
+                raise CompileError(f"duplicate local '{stmt.name}' at {stmt.pos}")
+            self._expr(ctx, stmt.value)
+            ctx.locals[stmt.name] = len(ctx.locals)
+            ctx.emit(op.LOCAL_SET, ctx.locals[stmt.name])
+        elif isinstance(stmt, ast.Assign):
+            if stmt.name in ctx.locals:
+                self._expr(ctx, stmt.value)
+                ctx.emit(op.LOCAL_SET, ctx.locals[stmt.name])
+            elif stmt.name in self.layout.global_addrs:
+                ctx.emit(op.CONST, self.layout.global_addrs[stmt.name])
+                self._expr(ctx, stmt.value)
+                ctx.emit(op.STORE64)
+            else:
+                raise CompileError(f"assignment to unknown name '{stmt.name}' at {stmt.pos}")
+        elif isinstance(stmt, ast.If):
+            self._expr(ctx, stmt.cond)
+            jump_else = ctx.emit(op.JMP_IFZ, _PENDING)
+            for inner in stmt.then_body:
+                self._stmt(ctx, inner)
+            if stmt.else_body:
+                jump_end = ctx.emit(op.JMP, _PENDING)
+                ctx.code[jump_else][1] = ctx.here
+                for inner in stmt.else_body:
+                    self._stmt(ctx, inner)
+                ctx.code[jump_end][1] = ctx.here
+            else:
+                ctx.code[jump_else][1] = ctx.here
+        elif isinstance(stmt, ast.While):
+            head = ctx.here
+            self._expr(ctx, stmt.cond)
+            jump_end = ctx.emit(op.JMP_IFZ, _PENDING)
+            breaks: list[int] = [jump_end]
+            ctx.loop_stack.append((head, breaks))
+            for inner in stmt.body:
+                self._stmt(ctx, inner)
+            ctx.loop_stack.pop()
+            ctx.emit(op.JMP, head)
+            for patch in breaks:
+                ctx.code[patch][1] = ctx.here
+        elif isinstance(stmt, ast.Break):
+            if not ctx.loop_stack:
+                raise CompileError(f"'break' outside loop at {stmt.pos}")
+            ctx.loop_stack[-1][1].append(ctx.emit(op.JMP, _PENDING))
+        elif isinstance(stmt, ast.Continue):
+            if not ctx.loop_stack:
+                raise CompileError(f"'continue' outside loop at {stmt.pos}")
+            ctx.emit(op.JMP, ctx.loop_stack[-1][0])
+        elif isinstance(stmt, ast.Return):
+            if ctx.func.has_result:
+                if stmt.value is None:
+                    raise CompileError(
+                        f"'{ctx.func.name}' must return a value ({stmt.pos})"
+                    )
+                self._expr(ctx, stmt.value)
+            elif stmt.value is not None:
+                raise CompileError(
+                    f"'{ctx.func.name}' has no result but returns one ({stmt.pos})"
+                )
+            ctx.emit(op.RETURN)
+        elif isinstance(stmt, ast.ExprStmt):
+            produces = self._expr(ctx, stmt.expr, allow_void=True)
+            if produces:
+                ctx.emit(op.DROP)
+        else:
+            raise CompileError(f"unknown statement {type(stmt).__name__}")
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, ctx: _FuncCtx, expr: ast.Expr, allow_void: bool = False) -> bool:
+        """Emit code; returns True if a value is left on the stack."""
+        if isinstance(expr, ast.Num):
+            ctx.emit(op.CONST, expr.value)
+            return True
+        if isinstance(expr, ast.Str):
+            ctx.emit(op.CONST, self.layout.string_addrs[expr.value])
+            return True
+        if isinstance(expr, ast.Var):
+            name = expr.name
+            if name in ctx.locals:
+                ctx.emit(op.LOCAL_GET, ctx.locals[name])
+            elif name in self.program.consts:
+                ctx.emit(op.CONST, self.program.consts[name])
+            elif name in self.layout.global_addrs:
+                ctx.emit(op.CONST, self.layout.global_addrs[name])
+                ctx.emit(op.LOAD64)
+            else:
+                raise CompileError(f"unknown name '{name}' at {expr.pos}")
+            return True
+        if isinstance(expr, ast.Unary):
+            if expr.op == "-":
+                ctx.emit(op.CONST, 0)
+                self._expr(ctx, expr.operand)
+                ctx.emit(op.SUB)
+            elif expr.op == "!":
+                self._expr(ctx, expr.operand)
+                ctx.emit(op.EQZ)
+            else:  # '~'
+                self._expr(ctx, expr.operand)
+                ctx.emit(op.CONST, -1)
+                ctx.emit(op.XOR)
+            return True
+        if isinstance(expr, ast.Binary):
+            if expr.op == "&&":
+                self._expr(ctx, expr.left)
+                jump_false = ctx.emit(op.JMP_IFZ, _PENDING)
+                self._expr(ctx, expr.right)
+                ctx.emit(op.CONST, 0)
+                ctx.emit(op.NE)
+                jump_end = ctx.emit(op.JMP, _PENDING)
+                ctx.code[jump_false][1] = ctx.here
+                ctx.emit(op.CONST, 0)
+                ctx.code[jump_end][1] = ctx.here
+                return True
+            if expr.op == "||":
+                self._expr(ctx, expr.left)
+                jump_true = ctx.emit(op.JMP_IF, _PENDING)
+                self._expr(ctx, expr.right)
+                ctx.emit(op.CONST, 0)
+                ctx.emit(op.NE)
+                jump_end = ctx.emit(op.JMP, _PENDING)
+                ctx.code[jump_true][1] = ctx.here
+                ctx.emit(op.CONST, 1)
+                ctx.code[jump_end][1] = ctx.here
+                return True
+            self._expr(ctx, expr.left)
+            self._expr(ctx, expr.right)
+            ctx.emit(_BINOPS[expr.op])
+            return True
+        if isinstance(expr, ast.Call):
+            return self._call(ctx, expr, allow_void)
+        raise CompileError(f"unknown expression {type(expr).__name__}")
+
+    def _call(self, ctx: _FuncCtx, expr: ast.Call, allow_void: bool) -> bool:
+        name = expr.name
+        if name == "sizeof":
+            if len(expr.args) != 1 or not isinstance(expr.args[0], ast.Str):
+                raise CompileError(f"sizeof() takes one string literal ({expr.pos})")
+            ctx.emit(op.CONST, len(expr.args[0].value))
+            return True
+        if name == "alloc":
+            name = "__alloc"
+        if name in MEM_INTRINSICS:
+            arity, has_result = MEM_INTRINSICS[name]
+            self._check_arity(expr, arity)
+            for arg in expr.args:
+                self._expr(ctx, arg)
+            if name == "memcopy":
+                ctx.emit(op.MEMCOPY)
+            elif name == "memfill":
+                ctx.emit(op.MEMFILL)
+            elif name == "memsize":
+                ctx.emit(op.MEMSIZE)
+            else:
+                ctx.emit(_MEM_OPS[name])
+            return self._result(expr, has_result, allow_void)
+        if name in HOST_BUILTINS:
+            builtin = HOST_BUILTINS[name]
+            self._check_arity(expr, builtin.arity)
+            for arg in expr.args:
+                self._expr(ctx, arg)
+            ctx.emit(op.CALL_HOST, builtin.index)
+            return self._result(expr, builtin.has_result, allow_void)
+        callee = self.func_by_name.get(name)
+        if callee is None:
+            raise CompileError(f"call to unknown function '{name}' at {expr.pos}")
+        self._check_arity(expr, len(callee.params))
+        for arg in expr.args:
+            self._expr(ctx, arg)
+        ctx.emit(op.CALL, self.func_index[name])
+        return self._result(expr, callee.has_result, allow_void)
+
+    @staticmethod
+    def _check_arity(expr: ast.Call, arity: int) -> None:
+        if len(expr.args) != arity:
+            raise CompileError(
+                f"'{expr.name}' expects {arity} args, got {len(expr.args)} at {expr.pos}"
+            )
+
+    @staticmethod
+    def _result(expr: ast.Call, has_result: bool, allow_void: bool) -> bool:
+        if not has_result and not allow_void:
+            raise CompileError(
+                f"'{expr.name}' returns no value and cannot be used in an "
+                f"expression ({expr.pos})"
+            )
+        return has_result

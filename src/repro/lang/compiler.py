@@ -1,0 +1,163 @@
+"""CWScript compiler front door.
+
+:func:`compile_source` lowers one CWScript source to a
+:class:`ContractArtifact` for either target:
+
+- ``wasm`` — a CONFIDE-VM module blob (LEB128 binary);
+- ``evm``  — EVM bytecode plus a per-method entry-offset table.
+
+The prelude (``__alloc`` and the EVM soft memory helpers) is injected in
+front of every program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import sha256
+from repro.errors import CompileError
+from repro.lang.builtins import PRELUDE_SOURCE
+from repro.lang.codegen_evm import EvmCodegen
+from repro.lang.codegen_wasm import WasmCodegen
+from repro.lang.layout import build_layout
+from repro.lang.parser import parse
+from repro.vm.wasm.module import encode_module, validate_module
+
+TARGETS = ("wasm", "evm")
+DEFAULT_MEMORY_PAGES = 16
+
+
+@dataclass(frozen=True)
+class ContractArtifact:
+    """A compiled contract ready for deployment."""
+
+    target: str
+    code: bytes
+    methods: tuple[str, ...]
+    entries: dict[str, int] = field(default_factory=dict)  # evm only
+    source_hash: bytes = b""
+
+    def entry_for(self, method: str) -> int:
+        if self.target != "evm":
+            raise CompileError("entry offsets only exist for the evm target")
+        if method not in self.entries:
+            raise CompileError(f"no such method '{method}'")
+        return self.entries[method]
+
+    @property
+    def code_hash(self) -> bytes:
+        return sha256(self.code)
+
+    def encode(self) -> bytes:
+        """Serialize for on-chain storage (deploy transactions)."""
+        from repro.storage import rlp
+
+        entry_items = [
+            [name.encode(), rlp.encode_int(pc)]
+            for name, pc in sorted(self.entries.items())
+        ]
+        return rlp.encode(
+            [
+                self.target.encode(),
+                self.code,
+                [m.encode() for m in self.methods],
+                entry_items,
+                self.source_hash,
+            ]
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ContractArtifact":
+        from repro.storage import rlp
+
+        items = rlp.decode(data)
+        if not isinstance(items, list) or len(items) != 5:
+            raise CompileError("malformed contract artifact")
+        entries = {
+            name.decode(): rlp.decode_int(pc) for name, pc in items[3]
+        }
+        return cls(
+            target=items[0].decode(),
+            code=items[1],
+            methods=tuple(m.decode() for m in items[2]),
+            entries=entries,
+            source_hash=items[4],
+        )
+
+
+def _desugar_asserts(program) -> None:
+    """Rewrite ``assert(cond, "msg");`` statements into
+    ``if (!(cond)) { abort("msg", len); }`` — one front-end pass shared
+    by both backends."""
+    from repro.lang import ast_nodes as ast
+
+    def rewrite(stmts: list) -> None:
+        for index, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.If):
+                rewrite(stmt.then_body)
+                rewrite(stmt.else_body)
+            elif isinstance(stmt, ast.While):
+                rewrite(stmt.body)
+            elif (
+                isinstance(stmt, ast.ExprStmt)
+                and isinstance(stmt.expr, ast.Call)
+                and stmt.expr.name == "assert"
+            ):
+                call = stmt.expr
+                if len(call.args) != 2 or not isinstance(call.args[1], ast.Str):
+                    raise CompileError(
+                        f"assert(cond, \"message\") expected at {call.pos}"
+                    )
+                message = call.args[1]
+                abort_call = ast.Call(
+                    call.pos, "abort",
+                    [message, ast.Num(call.pos, len(message.value))],
+                )
+                stmts[index] = ast.If(
+                    call.pos,
+                    ast.Unary(call.pos, "!", call.args[0]),
+                    [ast.ExprStmt(call.pos, abort_call)],
+                    [],
+                )
+
+    for func in program.funcs:
+        rewrite(func.body)
+
+
+def compile_source(
+    source: str,
+    target: str = "wasm",
+    memory_pages: int = DEFAULT_MEMORY_PAGES,
+) -> ContractArtifact:
+    """Compile CWScript source to a deployable artifact."""
+    if target not in TARGETS:
+        raise CompileError(f"unknown target '{target}' (want one of {TARGETS})")
+    program = parse(PRELUDE_SOURCE + source)
+    _desugar_asserts(program)
+    layout = build_layout(program, target)
+    from repro.lang.builtins import PRELUDE_NAMES
+
+    exported = tuple(
+        f.name for f in program.funcs
+        if f.exported and f.name not in PRELUDE_NAMES
+    )
+    if not exported:
+        raise CompileError("contract exports no methods")
+    if target == "wasm":
+        module = WasmCodegen(program, layout, memory_pages).generate()
+        validate_module(module)
+        blob = encode_module(module)
+        return ContractArtifact(
+            target="wasm",
+            code=blob,
+            methods=exported,
+            source_hash=sha256(source.encode()),
+        )
+    bytecode, entries = EvmCodegen(program, layout).generate()
+    return ContractArtifact(
+        target="evm",
+        code=bytecode,
+        methods=exported,
+        entries=entries,
+        source_hash=sha256(source.encode()),
+    )

@@ -1,0 +1,141 @@
+"""Linear-memory layout shared by both codegen backends.
+
+::
+
+    [0 .. 8)      null guard (address 0 stays unused)
+    [8 .. 16)     heap pointer cell (read/written by __alloc)
+    [16 .. )      string literal pool (deduplicated)
+    then          global variable cells (8 bytes each, big-endian)
+    then (EVM)    per-function static local frames (32-byte slots)
+    then          heap (grows upward via alloc())
+
+The layout is identical on both targets up to the frames section, which
+only exists on the EVM (CONFIDE-VM has real locals).  64-bit cells are
+accessed with load64/store64 on both machines; on the EVM those compile
+to read-modify-write word sequences, so 8-byte packing is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.lang import ast_nodes as ast
+
+HEAP_PTR_ADDR = 8
+DATA_BASE = 16
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class Layout:
+    string_addrs: dict[bytes, int] = field(default_factory=dict)
+    global_addrs: dict[str, int] = field(default_factory=dict)
+    frame_bases: dict[str, int] = field(default_factory=dict)  # EVM only
+    heap_base: int = 0
+
+    def memory_image(self, program: ast.Program) -> bytes:
+        """Initial memory contents for [HEAP_PTR_ADDR, end-of-globals).
+
+        Wasm materializes this as a data segment; the EVM entry prologue
+        CODECOPYs it out of the code blob.
+        """
+        end = HEAP_PTR_ADDR + 8
+        if self.string_addrs:
+            end = max(end, max(a + len(s) for s, a in self.string_addrs.items()))
+        if self.global_addrs:
+            end = max(end, max(self.global_addrs.values()) + 8)
+        image = bytearray(end - HEAP_PTR_ADDR)
+        image[0:8] = self.heap_base.to_bytes(8, "big")
+        for name, init in program.globals.items():
+            off = self.global_addrs[name] - HEAP_PTR_ADDR
+            image[off : off + 8] = (init & _MASK64).to_bytes(8, "big")
+        for text, addr in self.string_addrs.items():
+            off = addr - HEAP_PTR_ADDR
+            image[off : off + len(text)] = text
+        return bytes(image)
+
+
+def _collect_strings(program: ast.Program) -> list[bytes]:
+    seen: dict[bytes, None] = {}
+
+    def walk_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Str):
+            seen.setdefault(expr.value)
+        elif isinstance(expr, ast.Unary):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                walk_expr(arg)
+
+    def walk_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, (ast.Let, ast.Assign)):
+            walk_expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            walk_expr(stmt.cond)
+            for inner in stmt.then_body:
+                walk_stmt(inner)
+            for inner in stmt.else_body:
+                walk_stmt(inner)
+        elif isinstance(stmt, ast.While):
+            walk_expr(stmt.cond)
+            for inner in stmt.body:
+                walk_stmt(inner)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                walk_expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            walk_expr(stmt.expr)
+
+    for func in program.funcs:
+        for stmt in func.body:
+            walk_stmt(stmt)
+    return list(seen)
+
+
+def count_locals(func: ast.Func) -> int:
+    """Params plus every `let` in the body (including nested blocks)."""
+    total = len(func.params)
+
+    def walk(stmts: list[ast.Stmt]) -> None:
+        nonlocal total
+        for stmt in stmts:
+            if isinstance(stmt, ast.Let):
+                total += 1
+            elif isinstance(stmt, ast.If):
+                walk(stmt.then_body)
+                walk(stmt.else_body)
+            elif isinstance(stmt, ast.While):
+                walk(stmt.body)
+
+    walk(func.body)
+    return total
+
+
+def build_layout(program: ast.Program, target: str) -> Layout:
+    """Assign addresses for strings, globals and (EVM) frames."""
+    if target not in ("wasm", "evm"):
+        raise CompileError(f"unknown target '{target}'")
+    layout = Layout()
+    cursor = DATA_BASE
+    for text in _collect_strings(program):
+        layout.string_addrs[text] = cursor
+        cursor += len(text)
+    cursor = _align(cursor, 8)
+    for name in program.globals:
+        layout.global_addrs[name] = cursor
+        cursor += 8
+    if target == "evm":
+        cursor = _align(cursor, 32)
+        for func in program.funcs:
+            layout.frame_bases[func.name] = cursor
+            cursor += 32 * max(count_locals(func), 1)
+    layout.heap_base = _align(cursor, 32)
+    return layout
+
+
+def _align(value: int, boundary: int) -> int:
+    return (value + boundary - 1) // boundary * boundary

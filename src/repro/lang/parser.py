@@ -1,0 +1,413 @@
+r"""CWScript lexer and parser.
+
+CWScript is the small C-like contract language of this reproduction —
+the stand-in for the paper's "C++, Rust and Go ... compiled into Wasm"
+toolchain.  One source compiles to CONFIDE-VM or EVM bytecode.
+
+Grammar sketch::
+
+    program   := (const | global | func)*
+    const     := 'const' NAME '=' const_expr ';'
+    global    := 'global' NAME ('=' const_expr)? ';'
+    func      := 'fn' NAME '(' params? ')' ('->' 'i64')? block
+    block     := '{' stmt* '}'
+    stmt      := 'let' NAME '=' expr ';'
+               | NAME '=' expr ';'
+               | 'if' '(' expr ')' block ('else' (block | if_stmt))?
+               | 'while' '(' expr ')' block
+               | 'break' ';' | 'continue' ';'
+               | 'return' expr? ';'
+               | expr ';'
+    expr      := C-style precedence: || && | ^ & ==/!= </<=/>/>= <</>> +- */% unary
+
+Literals: decimal, hex (0x..), char ('a', with \n \t \\ \' \0 escapes),
+string ("...", evaluating to the literal's address in linear memory).
+Functions whose names start with '_' are internal (not exported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+from repro.lang import ast_nodes as ast
+
+_KEYWORDS = {
+    "fn", "let", "if", "else", "while", "break", "continue", "return",
+    "const", "global", "i64",
+}
+
+_TWO_CHAR_OPS = {"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->"}
+_ONE_CHAR_OPS = set("+-*/%&|^!<>=(){},;~")
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+# ASCII-only character classes: str.isdigit()/isalpha() accept Unicode
+# characters (e.g. '²') that int()/identifiers cannot handle.
+_DIGITS = frozenset("0123456789")
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | _DIGITS
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num' | 'str' | 'name' | 'kw' | 'op' | 'eof'
+    text: str
+    value: int | bytes | None
+    pos: ast.Position
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    size = len(source)
+
+    def pos() -> ast.Position:
+        return ast.Position(line, col)
+
+    def advance(n: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(n):
+            if i < size and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < size:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch == "/" and i + 1 < size and source[i + 1] == "/":
+            while i < size and source[i] != "\n":
+                advance()
+            continue
+        if ch == "/" and i + 1 < size and source[i + 1] == "*":
+            start = pos()
+            advance(2)
+            while i + 1 < size and not (source[i] == "*" and source[i + 1] == "/"):
+                advance()
+            if i + 1 >= size:
+                raise CompileError(f"unterminated block comment at {start}")
+            advance(2)
+            continue
+        start = pos()
+        if ch in _DIGITS:
+            j = i
+            if source[j : j + 2] in ("0x", "0X"):
+                j += 2
+                while j < size and (source[j] in "0123456789abcdefABCDEF_"):
+                    j += 1
+                text = source[i:j]
+                digits = text[2:].replace("_", "")
+                if not digits:
+                    raise CompileError(f"malformed hex literal at {start}")
+                value = int(digits, 16)
+            else:
+                while j < size and (source[j] in _DIGITS or source[j] == "_"):
+                    j += 1
+                text = source[i:j]
+                value = int(text.replace("_", ""))
+            tokens.append(Token("num", text, value, start))
+            advance(j - i)
+            continue
+        if ch in _IDENT_START:
+            j = i
+            while j < size and source[j] in _IDENT_CONT:
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in _KEYWORDS else "name"
+            tokens.append(Token(kind, text, None, start))
+            advance(j - i)
+            continue
+        if ch == "'":
+            advance()
+            if i >= size:
+                raise CompileError(f"unterminated char literal at {start}")
+            if source[i] == "\\":
+                advance()
+                esc = source[i] if i < size else ""
+                if esc not in _ESCAPES:
+                    raise CompileError(f"bad escape '\\{esc}' at {start}")
+                value = _ESCAPES[esc]
+                advance()
+            else:
+                value = ord(source[i])
+                advance()
+            if i >= size or source[i] != "'":
+                raise CompileError(f"unterminated char literal at {start}")
+            advance()
+            tokens.append(Token("num", f"'{chr(value)}'", value, start))
+            continue
+        if ch == '"':
+            advance()
+            out = bytearray()
+            while i < size and source[i] != '"':
+                if source[i] == "\\":
+                    advance()
+                    esc = source[i] if i < size else ""
+                    if esc not in _ESCAPES:
+                        raise CompileError(f"bad escape '\\{esc}' at {start}")
+                    out.append(_ESCAPES[esc])
+                    advance()
+                else:
+                    out.append(ord(source[i]))
+                    advance()
+            if i >= size:
+                raise CompileError(f"unterminated string literal at {start}")
+            advance()
+            tokens.append(Token("str", out.decode("latin-1"), bytes(out), start))
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("op", two, None, start))
+            advance(2)
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, None, start))
+            advance()
+            continue
+        raise CompileError(f"unexpected character {ch!r} at {start}")
+    tokens.append(Token("eof", "", None, pos()))
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser producing an :class:`ast_nodes.Program`."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._i = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._i]
+
+    def _eat(self) -> Token:
+        token = self._tokens[self._i]
+        self._i += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._cur
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r} but found {token.text or token.kind!r} at {token.pos}"
+            )
+        return self._eat()
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self._cur
+        if token.kind == kind and (text is None or token.text == text):
+            return self._eat()
+        return None
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> ast.Program:
+        program = ast.Program()
+        while self._cur.kind != "eof":
+            if self._accept("kw", "const"):
+                name = self._expect("name").text
+                self._expect("op", "=")
+                value = self._const_expr(program)
+                self._expect("op", ";")
+                if name in program.consts:
+                    raise CompileError(f"duplicate const '{name}'")
+                program.consts[name] = value
+            elif self._accept("kw", "global"):
+                name = self._expect("name").text
+                init = 0
+                if self._accept("op", "="):
+                    init = self._const_expr(program)
+                self._expect("op", ";")
+                if name in program.globals:
+                    raise CompileError(f"duplicate global '{name}'")
+                program.globals[name] = init
+            elif self._cur.kind == "kw" and self._cur.text == "fn":
+                program.funcs.append(self._func())
+            else:
+                raise CompileError(
+                    f"expected 'fn', 'const' or 'global' at {self._cur.pos}, "
+                    f"found {self._cur.text!r}"
+                )
+        names = [f.name for f in program.funcs]
+        for name in names:
+            if names.count(name) > 1:
+                raise CompileError(f"duplicate function '{name}'")
+        return program
+
+    def _const_expr(self, program: ast.Program) -> int:
+        """Constant expression: literal, named const, optional unary minus."""
+        negate = bool(self._accept("op", "-"))
+        token = self._cur
+        if token.kind == "num":
+            self._eat()
+            value = int(token.value)  # type: ignore[arg-type]
+        elif token.kind == "name" and token.text in program.consts:
+            self._eat()
+            value = program.consts[token.text]
+        else:
+            raise CompileError(f"expected constant expression at {token.pos}")
+        return -value if negate else value
+
+    def _func(self) -> ast.Func:
+        start = self._expect("kw", "fn").pos
+        name = self._expect("name").text
+        self._expect("op", "(")
+        params: list[str] = []
+        if not self._accept("op", ")"):
+            while True:
+                params.append(self._expect("name").text)
+                if self._accept("op", ")"):
+                    break
+                self._expect("op", ",")
+        if len(set(params)) != len(params):
+            raise CompileError(f"duplicate parameter in '{name}' at {start}")
+        has_result = False
+        if self._accept("op", "->"):
+            self._expect("kw", "i64")
+            has_result = True
+        body = self._block()
+        return ast.Func(name, params, has_result, body, start)
+
+    def _block(self) -> list[ast.Stmt]:
+        self._expect("op", "{")
+        body: list[ast.Stmt] = []
+        while not self._accept("op", "}"):
+            body.append(self._stmt())
+        return body
+
+    def _stmt(self) -> ast.Stmt:
+        token = self._cur
+        if token.kind == "kw":
+            if token.text == "let":
+                self._eat()
+                name = self._expect("name").text
+                self._expect("op", "=")
+                value = self._expr()
+                self._expect("op", ";")
+                return ast.Let(token.pos, name, value)
+            if token.text == "if":
+                return self._if_stmt()
+            if token.text == "while":
+                self._eat()
+                self._expect("op", "(")
+                cond = self._expr()
+                self._expect("op", ")")
+                body = self._block()
+                return ast.While(token.pos, cond, body)
+            if token.text == "break":
+                self._eat()
+                self._expect("op", ";")
+                return ast.Break(token.pos)
+            if token.text == "continue":
+                self._eat()
+                self._expect("op", ";")
+                return ast.Continue(token.pos)
+            if token.text == "return":
+                self._eat()
+                value = None
+                if not (self._cur.kind == "op" and self._cur.text == ";"):
+                    value = self._expr()
+                self._expect("op", ";")
+                return ast.Return(token.pos, value)
+        if token.kind == "name":
+            nxt = self._tokens[self._i + 1]
+            if nxt.kind == "op" and nxt.text == "=":
+                self._eat()
+                self._eat()
+                value = self._expr()
+                self._expect("op", ";")
+                return ast.Assign(token.pos, token.text, value)
+        expr = self._expr()
+        self._expect("op", ";")
+        return ast.ExprStmt(token.pos, expr)
+
+    def _if_stmt(self) -> ast.If:
+        token = self._expect("kw", "if")
+        self._expect("op", "(")
+        cond = self._expr()
+        self._expect("op", ")")
+        then_body = self._block()
+        else_body: list[ast.Stmt] = []
+        if self._accept("kw", "else"):
+            if self._cur.kind == "kw" and self._cur.text == "if":
+                else_body = [self._if_stmt()]
+            else:
+                else_body = self._block()
+        return ast.If(token.pos, cond, then_body, else_body)
+
+    # -- expressions (precedence climbing) -----------------------------------
+
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _expr(self, level: int = 0) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self._unary()
+        ops = self._PRECEDENCE[level]
+        left = self._expr(level + 1)
+        while self._cur.kind == "op" and self._cur.text in ops:
+            token = self._eat()
+            right = self._expr(level + 1)
+            left = ast.Binary(token.pos, token.text, left, right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        token = self._cur
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self._eat()
+            return ast.Unary(token.pos, token.text, self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._cur
+        if token.kind == "num":
+            self._eat()
+            return ast.Num(token.pos, int(token.value))  # type: ignore[arg-type]
+        if token.kind == "str":
+            self._eat()
+            return ast.Str(token.pos, bytes(token.value))  # type: ignore[arg-type]
+        if token.kind == "name":
+            self._eat()
+            if self._accept("op", "("):
+                args: list[ast.Expr] = []
+                if not self._accept("op", ")"):
+                    while True:
+                        args.append(self._expr())
+                        if self._accept("op", ")"):
+                            break
+                        self._expect("op", ",")
+                return ast.Call(token.pos, token.text, args)
+            return ast.Var(token.pos, token.text)
+        if token.kind == "op" and token.text == "(":
+            self._eat()
+            inner = self._expr()
+            self._expect("op", ")")
+            return inner
+        raise CompileError(f"unexpected token {token.text or token.kind!r} at {token.pos}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse CWScript source into a Program AST."""
+    return Parser(source).parse()

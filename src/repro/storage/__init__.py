@@ -1,0 +1,29 @@
+"""Storage substrate: pluggable KV stores, RLP, and merkle commitments."""
+
+from repro.storage.kv import AppendLogKV, KVStore, MemoryKV, NamespacedKV
+from repro.storage.merkle import (
+    EMPTY_ROOT,
+    MerkleProof,
+    MerkleTree,
+    ProofStep,
+    state_root,
+    verify_proof,
+)
+from repro.storage.rlp import decode, decode_int, encode, encode_int
+
+__all__ = [
+    "AppendLogKV",
+    "EMPTY_ROOT",
+    "KVStore",
+    "MemoryKV",
+    "MerkleProof",
+    "MerkleTree",
+    "NamespacedKV",
+    "ProofStep",
+    "decode",
+    "decode_int",
+    "encode",
+    "encode_int",
+    "state_root",
+    "verify_proof",
+]

@@ -1,0 +1,210 @@
+"""Key-value stores backing blockchain state.
+
+Consortium blockchains let operators bring their own KV store (paper §1:
+"storage module may be loosely coupled ... to allow users choose their own
+KV stores"), so everything above this layer programs against
+:class:`KVStore`.  Three implementations ship:
+
+- :class:`MemoryKV` — dict-backed, for tests and in-process nodes.
+- :class:`AppendLogKV` — a persistent append-only log with an in-memory
+  index; used to measure realistic block-write latencies for §6.4.
+- :class:`NamespacedKV` — a prefix view used to give each contract its own
+  keyspace.
+
+Stores also support write batches so a block's state delta commits
+atomically.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.errors import StorageError
+
+
+class KVStore(ABC):
+    """Minimal byte-oriented KV interface."""
+
+    @abstractmethod
+    def get(self, key: bytes) -> bytes | None:
+        """Return the value for key, or None if absent."""
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite key."""
+
+    @abstractmethod
+    def delete(self, key: bytes) -> None:
+        """Remove key if present (no error if absent)."""
+
+    @abstractmethod
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate all (key, value) pairs in unspecified order."""
+
+    def has(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def write_batch(self, puts: dict[bytes, bytes], deletes: set[bytes] = frozenset()) -> None:
+        """Apply a batch of writes; default is sequential, subclasses may
+        override for atomic/efficient commits."""
+        for key in deletes:
+            self.delete(key)
+        for key, value in puts.items():
+            self.put(key, value)
+
+    def items_with_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        for key, value in self.items():
+            if key.startswith(prefix):
+                yield key, value
+
+
+class MemoryKV(KVStore):
+    """In-memory store."""
+
+    def __init__(self):
+        self._data: dict[bytes, bytes] = {}
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._data.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._data[bytes(key)] = bytes(value)
+
+    def delete(self, key: bytes) -> None:
+        self._data.pop(key, None)
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        return iter(list(self._data.items()))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def snapshot(self) -> dict[bytes, bytes]:
+        return dict(self._data)
+
+
+_RECORD_HEADER = struct.Struct(">BII")  # op, key len, value len
+_OP_PUT = 1
+_OP_DELETE = 2
+
+
+class AppendLogKV(KVStore):
+    """Durable append-only log store with an in-memory index.
+
+    Records are ``(op, klen, vlen, key, value)``; the full log is replayed
+    on open.  ``sync=True`` fsyncs on every batch commit, which is what
+    the §6.4 block-write-latency bench measures.
+    """
+
+    def __init__(self, path: str, sync: bool = False):
+        self._path = path
+        self._sync = sync
+        self._index: dict[bytes, bytes] = {}
+        self._file = None
+        if os.path.exists(path):
+            self._replay()
+        self._file = open(path, "ab")
+
+    def _replay(self) -> None:
+        with open(self._path, "rb") as f:
+            while True:
+                header = f.read(_RECORD_HEADER.size)
+                if not header:
+                    break
+                if len(header) < _RECORD_HEADER.size:
+                    raise StorageError("truncated log header")
+                op, klen, vlen = _RECORD_HEADER.unpack(header)
+                key = f.read(klen)
+                value = f.read(vlen)
+                if len(key) < klen or len(value) < vlen:
+                    raise StorageError("truncated log record")
+                if op == _OP_PUT:
+                    self._index[key] = value
+                elif op == _OP_DELETE:
+                    self._index.pop(key, None)
+                else:
+                    raise StorageError(f"unknown log op {op}")
+
+    def _append(self, op: int, key: bytes, value: bytes) -> None:
+        if self._file is None:
+            raise StorageError("store is closed")
+        self._file.write(_RECORD_HEADER.pack(op, len(key), len(value)))
+        self._file.write(key)
+        self._file.write(value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._index.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        key, value = bytes(key), bytes(value)
+        self._append(_OP_PUT, key, value)
+        self._flush()
+        self._index[key] = value
+
+    def delete(self, key: bytes) -> None:
+        if key in self._index:
+            self._append(_OP_DELETE, key, b"")
+            self._flush()
+            del self._index[key]
+
+    def write_batch(self, puts: dict[bytes, bytes], deletes: set[bytes] = frozenset()) -> None:
+        for key in deletes:
+            if key in self._index:
+                self._append(_OP_DELETE, key, b"")
+                del self._index[key]
+        for key, value in puts.items():
+            key, value = bytes(key), bytes(value)
+            self._append(_OP_PUT, key, value)
+            self._index[key] = value
+        self._flush()
+
+    def _flush(self) -> None:
+        assert self._file is not None
+        self._file.flush()
+        if self._sync:
+            os.fsync(self._file.fileno())
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        return iter(list(self._index.items()))
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "AppendLogKV":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
+class NamespacedKV(KVStore):
+    """A prefixed view over another store (per-contract keyspaces)."""
+
+    def __init__(self, inner: KVStore, namespace: bytes):
+        self._inner = inner
+        self._prefix = bytes(namespace) + b"\x00"
+
+    def _wrap(self, key: bytes) -> bytes:
+        return self._prefix + key
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._inner.get(self._wrap(key))
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._inner.put(self._wrap(key), value)
+
+    def delete(self, key: bytes) -> None:
+        self._inner.delete(self._wrap(key))
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        plen = len(self._prefix)
+        for key, value in self._inner.items_with_prefix(self._prefix):
+            yield key[plen:], value

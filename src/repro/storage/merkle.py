@@ -1,0 +1,121 @@
+"""Binary merkle trees: block transaction roots, state commitments, and
+SPV inclusion proofs.
+
+The paper's security model (§3.3) leans on two commitments:
+
+- each block header commits to its transactions (so a single malicious
+  node cannot forge history), and
+- each block commits to the post-state, so "only the transactions whose
+  results are computed based on the latest states can pass the consensus
+  phase" — replicas cross-check state roots.
+
+Both are served by :class:`MerkleTree`.  A *consensus read* from a
+possibly-malicious node is verified with :func:`verify_proof` against a
+root learned from a quorum (see :mod:`repro.chain.spv`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+from repro.errors import StorageError
+
+EMPTY_ROOT = sha256(b"repro-empty-merkle")
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return sha256(_LEAF_PREFIX + data)
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return sha256(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One sibling on the path from a leaf to the root."""
+
+    sibling: bytes
+    sibling_on_left: bool
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf."""
+
+    leaf_index: int
+    leaf_data_hash: bytes
+    steps: tuple[ProofStep, ...]
+
+
+class MerkleTree:
+    """Binary merkle tree over a fixed list of byte leaves.
+
+    Odd nodes are promoted (not duplicated), so the tree is well defined
+    for any leaf count; the empty tree has the distinguished
+    :data:`EMPTY_ROOT`.
+    """
+
+    def __init__(self, leaves: list[bytes]):
+        self._leaf_hashes = [_hash_leaf(leaf) for leaf in leaves]
+        self._levels: list[list[bytes]] = [list(self._leaf_hashes)]
+        level = self._levels[0]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(_hash_node(level[i], level[i + 1]))
+            if len(level) & 1:
+                nxt.append(level[-1])
+            self._levels.append(nxt)
+            level = nxt
+
+    @property
+    def root(self) -> bytes:
+        if not self._leaf_hashes:
+            return EMPTY_ROOT
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self._leaf_hashes)
+
+    def prove(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for the leaf at `index`."""
+        if not 0 <= index < len(self._leaf_hashes):
+            raise StorageError(f"leaf index {index} out of range")
+        steps: list[ProofStep] = []
+        pos = index
+        for level in self._levels[:-1]:
+            if pos ^ 1 < len(level):
+                # The promoted-odd-node case has no sibling at this level.
+                if (pos | 1) < len(level) or pos & 1:
+                    sibling_pos = pos ^ 1
+                    steps.append(
+                        ProofStep(level[sibling_pos], sibling_on_left=bool(pos & 1))
+                    )
+            pos //= 2
+        return MerkleProof(index, self._leaf_hashes[index], tuple(steps))
+
+
+def verify_proof(root: bytes, leaf: bytes, proof: MerkleProof) -> bool:
+    """Check that `leaf` is committed under `root` by `proof`."""
+    node = _hash_leaf(leaf)
+    if node != proof.leaf_data_hash:
+        return False
+    for step in proof.steps:
+        if step.sibling_on_left:
+            node = _hash_node(step.sibling, node)
+        else:
+            node = _hash_node(node, step.sibling)
+    return node == root
+
+
+def state_root(items: dict[bytes, bytes]) -> bytes:
+    """Commitment to a whole KV state: merkle root over sorted pairs."""
+    leaves = [
+        len(k).to_bytes(4, "big") + k + v for k, v in sorted(items.items())
+    ]
+    return MerkleTree(leaves).root

@@ -1,0 +1,118 @@
+"""Recursive Length Prefix (RLP) serialization.
+
+The paper (§5.3) names RLP as the light serialization protocol used when
+complex structures cross the enclave boundary; transactions, receipts and
+block headers in this reproduction are RLP-encoded the same way.
+
+The value domain is bytes and (recursively) lists of values, exactly as in
+Ethereum's spec.  :func:`encode_int`/:func:`decode_int` give the canonical
+big-endian-minimal integer convention.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+
+RlpValue = bytes | list  # recursive: list[RlpValue]
+
+
+def encode(value) -> bytes:
+    """RLP-encode bytes or a (nested) list of bytes."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        if len(data) == 1 and data[0] < 0x80:
+            return data
+        return _encode_length(len(data), 0x80) + data
+    if isinstance(value, (list, tuple)):
+        payload = b"".join(encode(item) for item in value)
+        return _encode_length(len(payload), 0xC0) + payload
+    raise StorageError(f"cannot RLP-encode {type(value).__name__}")
+
+
+def _encode_length(length: int, offset: int) -> bytes:
+    if length < 56:
+        return bytes([offset + length])
+    length_bytes = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([offset + 55 + len(length_bytes)]) + length_bytes
+
+
+def decode(data: bytes):
+    """Decode one RLP item; raises on trailing bytes."""
+    item, consumed = _decode_item(memoryview(data), 0)
+    if consumed != len(data):
+        raise StorageError(f"trailing bytes after RLP item ({len(data) - consumed})")
+    return item
+
+
+def _decode_item(data: memoryview, pos: int):
+    if pos >= len(data):
+        raise StorageError("RLP input exhausted")
+    prefix = data[pos]
+    if prefix < 0x80:
+        return bytes(data[pos : pos + 1]), pos + 1
+    if prefix < 0xB8:
+        length = prefix - 0x80
+        end = pos + 1 + length
+        _check_bounds(data, end)
+        payload = bytes(data[pos + 1 : end])
+        if length == 1 and payload[0] < 0x80:
+            raise StorageError("non-canonical single-byte RLP encoding")
+        return payload, end
+    if prefix < 0xC0:
+        length, start = _decode_long_length(data, pos, 0xB7)
+        end = start + length
+        _check_bounds(data, end)
+        return bytes(data[start:end]), end
+    if prefix < 0xF8:
+        length = prefix - 0xC0
+        end = pos + 1 + length
+        _check_bounds(data, end)
+        return _decode_list(data, pos + 1, end), end
+    length, start = _decode_long_length(data, pos, 0xF7)
+    end = start + length
+    _check_bounds(data, end)
+    return _decode_list(data, start, end), end
+
+
+def _decode_long_length(data: memoryview, pos: int, offset: int) -> tuple[int, int]:
+    nbytes = data[pos] - offset
+    end = pos + 1 + nbytes
+    _check_bounds(data, end)
+    raw = bytes(data[pos + 1 : end])
+    if raw and raw[0] == 0:
+        raise StorageError("non-canonical RLP length (leading zero)")
+    length = int.from_bytes(raw, "big")
+    if length < 56:
+        raise StorageError("non-canonical RLP length (should be short form)")
+    return length, end
+
+
+def _decode_list(data: memoryview, start: int, end: int) -> list:
+    items = []
+    pos = start
+    while pos < end:
+        item, pos = _decode_item(data, pos)
+        items.append(item)
+    if pos != end:
+        raise StorageError("RLP list payload length mismatch")
+    return items
+
+
+def _check_bounds(data: memoryview, end: int) -> None:
+    if end > len(data):
+        raise StorageError("RLP input truncated")
+
+
+def encode_int(value: int) -> bytes:
+    """Canonical RLP integer payload: big-endian without leading zeros."""
+    if value < 0:
+        raise StorageError("RLP integers must be non-negative")
+    if value == 0:
+        return b""
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def decode_int(data: bytes) -> int:
+    if data and data[0] == 0:
+        raise StorageError("non-canonical RLP integer (leading zero)")
+    return int.from_bytes(data, "big")

@@ -1,0 +1,122 @@
+"""Remote and local attestation for the simulated TEE.
+
+Remote attestation mirrors the SGX EPID flow at the level CONFIDE uses it:
+an enclave produces a *quote* — (measurement, report data, platform id)
+signed by the platform's hardware root key — and a verifier checks the
+quote against an :class:`AttestationService` that vouches for genuine
+platforms (the stand-in for Intel's attestation service).
+
+The report data field carries 64 application bytes; K-Protocol locks the
+fingerprint of the enclave's transaction public key `pk_tx` into it, which
+is what defeats man-in-the-middle key substitution (paper §3.2.2).
+
+Local attestation (same-platform enclave-to-enclave, used between the KM
+and CS enclaves in §5.1) is a MAC under a platform-local key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto import ecdsa
+from repro.crypto.hashes import sha256
+from repro.errors import AttestationError
+from repro.tee.enclave import Enclave, Measurement, Platform
+
+REPORT_DATA_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A remotely verifiable attestation of an enclave."""
+
+    measurement: Measurement
+    report_data: bytes
+    platform_id: str
+    signature: ecdsa.Signature
+
+    def signed_payload(self) -> bytes:
+        return (
+            self.measurement.digest
+            + self.report_data
+            + self.platform_id.encode()
+        )
+
+
+@dataclass(frozen=True)
+class LocalReport:
+    """A same-platform attestation report (MACed, not signed)."""
+
+    measurement: Measurement
+    report_data: bytes
+    mac: bytes
+
+
+def _pad_report_data(report_data: bytes) -> bytes:
+    if len(report_data) > REPORT_DATA_SIZE:
+        raise AttestationError(
+            f"report data limited to {REPORT_DATA_SIZE} bytes, got {len(report_data)}"
+        )
+    return report_data + b"\x00" * (REPORT_DATA_SIZE - len(report_data))
+
+
+def create_quote(enclave: Enclave, report_data: bytes = b"") -> Quote:
+    """Produce a quote for the enclave, signed by the platform root key."""
+    data = _pad_report_data(report_data)
+    payload = enclave.measurement.digest + data + enclave.platform.platform_id.encode()
+    signature = ecdsa.sign(enclave.platform.root_key.private, payload)
+    return Quote(enclave.measurement, data, enclave.platform.platform_id, signature)
+
+
+def create_local_report(enclave: Enclave, report_data: bytes = b"") -> LocalReport:
+    """Produce a local report verifiable by enclaves on the same platform."""
+    data = _pad_report_data(report_data)
+    key = enclave.platform.local_report_key()
+    mac = hmac.new(key, enclave.measurement.digest + data, hashlib.sha256).digest()
+    return LocalReport(enclave.measurement, data, mac)
+
+
+def verify_local_report(platform: Platform, report: LocalReport) -> None:
+    """Verify a local report against the platform's report key."""
+    key = platform.local_report_key()
+    expected = hmac.new(
+        key, report.measurement.digest + report.report_data, hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(expected, report.mac):
+        raise AttestationError("local report MAC mismatch")
+
+
+class AttestationService:
+    """Simulated Intel attestation service.
+
+    Knows the root public keys of genuine platforms (registration stands
+    in for the EPID group-join during manufacturing).  Verification checks
+    the quote signature and, optionally, an expected measurement.
+    """
+
+    def __init__(self):
+        self._platforms: dict[str, Platform] = {}
+
+    def register_platform(self, platform: Platform) -> None:
+        self._platforms[platform.platform_id] = platform
+
+    def verify(self, quote: Quote, expected_measurement: Measurement | None = None) -> None:
+        platform = self._platforms.get(quote.platform_id)
+        if platform is None:
+            raise AttestationError(f"unknown platform '{quote.platform_id}'")
+        if not ecdsa.verify(
+            platform.root_key.public, quote.signed_payload(), quote.signature
+        ):
+            raise AttestationError("quote signature invalid")
+        if expected_measurement and quote.measurement != expected_measurement:
+            raise AttestationError(
+                "measurement mismatch: expected "
+                f"{expected_measurement.hex()[:16]}…, got {quote.measurement.hex()[:16]}…"
+            )
+
+    @staticmethod
+    def report_data_for_key(public_key_bytes: bytes) -> bytes:
+        """Canonical report-data binding for a public key fingerprint."""
+        return sha256(public_key_bytes)[:32]

@@ -1,0 +1,78 @@
+"""EDL-style boundary interface declarations.
+
+Intel's Enclave Definition Language annotates every pointer parameter of
+an ecall/ocall with a direction ([in], [out], [in, out]) or `user_check`.
+Directed buffers are copied across the boundary (the Edger8r-generated
+proxy performs copy-and-check); `user_check` skips the copy and makes
+memory safety the programmer's problem (paper §5.3, "Optimized data
+structure").
+
+Here an :class:`EdlInterface` registers each boundary function together
+with its parameter annotations; the enclave dispatcher consults it to
+decide which byte arguments to copy (and charge for).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import EnclaveError
+
+
+class Direction(enum.Enum):
+    IN = "in"
+    OUT = "out"
+    INOUT = "in,out"
+    USER_CHECK = "user_check"
+
+
+@dataclass(frozen=True)
+class EdlParam:
+    """Annotation for one parameter of a boundary function."""
+
+    name: str
+    direction: Direction = Direction.IN
+
+
+@dataclass
+class EdlFunction:
+    """A declared ecall or ocall with its marshalling contract."""
+
+    name: str
+    handler: Callable
+    params: tuple[EdlParam, ...] = ()
+    is_ocall: bool = False
+
+    def copied_sizes(self, args: tuple) -> int:
+        """Total bytes the proxy would copy for this call's arguments."""
+        total = 0
+        for param, arg in zip(self.params, args):
+            if param.direction is Direction.USER_CHECK:
+                continue
+            if isinstance(arg, (bytes, bytearray, memoryview)):
+                total += len(arg)
+        return total
+
+
+@dataclass
+class EdlInterface:
+    """The full trusted/untrusted interface of one enclave."""
+
+    ecalls: dict[str, EdlFunction] = field(default_factory=dict)
+    ocalls: dict[str, EdlFunction] = field(default_factory=dict)
+
+    def declare_ecall(
+        self, name: str, handler: Callable, params: tuple[EdlParam, ...] = ()
+    ) -> None:
+        if name in self.ecalls:
+            raise EnclaveError(f"duplicate ecall declaration: {name}")
+        self.ecalls[name] = EdlFunction(name, handler, params, is_ocall=False)
+
+    def declare_ocall(
+        self, name: str, handler: Callable, params: tuple[EdlParam, ...] = ()
+    ) -> None:
+        if name in self.ocalls:
+            raise EnclaveError(f"duplicate ocall declaration: {name}")
+        self.ocalls[name] = EdlFunction(name, handler, params, is_ocall=True)

@@ -1,0 +1,163 @@
+"""Enclave Page Cache (EPC) simulator.
+
+SGX v1 exposes 128 MB of protected physical memory of which only about
+93.5 MB is usable by enclaves (paper §5.3, citing SCONE and SPEICHER).
+Memory demand beyond that triggers page swapping: a victim page is
+encrypted and evicted to untrusted memory, and decrypted back on access.
+
+The pager models exactly this: enclave allocations reserve 4 KB pages from
+a fixed budget; when the budget is exceeded, least-recently-used resident
+pages are evicted (each swap charged to the :class:`CycleAccountant`),
+and touching an evicted allocation pages it back in.
+
+A freelist-backed :class:`MemoryPool` mode models the paper's OPT1
+"efficient memory management": pooled allocations reuse freed pages,
+avoiding both fragmentation growth and per-allocation overhead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import PagingError
+from repro.tee.transitions import CycleAccountant
+
+PAGE_SIZE = 4096
+EPC_TOTAL_BYTES = 128 * 1024 * 1024
+EPC_USABLE_BYTES = int(93.5 * 1024 * 1024)
+
+# Without a pool, allocator metadata and fragmentation inflate the real
+# footprint of each allocation (paper §5.3: the memory pool exists "to
+# reduce fragmentation and improve memory utilization").
+_FRAGMENTATION_FACTOR = 1.35
+
+
+@dataclass
+class _Allocation:
+    handle: int
+    pages: int
+    resident: bool
+
+
+class EpcAllocator:
+    """Page-granular allocator with LRU eviction over a fixed EPC budget."""
+
+    def __init__(
+        self,
+        accountant: CycleAccountant,
+        budget_bytes: int = EPC_USABLE_BYTES,
+        use_pool: bool = False,
+    ):
+        self._accountant = accountant
+        self._budget_pages = budget_bytes // PAGE_SIZE
+        self._use_pool = use_pool
+        self._allocs: OrderedDict[int, _Allocation] = OrderedDict()  # LRU order
+        self._next_handle = 1
+        self._resident_pages = 0
+        self._pool_pages_free = 0
+
+    @property
+    def use_pool(self) -> bool:
+        return self._use_pool
+
+    @use_pool.setter
+    def use_pool(self, enabled: bool) -> None:
+        self._use_pool = enabled
+
+    @property
+    def resident_pages(self) -> int:
+        return self._resident_pages
+
+    @property
+    def budget_pages(self) -> int:
+        return self._budget_pages
+
+    def allocate(self, size_bytes: int) -> int:
+        """Reserve pages for `size_bytes`; returns an allocation handle."""
+        if size_bytes <= 0:
+            raise PagingError("allocation size must be positive")
+        effective = size_bytes if self._use_pool else int(size_bytes * _FRAGMENTATION_FACTOR)
+        pages = max(1, (effective + PAGE_SIZE - 1) // PAGE_SIZE)
+        if pages > self._budget_pages:
+            raise PagingError(
+                f"allocation of {pages} pages exceeds the whole EPC budget "
+                f"of {self._budget_pages} pages"
+            )
+        self._accountant.charge_alloc(pooled=self._use_pool)
+        if self._use_pool and self._pool_pages_free >= pages:
+            # Freelist hit: pages are already resident, no paging pressure.
+            self._pool_pages_free -= pages
+        else:
+            if self._use_pool:
+                pages_needed = pages - self._pool_pages_free
+                self._pool_pages_free = 0
+            else:
+                pages_needed = pages
+            self._make_room(pages_needed)
+            self._resident_pages += pages_needed
+        handle = self._next_handle
+        self._next_handle += 1
+        self._allocs[handle] = _Allocation(handle, pages, resident=True)
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release an allocation (pooled pages go back to the freelist)."""
+        alloc = self._allocs.pop(handle, None)
+        if alloc is None:
+            raise PagingError(f"unknown allocation handle {handle}")
+        if not alloc.resident:
+            return
+        if self._use_pool:
+            self._pool_pages_free += alloc.pages
+        else:
+            self._resident_pages -= alloc.pages
+
+    def touch(self, handle: int) -> None:
+        """Access an allocation; pages it back in if it was evicted."""
+        alloc = self._allocs.get(handle)
+        if alloc is None:
+            raise PagingError(f"unknown allocation handle {handle}")
+        self._allocs.move_to_end(handle)
+        if not alloc.resident:
+            self._make_room(alloc.pages)
+            self._accountant.charge_page_swaps(alloc.pages)  # page-in decrypt
+            self._resident_pages += alloc.pages
+            alloc.resident = True
+
+    def _make_room(self, pages_needed: int) -> None:
+        if pages_needed <= 0:
+            return
+        free_now = self._budget_pages - self._resident_pages - self._pool_pages_free
+        if self._use_pool and free_now < pages_needed and self._pool_pages_free:
+            # Shrink the freelist before evicting anyone else's pages.
+            reclaim = min(self._pool_pages_free, pages_needed - free_now)
+            self._pool_pages_free -= reclaim
+            free_now += reclaim
+        while free_now < pages_needed:
+            victim = self._find_victim()
+            if victim is None:
+                raise PagingError("EPC exhausted and nothing evictable")
+            victim.resident = False
+            self._resident_pages -= victim.pages
+            self._accountant.charge_page_swaps(victim.pages)  # encrypt + evict
+            free_now += victim.pages
+
+    def _find_victim(self) -> _Allocation | None:
+        for alloc in self._allocs.values():  # OrderedDict: LRU first
+            if alloc.resident:
+                return alloc
+        return None
+
+
+class MemoryPool:
+    """Convenience wrapper configuring an allocator in pooled (OPT1) mode."""
+
+    def __init__(self, accountant: CycleAccountant, budget_bytes: int = EPC_USABLE_BYTES):
+        self.allocator = EpcAllocator(accountant, budget_bytes, use_pool=True)
+
+    def allocate(self, size_bytes: int) -> int:
+        return self.allocator.allocate(size_bytes)
+
+    def free(self, handle: int) -> None:
+        self.allocator.free(handle)

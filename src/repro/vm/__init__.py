@@ -1,0 +1,21 @@
+"""Smart-contract virtual machines: CONFIDE-VM (wasm) and the EVM baseline."""
+
+from repro.vm.host import (
+    HOST_INDEX,
+    HOST_TABLE,
+    AbortExecution,
+    ExecutionResult,
+    HostBridge,
+    HostContext,
+    HostImport,
+)
+
+__all__ = [
+    "AbortExecution",
+    "ExecutionResult",
+    "HOST_INDEX",
+    "HOST_TABLE",
+    "HostBridge",
+    "HostContext",
+    "HostImport",
+]

@@ -1,0 +1,110 @@
+"""Disassemblers for CONFIDE-VM modules and EVM bytecode.
+
+Developer tooling: inspect what the compiler emitted, debug fused code,
+and eyeball the instruction mix behind the OPT4 measurements.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMError
+from repro.lang.compiler import ContractArtifact
+from repro.vm.evm import opcodes as evm_op
+from repro.vm.wasm import opcodes as wasm_op
+from repro.vm.wasm.module import Module, decode_module
+
+
+def disassemble_wasm_module(module: Module) -> str:
+    """Human-readable listing of a decoded CONFIDE-VM module."""
+    lines: list[str] = []
+    lines.append(f"; memory: {module.memory_pages} pages "
+                 f"({module.memory_bytes} bytes)")
+    if module.hosts:
+        lines.append("; host imports:")
+        for index, imp in enumerate(module.hosts):
+            lines.append(f";   [{index}] {imp.name}/{imp.nparams}"
+                         f"{' -> i64' if imp.nresults else ''}")
+    for seg in module.data:
+        preview = seg.data[:24]
+        lines.append(f"; data @{seg.offset}: {len(seg.data)} bytes "
+                     f"{preview!r}{'…' if len(seg.data) > 24 else ''}")
+    exports = {index: name for name, index in module.exports.items()}
+    for fidx, func in enumerate(module.functions):
+        label = exports.get(fidx, f"func_{fidx}")
+        signature = f"({func.nparams} params, {func.nlocals} locals)" + (
+            " -> i64" if func.nresults else ""
+        )
+        lines.append(f"fn {label} {signature}:")
+        for pc, (opcode, a, b) in enumerate(func.code):
+            name = wasm_op.NAMES.get(opcode, f"OP_{opcode}")
+            n_imm = wasm_op.IMMEDIATES.get(opcode, 0)
+            if n_imm == 0:
+                operand = ""
+            elif n_imm == 1:
+                operand = f" {a}"
+            else:
+                operand = f" {a}, {b}"
+            marker = " ->" if opcode in wasm_op.BRANCH_OPS else ""
+            lines.append(f"  {pc:4d}: {name}{marker}{operand}")
+    return "\n".join(lines)
+
+
+def disassemble_evm(code: bytes, entries: dict[str, int] | None = None) -> str:
+    """Linear-sweep disassembly of EVM bytecode."""
+    entry_labels = {pc: name for name, pc in (entries or {}).items()}
+    lines: list[str] = []
+    pc = 0
+    size = len(code)
+    while pc < size:
+        if pc in entry_labels:
+            lines.append(f"entry {entry_labels[pc]}:")
+        opcode = code[pc]
+        name = evm_op.NAMES.get(opcode)
+        if name is None:
+            lines.append(f"  {pc:6d}: DB 0x{opcode:02x}")
+            pc += 1
+            continue
+        if evm_op.PUSH1 <= opcode <= evm_op.PUSH1 + 31:
+            width = opcode - evm_op.PUSH1 + 1
+            imm = code[pc + 1 : pc + 1 + width]
+            lines.append(f"  {pc:6d}: {name} 0x{imm.hex()}")
+            pc += 1 + width
+        else:
+            lines.append(f"  {pc:6d}: {name}")
+            pc += 1
+    return "\n".join(lines)
+
+
+def disassemble_artifact(artifact: ContractArtifact, fuse: bool = False) -> str:
+    """Disassemble a compiled contract for its own target."""
+    if artifact.target == "wasm":
+        module = decode_module(artifact.code)
+        if fuse:
+            from repro.vm.wasm.optimizer import fuse_module
+
+            module = fuse_module(module)
+        return disassemble_wasm_module(module)
+    if artifact.target == "evm":
+        return disassemble_evm(artifact.code, artifact.entries)
+    raise VMError(f"unknown artifact target '{artifact.target}'")
+
+
+def instruction_histogram(artifact: ContractArtifact) -> dict[str, int]:
+    """Static opcode frequency of a compiled contract."""
+    histogram: dict[str, int] = {}
+    if artifact.target == "wasm":
+        module = decode_module(artifact.code)
+        for func in module.functions:
+            for opcode, _a, _b in func.code:
+                name = wasm_op.NAMES.get(opcode, f"OP_{opcode}")
+                histogram[name] = histogram.get(name, 0) + 1
+        return histogram
+    pc = 0
+    code = artifact.code
+    while pc < len(code):
+        opcode = code[pc]
+        name = evm_op.NAMES.get(opcode, f"DB_{opcode:02x}")
+        histogram[name] = histogram.get(name, 0) + 1
+        if evm_op.PUSH1 <= opcode <= evm_op.PUSH1 + 31:
+            pc += opcode - evm_op.PUSH1 + 1
+        pc += 1
+    return histogram

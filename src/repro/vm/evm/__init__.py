@@ -1,0 +1,17 @@
+"""EVM baseline virtual machine."""
+
+from repro.vm.evm.interpreter import (
+    DEFAULT_GAS_LIMIT,
+    EvmInstance,
+    EvmRevert,
+    scan_jumpdests,
+)
+from repro.vm.evm import opcodes
+
+__all__ = [
+    "DEFAULT_GAS_LIMIT",
+    "EvmInstance",
+    "EvmRevert",
+    "opcodes",
+    "scan_jumpdests",
+]

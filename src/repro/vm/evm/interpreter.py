@@ -1,0 +1,400 @@
+"""The EVM baseline interpreter.
+
+A 256-bit-word stack machine executing raw bytecode, with gas accounting,
+word-granular expandable memory, JUMPDEST-validated jumps, and the
+canonical host table via the HOSTCALL extension.
+
+This machine exists as the paper's comparison point (§6.1, Figure 10):
+its structural costs — big-word arithmetic, byte access through 32-byte
+loads, runtime immediate decoding, gas bookkeeping — are what make EVM
+"not efficient enough" for complicated financial contracts.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import keccak256, sha256
+from repro.errors import OutOfGasError, TrapError, VMError
+from repro.vm import host as host_mod
+from repro.vm.host import ExecutionResult, HostBridge, HostContext
+from repro.vm.evm import opcodes as op
+
+_M256 = (1 << 256) - 1
+_SIGN_BIT = 1 << 255
+_TWO256 = 1 << 256
+_MAX_STACK = 1024
+
+DEFAULT_GAS_LIMIT = 1_000_000_000
+
+
+def _signed(v: int) -> int:
+    return v - _TWO256 if v & _SIGN_BIT else v
+
+
+def scan_jumpdests(code: bytes) -> frozenset[int]:
+    """Valid JUMPDEST offsets (PUSH immediates are not instructions)."""
+    dests = set()
+    pc = 0
+    size = len(code)
+    while pc < size:
+        opcode = code[pc]
+        if opcode == op.JUMPDEST:
+            dests.add(pc)
+        if op.PUSH1 <= opcode <= op.PUSH1 + 31:
+            pc += opcode - op.PUSH1 + 1
+        pc += 1
+    return frozenset(dests)
+
+
+class EvmRevert(TrapError):
+    """REVERT executed; carries the revert payload."""
+
+    def __init__(self, payload: bytes):
+        super().__init__(f"execution reverted: {payload[:64]!r}")
+        self.payload = payload
+
+
+class SlottedStorage(HostContext):
+    """Word-granular storage adapter (the real EVM storage model).
+
+    The EVM has no variable-length storage: values live in 32-byte slots
+    addressed by hashed keys (the Solidity mapping layout).  A logical
+    ``storage_set(key, value)`` therefore becomes a length slot plus
+    ``ceil(len/32)`` chunk slots — and in the Confidential-Engine each
+    slot write separately pays the D-Protocol AEAD and an ocall.  This
+    is a structural reason EVM suffers more under TEE than CONFIDE-VM
+    on I/O-heavy contracts (Figure 10).
+    """
+
+    def __init__(self, inner: HostContext):
+        self._inner = inner
+        self.logs = inner.logs
+
+    def get_input(self) -> bytes:
+        return self._inner.get_input()
+
+    def get_caller(self) -> bytes:
+        return self._inner.get_caller()
+
+    def call_contract(self, address: bytes, method: str, argument: bytes) -> bytes:
+        return self._inner.call_contract(address, method, argument)
+
+    def emit_log(self, data: bytes) -> None:
+        self._inner.emit_log(data)
+
+    def _base_slot(self, key: bytes) -> bytes:
+        # sha256 rather than keccak purely because the stdlib implementation
+        # is fast; slot addressing must not dominate the measurement the way
+        # a pure-Python keccak would.
+        return sha256(b"evmslot:" + key)
+
+    def storage_set(self, key: bytes, value: bytes) -> None:
+        base = self._base_slot(key)
+        self._inner.storage_set(base, len(value).to_bytes(32, "big"))
+        for index in range(0, len(value), 32):
+            chunk = value[index : index + 32]
+            slot = sha256(base + (index // 32).to_bytes(8, "big"))
+            self._inner.storage_set(slot, chunk.ljust(32, b"\x00"))
+
+    def storage_get(self, key: bytes) -> bytes | None:
+        base = self._base_slot(key)
+        header = self._inner.storage_get(base)
+        if header is None:
+            return None
+        length = int.from_bytes(header, "big")
+        out = bytearray()
+        for index in range(0, length, 32):
+            slot = sha256(base + (index // 32).to_bytes(8, "big"))
+            chunk = self._inner.storage_get(slot) or b"\x00" * 32
+            out += chunk
+        return bytes(out[:length])
+
+
+class EvmInstance:
+    """One EVM execution environment bound to a host context."""
+
+    def __init__(
+        self,
+        code: bytes,
+        context: HostContext,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+    ):
+        self.code = bytes(code)
+        self.context = SlottedStorage(context)
+        self.gas_limit = gas_limit
+        self.jumpdests = scan_jumpdests(self.code)
+        self.memory = bytearray()
+        self.result = ExecutionResult()
+        self._bridge = HostBridge(
+            self.context, self.memory, self.result, expandable=True
+        )
+        self._mem_words = 0
+
+    def run(self, entry_pc: int = 0) -> ExecutionResult:
+        """Execute from `entry_pc` until STOP/RETURN; returns the result."""
+        gas = self.gas_limit
+        code = self.code
+        size = len(code)
+        stack: list[int] = []
+        push = stack.append
+        pop = stack.pop
+        mem = self.memory
+        gas_table = op.GAS_TABLE
+        pc = entry_pc
+        steps = 0
+        try:
+            while pc < size:
+                opcode = code[pc]
+                pc += 1
+                steps += 1
+                gas -= gas_table.get(opcode, op.G_BASE)
+                if gas < 0:
+                    raise OutOfGasError(f"out of gas at pc={pc - 1}")
+                if op.PUSH1 <= opcode <= 0x7F:
+                    width = opcode - op.PUSH1 + 1
+                    push(int.from_bytes(code[pc : pc + width], "big"))
+                    pc += width
+                elif opcode == op.MLOAD:
+                    offset = pop()
+                    gas -= self._expand(offset + 32)
+                    push(int.from_bytes(mem[offset : offset + 32], "big"))
+                elif opcode == op.MSTORE:
+                    offset = pop()
+                    value = pop()
+                    gas -= self._expand(offset + 32)
+                    mem[offset : offset + 32] = value.to_bytes(32, "big")
+                elif opcode == op.MSTORE8:
+                    offset = pop()
+                    value = pop()
+                    gas -= self._expand(offset + 1)
+                    mem[offset] = value & 0xFF
+                elif opcode == op.ADD:
+                    rhs = pop()
+                    stack[-1] = (stack[-1] + rhs) & _M256
+                elif opcode == op.SUB:
+                    rhs = pop()
+                    stack[-1] = (stack[-1] - rhs) & _M256
+                elif opcode == op.MUL:
+                    rhs = pop()
+                    stack[-1] = (stack[-1] * rhs) & _M256
+                elif opcode == op.DIV:
+                    rhs = pop()
+                    stack[-1] = stack[-1] // rhs if rhs else 0
+                elif opcode == op.SDIV:
+                    rhs = _signed(pop())
+                    lhs = _signed(stack[-1])
+                    if rhs == 0:
+                        stack[-1] = 0
+                    else:
+                        quotient = abs(lhs) // abs(rhs)
+                        if (lhs < 0) != (rhs < 0):
+                            quotient = -quotient
+                        stack[-1] = quotient & _M256
+                elif opcode == op.MOD:
+                    rhs = pop()
+                    stack[-1] = stack[-1] % rhs if rhs else 0
+                elif opcode == op.SMOD:
+                    rhs = _signed(pop())
+                    lhs = _signed(stack[-1])
+                    if rhs == 0:
+                        stack[-1] = 0
+                    else:
+                        remainder = abs(lhs) % abs(rhs)
+                        if lhs < 0:
+                            remainder = -remainder
+                        stack[-1] = remainder & _M256
+                elif opcode == op.EXP:
+                    exponent = pop()
+                    gas -= op.G_EXP_BYTE * ((exponent.bit_length() + 7) // 8)
+                    if gas < 0:
+                        raise OutOfGasError("out of gas in EXP")
+                    stack[-1] = pow(stack[-1], exponent, _TWO256)
+                elif opcode == op.SIGNEXTEND:
+                    width = pop()
+                    value = stack[-1]
+                    if width < 31:
+                        bit = 8 * (width + 1) - 1
+                        if value & (1 << bit):
+                            stack[-1] = value | (_M256 ^ ((1 << (bit + 1)) - 1))
+                        else:
+                            stack[-1] = value & ((1 << (bit + 1)) - 1)
+                elif opcode == op.LT:
+                    rhs = pop()
+                    stack[-1] = 1 if stack[-1] < rhs else 0
+                elif opcode == op.GT:
+                    rhs = pop()
+                    stack[-1] = 1 if stack[-1] > rhs else 0
+                elif opcode == op.SLT:
+                    rhs = pop()
+                    stack[-1] = 1 if _signed(stack[-1]) < _signed(rhs) else 0
+                elif opcode == op.SGT:
+                    rhs = pop()
+                    stack[-1] = 1 if _signed(stack[-1]) > _signed(rhs) else 0
+                elif opcode == op.EQ:
+                    rhs = pop()
+                    stack[-1] = 1 if stack[-1] == rhs else 0
+                elif opcode == op.ISZERO:
+                    stack[-1] = 1 if stack[-1] == 0 else 0
+                elif opcode == op.AND:
+                    rhs = pop()
+                    stack[-1] &= rhs
+                elif opcode == op.OR:
+                    rhs = pop()
+                    stack[-1] |= rhs
+                elif opcode == op.XOR:
+                    rhs = pop()
+                    stack[-1] ^= rhs
+                elif opcode == op.NOT:
+                    stack[-1] ^= _M256
+                elif opcode == op.BYTE:
+                    index = pop()
+                    word = stack[-1]
+                    stack[-1] = (word >> (8 * (31 - index))) & 0xFF if index < 32 else 0
+                elif opcode == op.SHL:
+                    shift = pop()
+                    stack[-1] = (stack[-1] << shift) & _M256 if shift < 256 else 0
+                elif opcode == op.SHR:
+                    shift = pop()
+                    stack[-1] = stack[-1] >> shift if shift < 256 else 0
+                elif opcode == op.SAR:
+                    shift = pop()
+                    value = _signed(stack[-1])
+                    stack[-1] = (value >> min(shift, 255)) & _M256
+                elif opcode == op.JUMP:
+                    dest = pop()
+                    if dest not in self.jumpdests:
+                        raise TrapError(f"invalid JUMP destination {dest}")
+                    pc = dest
+                elif opcode == op.JUMPI:
+                    dest = pop()
+                    cond = pop()
+                    if cond:
+                        if dest not in self.jumpdests:
+                            raise TrapError(f"invalid JUMPI destination {dest}")
+                        pc = dest
+                elif opcode == op.JUMPDEST:
+                    pass
+                elif op.DUP1 <= opcode <= 0x8F:
+                    push(stack[-(opcode - op.DUP1 + 1)])
+                elif 0x90 <= opcode <= 0x9F:
+                    depth = opcode - op.SWAP1 + 1
+                    stack[-1], stack[-1 - depth] = stack[-1 - depth], stack[-1]
+                elif opcode == op.POP:
+                    pop()
+                elif opcode == op.CALLDATALOAD:
+                    offset = pop()
+                    data = self._bridge.input[offset : offset + 32]
+                    push(int.from_bytes(data.ljust(32, b"\x00"), "big"))
+                elif opcode == op.CALLDATASIZE:
+                    push(len(self._bridge.input))
+                elif opcode == op.CALLDATACOPY:
+                    dst = pop()
+                    src = pop()
+                    length = pop()
+                    gas -= self._expand(dst + length)
+                    gas -= op.G_COPY_WORD * ((length + 31) // 32)
+                    if gas < 0:
+                        raise OutOfGasError("out of gas in CALLDATACOPY")
+                    chunk = self._bridge.input[src : src + length]
+                    mem[dst : dst + len(chunk)] = chunk
+                    if len(chunk) < length:
+                        mem[dst + len(chunk) : dst + length] = bytes(length - len(chunk))
+                elif opcode == op.CODECOPY:
+                    dst = pop()
+                    src = pop()
+                    length = pop()
+                    gas -= self._expand(dst + length)
+                    gas -= op.G_COPY_WORD * ((length + 31) // 32)
+                    if gas < 0:
+                        raise OutOfGasError("out of gas in CODECOPY")
+                    chunk = code[src : src + length]
+                    mem[dst : dst + len(chunk)] = chunk
+                    if len(chunk) < length:
+                        mem[dst + len(chunk) : dst + length] = bytes(length - len(chunk))
+                elif opcode == op.KECCAK256:
+                    offset = pop()
+                    length = pop()
+                    gas -= self._expand(offset + length)
+                    gas -= op.G_KECCAK_WORD * ((length + 31) // 32)
+                    if gas < 0:
+                        raise OutOfGasError("out of gas in KECCAK256")
+                    push(int.from_bytes(keccak256(bytes(mem[offset : offset + length])), "big"))
+                elif opcode == op.SLOAD:
+                    key = pop()
+                    self.result.storage_reads += 1
+                    value = self.context.storage_get(key.to_bytes(32, "big"))
+                    push(int.from_bytes(value, "big") if value else 0)
+                elif opcode == op.SSTORE:
+                    key = pop()
+                    value = pop()
+                    self.result.storage_writes += 1
+                    self.context.storage_set(
+                        key.to_bytes(32, "big"), value.to_bytes(32, "big")
+                    )
+                elif opcode == op.HOSTCALL:
+                    index = pop()
+                    if not 0 <= index < len(host_mod.HOST_TABLE):
+                        raise TrapError(f"bad host index {index}")
+                    imp = host_mod.HOST_TABLE[index]
+                    # Args are pushed left-to-right, so the last arg is on
+                    # top; reverse the pops to recover declaration order.
+                    raw = [pop() for _ in range(imp.nparams)]
+                    raw.reverse()
+                    args = [_signed(v) for v in raw]
+                    handler = getattr(self._bridge, imp.name)
+                    value = handler(*args)
+                    if imp.nresults:
+                        push((value if value is not None else 0) & _M256)
+                elif opcode == op.CALLER:
+                    push(int.from_bytes(self.context.get_caller(), "big"))
+                elif opcode == op.LOG0:
+                    offset = pop()
+                    length = pop()
+                    gas -= self._expand(offset + length) + op.G_LOG_DATA * length
+                    if gas < 0:
+                        raise OutOfGasError("out of gas in LOG0")
+                    data = bytes(mem[offset : offset + length])
+                    self.result.logs.append(data)
+                    self.context.emit_log(data)
+                elif opcode == op.PC:
+                    push(pc - 1)
+                elif opcode == op.MSIZE:
+                    push(self._mem_words * 32)
+                elif opcode == op.GAS:
+                    push(max(gas, 0))
+                elif opcode == op.STOP:
+                    break
+                elif opcode == op.RETURN:
+                    offset = pop()
+                    length = pop()
+                    gas -= self._expand(offset + length)
+                    self.result.output = bytes(mem[offset : offset + length])
+                    break
+                elif opcode == op.REVERT:
+                    offset = pop()
+                    length = pop()
+                    raise EvmRevert(bytes(mem[offset : offset + length]))
+                elif opcode == op.INVALID:
+                    raise TrapError("INVALID opcode executed")
+                else:
+                    raise VMError(f"unimplemented opcode 0x{opcode:02x}")
+                if len(stack) > _MAX_STACK:
+                    raise TrapError("stack overflow")
+        except IndexError as exc:
+            raise TrapError(f"stack underflow or bad memory index: {exc}") from exc
+        self.result.gas_used = self.gas_limit - gas
+        self.result.instructions = steps
+        return self.result
+
+    def _expand(self, needed_bytes: int) -> int:
+        """Grow memory to cover `needed_bytes`; returns expansion gas."""
+        if needed_bytes <= len(self.memory):
+            return 0
+        new_words = (needed_bytes + 31) // 32
+        cost = (
+            op.G_MEMORY_WORD * new_words
+            + new_words * new_words // 512
+            - (op.G_MEMORY_WORD * self._mem_words + self._mem_words * self._mem_words // 512)
+        )
+        self.memory.extend(bytes(new_words * 32 - len(self.memory)))
+        self._mem_words = new_words
+        return cost

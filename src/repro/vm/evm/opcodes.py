@@ -1,0 +1,156 @@
+"""EVM baseline opcode definitions and gas schedule.
+
+Real EVM numbering for the implemented subset, plus one extension:
+``HOSTCALL`` (0xF9) exposes the same canonical host table as CONFIDE-VM
+(the paper's Ant Blockchain EVM is likewise platform-adapted), so one
+contract source runs on both machines and the engines integrate each VM
+through a single interface.
+
+The gas schedule follows the Yellow Paper's tiers closely enough to
+reproduce EVM's characteristic costs (word-granular memory expansion,
+expensive storage, per-word hashing).
+"""
+
+from __future__ import annotations
+
+STOP = 0x00
+ADD = 0x01
+MUL = 0x02
+SUB = 0x03
+DIV = 0x04
+SDIV = 0x05
+MOD = 0x06
+SMOD = 0x07
+EXP = 0x0A
+SIGNEXTEND = 0x0B
+
+LT = 0x10
+GT = 0x11
+SLT = 0x12
+SGT = 0x13
+EQ = 0x14
+ISZERO = 0x15
+AND = 0x16
+OR = 0x17
+XOR = 0x18
+NOT = 0x19
+BYTE = 0x1A
+SHL = 0x1B
+SHR = 0x1C
+SAR = 0x1D
+
+KECCAK256 = 0x20
+
+CALLER = 0x33
+CALLDATALOAD = 0x35
+CALLDATASIZE = 0x36
+CALLDATACOPY = 0x37
+CODECOPY = 0x39
+
+POP = 0x50
+MLOAD = 0x51
+MSTORE = 0x52
+MSTORE8 = 0x53
+SLOAD = 0x54
+SSTORE = 0x55
+JUMP = 0x56
+JUMPI = 0x57
+PC = 0x58
+MSIZE = 0x59
+GAS = 0x5A
+JUMPDEST = 0x5B
+
+PUSH1 = 0x60  # .. PUSH32 = 0x7F
+DUP1 = 0x80  # .. DUP16 = 0x8F
+SWAP1 = 0x90  # .. SWAP16 = 0x9F
+
+LOG0 = 0xA0
+
+HOSTCALL = 0xF9  # extension: pops host index, then that host's args
+RETURN = 0xF3
+REVERT = 0xFD
+INVALID = 0xFE
+
+NAMES: dict[int, str] = {
+    value: name
+    for name, value in globals().items()
+    if isinstance(value, int) and name.isupper()
+}
+for _i in range(2, 33):
+    NAMES[PUSH1 + _i - 1] = f"PUSH{_i}"
+for _i in range(2, 17):
+    NAMES[DUP1 + _i - 1] = f"DUP{_i}"
+    NAMES[SWAP1 + _i - 1] = f"SWAP{_i}"
+
+G_ZERO = 0
+G_BASE = 2
+G_VERYLOW = 3
+G_LOW = 5
+G_MID = 8
+G_HIGH = 10
+G_JUMPDEST = 1
+G_SLOAD = 200
+G_SSTORE = 5_000
+G_KECCAK = 30
+G_KECCAK_WORD = 6
+G_LOG = 375
+G_LOG_DATA = 8
+G_COPY_WORD = 3
+G_HOSTCALL = 700
+G_EXP = 10
+G_EXP_BYTE = 50
+G_MEMORY_WORD = 3
+
+GAS_TABLE: dict[int, int] = {
+    STOP: G_ZERO,
+    ADD: G_VERYLOW,
+    SUB: G_VERYLOW,
+    MUL: G_LOW,
+    DIV: G_LOW,
+    SDIV: G_LOW,
+    MOD: G_LOW,
+    SMOD: G_LOW,
+    EXP: G_EXP,
+    SIGNEXTEND: G_LOW,
+    LT: G_VERYLOW,
+    GT: G_VERYLOW,
+    SLT: G_VERYLOW,
+    SGT: G_VERYLOW,
+    EQ: G_VERYLOW,
+    ISZERO: G_VERYLOW,
+    AND: G_VERYLOW,
+    OR: G_VERYLOW,
+    XOR: G_VERYLOW,
+    NOT: G_VERYLOW,
+    BYTE: G_VERYLOW,
+    SHL: G_VERYLOW,
+    SHR: G_VERYLOW,
+    SAR: G_VERYLOW,
+    KECCAK256: G_KECCAK,
+    CALLER: G_BASE,
+    CALLDATALOAD: G_VERYLOW,
+    CALLDATASIZE: G_BASE,
+    CALLDATACOPY: G_VERYLOW,
+    CODECOPY: G_VERYLOW,
+    POP: G_BASE,
+    MLOAD: G_VERYLOW,
+    MSTORE: G_VERYLOW,
+    MSTORE8: G_VERYLOW,
+    SLOAD: G_SLOAD,
+    SSTORE: G_SSTORE,
+    JUMP: G_MID,
+    JUMPI: G_HIGH,
+    PC: G_BASE,
+    MSIZE: G_BASE,
+    GAS: G_BASE,
+    JUMPDEST: G_JUMPDEST,
+    LOG0: G_LOG,
+    HOSTCALL: G_HOSTCALL,
+    RETURN: G_ZERO,
+    REVERT: G_ZERO,
+}
+for _i in range(32):
+    GAS_TABLE[PUSH1 + _i] = G_VERYLOW
+for _i in range(16):
+    GAS_TABLE[DUP1 + _i] = G_VERYLOW
+    GAS_TABLE[SWAP1 + _i] = G_VERYLOW

@@ -1,0 +1,43 @@
+"""Uniform execution of compiled artifacts on either VM.
+
+The engines use this module to run a contract method against a
+:class:`~repro.vm.host.HostContext`.  For the wasm target a
+:class:`~repro.vm.wasm.code_cache.CodeCache` can be supplied (OPT1);
+without one, the module is decoded from its blob on every call, which is
+exactly the cost the cache removes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMError
+from repro.lang.compiler import ContractArtifact
+from repro.vm.evm.interpreter import DEFAULT_GAS_LIMIT, EvmInstance
+from repro.vm.host import ExecutionResult, HostContext
+from repro.vm.wasm.code_cache import CodeCache, prepare_module
+from repro.vm.wasm.interpreter import DEFAULT_MAX_STEPS, WasmInstance
+
+
+def execute(
+    artifact: ContractArtifact,
+    method: str,
+    context: HostContext,
+    *,
+    code_cache: CodeCache | None = None,
+    fuse: bool = True,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    gas_limit: int = DEFAULT_GAS_LIMIT,
+) -> ExecutionResult:
+    """Run `method` of a compiled contract and return its result."""
+    if method not in artifact.methods:
+        raise VMError(f"contract has no method '{method}'")
+    if artifact.target == "wasm":
+        if code_cache is not None:
+            module = code_cache.prepare(artifact.code)
+        else:
+            module = prepare_module(artifact.code, fuse=fuse)
+        instance = WasmInstance(module, context, max_steps=max_steps)
+        return instance.run(method)
+    if artifact.target == "evm":
+        instance = EvmInstance(artifact.code, context, gas_limit=gas_limit)
+        return instance.run(artifact.entry_for(method))
+    raise VMError(f"unknown artifact target '{artifact.target}'")

@@ -1,0 +1,34 @@
+"""CONFIDE-VM: the Wasm-derived smart-contract virtual machine."""
+
+from repro.vm.wasm.code_cache import CacheStats, CodeCache, prepare_module
+from repro.vm.wasm.interpreter import DEFAULT_MAX_STEPS, WasmInstance
+from repro.vm.wasm.module import (
+    DataSegment,
+    Function,
+    Module,
+    decode_module,
+    encode_module,
+    instr,
+    validate_module,
+)
+from repro.vm.wasm.optimizer import dispatch_footprint, fuse_function, fuse_module
+from repro.vm.wasm import opcodes
+
+__all__ = [
+    "CacheStats",
+    "CodeCache",
+    "DEFAULT_MAX_STEPS",
+    "DataSegment",
+    "Function",
+    "Module",
+    "WasmInstance",
+    "decode_module",
+    "dispatch_footprint",
+    "encode_module",
+    "fuse_function",
+    "fuse_module",
+    "instr",
+    "opcodes",
+    "prepare_module",
+    "validate_module",
+]

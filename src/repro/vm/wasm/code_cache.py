@@ -1,0 +1,71 @@
+"""Contract code cache (part of OPT1).
+
+Without the cache, every transaction that touches a contract pays to
+fetch the LEB128 module blob from storage, decode it, validate it and
+(when OPT4 is on) run fusion.  CONFIDE-VM "introduces a code cache
+mechanism" (§6.4) holding the fully prepared module keyed by code hash,
+so repeated executions of hot contracts skip all of that.
+
+The cache is bounded (LRU) because prepared modules live in enclave
+memory, which is EPC-constrained.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+from repro.vm.wasm.module import Module, decode_module, validate_module
+from repro.vm.wasm.optimizer import fuse_module
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class CodeCache:
+    """LRU cache of prepared (decoded/validated/fused) modules."""
+
+    def __init__(self, capacity: int = 64, fuse: bool = True):
+        self.capacity = capacity
+        self.fuse = fuse
+        self.stats = CacheStats()
+        self._entries: OrderedDict[bytes, Module] = OrderedDict()
+
+    def prepare(self, blob: bytes) -> Module:
+        """Return a ready-to-execute module for the code blob."""
+        key = sha256(blob)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.stats.misses += 1
+        module = prepare_module(blob, fuse=self.fuse)
+        self._entries[key] = module
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return module
+
+    def invalidate(self, blob_hash: bytes) -> None:
+        self._entries.pop(blob_hash, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def prepare_module(blob: bytes, fuse: bool = True) -> Module:
+    """Uncached preparation pipeline: decode, validate, optionally fuse."""
+    module = decode_module(blob)
+    validate_module(module)
+    if fuse:
+        module = fuse_module(module)
+    return module

@@ -1,0 +1,100 @@
+"""Superinstruction fusion (OPT4).
+
+The paper reduces the Wasm instruction set for smart contracts ("reducing
+about 50% instructions which helps to shrink the jumping table") and
+fuses hot instruction patterns into single blocks for another ~17% gain.
+This pass reproduces the mechanism on decoded code:
+
+- hot adjacent pairs become one superinstruction, halving dispatches on
+  the hottest paths (comparisons feeding branches, local shuffles, and
+  pointer-walk byte loads dominate contract bytecode);
+- jump targets are remapped, and fusion never crosses a branch target,
+  so control flow is preserved exactly.
+
+The pass is purely mechanical and semantics-preserving; tests compare
+fused vs unfused execution on every workload.
+"""
+
+from __future__ import annotations
+
+from repro.vm.wasm import opcodes as op
+from repro.vm.wasm.module import Function, Instr, Module
+
+
+def fuse_function(func: Function) -> Function:
+    """Return a new function with adjacent hot pairs fused."""
+    code = func.code
+    size = len(code)
+    targets = {a for (opcode, a, _b) in code if opcode in op.BRANCH_OPS}
+
+    new_code: list[Instr] = []
+    index_map = [0] * (size + 1)
+    i = 0
+    while i < size:
+        index_map[i] = len(new_code)
+        fused = None
+        if i + 1 < size and (i + 1) not in targets:
+            fused = _try_fuse(code[i], code[i + 1])
+        if fused is not None:
+            # Both source slots map to the fused instruction.
+            index_map[i + 1] = len(new_code)
+            new_code.append(fused)
+            i += 2
+        else:
+            new_code.append(code[i])
+            i += 1
+    index_map[size] = len(new_code)
+
+    remapped: list[Instr] = []
+    for opcode, a, b in new_code:
+        if opcode in op.BRANCH_OPS:
+            remapped.append((opcode, index_map[a], b))
+        else:
+            remapped.append((opcode, a, b))
+    return Function(func.nparams, func.nlocals, func.nresults, remapped)
+
+
+def _try_fuse(first: Instr, second: Instr) -> Instr | None:
+    op1, a1, b1 = first
+    op2, a2, b2 = second
+    if op1 == op.LOCAL_GET:
+        if op2 == op.LOCAL_GET:
+            return (op.GETGET, a1, a2)
+        if op2 == op.CONST:
+            return (op.GETCONST, a1, a2)
+        if op2 == op.ADD:
+            return (op.GETADD, a1, 0)
+        if op2 == op.LOCAL_SET:
+            return (op.MOVL, a1, a2)
+        if op2 == op.LOAD8_U:
+            return (op.LOAD8_LOCAL, a1, a2)
+        return None
+    if op1 == op.CONST:
+        if op2 == op.ADD:
+            return (op.ADDI, a1, 0)
+        return None
+    kind = op.comparison_kind(op1)
+    if kind is not None:
+        if op2 == op.JMP_IF:
+            return (op.CMP_BR, a2, kind)
+        if op2 == op.JMP_IFZ:
+            return (op.CMP_BR, a2, op.invert_comparison(kind))
+        return None
+    return None
+
+
+def fuse_module(module: Module) -> Module:
+    """Fuse every function; host/data/export tables are shared."""
+    return Module(
+        functions=[fuse_function(f) for f in module.functions],
+        hosts=module.hosts,
+        data=module.data,
+        exports=module.exports,
+        memory_pages=module.memory_pages,
+    )
+
+
+def dispatch_footprint(module: Module) -> int:
+    """Number of distinct opcodes used (the 'jumping table' size)."""
+    used = {opcode for func in module.functions for (opcode, _a, _b) in func.code}
+    return len(used)

@@ -1,0 +1,55 @@
+"""The paper's evaluation workloads: Synthetic (§6.1), ABS (§6.1/6.2/6.4),
+and SCF-AR (§6.3), plus client-side transaction building."""
+
+from repro.workloads.abs import (
+    ABS_SCHEMA,
+    ABS_SCHEMA_SOURCE,
+    abs_workload,
+    encode_asset_flatbuffers,
+    encode_asset_json,
+    make_asset,
+)
+from repro.workloads.clients import Client
+from repro.workloads.coldchain import (
+    COLDCHAIN_CONTRACT,
+    coldchain_workload,
+    decode_history,
+    decode_status,
+    encode_reading,
+    encode_register,
+)
+from repro.workloads.scf import (
+    CONTRACT_SOURCES,
+    EXPECTED_CONTRACT_CALLS,
+    EXPECTED_GET_STORAGE,
+    EXPECTED_SET_STORAGE,
+    ScfSuite,
+    make_transfer_input,
+    setup_plan,
+)
+from repro.workloads.synthetic import Workload, synthetic_workloads
+
+__all__ = [
+    "ABS_SCHEMA",
+    "COLDCHAIN_CONTRACT",
+    "coldchain_workload",
+    "decode_history",
+    "decode_status",
+    "encode_reading",
+    "encode_register",
+    "ABS_SCHEMA_SOURCE",
+    "CONTRACT_SOURCES",
+    "Client",
+    "EXPECTED_CONTRACT_CALLS",
+    "EXPECTED_GET_STORAGE",
+    "EXPECTED_SET_STORAGE",
+    "ScfSuite",
+    "Workload",
+    "abs_workload",
+    "encode_asset_flatbuffers",
+    "encode_asset_json",
+    "make_asset",
+    "make_transfer_input",
+    "setup_plan",
+    "synthetic_workloads",
+]

@@ -1,0 +1,122 @@
+"""Client-side transaction building for workloads, examples, and benches.
+
+A :class:`Client` owns a signing keypair, a T-Protocol user root key, and
+a nonce counter; it produces signed raw transactions and either public
+wrappers or sealed confidential envelopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.transaction import (
+    DEPLOY_METHOD,
+    UPGRADE_METHOD,
+    RawTransaction,
+    Transaction,
+    address_of,
+    contract_address,
+    deploy_args,
+)
+from repro.core import t_protocol
+from repro.core.receipts import Receipt
+from repro.crypto.ecc import Point
+from repro.crypto.hkdf import hkdf
+from repro.crypto.keys import KeyPair
+from repro.lang.compiler import ContractArtifact
+
+
+@dataclass
+class Client:
+    """One transacting identity."""
+
+    keypair: KeyPair
+    user_root_key: bytes
+    nonce: int = 0
+    _tx_keys: dict[bytes, bytes] = field(default_factory=dict)
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "Client":
+        return cls(
+            keypair=KeyPair.from_seed(seed),
+            user_root_key=hkdf(seed, info=b"user-root-key"),
+        )
+
+    @property
+    def address(self) -> bytes:
+        return address_of(self.keypair.public_bytes())
+
+    def next_nonce(self) -> int:
+        self.nonce += 1
+        return self.nonce
+
+    # -- raw transactions -----------------------------------------------------
+
+    def call_raw(self, contract: bytes, method: str, args: bytes) -> RawTransaction:
+        raw = RawTransaction(
+            sender=self.address,
+            contract=contract,
+            method=method,
+            args=args,
+            nonce=self.next_nonce(),
+        )
+        return raw.signed_by(self.keypair)
+
+    def deploy_raw(
+        self, artifact: ContractArtifact, schema_source: str = ""
+    ) -> tuple[RawTransaction, bytes]:
+        """Signed deploy transaction + the address it will create."""
+        raw = RawTransaction(
+            sender=self.address,
+            contract=b"\x00" * 20,
+            method=DEPLOY_METHOD,
+            args=deploy_args(artifact.encode(), artifact.target, schema_source),
+            nonce=self.next_nonce(),
+        ).signed_by(self.keypair)
+        return raw, contract_address(self.address, raw.nonce)
+
+    def upgrade_raw(
+        self, contract: bytes, artifact: ContractArtifact, schema_source: str = ""
+    ) -> RawTransaction:
+        """Signed upgrade transaction (owner-only at execution time)."""
+        return RawTransaction(
+            sender=self.address,
+            contract=contract,
+            method=UPGRADE_METHOD,
+            args=deploy_args(artifact.encode(), artifact.target, schema_source),
+            nonce=self.next_nonce(),
+        ).signed_by(self.keypair)
+
+    # -- wrapping -----------------------------------------------------------------
+
+    def seal(self, pk_tx: Point, raw: RawTransaction) -> Transaction:
+        """Confidential wrapper; remembers k_tx for opening receipts."""
+        tx = t_protocol.seal_transaction(pk_tx, raw, self.user_root_key)
+        self._tx_keys[raw.tx_hash] = t_protocol.derive_tx_key(
+            self.user_root_key, raw.tx_hash
+        )
+        return tx
+
+    @staticmethod
+    def public(raw: RawTransaction) -> Transaction:
+        return Transaction.public(raw)
+
+    def confidential_call(
+        self, pk_tx: Point, contract: bytes, method: str, args: bytes
+    ) -> Transaction:
+        return self.seal(pk_tx, self.call_raw(contract, method, args))
+
+    def confidential_deploy(
+        self, pk_tx: Point, artifact: ContractArtifact, schema_source: str = ""
+    ) -> tuple[Transaction, bytes]:
+        raw, address = self.deploy_raw(artifact, schema_source)
+        return self.seal(pk_tx, raw), address
+
+    # -- receipts -------------------------------------------------------------------
+
+    def tx_key_for(self, raw_tx_hash: bytes) -> bytes:
+        return t_protocol.derive_tx_key(self.user_root_key, raw_tx_hash)
+
+    def open_receipt(self, raw_tx_hash: bytes, sealed: bytes) -> Receipt:
+        k_tx = self._tx_keys.get(raw_tx_hash) or self.tx_key_for(raw_tx_hash)
+        return Receipt.decode(t_protocol.open_receipt(k_tx, sealed))

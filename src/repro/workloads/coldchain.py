@@ -1,0 +1,217 @@
+'''Cold-chain logistics / IoT provenance workload.
+
+One of CONFIDE's named production applications ("warehouse receipt
+financing with IoT provenance", "cold-chain logistics").  Sensors post
+temperature readings for a shipment; the contract keeps the full reading
+history confidential (commercial carriers do not publish their cold-chain
+telemetry) while exposing a public pass/fail compliance flag per shipment
+that any consignee or auditor can read.
+
+The contract demonstrates the CCLe pattern end to end:
+
+- ``register``  — create a shipment with its temperature range;
+- ``record``    — append a sensor reading; breaching the range flips the
+  public compliance flag permanently;
+- ``status``    — public read of (reading count, compliant flag);
+- ``history``   — full reading history (only meaningful inside the
+  Confidential-Engine or for key holders).
+'''
+
+from __future__ import annotations
+
+from repro.workloads.cwslib import STR_LIB
+from repro.workloads.synthetic import Workload
+
+COLDCHAIN_SCHEMA_SOURCE = """
+attribute "map";
+attribute "confidential";
+
+table Shipment {
+  shipment_id: string;
+  min_temp: long;
+  max_temp: long;
+  compliant: bool;
+  readings: [Reading](confidential);
+}
+table Reading {
+  seq: uint;
+  temp_decicelsius: long;
+  sensor: string;
+}
+root_type Shipment;
+"""
+
+# Storage layout (per shipment id SID, 8 bytes):
+#   "cfg."  + SID -> min(8) | max(8)         (confidential state)
+#   "cnt."  + SID -> reading count (8)
+#   "ok."   + SID -> compliance flag (8)
+#   "rd.N." + SID -> reading N: temp(8) | sensor(8)
+COLDCHAIN_CONTRACT = STR_LIB + """
+fn register() {
+    // input: shipment id (8) | min temp (8, signed) | max temp (8, signed)
+    let n = input_size();
+    if (n != 24) { abort("bad register input", 18); }
+    let buf = alloc(24);
+    input_read(buf, 0, 24);
+    let key = alloc(12);
+    _copy_bytes(key, "cfg.", 4);
+    _copy_bytes(key + 4, buf, 8);
+    let probe = alloc(16);
+    if (storage_get(key, 12, probe, 16) >= 0) { abort("duplicate shipment", 18); }
+    storage_set(key, 12, buf + 8, 16);
+    let zero = alloc(8);
+    store64(zero, 0);
+    _copy_bytes(key, "cnt.", 4);
+    storage_set(key, 12, zero, 8);
+    let one = alloc(8);
+    store64(one, 1);
+    _copy_bytes(key, "ok..", 4);
+    storage_set(key, 12, one, 8);
+    output(buf, 8);
+}
+
+fn record() {
+    // input: shipment id (8) | temp deci-celsius (8, signed) | sensor id (8)
+    let n = input_size();
+    if (n != 24) { abort("bad reading input", 17); }
+    let buf = alloc(24);
+    input_read(buf, 0, 24);
+    // load64 yields the two's-complement bit pattern; signed
+    // comparisons below interpret it directly.
+    let temp = load64(buf + 8);
+    let key = alloc(13);
+    _copy_bytes(key, "cfg.", 4);
+    _copy_bytes(key + 4, buf, 8);
+    let cfg = alloc(16);
+    if (storage_get(key, 12, cfg, 16) != 16) { abort("unknown shipment", 16); }
+    let lo = load64(cfg);
+    let hi = load64(cfg + 8);
+    // bump count
+    _copy_bytes(key, "cnt.", 4);
+    let cnt = alloc(8);
+    storage_get(key, 12, cnt, 8);
+    let seq = load64(cnt);
+    store64(cnt, seq + 1);
+    storage_set(key, 12, cnt, 8);
+    // append the reading under its sequence number
+    let rkey = alloc(13);
+    _copy_bytes(rkey, "rd", 2);
+    store8(rkey + 2, '0' + seq % 10);
+    store8(rkey + 3, '0' + seq / 10 % 10);
+    store8(rkey + 4, '.');
+    _copy_bytes(rkey + 5, buf, 8);
+    storage_set(rkey, 13, buf + 8, 16);
+    // breach handling: the public flag only ever goes 1 -> 0
+    if (temp < lo || temp > hi) {
+        let zero = alloc(8);
+        store64(zero, 0);
+        _copy_bytes(key, "ok..", 4);
+        storage_set(key, 12, zero, 8);
+        log("breach", 6);
+    }
+    let out = alloc(8);
+    store64(out, seq + 1);
+    output(out, 8);
+}
+
+fn status() {
+    // input: shipment id (8); output: count (8) | compliant (8)
+    let sid = alloc(8);
+    input_read(sid, 0, 8);
+    let key = alloc(12);
+    _copy_bytes(key, "cnt.", 4);
+    _copy_bytes(key + 4, sid, 8);
+    let out = alloc(16);
+    if (storage_get(key, 12, out, 8) != 8) { abort("unknown shipment", 16); }
+    _copy_bytes(key, "ok..", 4);
+    storage_get(key, 12, out + 8, 8);
+    output(out, 16);
+}
+
+fn history() {
+    // input: shipment id (8); output: count (8) | count x [temp(8)|sensor(8)]
+    let sid = alloc(8);
+    input_read(sid, 0, 8);
+    let key = alloc(12);
+    _copy_bytes(key, "cnt.", 4);
+    _copy_bytes(key + 4, sid, 8);
+    let cnt = alloc(8);
+    if (storage_get(key, 12, cnt, 8) != 8) { abort("unknown shipment", 16); }
+    let count = load64(cnt);
+    let out = alloc(8 + count * 16);
+    store64(out, count);
+    let rkey = alloc(13);
+    let i = 0;
+    while (i < count) {
+        _copy_bytes(rkey, "rd", 2);
+        store8(rkey + 2, '0' + i % 10);
+        store8(rkey + 3, '0' + i / 10 % 10);
+        store8(rkey + 4, '.');
+        _copy_bytes(rkey + 5, sid, 8);
+        storage_get(rkey, 13, out + 8 + i * 16, 16);
+        i = i + 1;
+    }
+    output(out, 8 + count * 16);
+}
+"""
+
+
+def encode_register(shipment_id: bytes, min_deci: int, max_deci: int) -> bytes:
+    """Argument blob for `register` (temps in deci-degrees Celsius)."""
+    if len(shipment_id) != 8:
+        raise ValueError("shipment id must be 8 bytes")
+    mask = (1 << 64) - 1
+    return (
+        shipment_id
+        + (min_deci & mask).to_bytes(8, "big")
+        + (max_deci & mask).to_bytes(8, "big")
+    )
+
+
+def encode_reading(shipment_id: bytes, temp_deci: int, sensor: bytes) -> bytes:
+    """Argument blob for `record`."""
+    if len(shipment_id) != 8:
+        raise ValueError("shipment id must be 8 bytes")
+    return (
+        shipment_id
+        + (temp_deci & ((1 << 64) - 1)).to_bytes(8, "big")
+        + sensor[:8].ljust(8, b"\x00")
+    )
+
+
+def decode_status(output: bytes) -> tuple[int, bool]:
+    """(reading count, compliant) from the `status` output."""
+    return (
+        int.from_bytes(output[:8], "big"),
+        bool(int.from_bytes(output[8:16], "big")),
+    )
+
+
+def decode_history(output: bytes) -> list[tuple[int, bytes]]:
+    """[(temp_deci, sensor)] from the `history` output."""
+    count = int.from_bytes(output[:8], "big")
+    readings = []
+    for i in range(count):
+        offset = 8 + i * 16
+        raw_temp = int.from_bytes(output[offset : offset + 8], "big")
+        if raw_temp >= 1 << 63:
+            raw_temp -= 1 << 64
+        sensor = output[offset + 8 : offset + 16].rstrip(b"\x00")
+        readings.append((raw_temp, sensor))
+    return readings
+
+
+def coldchain_workload(num_shipments: int = 4) -> Workload:
+    """A reading-heavy workload cycling over `num_shipments` shipments."""
+    def make_input(index: int) -> bytes:
+        sid = f"SHIP{index % num_shipments:04d}".encode()
+        temp = 20 + (index * 7) % 40  # 2.0C..5.9C in deci-degrees
+        return encode_reading(sid, temp, f"S{index % 3}".encode())
+
+    return Workload(
+        name="coldchain-record",
+        source=COLDCHAIN_CONTRACT,
+        method="record",
+        make_input=make_input,
+        description="append IoT temperature readings to shipments",
+    )

@@ -1,0 +1,127 @@
+r"""Shared CWScript building blocks for the evaluation workloads.
+
+The JSON helpers are a real in-VM tokenizer — the point of §6.1/§6.4:
+"parsing JSON based on interpreter execution will introduce huge amount
+of byte code instruction".  The grammar accepted matches what the
+generators produce: one flat object, double-quoted keys, string or
+unsigned-integer values, no escapes, no whitespace.
+"""
+
+STR_LIB = """
+fn _str_eq(ap, al, bp, bl) -> i64 {
+    if (al != bl) { return 0; }
+    let i = 0;
+    while (i < al) {
+        if (load8(ap + i) != load8(bp + i)) { return 0; }
+        i = i + 1;
+    }
+    return 1;
+}
+fn _copy_bytes(d, s, n) -> i64 {
+    let i = 0;
+    while (i < n) {
+        store8(d + i, load8(s + i));
+        i = i + 1;
+    }
+    return n;
+}
+fn _u64_to_dec(dst, v) -> i64 {
+    // Render v as decimal ASCII at dst; returns the length.
+    // Valid for 0 <= v < 2^63 (CWScript comparisons are signed).
+    if (v == 0) {
+        store8(dst, '0');
+        return 1;
+    }
+    let tmp = alloc(20);
+    let n = 0;
+    while (v > 0) {
+        store8(tmp + n, '0' + v % 10);
+        v = v / 10;
+        n = n + 1;
+    }
+    let i = 0;
+    while (i < n) {
+        store8(dst + i, load8(tmp + n - 1 - i));
+        i = i + 1;
+    }
+    return n;
+}
+fn _dec_to_u64(p, n) -> i64 {
+    // Parse n ASCII digits at p (unchecked beyond the digit range).
+    let v = 0;
+    let i = 0;
+    while (i < n) {
+        let c = load8(p + i);
+        if (c < '0' || c > '9') { return v; }
+        v = v * 10 + (c - '0');
+        i = i + 1;
+    }
+    return v;
+}
+"""
+
+JSON_LIB = """
+fn _json_count(buf, len) -> i64 {
+    let i = 0;
+    let count = 0;
+    let instr = 0;
+    while (i < len) {
+        let c = load8(buf + i);
+        if (instr == 1) {
+            if (c == '"') { instr = 0; }
+        } else {
+            if (c == '"') { instr = 1; }
+            if (c == ':') { count = count + 1; }
+        }
+        i = i + 1;
+    }
+    return count;
+}
+fn _json_find(buf, len, kptr, klen) -> i64 {
+    let i = 0;
+    while (i < len) {
+        let c = load8(buf + i);
+        if (c == '"') {
+            let s = i + 1;
+            let e = s;
+            while (load8(buf + e) != '"') { e = e + 1; }
+            if (load8(buf + e + 1) == ':') {
+                if (_str_eq(buf + s, e - s, kptr, klen)) {
+                    return buf + e + 2;
+                }
+                i = e + 1;
+            } else {
+                i = e;
+            }
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+fn _json_int(p) -> i64 {
+    let v = 0;
+    let c = load8(p);
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        p = p + 1;
+        c = load8(p);
+    }
+    return v;
+}
+fn _json_str_len(p) -> i64 {
+    let e = p + 1;
+    while (load8(e) != '"') { e = e + 1; }
+    return e - p - 1;
+}
+"""
+
+
+def make_json_object(pairs: list[tuple[str, object]]) -> bytes:
+    """Serialize pairs in the exact dialect the in-VM parser accepts."""
+    parts = []
+    for key, value in pairs:
+        if isinstance(value, int):
+            parts.append(f'"{key}":{value}')
+        else:
+            parts.append(f'"{key}":"{value}"')
+    return ("{" + ",".join(parts) + "}").encode()

@@ -1,0 +1,458 @@
+'''The SCF-AR (Supply Chain Finance, Account Receivable) workload
+(§6.1 workload 1, §6.3, Figure 8, Table 1).
+
+A hierarchical smart-contract suite: a transfer starts at the Gateway
+contract, goes through the Manager, which dispatches to the service
+contracts (ArTransfer orchestrating ArAccount / ArIssue / ArFinancing /
+ArClearing).  The receivable moves in 7 segments, each a self-call that
+debits and credits the account service.
+
+The flow is engineered to reproduce Table 1's operation mix exactly —
+one asset transfer performs
+
+- 31 contract calls (direct + indirect),
+- 151 GetStorage operations,
+- 9 SetStorage operations,
+- 1 transaction verification, 1 transaction decryption
+
+and the test suite asserts those counts.
+
+Call budget (gets/sets per invocation):
+
+====  =======================  ====  ====
+ #    method                   gets  sets
+====  =======================  ====  ====
+ 1    Gateway.transfer           2    0
+ 2    Manager.dispatch           3    1
+ 3    ArTransfer.run             5    0
+ 4-5  ArAccount.check (x2)       4    0
+ 6    ArIssue.cert_info          5    0
+ 7-8  ArFinancing.risk_check     4    0
+ 9-29 7 x [ArTransfer.move_segment(5), ArAccount.debit(5), ArAccount.credit(5)]
+ 30   ArClearing.record          9    4
+ 31   ArFinancing.settle         6    4
+====  =======================  ====  ====
+
+Totals: 31 calls, 2+3+5+8+5+8+105+9+6 = 151 gets, 1+4+4 = 9 sets.
+'''
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ContractArtifact, compile_source
+from repro.workloads.cwslib import STR_LIB
+
+NUM_SEGMENTS = 7
+
+GATEWAY_SOURCE = STR_LIB + """
+fn setup() {
+    let a = alloc(20);
+    input_read(a, 0, 20);
+    storage_set("addr.manager", 12, a, 20);
+    let one = alloc(8);
+    store64(one, 1);
+    storage_set("cfg.enabled", 11, one, 8);
+}
+fn transfer() {
+    let cfg = alloc(8);
+    let e = storage_get("cfg.enabled", 11, cfg, 8);
+    if (e != 8 || load64(cfg) != 1) { abort("gateway disabled", 16); }
+    let m = alloc(20);
+    let ml = storage_get("addr.manager", 12, m, 20);
+    if (ml != 20) { abort("no manager", 10); }
+    let n = input_size();
+    let inbuf = alloc(n);
+    input_read(inbuf, 0, n);
+    let out = alloc(64);
+    let rl = call_contract(m, 20, "dispatch", 8, inbuf, n, out, 64);
+    output(out, rl);
+}
+"""
+
+MANAGER_SOURCE = STR_LIB + """
+fn setup() {
+    let a = alloc(20);
+    input_read(a, 0, 20);
+    storage_set("route.transfer", 14, a, 20);
+    let acl = alloc(8);
+    store64(acl, 1);
+    storage_set("acl.gateway", 11, acl, 8);
+}
+fn dispatch() {
+    let t = alloc(20);
+    let tl = storage_get("route.transfer", 14, t, 20);
+    if (tl != 20) { abort("no route", 8); }
+    let acl = alloc(8);
+    let al = storage_get("acl.gateway", 11, acl, 8);
+    if (al != 8 || load64(acl) != 1) { abort("acl denied", 10); }
+    let seq = alloc(8);
+    let sl = storage_get("mgr.seq", 7, seq, 8);
+    let s = 0;
+    if (sl == 8) { s = load64(seq); }
+    store64(seq, s + 1);
+    storage_set("mgr.seq", 7, seq, 8);
+    let n = input_size();
+    let inbuf = alloc(n);
+    input_read(inbuf, 0, n);
+    let out = alloc(64);
+    let rl = call_contract(t, 20, "run", 3, inbuf, n, out, 64);
+    output(out, rl);
+}
+"""
+
+AR_TRANSFER_SOURCE = STR_LIB + f"""
+fn setup() {{
+    let a = alloc(100);
+    input_read(a, 0, 100);
+    storage_set("addr.account", 12, a, 20);
+    storage_set("addr.issue", 10, a + 20, 20);
+    storage_set("addr.financing", 14, a + 40, 20);
+    storage_set("addr.clearing", 13, a + 60, 20);
+    storage_set("addr.self", 9, a + 80, 20);
+}}
+fn run() {{
+    let acct = alloc(20);
+    if (storage_get("addr.account", 12, acct, 20) != 20) {{ abort("no acct svc", 11); }}
+    let issue = alloc(20);
+    if (storage_get("addr.issue", 10, issue, 20) != 20) {{ abort("no issue svc", 12); }}
+    let fin = alloc(20);
+    if (storage_get("addr.financing", 14, fin, 20) != 20) {{ abort("no fin svc", 10); }}
+    let clr = alloc(20);
+    if (storage_get("addr.clearing", 13, clr, 20) != 20) {{ abort("no clr svc", 10); }}
+    let self_ = alloc(20);
+    if (storage_get("addr.self", 9, self_, 20) != 20) {{ abort("no self", 7); }}
+    let n = input_size();
+    if (n < 24) {{ abort("bad transfer input", 18); }}
+    let inbuf = alloc(n);
+    input_read(inbuf, 0, n);
+    let out = alloc(64);
+    // account checks for both parties
+    call_contract(acct, 20, "check", 5, inbuf, 8, out, 64);
+    call_contract(acct, 20, "check", 5, inbuf + 8, 8, out, 64);
+    // certificate lookup
+    call_contract(issue, 20, "cert_info", 9, inbuf + 16, 8, out, 64);
+    // risk checks for both parties
+    call_contract(fin, 20, "risk_check", 10, inbuf, 8, out, 64);
+    call_contract(fin, 20, "risk_check", 10, inbuf + 8, 8, out, 64);
+    // move the receivable in segments
+    let seg_arg = alloc(25);
+    _copy_bytes(seg_arg, inbuf, 24);
+    let moved = 0;
+    let s = 0;
+    while (s < {NUM_SEGMENTS}) {{
+        store8(seg_arg + 24, s);
+        let rl = call_contract(self_, 20, "move_segment", 12, seg_arg, 25, out, 64);
+        if (rl >= 8) {{ moved = moved + load64(out); }}
+        s = s + 1;
+    }}
+    // clearing + financing settlement
+    let settle_arg = alloc(32);
+    _copy_bytes(settle_arg, inbuf, 24);
+    store64(settle_arg + 24, moved);
+    call_contract(clr, 20, "record", 6, settle_arg, 32, out, 64);
+    call_contract(fin, 20, "settle", 6, settle_arg, 32, out, 64);
+    let res = alloc(8);
+    store64(res, moved);
+    output(res, 8);
+}}
+fn move_segment() {{
+    let acct = alloc(20);
+    if (storage_get("addr.account", 12, acct, 20) != 20) {{ abort("no acct svc", 11); }}
+    let pol = alloc(8);
+    storage_get("seg.policy", 10, pol, 8);
+    let fee = alloc(8);
+    storage_get("seg.fee", 7, fee, 8);
+    let lim = alloc(8);
+    storage_get("seg.limit", 9, lim, 8);
+    let n = input_size();
+    let inbuf = alloc(n);
+    input_read(inbuf, 0, n);
+    let idx = load8(inbuf + 24);
+    let segkey = alloc(8);
+    _copy_bytes(segkey, "seg.rec", 7);
+    store8(segkey + 7, '0' + idx);
+    let rec = alloc(8);
+    storage_get(segkey, 8, rec, 8);
+    let out = alloc(64);
+    call_contract(acct, 20, "debit", 5, inbuf, 25, out, 64);
+    call_contract(acct, 20, "credit", 6, inbuf, 25, out, 64);
+    let amount = alloc(8);
+    store64(amount, 100 + idx);
+    output(amount, 8);
+}}
+"""
+
+AR_ACCOUNT_SOURCE = STR_LIB + """
+fn setup() {
+    let one = alloc(8);
+    store64(one, 1);
+    storage_set("cfg.kyc", 7, one, 8);
+}
+fn check() {
+    let id = alloc(8);
+    input_read(id, 0, 8);
+    let k = alloc(16);
+    _copy_bytes(k, "status.", 7);
+    _copy_bytes(k + 7, id, 8);
+    let scratch = alloc(64);
+    storage_get(k, 15, scratch, 64);
+    _copy_bytes(k, "owner..", 7);
+    _copy_bytes(k + 7, id, 8);
+    storage_get(k, 15, scratch, 64);
+    _copy_bytes(k, "limit..", 7);
+    _copy_bytes(k + 7, id, 8);
+    storage_get(k, 15, scratch, 64);
+    storage_get("cfg.kyc", 7, scratch, 8);
+    let ok = alloc(8);
+    store64(ok, 1);
+    output(ok, 8);
+}
+fn debit() {
+    let inbuf = alloc(25);
+    input_read(inbuf, 0, 25);
+    let k = alloc(16);
+    _copy_bytes(k, "balance", 7);
+    _copy_bytes(k + 7, inbuf, 8);
+    let scratch = alloc(64);
+    storage_get(k, 15, scratch, 64);
+    _copy_bytes(k, "hold...", 7);
+    _copy_bytes(k + 7, inbuf, 8);
+    storage_get(k, 15, scratch, 64);
+    storage_get("cfg.fee", 7, scratch, 8);
+    storage_get("cfg.limit", 9, scratch, 8);
+    storage_get("cfg.kyc", 7, scratch, 8);
+    let ok = alloc(8);
+    store64(ok, 1);
+    output(ok, 8);
+}
+fn credit() {
+    let inbuf = alloc(25);
+    input_read(inbuf, 0, 25);
+    let k = alloc(16);
+    _copy_bytes(k, "balance", 7);
+    _copy_bytes(k + 7, inbuf + 8, 8);
+    let scratch = alloc(64);
+    storage_get(k, 15, scratch, 64);
+    _copy_bytes(k, "hold...", 7);
+    _copy_bytes(k + 7, inbuf + 8, 8);
+    storage_get(k, 15, scratch, 64);
+    storage_get("cfg.fee", 7, scratch, 8);
+    storage_get("cfg.limit", 9, scratch, 8);
+    storage_get("cfg.kyc", 7, scratch, 8);
+    let ok = alloc(8);
+    store64(ok, 1);
+    output(ok, 8);
+}
+"""
+
+AR_ISSUE_SOURCE = STR_LIB + """
+fn setup() {
+    let one = alloc(8);
+    store64(one, 1);
+    storage_set("cfg.issuer", 10, one, 8);
+}
+fn cert_info() {
+    let id = alloc(8);
+    input_read(id, 0, 8);
+    let k = alloc(16);
+    let scratch = alloc(64);
+    _copy_bytes(k, "issuer.", 7);
+    _copy_bytes(k + 7, id, 8);
+    storage_get(k, 15, scratch, 64);
+    _copy_bytes(k, "amount.", 7);
+    _copy_bytes(k + 7, id, 8);
+    storage_get(k, 15, scratch, 64);
+    _copy_bytes(k, "due....", 7);
+    _copy_bytes(k + 7, id, 8);
+    storage_get(k, 15, scratch, 64);
+    _copy_bytes(k, "rating.", 7);
+    _copy_bytes(k + 7, id, 8);
+    storage_get(k, 15, scratch, 64);
+    storage_get("cfg.issuer", 10, scratch, 8);
+    let ok = alloc(8);
+    store64(ok, 1);
+    output(ok, 8);
+}
+"""
+
+AR_FINANCING_SOURCE = STR_LIB + """
+fn setup() {
+    let q = alloc(8);
+    store64(q, 1000000);
+    storage_set("cfg.quota", 9, q, 8);
+}
+fn risk_check() {
+    let id = alloc(8);
+    input_read(id, 0, 8);
+    let k = alloc(16);
+    let scratch = alloc(64);
+    _copy_bytes(k, "score..", 7);
+    _copy_bytes(k + 7, id, 8);
+    storage_get(k, 15, scratch, 64);
+    _copy_bytes(k, "exposur", 7);
+    _copy_bytes(k + 7, id, 8);
+    storage_get(k, 15, scratch, 64);
+    storage_get("cfg.threshold", 13, scratch, 8);
+    storage_get("cfg.model", 9, scratch, 8);
+    let ok = alloc(8);
+    store64(ok, 1);
+    output(ok, 8);
+}
+fn settle() {
+    let inbuf = alloc(32);
+    input_read(inbuf, 0, 32);
+    let moved = load64(inbuf + 24);
+    let scratch = alloc(64);
+    storage_get("cfg.quota", 9, scratch, 8);
+    let quota = load64(scratch);
+    storage_get("cfg.rate", 8, scratch, 8);
+    storage_get("cfg.fees", 8, scratch, 8);
+    let k = alloc(16);
+    _copy_bytes(k, "pos.frm", 7);
+    _copy_bytes(k + 7, inbuf, 8);
+    let frm = alloc(8);
+    let fl = storage_get(k, 15, frm, 8);
+    let fv = 0;
+    if (fl == 8) { fv = load64(frm); }
+    let k2 = alloc(16);
+    _copy_bytes(k2, "pos.to.", 7);
+    _copy_bytes(k2 + 7, inbuf + 8, 8);
+    let to = alloc(8);
+    let tl = storage_get(k2, 15, to, 8);
+    let tv = 0;
+    if (tl == 8) { tv = load64(to); }
+    let logcnt = alloc(8);
+    let ll = storage_get("fin.logn", 8, logcnt, 8);
+    let lc = 0;
+    if (ll == 8) { lc = load64(logcnt); }
+    // 4 writes: quota, positions x2, log counter
+    store64(scratch, quota - moved);
+    storage_set("cfg.quota", 9, scratch, 8);
+    store64(frm, fv - moved);
+    storage_set(k, 15, frm, 8);
+    store64(to, tv + moved);
+    storage_set(k2, 15, to, 8);
+    store64(logcnt, lc + 1);
+    storage_set("fin.logn", 8, logcnt, 8);
+    let ok = alloc(8);
+    store64(ok, moved);
+    output(ok, 8);
+}
+"""
+
+AR_CLEARING_SOURCE = STR_LIB + """
+fn setup() {
+    let one = alloc(8);
+    store64(one, 1);
+    storage_set("cfg.window", 10, one, 8);
+}
+fn record() {
+    let inbuf = alloc(32);
+    input_read(inbuf, 0, 32);
+    let moved = load64(inbuf + 24);
+    let scratch = alloc(64);
+    storage_get("cfg.window", 10, scratch, 8);
+    storage_get("cfg.cutoff", 10, scratch, 8);
+    storage_get("cfg.party", 9, scratch, 8);
+    storage_get("cfg.holiday", 11, scratch, 8);
+    let k = alloc(16);
+    _copy_bytes(k, "clr.frm", 7);
+    _copy_bytes(k + 7, inbuf, 8);
+    let a = alloc(8);
+    let al = storage_get(k, 15, a, 8);
+    let av = 0;
+    if (al == 8) { av = load64(a); }
+    let k2 = alloc(16);
+    _copy_bytes(k2, "clr.to.", 7);
+    _copy_bytes(k2 + 7, inbuf + 8, 8);
+    let b = alloc(8);
+    let bl = storage_get(k2, 15, b, 8);
+    let bv = 0;
+    if (bl == 8) { bv = load64(b); }
+    let audit = alloc(8);
+    let aul = storage_get("audit.n", 7, audit, 8);
+    let auv = 0;
+    if (aul == 8) { auv = load64(audit); }
+    let k3 = alloc(16);
+    _copy_bytes(k3, "cert.st", 7);
+    _copy_bytes(k3 + 7, inbuf + 16, 8);
+    let st = alloc(8);
+    storage_get(k3, 15, st, 8);
+    storage_get("cfg.netting", 11, scratch, 8);
+    // 4 writes: clearing entries x2, audit counter, certificate status
+    store64(a, av + moved);
+    storage_set(k, 15, a, 8);
+    store64(b, bv + moved);
+    storage_set(k2, 15, b, 8);
+    store64(audit, auv + 1);
+    storage_set("audit.n", 7, audit, 8);
+    store64(st, 2);
+    storage_set(k3, 15, st, 8);
+    let ok = alloc(8);
+    store64(ok, 1);
+    output(ok, 8);
+}
+"""
+
+CONTRACT_SOURCES: dict[str, str] = {
+    "gateway": GATEWAY_SOURCE,
+    "manager": MANAGER_SOURCE,
+    "transfer": AR_TRANSFER_SOURCE,
+    "account": AR_ACCOUNT_SOURCE,
+    "issue": AR_ISSUE_SOURCE,
+    "financing": AR_FINANCING_SOURCE,
+    "clearing": AR_CLEARING_SOURCE,
+}
+
+# Expected Table 1 operation counts for one transfer transaction.
+EXPECTED_CONTRACT_CALLS = 31
+EXPECTED_GET_STORAGE = 151
+EXPECTED_SET_STORAGE = 9
+
+
+@dataclass(frozen=True)
+class ScfSuite:
+    """Compiled SCF-AR contract suite."""
+
+    artifacts: dict[str, ContractArtifact]
+
+    @classmethod
+    def compile(cls, target: str = "wasm") -> "ScfSuite":
+        return cls(
+            {
+                name: compile_source(source, target)
+                for name, source in CONTRACT_SOURCES.items()
+            }
+        )
+
+
+def make_transfer_input(
+    from_id: bytes = b"ACCT-001", to_id: bytes = b"ACCT-002",
+    cert_id: bytes = b"CERT-777",
+) -> bytes:
+    """24-byte transfer request: from | to | certificate (8 bytes each)."""
+    if len(from_id) != 8 or len(to_id) != 8 or len(cert_id) != 8:
+        raise ValueError("SCF ids are 8 bytes")
+    return from_id + to_id + cert_id
+
+
+def setup_plan(addresses: dict[str, bytes]) -> list[tuple[str, str, bytes]]:
+    """(contract, method, args) setup calls after deployment."""
+    return [
+        ("gateway", "setup", addresses["manager"]),
+        ("manager", "setup", addresses["transfer"]),
+        (
+            "transfer",
+            "setup",
+            addresses["account"]
+            + addresses["issue"]
+            + addresses["financing"]
+            + addresses["clearing"]
+            + addresses["transfer"],
+        ),
+        ("account", "setup", b""),
+        ("issue", "setup", b""),
+        ("financing", "setup", b""),
+        ("clearing", "setup", b""),
+    ]

@@ -1,0 +1,216 @@
+"""The four Synthetic workloads of §6.1 (Figure 10).
+
+1. **String concatenation** — a JSON string of 35 key-values plus a
+   10-byte ID, joined piecewise into one buffer (per-byte copy loops in
+   the VM).
+2. **E-notes depository** — a 4 KB electronic-note payload mapped to its
+   10-byte ID in contract storage (I/O-heavy; dominated by D-Protocol
+   crypto + boundary crossings under TEE).
+3. **Crypto hash** — SHA-256 and Keccak, 100 rounds each, chained.
+4. **JSON parsing** — tokenize a ~60-key-value JSON string in the VM and
+   extract request fields.
+
+Each workload is a :class:`Workload`: contract source (compilable to
+either VM), the method to invoke, and a deterministic per-transaction
+input generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.workloads.cwslib import JSON_LIB, STR_LIB, make_json_object
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmarkable contract workload."""
+
+    name: str
+    source: str
+    method: str
+    make_input: Callable[[int], bytes]
+    description: str = ""
+    schema_source: str = ""
+
+
+# ---------------------------------------------------------------------------
+# 1. String concatenation
+# ---------------------------------------------------------------------------
+
+_CONCAT_SOURCE = STR_LIB + """
+fn concat() {
+    let n = input_size();
+    let inbuf = alloc(n);
+    input_read(inbuf, 0, n);
+    let count = load32(inbuf);
+    let out = alloc(n + count + 1);
+    let src = inbuf + 4;
+    let w = 0;
+    let k = 0;
+    while (k < count) {
+        let l = load32(src);
+        _copy_bytes(out + w, src + 4, l);
+        w = w + l;
+        store8(out + w, ',');
+        w = w + 1;
+        src = src + 4 + l;
+        k = k + 1;
+    }
+    output(out, w);
+}
+"""
+
+
+def _pieces_blob(pieces: list[bytes]) -> bytes:
+    out = bytearray(len(pieces).to_bytes(4, "big"))
+    for piece in pieces:
+        out += len(piece).to_bytes(4, "big") + piece
+    return bytes(out)
+
+
+def make_concat_input(index: int, num_kv: int = 35) -> bytes:
+    pieces = [
+        f'"key_{index}_{k:02d}":"value-{(index * 31 + k) % 997:04d}"'.encode()
+        for k in range(num_kv)
+    ]
+    pieces.append(f"ID{index:08d}".encode()[:10])
+    return _pieces_blob(pieces)
+
+
+# ---------------------------------------------------------------------------
+# 2. E-notes depository (4 KB)
+# ---------------------------------------------------------------------------
+
+_ENOTES_SOURCE = """
+fn deposit() {
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+    if (n < 11) { abort("short e-note", 12); }
+    storage_set(buf, 10, buf + 10, n - 10);
+    let out = alloc(8);
+    store64(out, n - 10);
+    output(out, 8);
+}
+"""
+
+
+def make_enotes_input(index: int, payload_bytes: int = 4096) -> bytes:
+    note_id = f"EN{index:08d}".encode()[:10]
+    body = bytes((index * 7 + i) % 251 for i in range(payload_bytes))
+    return note_id + body
+
+
+# ---------------------------------------------------------------------------
+# 3. Crypto hash (100x SHA-256 + 100x Keccak)
+# ---------------------------------------------------------------------------
+
+_HASH_SOURCE = STR_LIB + """
+fn hash_chain() {
+    let n = input_size();
+    let buf = alloc(n + 32);
+    input_read(buf, 0, n);
+    let digest = alloc(32);
+    let i = 0;
+    while (i < 100) {
+        sha256(buf, n, digest);
+        _copy_bytes(buf, digest, 32);
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 100) {
+        keccak256(buf, n, digest);
+        _copy_bytes(buf, digest, 32);
+        i = i + 1;
+    }
+    output(digest, 32);
+}
+"""
+
+
+def make_hash_input(index: int, payload_bytes: int = 64) -> bytes:
+    return bytes((index + i) % 256 for i in range(payload_bytes))
+
+
+# ---------------------------------------------------------------------------
+# 4. JSON parsing (~60 key-values)
+# ---------------------------------------------------------------------------
+
+_JSON_SOURCE = STR_LIB + JSON_LIB + """
+fn parse() {
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+    let count = _json_count(buf, n);
+    let amount = 0;
+    let v = _json_find(buf, n, "loan_amt", 8);
+    if (v != 0) { amount = _json_int(v); }
+    let bank = 0;
+    let b = _json_find(buf, n, "bank", 4);
+    if (b != 0) { bank = _json_str_len(b); }
+    let out = alloc(24);
+    store64(out, count);
+    store64(out + 8, amount);
+    store64(out + 16, bank);
+    output(out, 24);
+}
+"""
+
+
+def make_json_input(index: int, num_kv: int = 60) -> bytes:
+    pairs: list[tuple[str, object]] = [
+        ("loan_amt", 10_000 + index),
+        ("bank", f"bank-{index % 7}"),
+        ("repay_mode", index % 3),
+    ]
+    for k in range(num_kv - len(pairs)):
+        if k % 2:
+            pairs.append((f"attr_{k:02d}", f"text-{(index + k) % 89:03d}"))
+        else:
+            pairs.append((f"attr_{k:02d}", (index * 13 + k) % 100_000))
+    return make_json_object(pairs)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def synthetic_workloads(
+    concat_kv: int = 35,
+    enote_bytes: int = 4096,
+    hash_bytes: int = 64,
+    json_kv: int = 60,
+) -> dict[str, Workload]:
+    """The four workloads, with paper-default sizes (tunable for CI)."""
+    return {
+        "string-concat": Workload(
+            name="string-concat",
+            source=_CONCAT_SOURCE,
+            method="concat",
+            make_input=lambda i: make_concat_input(i, concat_kv),
+            description=f"join {concat_kv} JSON key-values + 10-byte ID",
+        ),
+        "enotes-depository": Workload(
+            name="enotes-depository",
+            source=_ENOTES_SOURCE,
+            method="deposit",
+            make_input=lambda i: make_enotes_input(i, enote_bytes),
+            description=f"map a {enote_bytes}-byte e-note to its ID",
+        ),
+        "crypto-hash": Workload(
+            name="crypto-hash",
+            source=_HASH_SOURCE,
+            method="hash_chain",
+            make_input=lambda i: make_hash_input(i, hash_bytes),
+            description="100x SHA-256 + 100x Keccak, chained",
+        ),
+        "json-parsing": Workload(
+            name="json-parsing",
+            source=_JSON_SOURCE,
+            method="parse",
+            make_input=lambda i: make_json_input(i, json_kv),
+            description=f"tokenize a {json_kv}-key JSON request in the VM",
+        ),
+    }

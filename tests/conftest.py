@@ -1,0 +1,124 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConfidentialEngine, PublicEngine, bootstrap_founder
+from repro.crypto.ecc import decode_point
+from repro.lang import compile_source
+from repro.storage import MemoryKV
+from repro.vm.host import HostContext
+from repro.workloads.clients import Client
+
+
+class MockHost(HostContext):
+    """A plain host context for direct VM tests."""
+
+    def __init__(self, input_data: bytes = b"", caller: bytes = b"\xaa" * 20):
+        self._input = input_data
+        self._caller = caller
+        self.logs: list[bytes] = []
+        self.store: dict[bytes, bytes] = {}
+        self.calls: list[tuple[bytes, str, bytes]] = []
+        self.call_response: bytes = b""
+
+    def get_input(self) -> bytes:
+        return self._input
+
+    def get_caller(self) -> bytes:
+        return self._caller
+
+    def storage_get(self, key: bytes) -> bytes | None:
+        return self.store.get(key)
+
+    def storage_set(self, key: bytes, value: bytes) -> None:
+        self.store[key] = value
+
+    def call_contract(self, address: bytes, method: str, argument: bytes) -> bytes:
+        self.calls.append((address, method, argument))
+        return self.call_response
+
+
+COUNTER_SOURCE = """
+fn increment() {
+    let key = "count";
+    let buf = alloc(8);
+    let n = storage_get(key, 5, buf, 8);
+    let v = 0;
+    if (n == 8) { v = load64(buf); }
+    store64(buf, v + 1);
+    storage_set(key, 5, buf, 8);
+    output(buf, 8);
+}
+fn read() {
+    let key = "count";
+    let buf = alloc(8);
+    let n = storage_get(key, 5, buf, 8);
+    if (n != 8) { store64(buf, 0); }
+    output(buf, 8);
+}
+fn fail() {
+    abort("deliberate failure", 18);
+}
+"""
+
+
+@pytest.fixture
+def mock_host():
+    return MockHost()
+
+
+@pytest.fixture
+def counter_artifact():
+    return compile_source(COUNTER_SOURCE, "wasm")
+
+
+@pytest.fixture
+def public_engine():
+    return PublicEngine(MemoryKV())
+
+
+@pytest.fixture
+def confidential_engine():
+    engine = ConfidentialEngine(MemoryKV())
+    bootstrap_founder(engine.km)
+    engine.provision_from_km()
+    return engine
+
+
+@pytest.fixture
+def client():
+    return Client.from_seed(b"test-client")
+
+
+def deploy_public(engine: PublicEngine, client: Client, source: str,
+                  target: str = "wasm", schema: str = ""):
+    artifact = compile_source(source, target)
+    raw, address = client.deploy_raw(artifact, schema)
+    outcome = engine.execute(Client.public(raw))
+    assert outcome.receipt.success, outcome.receipt.error
+    return address
+
+
+def deploy_confidential(engine: ConfidentialEngine, client: Client, source: str,
+                        target: str = "wasm", schema: str = ""):
+    artifact = compile_source(source, target)
+    pk = decode_point(engine.pk_tx)
+    tx, address = client.confidential_deploy(pk, artifact, schema)
+    outcome = engine.execute(tx)
+    assert outcome.receipt.success, outcome.receipt.error
+    return address
+
+
+def run_public(engine: PublicEngine, client: Client, contract: bytes,
+               method: str, args: bytes = b""):
+    raw = client.call_raw(contract, method, args)
+    return engine.execute(Client.public(raw))
+
+
+def run_confidential(engine: ConfidentialEngine, client: Client, contract: bytes,
+                     method: str, args: bytes = b""):
+    pk = decode_point(engine.pk_tx)
+    tx = client.confidential_call(pk, contract, method, args)
+    return engine.execute(tx)

@@ -1,0 +1,100 @@
+"""Bench-harness unit tests (fast, reduced sizes)."""
+
+import pytest
+
+from repro.bench.harness import (
+    ThroughputResult,
+    build_confidential_rig,
+    build_public_rig,
+    build_rig,
+    run_throughput,
+)
+from repro.bench.figures import fig11_point
+from repro.bench import reporting
+from repro.workloads.synthetic import synthetic_workloads
+
+_WORKLOADS = synthetic_workloads(json_kv=8, concat_kv=4, enote_bytes=128)
+
+
+class TestThroughputResult:
+    def test_tps_math(self):
+        result = ThroughputResult("w", 10, wall_seconds=1.0,
+                                  modeled_overhead_seconds=1.0)
+        assert result.tps == pytest.approx(5.0)
+        assert result.latency_ms == pytest.approx(200.0)
+
+    def test_zero_guards(self):
+        assert ThroughputResult("w", 0, 0.0).tps == 0.0
+        assert ThroughputResult("w", 0, 0.0).latency_ms == 0.0
+
+
+class TestRigs:
+    def test_public_rig_executes(self):
+        rig = build_public_rig(_WORKLOADS["string-concat"])
+        result = run_throughput(rig, num_txs=2, warmup=0)
+        assert result.transactions == 2
+        assert result.wall_seconds > 0
+        assert result.modeled_overhead_seconds == 0.0
+
+    def test_confidential_rig_accrues_overhead(self):
+        rig = build_confidential_rig(_WORKLOADS["string-concat"])
+        result = run_throughput(rig, num_txs=2, preverify=True, warmup=0)
+        assert result.modeled_overhead_seconds > 0
+
+    def test_build_rig_dispatch(self):
+        assert build_rig(_WORKLOADS["string-concat"], "wasm", False).__class__.__name__ == "PublicRig"
+        assert build_rig(_WORKLOADS["string-concat"], "wasm", True).__class__.__name__ == "ConfidentialRig"
+
+    def test_failed_tx_raises(self):
+        from repro.errors import ReproError
+        from repro.workloads.synthetic import Workload
+
+        bad = Workload(
+            name="bad",
+            source='fn main() { abort("no", 2); }',
+            method="main",
+            make_input=lambda i: b"",
+        )
+        rig = build_public_rig(bad)
+        with pytest.raises(ReproError):
+            run_throughput(rig, num_txs=1, warmup=0)
+
+    def test_evm_rig(self):
+        rig = build_public_rig(_WORKLOADS["string-concat"], vm="evm")
+        result = run_throughput(rig, num_txs=1, warmup=0)
+        assert result.tps > 0
+
+
+class TestScalabilityHarness:
+    def test_point_fields(self):
+        point = fig11_point(4, 2, 1, num_txs=4)
+        assert point.num_nodes == 4
+        assert point.lanes == 2
+        assert point.tps > 0
+        assert point.exec_makespan_s > 0
+
+    def test_two_zone_order_slower(self):
+        single = fig11_point(8, 1, 1, num_txs=4)
+        double = fig11_point(8, 1, 2, num_txs=4)
+        assert double.consensus_round_s > single.consensus_round_s
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = reporting.format_table(
+            ["a", "bee"], [["1", "2"], ["333", "4"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bee" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_fig10(self):
+        series = {"w": {"EVM": 1.0, "CONFIDE-VM": 2.0}}
+        text = reporting.format_fig10(series)
+        assert "Figure 10" in text
+        assert "CONFIDE-VM" in text
+
+    def test_format_fig12_relative(self):
+        text = reporting.format_fig12([("baseline", 10.0), ("+OPT1", 20.0)])
+        assert "2.00x" in text

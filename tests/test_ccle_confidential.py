@@ -1,0 +1,200 @@
+"""CCLe confidential partitioning and CWScript accessor tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import MockHost
+from repro.ccle import (
+    decode,
+    encode,
+    generate_accessors,
+    merge,
+    parse_schema,
+    secret_from_bytes,
+    secret_to_bytes,
+    split,
+)
+from repro.lang import compile_source
+from repro.vm.runner import execute
+
+SCHEMA = parse_schema("""
+attribute "map";
+attribute "confidential";
+
+table Portfolio {
+  owner: string;
+  region: string;
+  account_map: [Account](map);
+  notes: [Note];
+}
+table Account {
+  user_id: string;
+  organization: string(confidential);
+  balance: ulong;
+  asset_map: [Asset](map, confidential);
+}
+table Asset {
+  code: string;
+  amount: ulong;
+}
+table Note {
+  text: string;
+  rating: ubyte(confidential);
+}
+root_type Portfolio;
+""")
+
+VALUE = {
+    "owner": "antfin",
+    "region": "cn-east",
+    "account_map": {
+        "u1": {
+            "user_id": "u1",
+            "organization": "bankA",
+            "balance": 900,
+            "asset_map": {"gold": {"code": "gold", "amount": 5}},
+        },
+        "u2": {
+            "user_id": "u2",
+            "organization": "bankB",
+            "balance": 100,
+            "asset_map": {},
+        },
+    },
+    "notes": [
+        {"text": "fine", "rating": 4},
+        {"text": "watch", "rating": 2},
+    ],
+}
+
+
+class TestSplitMerge:
+    def test_public_part_hides_confidential(self):
+        public, secret = split(SCHEMA, VALUE)
+        assert "organization" not in public["account_map"]["u1"]
+        assert "asset_map" not in public["account_map"]["u1"]
+        assert "rating" not in public["notes"][0]
+        # public facts survive
+        assert public["owner"] == "antfin"
+        assert public["account_map"]["u1"]["balance"] == 900
+
+    def test_secret_part_contains_only_confidential(self):
+        _, secret = split(SCHEMA, VALUE)
+        assert secret["account_map"]["u1"]["organization"] == "bankA"
+        assert secret["account_map"]["u1"]["asset_map"]["gold"]["amount"] == 5
+        assert secret["notes"][0]["rating"] == 4
+        assert "owner" not in secret
+        assert "balance" not in secret["account_map"]["u1"]
+
+    def test_merge_inverts_split(self):
+        public, secret = split(SCHEMA, VALUE)
+        assert merge(SCHEMA, public, secret) == VALUE
+
+    def test_public_part_is_encodable(self):
+        public, _ = split(SCHEMA, VALUE)
+        assert decode(SCHEMA, encode(SCHEMA, public))["owner"] == "antfin"
+
+    def test_empty_secret_when_nothing_confidential(self):
+        value = {"owner": "x", "region": "y"}
+        public, secret = split(SCHEMA, value)
+        assert secret == {}
+        assert merge(SCHEMA, public, secret) == value
+
+
+class TestSecretSerialization:
+    def test_roundtrip(self):
+        _, secret = split(SCHEMA, VALUE)
+        assert secret_from_bytes(secret_to_bytes(secret)) == secret
+
+    def test_deterministic_regardless_of_dict_order(self):
+        a = {"k1": 1, "k2": {"x": "y"}}
+        b = {"k2": {"x": "y"}, "k1": 1}
+        assert secret_to_bytes(a) == secret_to_bytes(b)
+
+    def test_value_types(self):
+        tree = {"s": "text", "b": b"\x00\xff", "n": -42, "big": 1 << 70,
+                "bool": True, "none": None, "list": [1, "two", b"3"],
+                "int_key": {7: "seven"}}
+        assert secret_from_bytes(secret_to_bytes(tree)) == tree
+
+    @given(tree=st.dictionaries(
+        st.text(max_size=6),
+        st.one_of(st.integers(), st.text(max_size=10), st.booleans(),
+                  st.binary(max_size=10)),
+        max_size=6,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, tree):
+        assert secret_from_bytes(secret_to_bytes(tree)) == tree
+
+
+class TestCwsAccessors:
+    def _run(self, body, input_blob, target="wasm"):
+        source = generate_accessors(SCHEMA) + f"""
+fn main() {{
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+{body}
+}}
+"""
+        artifact = compile_source(source, target)
+        return execute(artifact, "main", MockHost(input_blob))
+
+    @pytest.mark.parametrize("target", ["wasm", "evm"])
+    def test_scalar_and_string_accessors(self, target):
+        body = """
+    let acct = _Portfolio_account_map_lookup(buf, "u1", 2);
+    let out = alloc(16);
+    store64(out, _Account_balance(acct));
+    store64(out + 8, _Account_organization_len(acct));
+    output(out, 16);
+"""
+        result = self._run(body, encode(SCHEMA, VALUE), target)
+        assert int.from_bytes(result.output[:8], "big") == 900
+        assert int.from_bytes(result.output[8:], "big") == len("bankA")
+
+    def test_nested_map_lookup(self):
+        body = """
+    let acct = _Portfolio_account_map_lookup(buf, "u1", 2);
+    let asset = _Account_asset_map_lookup(acct, "gold", 4);
+    let out = alloc(8);
+    store64(out, _Asset_amount(asset));
+    output(out, 8);
+"""
+        result = self._run(body, encode(SCHEMA, VALUE))
+        assert int.from_bytes(result.output, "big") == 5
+
+    def test_missing_key_returns_zero(self):
+        body = """
+    let acct = _Portfolio_account_map_lookup(buf, "nobody", 6);
+    let out = alloc(8);
+    store64(out, acct);
+    output(out, 8);
+"""
+        result = self._run(body, encode(SCHEMA, VALUE))
+        assert int.from_bytes(result.output, "big") == 0
+
+    def test_vector_count_and_at(self):
+        body = """
+    let out = alloc(16);
+    store64(out, _Portfolio_notes_count(buf));
+    let note = _Portfolio_notes_at(buf, 1);
+    store64(out + 8, _Note_text_len(note));
+    output(out, 16);
+"""
+        result = self._run(body, encode(SCHEMA, VALUE))
+        assert int.from_bytes(result.output[:8], "big") == 2
+        assert int.from_bytes(result.output[8:], "big") == len("watch")
+
+    def test_accessors_on_public_part_see_defaults(self):
+        public, _ = split(SCHEMA, VALUE)
+        body = """
+    let acct = _Portfolio_account_map_lookup(buf, "u1", 2);
+    let out = alloc(8);
+    store64(out, _Account_organization_len(acct));
+    output(out, 8);
+"""
+        result = self._run(body, encode(SCHEMA, public))
+        assert int.from_bytes(result.output, "big") == 0  # stripped field

@@ -1,0 +1,154 @@
+"""CCLe IDL parser and schema validation tests."""
+
+import pytest
+
+from repro.ccle import parse_schema
+from repro.errors import SchemaError
+
+PAPER_LISTING_1 = """
+attribute "map";
+attribute "confidential";
+
+table Demo {
+  owner: string;
+  admin: [Administrator];
+  account_map: [Account](map);
+}
+table Administrator {
+  identity: string;
+  name: string;
+}
+table Account {
+  user_id: string;
+  organization: string(confidential);
+  asset_map: [Asset](map, confidential);
+}
+table Asset {
+  type: ubyte;
+  amount: ulong;
+}
+root_type Demo;
+"""
+
+
+class TestParsing:
+    def test_paper_listing_parses(self):
+        schema = parse_schema(PAPER_LISTING_1)
+        assert schema.root_type == "Demo"
+        assert set(schema.tables) == {"Demo", "Administrator", "Account", "Asset"}
+        assert schema.attributes == {"map", "confidential"}
+
+    def test_field_attributes(self):
+        schema = parse_schema(PAPER_LISTING_1)
+        account = schema.tables["Account"]
+        org = account.field_named("organization")
+        assert org.confidential and not org.is_map
+        assets = account.field_named("asset_map")
+        assert assets.confidential and assets.is_map
+        assert assets.type.is_vector and assets.type.name == "Asset"
+
+    def test_confidential_paths(self):
+        schema = parse_schema(PAPER_LISTING_1)
+        assert schema.confidential_paths() == [
+            ("account_map", "organization"),
+            ("account_map", "asset_map"),
+        ]
+
+    def test_comments_allowed(self):
+        schema = parse_schema("""
+        // a schema
+        table T { x: int; }
+        root_type T;
+        """)
+        assert "T" in schema.tables
+
+    def test_scalar_types(self):
+        schema = parse_schema("""
+        table T {
+            a: bool; b: byte; c: ubyte; d: short; e: ushort;
+            f: int; g: uint; h: long; i: ulong; j: string;
+        }
+        root_type T;
+        """)
+        assert len(schema.tables["T"].fields) == 10
+
+    def test_field_index(self):
+        schema = parse_schema(PAPER_LISTING_1)
+        assert schema.tables["Demo"].field_index("owner") == 0
+        with pytest.raises(SchemaError):
+            schema.tables["Demo"].field_index("ghost")
+
+
+class TestValidation:
+    def test_missing_root_type(self):
+        with pytest.raises(SchemaError, match="root_type"):
+            parse_schema("table T { x: int; }")
+
+    def test_unknown_root_type(self):
+        with pytest.raises(SchemaError):
+            parse_schema("table T { x: int; } root_type Ghost;")
+
+    def test_unknown_field_type(self):
+        with pytest.raises(SchemaError, match="unknown type"):
+            parse_schema("table T { x: float64; } root_type T;")
+
+    def test_unknown_element_table(self):
+        with pytest.raises(SchemaError, match="unknown element table"):
+            parse_schema("table T { x: [Ghost]; } root_type T;")
+
+    def test_map_requires_vector(self):
+        with pytest.raises(SchemaError, match="requires a table vector"):
+            parse_schema("""
+            attribute "map";
+            table T { x: int(map); }
+            root_type T;
+            """)
+
+    def test_map_key_must_be_scalar_or_string(self):
+        with pytest.raises(SchemaError, match="map key"):
+            parse_schema("""
+            attribute "map";
+            table T { xs: [E](map); }
+            table E { nested: [T]; }
+            root_type T;
+            """)
+
+    def test_undeclared_confidential_attribute(self):
+        with pytest.raises(SchemaError, match="not declared"):
+            parse_schema("table T { x: int(confidential); } root_type T;")
+
+    def test_undeclared_map_attribute(self):
+        with pytest.raises(SchemaError, match="not declared"):
+            parse_schema("""
+            table T { xs: [E](map); }
+            table E { k: string; }
+            root_type T;
+            """)
+
+    def test_recursive_nesting_rejected(self):
+        with pytest.raises(SchemaError, match="recursive"):
+            parse_schema("""
+            table A { b: [B]; }
+            table B { a: [A]; }
+            root_type A;
+            """)
+
+    def test_self_recursion_rejected(self):
+        with pytest.raises(SchemaError, match="recursive"):
+            parse_schema("table A { a: [A]; } root_type A;")
+
+    def test_duplicate_table(self):
+        with pytest.raises(SchemaError, match="duplicate table"):
+            parse_schema("table T { x: int; } table T { y: int; } root_type T;")
+
+    def test_duplicate_field(self):
+        with pytest.raises(SchemaError, match="duplicate field"):
+            parse_schema("table T { x: int; x: int; } root_type T;")
+
+    def test_unknown_field_attribute(self):
+        with pytest.raises(SchemaError, match="unknown field attribute"):
+            parse_schema("table T { x: int(sparkly); } root_type T;")
+
+    def test_syntax_error(self):
+        with pytest.raises(SchemaError):
+            parse_schema("table { }")

@@ -1,0 +1,186 @@
+"""Block, header, mempool, and transaction-format tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import (
+    Block,
+    BlockHeader,
+    GENESIS_HASH,
+    receipts_merkle_root,
+    tx_merkle_root,
+)
+from repro.chain.mempool import TxPool
+from repro.chain.transaction import (
+    RawTransaction,
+    Transaction,
+    address_of,
+    contract_address,
+    deploy_args,
+    parse_deploy_args,
+)
+from repro.crypto.keys import KeyPair
+from repro.errors import ChainError
+
+
+def make_tx(i: int) -> Transaction:
+    keypair = KeyPair.from_seed(b"pool-user")
+    raw = RawTransaction(
+        sender=address_of(keypair.public_bytes()),
+        contract=b"\x02" * 20, method="m", args=bytes([i]), nonce=i,
+    ).signed_by(keypair)
+    return Transaction.public(raw)
+
+
+class TestRawTransaction:
+    def test_encode_decode(self):
+        keypair = KeyPair.from_seed(b"u")
+        raw = RawTransaction(
+            sender=address_of(keypair.public_bytes()),
+            contract=b"\x02" * 20, method="transfer", args=b"xyz", nonce=7,
+        ).signed_by(keypair)
+        assert RawTransaction.decode(raw.encode()) == raw
+
+    def test_signature_validates(self):
+        keypair = KeyPair.from_seed(b"u")
+        raw = RawTransaction(
+            sender=address_of(keypair.public_bytes()),
+            contract=b"\x02" * 20, method="m", args=b"", nonce=1,
+        ).signed_by(keypair)
+        assert raw.verify_signature()
+
+    def test_sender_binding(self):
+        keypair = KeyPair.from_seed(b"u")
+        raw = RawTransaction(
+            sender=b"\xbb" * 20,  # does not match the pubkey
+            contract=b"\x02" * 20, method="m", args=b"", nonce=1,
+        ).signed_by(keypair)
+        # signed_by keeps the declared sender; verification must fail
+        assert not raw.verify_signature()
+
+    def test_unsigned_fails(self):
+        raw = RawTransaction(b"\x01" * 20, b"\x02" * 20, "m", b"", 1)
+        assert not raw.verify_signature()
+
+    def test_hash_covers_signature(self):
+        keypair = KeyPair.from_seed(b"u")
+        base = RawTransaction(
+            sender=address_of(keypair.public_bytes()),
+            contract=b"\x02" * 20, method="m", args=b"", nonce=1,
+        )
+        a = base.signed_by(keypair)
+        b = base.signed_by(KeyPair.from_seed(b"v"))
+        assert a.tx_hash != b.tx_hash
+
+    def test_wrapper_roundtrip(self):
+        tx = make_tx(1)
+        assert Transaction.decode(tx.encode()) == tx
+
+    def test_confidential_wrapper_hides_raw(self):
+        tx = Transaction(1, b"ciphertext")
+        assert tx.is_confidential
+        with pytest.raises(ChainError):
+            tx.raw()
+
+    def test_deploy_args_roundtrip(self):
+        blob = deploy_args(b"code", "wasm", "schema src")
+        assert parse_deploy_args(blob) == (b"code", "wasm", "schema src")
+
+    def test_contract_address_deterministic(self):
+        assert contract_address(b"\x01" * 20, 5) == contract_address(b"\x01" * 20, 5)
+        assert contract_address(b"\x01" * 20, 5) != contract_address(b"\x01" * 20, 6)
+
+
+class TestBlocks:
+    def test_header_roundtrip(self):
+        header = BlockHeader(3, GENESIS_HASH, b"\x01" * 32, b"\x02" * 32,
+                             b"\x03" * 32, b"\x00" * 8, 3)
+        assert BlockHeader.decode(header.encode()) == header
+
+    def test_block_hash_depends_on_contents(self):
+        h1 = BlockHeader(1, GENESIS_HASH, b"\x01" * 32, b"\x02" * 32,
+                         b"\x03" * 32, b"\x00" * 8, 1)
+        h2 = BlockHeader(1, GENESIS_HASH, b"\x01" * 32, b"\x02" * 32,
+                         b"\x04" * 32, b"\x00" * 8, 1)
+        assert h1.block_hash != h2.block_hash
+
+    def test_tx_root_verification(self):
+        txs = [make_tx(i) for i in range(4)]
+        header = BlockHeader(1, GENESIS_HASH, tx_merkle_root(txs), b"\x00" * 32,
+                             b"\x00" * 32, b"\x00" * 8, 1)
+        block = Block(header, txs)
+        assert block.verify_tx_root()
+        block.transactions.pop()
+        assert not block.verify_tx_root()
+
+    def test_receipts_root(self):
+        r1 = receipts_merkle_root([b"a", b"b"])
+        r2 = receipts_merkle_root([b"a", b"c"])
+        assert r1 != r2
+
+    def test_byte_size(self):
+        txs = [make_tx(i) for i in range(2)]
+        header = BlockHeader(1, GENESIS_HASH, tx_merkle_root(txs), b"\x00" * 32,
+                             b"\x00" * 32, b"\x00" * 8, 1)
+        assert Block(header, txs).byte_size > sum(len(t.encode()) for t in txs)
+
+
+class TestMempool:
+    def test_dedup(self):
+        pool = TxPool()
+        tx = make_tx(1)
+        assert pool.add(tx)
+        assert not pool.add(tx)
+        assert len(pool) == 1
+
+    def test_fifo_batch(self):
+        pool = TxPool()
+        txs = [make_tx(i) for i in range(5)]
+        for tx in txs:
+            pool.add(tx)
+        batch = pool.pop_batch(max_count=3)
+        assert [t.tx_hash for t in batch] == [t.tx_hash for t in txs[:3]]
+        assert len(pool) == 2
+
+    def test_byte_budget(self):
+        pool = TxPool()
+        for i in range(10):
+            pool.add(make_tx(i))
+        one_size = len(make_tx(0).encode())
+        batch = pool.pop_batch(max_bytes=one_size * 3 + 1)
+        assert len(batch) == 3
+
+    def test_first_tx_always_fits(self):
+        pool = TxPool()
+        pool.add(make_tx(1))
+        batch = pool.pop_batch(max_bytes=1)  # smaller than any tx
+        assert len(batch) == 1  # blocks must not stall on a large tx
+
+    def test_capacity(self):
+        pool = TxPool(capacity=2)
+        pool.add(make_tx(1))
+        pool.add(make_tx(2))
+        with pytest.raises(ChainError):
+            pool.add(make_tx(3))
+
+    def test_remove_and_contains(self):
+        pool = TxPool()
+        tx = make_tx(1)
+        pool.add(tx)
+        assert tx.tx_hash in pool
+        pool.remove(tx.tx_hash)
+        assert tx.tx_hash not in pool
+
+    @given(counts=st.lists(st.integers(min_value=0, max_value=30), max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_pop_batch_never_exceeds_count(self, counts):
+        pool = TxPool()
+        for i in range(20):
+            pool.add(make_tx(i))
+        total = 0
+        for count in counts:
+            batch = pool.pop_batch(max_count=count)
+            assert len(batch) <= count
+            total += len(batch)
+        assert total <= 20

@@ -1,0 +1,161 @@
+"""PBFT orderer and parallel lane-scheduling tests."""
+
+import pytest
+
+from repro.chain.consensus import PBFTOrderer
+from repro.chain.executor import lane_schedule
+from repro.chain.network import NetworkModel, zones_for
+from repro.core.engine import ExecutionOutcome
+from repro.core.receipts import Receipt
+from repro.errors import ChainError
+
+
+def outcome(duration, reads=frozenset(), writes=frozenset()):
+    return ExecutionOutcome(
+        receipt=Receipt(b"\x00" * 32, True),
+        sealed_receipt=None,
+        duration=duration,
+        read_set=frozenset(reads),
+        write_set=frozenset(writes),
+    )
+
+
+class TestZones:
+    def test_single_zone(self):
+        assert zones_for(6, 1) == [0] * 6
+
+    def test_two_zone_ratio(self):
+        zones = zones_for(12, 2)
+        assert zones.count(0) == 4
+        assert zones.count(1) == 8
+
+    def test_all_nodes_assigned(self):
+        for n in (4, 5, 7, 20):
+            assert len(zones_for(n, 2)) == n
+
+
+class TestPBFT:
+    def test_minimum_size(self):
+        with pytest.raises(ChainError):
+            PBFTOrderer([0, 0, 0], NetworkModel())
+
+    def test_quorum_math(self):
+        orderer = PBFTOrderer([0] * 7, NetworkModel())
+        assert orderer.f == 2
+        assert orderer.quorum == 5
+
+    def test_phases_are_ordered(self):
+        orderer = PBFTOrderer([0] * 4, NetworkModel())
+        report = orderer.round_latency(4096)
+        assert 0 < report.preprepare_s <= report.prepared_s <= report.committed_s
+
+    def test_cross_zone_latency_dominates(self):
+        model = NetworkModel()
+        single = PBFTOrderer([0] * 8, model).round_latency(4096).total_s
+        double = PBFTOrderer(zones_for(8, 2), model).round_latency(4096).total_s
+        assert double > single * 5
+
+    def test_bigger_blocks_slower(self):
+        orderer = PBFTOrderer([0] * 4, NetworkModel())
+        assert orderer.round_latency(1 << 20).total_s > orderer.round_latency(1024).total_s
+
+    def test_pipelined_interval_grows_with_cross_zone_nodes(self):
+        model = NetworkModel()
+        small = PBFTOrderer(zones_for(4, 2), model).pipelined_block_interval(4096)
+        large = PBFTOrderer(zones_for(20, 2), model).pipelined_block_interval(4096)
+        assert large > small * 2
+
+    def test_pipelined_interval_tiny_single_zone(self):
+        model = NetworkModel()
+        interval = PBFTOrderer([0] * 20, model).pipelined_block_interval(4096)
+        assert interval < 0.001
+
+    def test_f_faulty_nodes_tolerated(self):
+        orderer = PBFTOrderer([0] * 7, NetworkModel())  # f = 2
+        healthy = orderer.round_latency(4096)
+        degraded = orderer.round_latency(4096, faulty={5, 6})
+        assert degraded.committed_s < float("inf")
+        # Losing the fastest responders can only slow the round down.
+        assert degraded.committed_s >= healthy.committed_s * 0.99
+
+    def test_beyond_f_faults_rejected(self):
+        orderer = PBFTOrderer([0] * 7, NetworkModel())
+        with pytest.raises(ChainError, match="exceed"):
+            orderer.round_latency(4096, faulty={4, 5, 6})
+
+    def test_faulty_leader_needs_view_change(self):
+        orderer = PBFTOrderer([0] * 4, NetworkModel())
+        with pytest.raises(ChainError, match="view change"):
+            orderer.round_latency(4096, faulty={0})
+
+    def test_view_change_latency(self):
+        single = PBFTOrderer([0] * 4, NetworkModel()).view_change_latency()
+        double = PBFTOrderer(zones_for(8, 2), NetworkModel()).view_change_latency()
+        assert 0 < single < double
+
+    def test_state_root_quorum(self):
+        orderer = PBFTOrderer([0] * 4, NetworkModel())
+        assert orderer.verify_state_roots([b"r"] * 3 + [b"evil"]) == b"r"
+
+    def test_state_root_divergence_detected(self):
+        orderer = PBFTOrderer([0] * 4, NetworkModel())
+        with pytest.raises(ChainError, match="divergence"):
+            orderer.verify_state_roots([b"a", b"a", b"b", b"b"])
+
+
+class TestLaneSchedule:
+    def test_one_lane_is_serial(self):
+        outcomes = [outcome(0.1) for _ in range(4)]
+        makespan, _ = lane_schedule(outcomes, 1)
+        assert makespan == pytest.approx(0.4)
+
+    def test_disjoint_txs_parallelize(self):
+        outcomes = [outcome(0.1, writes={f"k{i}".encode()}) for i in range(4)]
+        makespan, conflicts = lane_schedule(outcomes, 4)
+        assert makespan == pytest.approx(0.1)
+        assert conflicts == 0
+
+    def test_write_conflicts_serialize(self):
+        outcomes = [outcome(0.1, writes={b"same"}) for _ in range(4)]
+        makespan, conflicts = lane_schedule(outcomes, 4)
+        assert makespan == pytest.approx(0.4)
+        assert conflicts > 0
+
+    def test_read_write_conflicts_serialize(self):
+        a = outcome(0.1, writes={b"k"})
+        b = outcome(0.1, reads={b"k"})
+        makespan, conflicts = lane_schedule([a, b], 2)
+        assert makespan == pytest.approx(0.2)
+        assert conflicts == 1
+
+    def test_read_read_no_conflict(self):
+        outcomes = [outcome(0.1, reads={b"shared"}) for _ in range(4)]
+        makespan, conflicts = lane_schedule(outcomes, 4)
+        assert makespan == pytest.approx(0.1)
+        assert conflicts == 0
+
+    def test_makespan_bounded_by_serial(self):
+        outcomes = [
+            outcome(0.05 * (i % 3 + 1), writes={f"k{i % 2}".encode()})
+            for i in range(8)
+        ]
+        serial = sum(o.duration for o in outcomes)
+        for lanes in (1, 2, 4, 8):
+            makespan, _ = lane_schedule(outcomes, lanes)
+            assert makespan <= serial + 1e-9
+
+    def test_more_lanes_never_slower(self):
+        outcomes = [
+            outcome(0.03, writes={f"k{i % 3}".encode()}) for i in range(9)
+        ]
+        makespans = [lane_schedule(outcomes, lanes)[0] for lanes in (1, 2, 3, 6)]
+        assert makespans == sorted(makespans, reverse=True)
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(ChainError):
+            lane_schedule([], 0)
+
+    def test_empty_block(self):
+        makespan, conflicts = lane_schedule([], 4)
+        assert makespan == 0.0
+        assert conflicts == 0

@@ -1,0 +1,94 @@
+"""Closed-loop driver tests."""
+
+import pytest
+
+from repro.chain.consensus import PBFTOrderer
+from repro.chain.driver import ClosedLoopDriver, DriverReport
+from repro.chain.network import SINGLE_ZONE
+from repro.chain.node import Node
+from repro.core import bootstrap_founder
+from repro.errors import ChainError
+from repro.lang import compile_source
+from repro.workloads import Client, abs_workload
+
+
+@pytest.fixture(scope="module")
+def rig():
+    node = Node(0)
+    bootstrap_founder(node.confidential.km)
+    node.confidential.provision_from_km()
+    pk = node.pk_tx
+    client = Client.from_seed(b"driver-user")
+    workload = abs_workload("flatbuffers")
+    artifact = compile_source(workload.source, "wasm")
+    deploy_tx, address = client.confidential_deploy(
+        pk, artifact, workload.schema_source
+    )
+    node.receive_transaction(deploy_tx)
+    node.preverify_pending()
+    node.apply_transactions(node.draft_block(max_bytes=1 << 20))
+
+    def tx_source(i: int):
+        return client.confidential_call(
+            pk, address, workload.method, workload.make_input(i)
+        )
+
+    orderer = PBFTOrderer([0] * 4, SINGLE_ZONE)
+    return node, orderer, tx_source
+
+
+class TestDriver:
+    def test_idle_network_produces_empty_blocks(self, rig):
+        node, orderer, _ = rig
+        driver = ClosedLoopDriver(node, orderer, lambda i: None, 0.0,
+                                  block_interval_s=0.01)
+        report = driver.run(0.1)
+        assert report.committed == 0
+        assert report.blocks
+        assert report.empty_block_fraction == 1.0
+        assert report.mean_empty_ms < 20
+
+    def test_loaded_network_commits_everything(self, rig):
+        node, orderer, tx_source = rig
+        driver = ClosedLoopDriver(node, orderer, tx_source, 100.0,
+                                  block_interval_s=0.02,
+                                  max_block_bytes=8192)
+        report = driver.run(0.3)
+        assert report.injected > 10
+        assert report.committed > 0
+        # Everything that arrived early enough commits.
+        assert report.committed >= report.injected - 10
+        assert report.tps > 0
+        busy = [b for b in report.blocks if not b.is_empty]
+        assert busy
+        assert report.mean_exec_ms > 0
+
+    def test_latency_percentiles_ordered(self, rig):
+        node, orderer, tx_source = rig
+        driver = ClosedLoopDriver(node, orderer, tx_source, 60.0,
+                                  block_interval_s=0.02, max_block_bytes=8192)
+        report = driver.run(0.25)
+        p50 = report.latency_percentile(0.5)
+        p95 = report.latency_percentile(0.95)
+        assert 0 <= p50 <= p95
+
+    def test_block_size_budget_respected(self, rig):
+        node, orderer, tx_source = rig
+        driver = ClosedLoopDriver(node, orderer, tx_source, 200.0,
+                                  block_interval_s=0.02,
+                                  max_block_bytes=4096)
+        report = driver.run(0.2)
+        for block in report.blocks:
+            if block.num_txs > 1:
+                assert block.block_bytes <= 4096 * 2  # one tx may overflow
+
+    def test_negative_rate_rejected(self, rig):
+        node, orderer, tx_source = rig
+        with pytest.raises(ChainError):
+            ClosedLoopDriver(node, orderer, tx_source, -1.0)
+
+    def test_empty_report_guards(self):
+        report = DriverReport()
+        assert report.tps == 0.0
+        assert report.empty_block_fraction == 0.0
+        assert report.latency_percentile(0.5) == 0.0

@@ -1,0 +1,312 @@
+"""Full-node and SPV consensus-read tests."""
+
+import dataclasses
+
+import pytest
+
+from conftest import COUNTER_SOURCE
+from repro.chain import spv
+from repro.chain.node import Node, build_consortium
+from repro.chain.transaction import contract_address
+from repro.core import Receipt, t_protocol
+from repro.errors import ChainError
+from repro.lang import compile_source
+from repro.workloads.clients import Client
+
+
+@pytest.fixture(scope="module")
+def network():
+    """A 4-node consortium with a counter contract and some history."""
+    nodes, service = build_consortium(4)
+    client = Client.from_seed(b"spv-user")
+    artifact = compile_source(COUNTER_SOURCE, "wasm")
+    pk = nodes[0].pk_tx
+    deploy_tx, address = client.confidential_deploy(pk, artifact)
+    batch1 = [deploy_tx]
+    batch2 = [
+        client.confidential_call(pk, address, "increment", b"") for _ in range(3)
+    ]
+    for node in nodes:
+        for tx in batch1 + batch2:
+            node.receive_transaction(tx)
+        node.preverify_pending()
+    leader_batch1 = batch1
+    leader_batch2 = batch2
+    for node in nodes:
+        node.apply_transactions(leader_batch1)
+        node.apply_transactions(leader_batch2)
+    return nodes, client, address, batch2
+
+
+class TestNode:
+    def test_chain_grows(self, network):
+        nodes, *_ = network
+        assert all(node.height == 2 for node in nodes)
+
+    def test_blocks_identical_across_nodes(self, network):
+        nodes, *_ = network
+        for height in (1, 2):
+            hashes = {node.header_at(height).block_hash for node in nodes}
+            assert len(hashes) == 1
+
+    def test_prev_hash_chain(self, network):
+        nodes, *_ = network
+        node = nodes[0]
+        assert node.header_at(2).prev_hash == node.header_at(1).block_hash
+
+    def test_duplicate_tx_rejected_by_pool(self, network):
+        nodes, client, address, batch = network
+        node = nodes[0]
+        tx = batch[0]
+        assert not node.receive_transaction(tx) or not node.receive_transaction(tx)
+
+    def test_header_out_of_range(self, network):
+        nodes, *_ = network
+        with pytest.raises(ChainError):
+            nodes[0].header_at(99)
+
+    def test_tx_roots_verify(self, network):
+        nodes, *_ = network
+        for block in nodes[0].chain:
+            assert block.verify_tx_root()
+
+
+class TestSpv:
+    def test_consensus_header(self, network):
+        nodes, *_ = network
+        header = spv.consensus_header(nodes, 2)
+        assert header.height == 2
+
+    def test_lying_minority_outvoted(self, network):
+        nodes, *_ = network
+        liar = nodes[3]
+        fake_header = dataclasses.replace(
+            liar.chain[1].header, state_root=b"\xff" * 32
+        )
+        liar.chain[1] = dataclasses.replace(liar.chain[1], header=fake_header)
+        try:
+            header = spv.consensus_header(nodes, 2)
+            assert header.state_root != b"\xff" * 32
+        finally:
+            honest = nodes[0].chain[1]
+            liar.chain[1] = honest
+
+    def test_receipt_proof_verifies(self, network):
+        nodes, client, address, batch = network
+        blob = spv.consensus_read_receipt(nodes, nodes[2], batch[1].tx_hash)
+        assert blob  # sealed receipt bytes
+
+    def test_forged_receipt_detected(self, network):
+        nodes, client, address, batch = network
+        proof = spv.prove_receipt(nodes[2], batch[1].tx_hash)
+        header = spv.consensus_header(nodes, proof.height)
+        forged = dataclasses.replace(proof, receipt_blob=b"forged")
+        assert not spv.verify_receipt(header, forged)
+
+    def test_unknown_tx(self, network):
+        nodes, *_ = network
+        with pytest.raises(ChainError):
+            spv.prove_receipt(nodes[0], b"\x00" * 32)
+
+    def test_owner_opens_receipt_from_untrusted_node(self, network):
+        nodes, client, address, batch = network
+        # Recover the raw hash the client signed (3rd increment -> nonce 4).
+        raws = [r for r in []]
+        tx = batch[0]
+        blob = spv.consensus_read_receipt(nodes, nodes[1], tx.tx_hash)
+        # The client kept k_tx at sealing time; find it by trying its keys.
+        opened = None
+        for raw_hash, k_tx in client._tx_keys.items():
+            try:
+                opened = Receipt.decode(t_protocol.open_receipt(k_tx, blob))
+                break
+            except Exception:
+                continue
+        assert opened is not None and opened.success
+
+
+class TestBlockVerification:
+    def _fresh_pair(self):
+        nodes, _ = build_consortium(4)
+        client = Client.from_seed(b"verify-user")
+        artifact = compile_source(COUNTER_SOURCE, "wasm")
+        pk = nodes[0].pk_tx
+        deploy_tx, address = client.confidential_deploy(pk, artifact)
+        for node in nodes:
+            node.receive_transaction(deploy_tx)
+            node.preverify_pending()
+        return nodes, client, address, [deploy_tx]
+
+    def test_leader_block_applies_on_replicas(self):
+        nodes, client, address, batch = self._fresh_pair()
+        leader_applied = nodes[0].apply_transactions(batch)
+        for replica in nodes[1:]:
+            applied = replica.apply_block(leader_applied.block)
+            assert applied.block.block_hash == leader_applied.block.block_hash
+
+    def test_wrong_height_rejected(self):
+        nodes, client, address, batch = self._fresh_pair()
+        block = nodes[0].apply_transactions(batch).block
+        nodes[1].apply_block(block)
+        with pytest.raises(ChainError, match="height"):
+            nodes[1].apply_block(block)  # replay of the same height
+
+    def test_tampered_tx_list_rejected(self):
+        import dataclasses as dc
+
+        nodes, client, address, batch = self._fresh_pair()
+        block = nodes[0].apply_transactions(batch).block
+        tampered = dc.replace(block, transactions=[])
+        with pytest.raises(ChainError, match="root"):
+            nodes[1].apply_block(tampered)
+
+    def test_forged_state_root_detected(self):
+        import dataclasses as dc
+
+        nodes, client, address, batch = self._fresh_pair()
+        block = nodes[0].apply_transactions(batch).block
+        forged_header = dc.replace(block.header, state_root=b"\xee" * 32)
+        forged = dc.replace(block, header=forged_header)
+        with pytest.raises(ChainError, match="diverges"):
+            nodes[1].apply_block(forged)
+
+
+class TestConsortiumRounds:
+    def _world(self):
+        from repro.chain.node import Consortium
+
+        nodes, _ = build_consortium(4)
+        consortium = Consortium(nodes)
+        client = Client.from_seed(b"rounds-user")
+        artifact = compile_source(COUNTER_SOURCE, "wasm")
+        pk = nodes[0].pk_tx
+        deploy_tx, address = client.confidential_deploy(pk, artifact)
+        consortium.broadcast(deploy_tx)
+        consortium.run_round(max_bytes=1 << 20)
+        return consortium, client, pk, address
+
+    def test_rounds_drain_and_agree(self):
+        consortium, client, pk, address = self._world()
+        for _ in range(5):
+            consortium.broadcast(
+                client.confidential_call(pk, address, "increment", b"")
+            )
+        rounds = consortium.run_until_empty(max_bytes=1 << 20)
+        assert rounds >= 1
+        hashes = {n.head_hash for n in consortium.nodes}
+        assert len(hashes) == 1
+        value = consortium.nodes[2].confidential.call_readonly(
+            address, "read", b""
+        )
+        assert int.from_bytes(value, "big") == 5
+
+    def test_leader_rotates(self):
+        consortium, client, pk, address = self._world()
+        leaders = []
+        for _ in range(4):
+            consortium.broadcast(
+                client.confidential_call(pk, address, "increment", b"")
+            )
+            applied = consortium.run_round(max_bytes=1 << 20)
+            leaders.append(applied.block.header.proposer)
+        assert len(set(leaders)) > 1
+
+    def test_small_blocks_need_multiple_rounds(self):
+        consortium, client, pk, address = self._world()
+        txs = [
+            client.confidential_call(pk, address, "increment", b"")
+            for _ in range(6)
+        ]
+        for tx in txs:
+            consortium.broadcast(tx)
+        one_size = len(txs[0].encode())
+        rounds = consortium.run_until_empty(max_bytes=one_size * 2 + 1)
+        assert rounds >= 3
+
+
+class TestLateJoin:
+    def test_new_node_syncs_history(self):
+        from repro.chain.node import Consortium, Node
+        from repro.chain.node import consensus_state
+        from repro.core import mutual_attested_provision
+
+        nodes, service = build_consortium(4)
+        consortium = Consortium(nodes)
+        client = Client.from_seed(b"sync-user")
+        artifact = compile_source(COUNTER_SOURCE, "wasm")
+        pk = nodes[0].pk_tx
+        deploy_tx, address = client.confidential_deploy(pk, artifact)
+        consortium.broadcast(deploy_tx)
+        consortium.run_round(max_bytes=1 << 20)
+        for _ in range(3):
+            consortium.broadcast(
+                client.confidential_call(pk, address, "increment", b"")
+            )
+        consortium.run_until_empty(max_bytes=1 << 20)
+
+        # A fifth node joins: an existing member revives its KM enclave
+        # from the sealed key blob, runs the MAP, then the joiner replays
+        # the chain.
+        joiner = Node(4)
+        service.register_platform(joiner.confidential.platform)
+        member_km = nodes[0].confidential.revive_km()
+        mutual_attested_provision(member_km, joiner.confidential.km, service)
+        joiner.confidential.provision_from_km()
+        applied = joiner.sync_from(nodes[0])
+        assert applied == nodes[0].height
+        assert joiner.head_hash == nodes[0].head_hash
+        assert consensus_state(joiner.kv) == consensus_state(nodes[0].kv)
+        value = joiner.confidential.call_readonly(address, "read", b"")
+        assert int.from_bytes(value, "big") == 3
+
+    def test_sync_rejects_forged_history(self):
+        import dataclasses as dc
+
+        from repro.chain.node import Consortium, Node
+        from repro.core import mutual_attested_provision
+
+        nodes, service = build_consortium(4)
+        consortium = Consortium(nodes)
+        client = Client.from_seed(b"sync-user-2")
+        artifact = compile_source(COUNTER_SOURCE, "wasm")
+        pk = nodes[0].pk_tx
+        deploy_tx, address = client.confidential_deploy(pk, artifact)
+        consortium.broadcast(deploy_tx)
+        consortium.run_round(max_bytes=1 << 20)
+
+        joiner = Node(4)
+        service.register_platform(joiner.confidential.platform)
+        member_km = nodes[0].confidential.revive_km()
+        mutual_attested_provision(member_km, joiner.confidential.km, service)
+        joiner.confidential.provision_from_km()
+        liar = nodes[3]
+        forged_header = dc.replace(
+            liar.chain[0].header, state_root=b"\x66" * 32
+        )
+        liar.chain[0] = dc.replace(liar.chain[0], header=forged_header)
+        try:
+            with pytest.raises(ChainError):
+                joiner.sync_from(liar)
+        finally:
+            liar.chain[0] = nodes[0].chain[0]
+
+
+class TestConsortiumSetup:
+    def test_centralized_key_mode(self):
+        nodes, _ = build_consortium(4, key_mode="centralized")
+        pks = {node.confidential.pk_tx for node in nodes}
+        assert len(pks) == 1
+
+    def test_unknown_key_mode(self):
+        with pytest.raises(ChainError):
+            build_consortium(4, key_mode="carrier-pigeon")
+
+    def test_zones_respected(self):
+        nodes, _ = build_consortium(4, zones=[0, 0, 1, 1])
+        assert [node.zone for node in nodes] == [0, 0, 1, 1]
+
+    def test_empty_block_application(self):
+        nodes, _ = build_consortium(4)
+        applied = nodes[0].apply_transactions([])
+        assert applied.block.header.height == 1
+        assert applied.report.outcomes == []

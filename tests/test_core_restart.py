@@ -1,0 +1,70 @@
+"""Node-restart key recovery tests (SGX sealing semantics)."""
+
+import pytest
+
+from conftest import COUNTER_SOURCE, deploy_confidential, run_confidential
+from repro.core import ConfidentialEngine, bootstrap_founder
+from repro.errors import ProtocolError, ReproError
+from repro.storage import MemoryKV
+from repro.tee import Platform
+from repro.workloads.clients import Client
+
+
+class TestRestartRecovery:
+    def test_restarted_engine_recovers_keys_and_state(self, client):
+        platform = Platform("machine-1")
+        kv = MemoryKV()
+        engine = ConfidentialEngine(kv, platform=platform)
+        bootstrap_founder(engine.km)
+        pk_before = engine.provision_from_km()
+        address = deploy_confidential(engine, client, COUNTER_SOURCE)
+        run_confidential(engine, client, address, "increment")
+
+        # "Restart": a brand-new engine object over the same KV and the
+        # same platform (machine).
+        restarted = ConfidentialEngine(kv, platform=platform)
+        pk_after = restarted.restore_keys_from_storage()
+        assert pk_after == pk_before
+        outcome = run_confidential(restarted, client, address, "increment")
+        assert outcome.receipt.success, outcome.receipt.error
+        assert int.from_bytes(outcome.receipt.output, "big") == 2
+
+    def test_copied_database_on_other_machine_cannot_unseal(self, client):
+        platform = Platform("machine-1")
+        kv = MemoryKV()
+        engine = ConfidentialEngine(kv, platform=platform)
+        bootstrap_founder(engine.km)
+        engine.provision_from_km()
+
+        # Attacker copies the whole database to their own machine.
+        stolen = MemoryKV()
+        for key, value in kv.items():
+            stolen.put(key, value)
+        attacker = ConfidentialEngine(stolen, platform=Platform("machine-evil"))
+        with pytest.raises(ReproError):
+            attacker.restore_keys_from_storage()
+
+    def test_restore_without_sealed_blob(self):
+        engine = ConfidentialEngine(MemoryKV())
+        with pytest.raises(ProtocolError, match="no sealed keys"):
+            engine.restore_keys_from_storage()
+
+    def test_opt_out_of_persistence(self):
+        kv = MemoryKV()
+        engine = ConfidentialEngine(kv)
+        bootstrap_founder(engine.km)
+        engine.provision_from_km(persist_sealed=False)
+        assert kv.get(b"km:sealed-keys") is None
+
+    def test_tampered_sealed_blob_rejected(self, client):
+        platform = Platform("machine-1")
+        kv = MemoryKV()
+        engine = ConfidentialEngine(kv, platform=platform)
+        bootstrap_founder(engine.km)
+        engine.provision_from_km()
+        sealed = bytearray(kv.get(b"km:sealed-keys"))
+        sealed[-1] ^= 1
+        kv.put(b"km:sealed-keys", bytes(sealed))
+        restarted = ConfidentialEngine(kv, platform=platform)
+        with pytest.raises(ReproError):
+            restarted.restore_keys_from_storage()

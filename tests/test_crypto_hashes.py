@@ -1,0 +1,59 @@
+"""Keccak-256 and SHA-256 tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashes import keccak256, sha256, sha256_hex
+
+
+class TestKeccakVectors:
+    def test_empty(self):
+        assert keccak256(b"").hex() == (
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        )
+
+    def test_abc(self):
+        assert keccak256(b"abc").hex() == (
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        )
+
+    def test_ethereum_function_selector(self):
+        # keccak("transfer(address,uint256)")[:4] == a9059cbb — the most
+        # famous four bytes in Ethereum.
+        assert keccak256(b"transfer(address,uint256)")[:4].hex() == "a9059cbb"
+
+    def test_exactly_one_rate_block(self):
+        # 136 bytes: forces the padding into a second permutation block.
+        digest = keccak256(b"a" * 136)
+        assert len(digest) == 32
+
+    def test_multi_block(self):
+        d1 = keccak256(b"x" * 500)
+        d2 = keccak256(b"x" * 500)
+        assert d1 == d2
+        assert d1 != keccak256(b"x" * 499)
+
+
+class TestSha256:
+    def test_vector_abc(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_hex_helper(self):
+        assert sha256_hex(b"abc") == sha256(b"abc").hex()
+
+
+class TestProperties:
+    @given(data=st.binary(max_size=600))
+    @settings(max_examples=50, deadline=None)
+    def test_keccak_is_32_bytes_and_deterministic(self, data):
+        digest = keccak256(data)
+        assert len(digest) == 32
+        assert digest == keccak256(data)
+
+    @given(a=st.binary(max_size=100), b=st.binary(max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_keccak_collision_resistance_smoke(self, a, b):
+        if a != b:
+            assert keccak256(a) != keccak256(b)

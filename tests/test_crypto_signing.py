@@ -1,0 +1,176 @@
+"""ECDSA, ECIES and HKDF tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ecdsa, ecies
+from repro.crypto.ecc import N
+from repro.crypto.hkdf import hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.keys import KeyPair, SymmetricKey
+from repro.errors import AuthenticationError, CryptoError
+
+
+class TestEcdsa:
+    def setup_method(self):
+        self.kp = KeyPair.from_seed(b"ecdsa-test")
+
+    def test_sign_verify(self):
+        sig = ecdsa.sign(self.kp.private, b"message")
+        assert ecdsa.verify(self.kp.public, b"message", sig)
+
+    def test_wrong_message_fails(self):
+        sig = ecdsa.sign(self.kp.private, b"message")
+        assert not ecdsa.verify(self.kp.public, b"other", sig)
+
+    def test_wrong_key_fails(self):
+        sig = ecdsa.sign(self.kp.private, b"message")
+        other = KeyPair.from_seed(b"other")
+        assert not ecdsa.verify(other.public, b"message", sig)
+
+    def test_deterministic_rfc6979(self):
+        assert ecdsa.sign(self.kp.private, b"m") == ecdsa.sign(self.kp.private, b"m")
+
+    def test_low_s_normalization(self):
+        for i in range(5):
+            sig = ecdsa.sign(self.kp.private, bytes([i]))
+            assert sig.s <= N // 2
+
+    def test_signature_encoding_roundtrip(self):
+        sig = ecdsa.sign(self.kp.private, b"m")
+        assert ecdsa.Signature.decode(sig.encode()) == sig
+        assert len(sig.encode()) == 64
+
+    def test_malformed_signature_rejected(self):
+        with pytest.raises(CryptoError):
+            ecdsa.Signature.decode(b"short")
+
+    def test_zero_rs_rejected(self):
+        assert not ecdsa.verify(self.kp.public, b"m", ecdsa.Signature(0, 1))
+        assert not ecdsa.verify(self.kp.public, b"m", ecdsa.Signature(1, 0))
+        assert not ecdsa.verify(self.kp.public, b"m", ecdsa.Signature(N, 1))
+
+    def test_require_valid_raises(self):
+        sig = ecdsa.sign(self.kp.private, b"m")
+        ecdsa.require_valid(self.kp.public, b"m", sig)
+        with pytest.raises(AuthenticationError):
+            ecdsa.require_valid(self.kp.public, b"x", sig)
+
+    def test_bad_private_key(self):
+        with pytest.raises(CryptoError):
+            ecdsa.sign(0, b"m")
+        with pytest.raises(CryptoError):
+            ecdsa.sign(N, b"m")
+
+    @given(message=st.binary(max_size=100))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_property(self, message):
+        sig = ecdsa.sign(self.kp.private, message)
+        assert ecdsa.verify(self.kp.public, message, sig)
+
+
+class TestEcies:
+    def setup_method(self):
+        self.kp = KeyPair.from_seed(b"ecies-test")
+
+    def test_roundtrip(self):
+        env = ecies.encrypt(self.kp.public, b"secret payload", b"ctx")
+        assert ecies.decrypt(self.kp, env, b"ctx") == b"secret payload"
+
+    def test_wrong_recipient(self):
+        env = ecies.encrypt(self.kp.public, b"secret")
+        other = KeyPair.from_seed(b"other")
+        with pytest.raises(AuthenticationError):
+            ecies.decrypt(other, env)
+
+    def test_wrong_aad(self):
+        env = ecies.encrypt(self.kp.public, b"secret", b"a")
+        with pytest.raises(AuthenticationError):
+            ecies.decrypt(self.kp, env, b"b")
+
+    def test_tampered_envelope(self):
+        env = bytearray(ecies.encrypt(self.kp.public, b"secret"))
+        env[-1] ^= 1
+        with pytest.raises(AuthenticationError):
+            ecies.decrypt(self.kp, bytes(env))
+
+    def test_tampered_ephemeral_key(self):
+        env = bytearray(ecies.encrypt(self.kp.public, b"secret"))
+        env[1] ^= 1
+        with pytest.raises(AuthenticationError):
+            ecies.decrypt(self.kp, bytes(env))
+
+    def test_too_short(self):
+        with pytest.raises(AuthenticationError):
+            ecies.decrypt(self.kp, b"tiny")
+
+    def test_envelopes_are_randomized(self):
+        e1 = ecies.encrypt(self.kp.public, b"same")
+        e2 = ecies.encrypt(self.kp.public, b"same")
+        assert e1 != e2  # fresh ephemeral key each time
+
+    @given(payload=st.binary(max_size=200))
+    @settings(max_examples=8, deadline=None)
+    def test_roundtrip_property(self, payload):
+        env = ecies.encrypt(self.kp.public, payload)
+        assert ecies.decrypt(self.kp, env) == payload
+
+
+class TestHkdf:
+    def test_rfc5869_case1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case3_no_salt_no_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf(ikm, length=42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_length_limit(self):
+        with pytest.raises(CryptoError):
+            hkdf_expand(b"\x00" * 32, b"", 256 * 32)
+
+    def test_info_separates(self):
+        assert hkdf(b"ikm", info=b"a") != hkdf(b"ikm", info=b"b")
+
+
+class TestKeys:
+    def test_keypair_from_seed_deterministic(self):
+        assert KeyPair.from_seed(b"s").private == KeyPair.from_seed(b"s").private
+
+    def test_generate_distinct(self):
+        assert KeyPair.generate().private != KeyPair.generate().private
+
+    def test_ecdh_agreement(self):
+        a, b = KeyPair.from_seed(b"a"), KeyPair.from_seed(b"b")
+        assert a.ecdh(b.public) == b.ecdh(a.public)
+
+    def test_from_private_range_check(self):
+        with pytest.raises(CryptoError):
+            KeyPair.from_private(0)
+
+    def test_symmetric_key_sizes(self):
+        assert len(SymmetricKey.generate().material) == 16
+        assert len(SymmetricKey.generate(32).material) == 32
+        with pytest.raises(CryptoError):
+            SymmetricKey(b"short")
+
+    def test_symmetric_derive_deterministic(self):
+        k1 = SymmetricKey.derive(b"root", b"info")
+        k2 = SymmetricKey.derive(b"root", b"info")
+        assert k1.material == k2.material
+        assert k1.fingerprint() == k2.fingerprint()
+        assert SymmetricKey.derive(b"root", b"other").material != k1.material

@@ -1,0 +1,172 @@
+"""Property tests on engine state semantics.
+
+A randomized key-value contract drives arbitrary get/set sequences
+through the Confidential-Engine; a plain Python dict is the model.  The
+engine must agree with the model after every transaction, despite the
+encryption, the overlay/rollback machinery and the SDM cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import deploy_confidential, deploy_public, run_confidential, run_public
+from repro.core import ConfidentialEngine, PublicEngine, bootstrap_founder
+from repro.storage import MemoryKV
+from repro.workloads.clients import Client
+
+# A generic KV contract: method `apply` takes [op(1) klen(1) key vlen(1) val]*
+# ops: 1=set, 2=get-and-echo (appends "klen key vlen val" to output)
+KV_CONTRACT = """
+fn apply() {
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+    let out = alloc(4096);
+    let w = 0;
+    let i = 0;
+    while (i < n) {
+        let op = load8(buf + i);
+        let klen = load8(buf + i + 1);
+        let kptr = buf + i + 2;
+        if (op == 1) {
+            let vlen = load8(buf + i + 2 + klen);
+            let vptr = buf + i + 3 + klen;
+            storage_set(kptr, klen, vptr, vlen);
+            i = i + 3 + klen + vlen;
+        } else {
+            let got = storage_get(kptr, klen, out + w + 2, 250);
+            store8(out + w, klen);
+            if (got < 0) {
+                store8(out + w + 1, 255);
+                w = w + 2;
+            } else {
+                store8(out + w + 1, got);
+                memcopy(out + w + 2, out + w + 2, 0);
+                w = w + 2 + got;
+            }
+            i = i + 2 + klen;
+        }
+    }
+    output(out, w);
+}
+"""
+
+_keys = st.binary(min_size=1, max_size=4)
+_vals = st.binary(min_size=0, max_size=8)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), _keys, _vals),
+        st.tuples(st.just("get"), _keys, st.just(b"")),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _encode_ops(ops) -> bytes:
+    out = bytearray()
+    for op, key, value in ops:
+        if op == "set":
+            out += bytes([1, len(key)]) + key + bytes([len(value)]) + value
+        else:
+            out += bytes([2, len(key)]) + key
+    return bytes(out)
+
+
+def _expected_output(ops, model: dict) -> bytes:
+    out = bytearray()
+    for op, key, value in ops:
+        if op == "set":
+            model[key] = value
+        else:
+            got = model.get(key)
+            if got is None:
+                out += bytes([len(key), 255])
+            else:
+                out += bytes([len(key), len(got)]) + got
+    return bytes(out)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    client = Client.from_seed(b"prop-user")
+    confidential = ConfidentialEngine(MemoryKV())
+    bootstrap_founder(confidential.km)
+    confidential.provision_from_km()
+    conf_addr = deploy_confidential(confidential, client, KV_CONTRACT)
+    public = PublicEngine(MemoryKV())
+    pub_addr = deploy_public(public, client, KV_CONTRACT)
+    return client, confidential, conf_addr, public, pub_addr
+
+
+class TestStateModel:
+    @given(batches=st.lists(_ops, min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_confidential_engine_matches_dict_model(self, engines, batches):
+        client, confidential, address, *_ = engines
+        # Note: state persists across hypothesis examples — the model
+        # must too, so it lives on the engine object.
+        model = getattr(confidential, "_prop_model", None)
+        if model is None:
+            model = {}
+            confidential._prop_model = model
+        for ops in batches:
+            expected = _expected_output(ops, model)
+            outcome = run_confidential(
+                confidential, client, address, "apply", _encode_ops(ops)
+            )
+            assert outcome.receipt.success, outcome.receipt.error
+            assert outcome.receipt.output == expected
+
+    @given(batches=st.lists(_ops, min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_public_engine_matches_dict_model(self, engines, batches):
+        client, _c, _a, public, address = engines
+        model = getattr(public, "_prop_model", None)
+        if model is None:
+            model = {}
+            public._prop_model = model
+        for ops in batches:
+            expected = _expected_output(ops, model)
+            outcome = run_public(public, client, address, "apply", _encode_ops(ops))
+            assert outcome.receipt.success, outcome.receipt.error
+            assert outcome.receipt.output == expected
+
+
+class TestMultiClient:
+    def test_independent_nonce_streams(self):
+        engine = ConfidentialEngine(MemoryKV())
+        bootstrap_founder(engine.km)
+        engine.provision_from_km()
+        alice = Client.from_seed(b"alice")
+        bob = Client.from_seed(b"bob")
+        address = deploy_confidential(engine, alice, KV_CONTRACT)
+        # Interleaved transactions from both clients all succeed.
+        for i in range(3):
+            for user in (alice, bob):
+                ops = [("set", user.address[:2], bytes([i]))]
+                outcome = run_confidential(
+                    engine, user, address, "apply", _encode_ops(ops)
+                )
+                assert outcome.receipt.success, outcome.receipt.error
+
+    def test_each_owner_opens_only_their_receipts(self):
+        from repro.crypto.ecc import decode_point
+
+        engine = ConfidentialEngine(MemoryKV())
+        bootstrap_founder(engine.km)
+        engine.provision_from_km()
+        alice = Client.from_seed(b"alice2")
+        bob = Client.from_seed(b"bob2")
+        address = deploy_confidential(engine, alice, KV_CONTRACT)
+        pk = decode_point(engine.pk_tx)
+        raw = bob.call_raw(address, "apply", _encode_ops([("get", b"x", b"")]))
+        outcome = engine.execute(bob.seal(pk, raw))
+        assert outcome.receipt.success
+        bob_receipt = bob.open_receipt(raw.tx_hash, outcome.sealed_receipt)
+        assert bob_receipt.output == bytes([1, 255])
+        with pytest.raises(Exception):
+            alice.open_receipt(raw.tx_hash, outcome.sealed_receipt)

@@ -1,0 +1,31 @@
+"""Examples must keep running — they are executable documentation."""
+
+import os
+import runpy
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+_EXAMPLES = sorted(
+    name for name in os.listdir(_EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(
+        os.path.join(_EXAMPLES_DIR, script), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+    assert "ERROR" not in out
+
+
+def test_expected_examples_present():
+    assert set(_EXAMPLES) == {
+        "quickstart.py",
+        "supply_chain_finance.py",
+        "abs_securitization.py",
+        "cold_chain_logistics.py",
+        "auditor_workflow.py",
+    }

@@ -1,0 +1,490 @@
+"""CWScript compiler tests: semantics on both targets, diagnostics, and a
+differential property test (wasm vs EVM vs a Python reference)."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import MockHost
+from repro.errors import CompileError
+from repro.lang import ContractArtifact, compile_source
+from repro.vm.host import AbortExecution
+from repro.vm.runner import execute
+
+_M = (1 << 64) - 1
+
+
+def run_both(source, method="main", input_data=b"", check=None):
+    outputs = {}
+    for target in ("wasm", "evm"):
+        artifact = compile_source(source, target)
+        result = execute(artifact, method, MockHost(input_data))
+        outputs[target] = result.output
+        if check is not None:
+            check(target, result)
+    assert outputs["wasm"] == outputs["evm"], outputs
+    return outputs["wasm"]
+
+
+def returns_value(expression: str) -> int:
+    source = f"""
+    fn main() {{
+        let r = {expression};
+        let out = alloc(8);
+        store64(out, r);
+        output(out, 8);
+    }}
+    """
+    return int.from_bytes(run_both(source), "big")
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert returns_value("2 + 3 * 4") == 14
+
+    def test_negative_division(self):
+        assert returns_value("(0 - 7) / 2") == (-3) & _M
+
+    def test_negative_modulo(self):
+        assert returns_value("(0 - 7) % 2") == (-1) & _M
+
+    def test_wraparound(self):
+        assert returns_value("0 - 1") == _M
+
+    def test_shifts(self):
+        assert returns_value("1 << 40") == 1 << 40
+        assert returns_value("(1 << 40) >> 39") == 2
+
+    def test_bitwise(self):
+        assert returns_value("(12 & 10) | (1 ^ 3)") == (12 & 10) | (1 ^ 3)
+
+    def test_bitwise_not(self):
+        assert returns_value("~0") == _M
+
+    def test_comparisons_signed(self):
+        assert returns_value("(0 - 5) < 3") == 1
+        assert returns_value("(0 - 5) > 3") == 0
+        assert returns_value("(0 - 1) >= (0 - 1)") == 1
+
+    def test_logical_short_circuit(self):
+        # The RHS would trap (division by zero) if evaluated.
+        assert returns_value("0 && (1 / 0)") == 0
+        assert returns_value("1 || (1 / 0)") == 1
+
+    def test_logical_normalizes_to_bool(self):
+        assert returns_value("7 && 9") == 1
+        assert returns_value("0 || 42") == 1
+
+    def test_not(self):
+        assert returns_value("!0") == 1
+        assert returns_value("!5") == 0
+
+    def test_char_literals(self):
+        assert returns_value("'a' + 1") == 98
+
+    def test_hex_literals(self):
+        assert returns_value("0xff * 2") == 510
+
+
+class TestStatements:
+    def test_while_loop(self):
+        src = """
+        fn main() {
+            let acc = 0;
+            let i = 0;
+            while (i < 10) { acc = acc + i; i = i + 1; }
+            let out = alloc(8); store64(out, acc); output(out, 8);
+        }
+        """
+        assert int.from_bytes(run_both(src), "big") == 45
+
+    def test_break_continue(self):
+        src = """
+        fn main() {
+            let acc = 0;
+            let i = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 100) { break; }
+                if (i % 2 == 0) { continue; }
+                acc = acc + i;
+            }
+            let out = alloc(8); store64(out, acc); output(out, 8);
+        }
+        """
+        assert int.from_bytes(run_both(src), "big") == sum(range(1, 101, 2))
+
+    def test_nested_if(self):
+        src = """
+        fn _classify(x) -> i64 {
+            if (x < 10) {
+                if (x < 5) { return 1; } else { return 2; }
+            } else if (x < 20) { return 3; }
+            else { return 4; }
+        }
+        fn main() {
+            let out = alloc(8);
+            store64(out, _classify(3) * 1000 + _classify(7) * 100
+                + _classify(15) * 10 + _classify(99));
+            output(out, 8);
+        }
+        """
+        assert int.from_bytes(run_both(src), "big") == 1234
+
+    def test_globals(self):
+        src = """
+        global total = 100;
+        fn _bump(n) { total = total + n; }
+        fn main() {
+            _bump(5);
+            _bump(7);
+            let out = alloc(8); store64(out, total); output(out, 8);
+        }
+        """
+        assert int.from_bytes(run_both(src), "big") == 112
+
+    def test_consts(self):
+        src = """
+        const BASE = 1000;
+        const NEG = -5;
+        fn main() {
+            let out = alloc(8); store64(out, BASE + NEG); output(out, 8);
+        }
+        """
+        assert int.from_bytes(run_both(src), "big") == 995
+
+
+class TestMemoryAndStrings:
+    def test_string_literal_and_sizeof(self):
+        src = """
+        fn main() {
+            let s = "hello world";
+            output(s, sizeof("hello world"));
+        }
+        """
+        assert run_both(src) == b"hello world"
+
+    def test_alloc_alignment_and_growth(self):
+        src = """
+        fn main() {
+            let a = alloc(3);
+            let b = alloc(5);
+            let out = alloc(8);
+            store64(out, b - a);
+            output(out, 8);
+        }
+        """
+        assert int.from_bytes(run_both(src), "big") == 8
+
+    def test_memcopy_and_memfill(self):
+        src = """
+        fn main() {
+            let buf = alloc(16);
+            memfill(buf, 'x', 8);
+            memcopy(buf + 8, buf, 4);
+            output(buf, 12);
+        }
+        """
+        assert run_both(src) == b"xxxxxxxxxxxx"
+
+    def test_store_load_widths(self):
+        src = """
+        fn main() {
+            let p = alloc(32);
+            store8(p, 0xAB);
+            store16(p + 2, 0xCDEF);
+            store32(p + 4, 0x01020304);
+            store64(p + 8, 0x1122334455667788);
+            let out = alloc(32);
+            store64(out, load8(p));
+            store64(out + 8, load16(p + 2));
+            store64(out + 16, load32(p + 4));
+            store64(out + 24, load64(p + 8));
+            output(out, 32);
+        }
+        """
+        out = run_both(src)
+        assert int.from_bytes(out[0:8], "big") == 0xAB
+        assert int.from_bytes(out[8:16], "big") == 0xCDEF
+        assert int.from_bytes(out[16:24], "big") == 0x01020304
+        assert int.from_bytes(out[24:32], "big") == 0x1122334455667788
+
+
+class TestHostInterface:
+    def test_input_roundtrip(self):
+        src = """
+        fn main() {
+            let n = input_size();
+            let buf = alloc(n);
+            input_read(buf, 0, n);
+            output(buf, n);
+        }
+        """
+        assert run_both(src, input_data=b"payload!") == b"payload!"
+
+    def test_storage_and_hash(self):
+        src = """
+        fn main() {
+            let d = alloc(32);
+            sha256("data", 4, d);
+            storage_set("h", 1, d, 32);
+            let back = alloc(32);
+            storage_get("h", 1, back, 32);
+            output(back, 32);
+        }
+        """
+        from repro.crypto.hashes import sha256
+        assert run_both(src) == sha256(b"data")
+
+    def test_abort(self):
+        src = 'fn main() { abort("boom", 4); }'
+        for target in ("wasm", "evm"):
+            artifact = compile_source(src, target)
+            with pytest.raises(AbortExecution, match="boom"):
+                execute(artifact, "main", MockHost())
+
+    def test_caller(self):
+        src = """
+        fn main() {
+            let who = alloc(20);
+            caller(who);
+            output(who, 20);
+        }
+        """
+        assert run_both(src) == b"\xaa" * 20
+
+    def test_log(self):
+        src = 'fn main() { log("evt", 3); }'
+
+        def check(target, result):
+            assert result.logs == [b"evt"]
+
+        run_both(src, check=check)
+
+
+class TestUserFunctions:
+    def test_recursion_wasm_only(self):
+        # Recursion works on CONFIDE-VM (real call stack); the EVM
+        # backend uses static frames, documented as non-reentrant.
+        src = """
+        fn _fact(n) -> i64 {
+            if (n <= 1) { return 1; }
+            return n * _fact(n - 1);
+        }
+        fn main() {
+            let out = alloc(8); store64(out, _fact(10)); output(out, 8);
+        }
+        """
+        artifact = compile_source(src, "wasm")
+        result = execute(artifact, "main", MockHost())
+        assert int.from_bytes(result.output, "big") == 3628800
+
+    def test_multi_function_composition(self):
+        src = """
+        fn _sq(x) -> i64 { return x * x; }
+        fn _add3(a, b, c) -> i64 { return a + b + c; }
+        fn main() {
+            let out = alloc(8);
+            store64(out, _add3(_sq(2), _sq(3), _sq(4)));
+            output(out, 8);
+        }
+        """
+        assert int.from_bytes(run_both(src), "big") == 29
+
+    def test_internal_not_exported(self):
+        artifact = compile_source(
+            "fn _hidden() { } fn visible() { }", "wasm"
+        )
+        assert artifact.methods == ("visible",)
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize("source,message", [
+        ("fn main() { x = 1; }", "unknown name"),
+        ("fn main() { let y = x; }", "unknown name"),
+        ("fn main() { let a = 1; let a = 2; }", "duplicate local"),
+        ("fn main() { missing(); }", "unknown function"),
+        ("fn main() { break; }", "outside loop"),
+        ("fn main() { continue; }", "outside loop"),
+        ("fn main() { return 5; }", "no result"),
+        ("fn _f() -> i64 { return; } fn main() { }", "must return a value"),
+        ("fn main() { let x = load8(1, 2); }", "expects 1 args"),
+        ("fn main() { let x = output(0, 0); }", "returns no value"),
+        ("fn main(x) { }", "no parameters"),
+        ("fn main() { let x = sizeof(1); }", "string literal"),
+    ])
+    def test_error_messages(self, source, message):
+        for target in ("wasm", "evm"):
+            with pytest.raises(CompileError, match=message):
+                compile_source(source, target)
+
+    def test_no_exports(self):
+        with pytest.raises(CompileError, match="exports no methods"):
+            compile_source("fn _only_internal() { }", "wasm")
+
+    def test_unknown_target(self):
+        with pytest.raises(CompileError):
+            compile_source("fn main() { }", "riscv")
+
+
+class TestAssertSugar:
+    def test_assert_passes_silently(self):
+        src = """
+        fn main() {
+            assert(1 + 1 == 2, "math broke");
+            let out = alloc(8); store64(out, 7); output(out, 8);
+        }
+        """
+        assert int.from_bytes(run_both(src), "big") == 7
+
+    def test_assert_failure_aborts_with_message(self):
+        src = 'fn main() { assert(0, "invariant violated"); }'
+        for target in ("wasm", "evm"):
+            artifact = compile_source(src, target)
+            with pytest.raises(AbortExecution, match="invariant violated"):
+                execute(artifact, "main", MockHost())
+
+    def test_assert_in_nested_blocks(self):
+        src = """
+        fn main() {
+            let i = 0;
+            while (i < 3) {
+                if (i == 2) { assert(i != 2, "loop reached 2"); }
+                i = i + 1;
+            }
+        }
+        """
+        artifact = compile_source(src, "wasm")
+        with pytest.raises(AbortExecution, match="loop reached 2"):
+            execute(artifact, "main", MockHost())
+
+    def test_assert_requires_string_literal(self):
+        with pytest.raises(CompileError, match="assert"):
+            compile_source("fn main() { assert(1, 2); }", "wasm")
+
+    def test_assert_arity_checked(self):
+        with pytest.raises(CompileError, match="assert"):
+            compile_source('fn main() { assert(1); }', "wasm")
+
+
+class TestArtifact:
+    def test_encode_decode_roundtrip(self):
+        for target in ("wasm", "evm"):
+            artifact = compile_source("fn main() { } fn other() { }", target)
+            back = ContractArtifact.decode(artifact.encode())
+            assert back.target == artifact.target
+            assert back.code == artifact.code
+            assert back.methods == artifact.methods
+            assert back.entries == artifact.entries
+
+    def test_evm_entries_exist(self):
+        artifact = compile_source("fn main() { } fn other() { }", "evm")
+        assert set(artifact.entries) == {"main", "other"}
+
+    def test_wasm_entry_lookup_rejected(self):
+        artifact = compile_source("fn main() { }", "wasm")
+        with pytest.raises(CompileError):
+            artifact.entry_for("main")
+
+
+# ---------------------------------------------------------------------------
+# Differential testing: random expressions, three-way comparison
+# ---------------------------------------------------------------------------
+
+_ATOMS = st.integers(min_value=0, max_value=1000)
+
+
+def _expr_strategy():
+    binops = st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^", "<",
+                              "<=", ">", ">=", "==", "!="])
+    return st.recursive(
+        _ATOMS,
+        lambda children: st.tuples(binops, children, children),
+        max_leaves=12,
+    )
+
+
+def _render(node) -> str:
+    if isinstance(node, int):
+        return str(node)
+    op_text, left, right = node
+    return f"({_render(left)} {op_text} {_render(right)})"
+
+
+def _signed(v: int) -> int:
+    return v - (1 << 64) if v & (1 << 63) else v
+
+
+def _reference(node) -> int:
+    if isinstance(node, int):
+        return node & _M
+    op_text, left_node, right_node = node
+    left, right = _reference(left_node), _reference(right_node)
+    if op_text == "+":
+        return (left + right) & _M
+    if op_text == "-":
+        return (left - right) & _M
+    if op_text == "*":
+        return (left * right) & _M
+    if op_text == "/":
+        ls, rs = _signed(left), _signed(right)
+        if rs == 0:
+            raise ZeroDivisionError
+        quotient = abs(ls) // abs(rs)
+        return (-quotient if (ls < 0) != (rs < 0) else quotient) & _M
+    if op_text == "%":
+        ls, rs = _signed(left), _signed(right)
+        if rs == 0:
+            raise ZeroDivisionError
+        remainder = abs(ls) % abs(rs)
+        return (-remainder if ls < 0 else remainder) & _M
+    if op_text in ("&", "|", "^"):
+        return {"&": operator.and_, "|": operator.or_, "^": operator.xor}[
+            op_text](left, right)
+    comparisons = {
+        "<": operator.lt, "<=": operator.le, ">": operator.gt,
+        ">=": operator.ge, "==": operator.eq, "!=": operator.ne,
+    }
+    return 1 if comparisons[op_text](_signed(left), _signed(right)) else 0
+
+
+class TestDifferential:
+    @given(tree=_expr_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_random_expressions_match_reference(self, tree):
+        from repro.errors import TrapError
+
+        try:
+            expected = _reference(tree)
+        except ZeroDivisionError:
+            expected = None  # both targets must trap
+        source = f"""
+        fn main() {{
+            let r = {_render(tree)};
+            let out = alloc(8);
+            store64(out, r);
+            output(out, 8);
+        }}
+        """
+        for target in ("wasm", "evm"):
+            artifact = compile_source(source, target)
+            if expected is None:
+                with pytest.raises(TrapError):
+                    execute(artifact, "main", MockHost())
+                continue
+            result = execute(artifact, "main", MockHost())
+            got = int.from_bytes(result.output, "big")
+            assert got == expected, (target, _render(tree))
+
+    def test_division_by_zero_traps_on_both_targets(self):
+        from repro.errors import TrapError
+
+        for expr_text in ("1 / 0", "1 % 0"):
+            for target in ("wasm", "evm"):
+                artifact = compile_source(
+                    f"fn main() {{ let x = {expr_text}; }}", target
+                )
+                with pytest.raises(TrapError):
+                    execute(artifact, "main", MockHost())

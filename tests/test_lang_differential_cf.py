@@ -1,0 +1,175 @@
+"""Control-flow differential testing.
+
+Hypothesis generates random straight-line/branching/looping programs
+over three variables; a Python reference interpreter computes the
+expected final state; both compiler backends must agree with it.
+"""
+
+from __future__ import annotations
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import MockHost
+from repro.lang import compile_source
+from repro.vm.runner import execute
+
+_M = (1 << 64) - 1
+_VARS = ("a", "b", "c")
+
+
+def _signed(v: int) -> int:
+    return v - (1 << 64) if v & (1 << 63) else v
+
+
+# -- program AST -------------------------------------------------------------
+# expr  := ("const", n) | ("var", name) | ("bin", op, e1, e2)
+# stmt  := ("assign", var, expr)
+#        | ("if", expr, [stmt], [stmt])
+#        | ("loop", count, [stmt])        # bounded: always terminates
+
+_BINOPS = {
+    "+": lambda a, b: (a + b) & _M,
+    "-": lambda a, b: (a - b) & _M,
+    "*": lambda a, b: (a * b) & _M,
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+    "<": lambda a, b: 1 if _signed(a) < _signed(b) else 0,
+    "==": lambda a, b: 1 if a == b else 0,
+}
+
+
+def _exprs():
+    atoms = st.one_of(
+        st.tuples(st.just("const"), st.integers(min_value=0, max_value=50)),
+        st.tuples(st.just("var"), st.sampled_from(_VARS)),
+    )
+    return st.recursive(
+        atoms,
+        lambda children: st.tuples(
+            st.just("bin"), st.sampled_from(sorted(_BINOPS)), children, children
+        ),
+        max_leaves=6,
+    )
+
+
+def _stmts(depth: int):
+    if depth <= 0:
+        return st.tuples(st.just("assign"), st.sampled_from(_VARS), _exprs())
+    inner = st.lists(_stmts(depth - 1), min_size=1, max_size=3)
+    return st.one_of(
+        st.tuples(st.just("assign"), st.sampled_from(_VARS), _exprs()),
+        st.tuples(st.just("if"), _exprs(), inner, inner),
+        st.tuples(st.just("loop"), st.integers(min_value=1, max_value=4), inner),
+    )
+
+
+_programs = st.lists(_stmts(2), min_size=1, max_size=6)
+
+
+# -- reference interpreter -----------------------------------------------------
+
+def _eval_expr(expr, env) -> int:
+    kind = expr[0]
+    if kind == "const":
+        return expr[1]
+    if kind == "var":
+        return env[expr[1]]
+    _, op_name, left, right = expr
+    return _BINOPS[op_name](_eval_expr(left, env), _eval_expr(right, env))
+
+
+def _run_stmts(stmts, env) -> None:
+    for stmt in stmts:
+        kind = stmt[0]
+        if kind == "assign":
+            env[stmt[1]] = _eval_expr(stmt[2], env)
+        elif kind == "if":
+            branch = stmt[2] if _eval_expr(stmt[1], env) else stmt[3]
+            _run_stmts(branch, env)
+        else:  # loop
+            for _ in range(stmt[1]):
+                _run_stmts(stmt[2], env)
+
+
+# -- rendering to CWScript ------------------------------------------------------
+
+def _render_expr(expr) -> str:
+    kind = expr[0]
+    if kind == "const":
+        return str(expr[1])
+    if kind == "var":
+        return expr[1]
+    _, op_name, left, right = expr
+    return f"({_render_expr(left)} {op_name} {_render_expr(right)})"
+
+
+def _render_stmts(stmts, indent, counter) -> list[str]:
+    pad = "    " * indent
+    lines = []
+    for stmt in stmts:
+        kind = stmt[0]
+        if kind == "assign":
+            lines.append(f"{pad}{stmt[1]} = {_render_expr(stmt[2])};")
+        elif kind == "if":
+            lines.append(f"{pad}if ({_render_expr(stmt[1])}) {{")
+            lines.extend(_render_stmts(stmt[2], indent + 1, counter))
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_render_stmts(stmt[3], indent + 1, counter))
+            lines.append(f"{pad}}}")
+        else:  # loop
+            counter[0] += 1
+            loop_var = f"loop_{counter[0]}"
+            lines.append(f"{pad}let {loop_var} = 0;")
+            lines.append(f"{pad}while ({loop_var} < {stmt[1]}) {{")
+            lines.extend(_render_stmts(stmt[2], indent + 1, counter))
+            lines.append(f"{pad}    {loop_var} = {loop_var} + 1;")
+            lines.append(f"{pad}}}")
+    return lines
+
+
+def _render_program(stmts) -> str:
+    body = _render_stmts(stmts, 1, [0])
+    decls = [f"    let {name} = 0;" for name in _VARS]
+    outs = [
+        f"    store64(out + {8 * i}, {name});"
+        for i, name in enumerate(_VARS)
+    ]
+    return "fn main() {\n" + "\n".join(
+        decls + body + ["    let out = alloc(24);"] + outs
+        + ["    output(out, 24);"]
+    ) + "\n}\n"
+
+
+class TestControlFlowDifferential:
+    @given(program=_programs)
+    @settings(max_examples=40, deadline=None)
+    def test_random_programs_match_reference(self, program):
+        env = {name: 0 for name in _VARS}
+        _run_stmts(program, env)
+        source = _render_program(program)
+        for target in ("wasm", "evm"):
+            artifact = compile_source(source, target)
+            result = execute(artifact, "main", MockHost())
+            for i, name in enumerate(_VARS):
+                got = int.from_bytes(result.output[8 * i : 8 * i + 8], "big")
+                assert got == env[name], (target, name, source)
+
+    @given(program=_programs)
+    @settings(max_examples=15, deadline=None)
+    def test_fusion_preserves_random_programs(self, program):
+        source = _render_program(program)
+        artifact = compile_source(source, "wasm")
+        from repro.vm.wasm.code_cache import prepare_module
+        from repro.vm.wasm.interpreter import WasmInstance
+
+        plain = WasmInstance(
+            prepare_module(artifact.code, fuse=False), MockHost()
+        ).run("main")
+        fused = WasmInstance(
+            prepare_module(artifact.code, fuse=True), MockHost()
+        ).run("main")
+        assert plain.output == fused.output

@@ -1,0 +1,184 @@
+"""CWScript lexer and parser tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse, tokenize
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("1 42 0xff 1_000")
+        assert [t.value for t in tokens[:-1]] == [1, 42, 255, 1000]
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\\' '\0'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 92, 0]
+
+    def test_string_literal(self):
+        tokens = tokenize('"hi there"')
+        assert tokens[0].value == b"hi there"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\tb"')[0].value == b"a\tb"
+
+    def test_line_comment(self):
+        tokens = tokenize("1 // comment\n2")
+        assert [t.value for t in tokens[:-1]] == [1, 2]
+
+    def test_block_comment(self):
+        tokens = tokenize("1 /* anything\nhere */ 2")
+        assert [t.value for t in tokens[:-1]] == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("1 /* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"never ends')
+
+    def test_two_char_ops(self):
+        tokens = tokenize("== != <= >= && || << >> ->")
+        assert [t.text for t in tokens[:-1]] == [
+            "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->"
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError):
+            tokenize("let $x = 1;")
+
+    def test_unicode_digit_rejected(self):
+        # '²'.isdigit() is True but int('²') crashes; the lexer must be
+        # ASCII-strict (regression for a fuzz finding).
+        with pytest.raises(CompileError):
+            tokenize("let x = ²;")
+
+    def test_bare_hex_prefix_rejected(self):
+        with pytest.raises(CompileError, match="hex"):
+            tokenize("0x")
+        with pytest.raises(CompileError, match="hex"):
+            tokenize("0x_")
+
+    def test_position_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].pos.line == 1
+        assert tokens[1].pos == ast.Position(2, 3)
+
+
+class TestParser:
+    def test_function(self):
+        program = parse("fn main() { let x = 1; }")
+        assert len(program.funcs) == 1
+        func = program.funcs[0]
+        assert func.name == "main"
+        assert not func.has_result
+        assert isinstance(func.body[0], ast.Let)
+
+    def test_result_annotation(self):
+        program = parse("fn f() -> i64 { return 1; }")
+        assert program.funcs[0].has_result
+
+    def test_params(self):
+        program = parse("fn f(a, b, c) { return; }")
+        assert program.funcs[0].params == ["a", "b", "c"]
+
+    def test_duplicate_params(self):
+        with pytest.raises(CompileError):
+            parse("fn f(a, a) { }")
+
+    def test_duplicate_functions(self):
+        with pytest.raises(CompileError):
+            parse("fn f() { } fn f() { }")
+
+    def test_const_declarations(self):
+        program = parse("const A = 5; const B = -3; const C = A;")
+        assert program.consts == {"A": 5, "B": -3, "C": 5}
+
+    def test_duplicate_const(self):
+        with pytest.raises(CompileError):
+            parse("const A = 1; const A = 2;")
+
+    def test_global_declarations(self):
+        program = parse("global g; global h = 7;")
+        assert program.globals == {"g": 0, "h": 7}
+
+    def test_else_if_chain(self):
+        program = parse("""
+            fn f(x) -> i64 {
+                if (x == 1) { return 10; }
+                else if (x == 2) { return 20; }
+                else { return 30; }
+            }
+        """)
+        outer = program.funcs[0].body[0]
+        assert isinstance(outer, ast.If)
+        assert isinstance(outer.else_body[0], ast.If)
+
+    def test_while_break_continue(self):
+        program = parse("fn f() { while (1) { break; continue; } }")
+        loop = program.funcs[0].body[0]
+        assert isinstance(loop, ast.While)
+        assert isinstance(loop.body[0], ast.Break)
+        assert isinstance(loop.body[1], ast.Continue)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError):
+            parse("fn f() { let x = 1 }")
+
+    def test_top_level_garbage(self):
+        with pytest.raises(CompileError):
+            parse("banana")
+
+
+class TestPrecedence:
+    def _expr(self, text):
+        program = parse(f"fn f() -> i64 {{ return {text}; }}")
+        return program.funcs[0].body[0].value
+
+    def test_mul_binds_tighter_than_add(self):
+        node = self._expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_comparison_below_arithmetic(self):
+        node = self._expr("1 + 2 < 3 * 4")
+        assert node.op == "<"
+
+    def test_logical_lowest(self):
+        node = self._expr("1 < 2 && 3 < 4")
+        assert node.op == "&&"
+
+    def test_parentheses_override(self):
+        node = self._expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_left_associativity(self):
+        node = self._expr("10 - 4 - 3")
+        assert node.op == "-"
+        assert node.left.op == "-"
+
+    def test_unary_binds_tightest(self):
+        node = self._expr("-x + 1")
+        assert node.op == "+"
+        assert isinstance(node.left, ast.Unary)
+
+    def test_shift_between_cmp_and_add(self):
+        node = self._expr("1 << 2 + 3")
+        assert node.op == "<<"
+        assert node.right.op == "+"
+
+    def test_bitwise_chain(self):
+        # | lowest, then ^, then &
+        node = self._expr("1 | 2 ^ 3 & 4")
+        assert node.op == "|"
+        assert node.right.op == "^"
+        assert node.right.right.op == "&"
+
+    def test_call_in_expression(self):
+        node = self._expr("g(1, 2) + 1")
+        assert node.op == "+"
+        assert isinstance(node.left, ast.Call)
+        assert len(node.left.args) == 2

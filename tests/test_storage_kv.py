@@ -1,0 +1,161 @@
+"""KV store tests, including a model-based property test."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.kv import AppendLogKV, MemoryKV, NamespacedKV
+
+
+class TestMemoryKV:
+    def test_basic_ops(self):
+        kv = MemoryKV()
+        assert kv.get(b"a") is None
+        kv.put(b"a", b"1")
+        assert kv.get(b"a") == b"1"
+        assert kv.has(b"a")
+        kv.delete(b"a")
+        assert kv.get(b"a") is None
+        kv.delete(b"a")  # no error on absent key
+
+    def test_overwrite(self):
+        kv = MemoryKV()
+        kv.put(b"a", b"1")
+        kv.put(b"a", b"2")
+        assert kv.get(b"a") == b"2"
+        assert len(kv) == 1
+
+    def test_write_batch(self):
+        kv = MemoryKV()
+        kv.put(b"gone", b"x")
+        kv.write_batch({b"a": b"1", b"b": b"2"}, {b"gone"})
+        assert kv.get(b"a") == b"1"
+        assert kv.get(b"gone") is None
+
+    def test_items_with_prefix(self):
+        kv = MemoryKV()
+        kv.put(b"p/a", b"1")
+        kv.put(b"p/b", b"2")
+        kv.put(b"q/c", b"3")
+        assert dict(kv.items_with_prefix(b"p/")) == {b"p/a": b"1", b"p/b": b"2"}
+
+    def test_values_are_copied(self):
+        kv = MemoryKV()
+        value = bytearray(b"mut")
+        kv.put(b"a", value)
+        value[0] = ord("X")
+        assert kv.get(b"a") == b"mut"
+
+
+class TestNamespacedKV:
+    def test_isolation(self):
+        base = MemoryKV()
+        ns1 = NamespacedKV(base, b"one")
+        ns2 = NamespacedKV(base, b"two")
+        ns1.put(b"k", b"1")
+        ns2.put(b"k", b"2")
+        assert ns1.get(b"k") == b"1"
+        assert ns2.get(b"k") == b"2"
+        assert base.get(b"k") is None
+
+    def test_items_strip_prefix(self):
+        base = MemoryKV()
+        ns = NamespacedKV(base, b"ns")
+        ns.put(b"alpha", b"1")
+        assert dict(ns.items()) == {b"alpha": b"1"}
+
+    def test_delete_scoped(self):
+        base = MemoryKV()
+        ns1 = NamespacedKV(base, b"one")
+        ns2 = NamespacedKV(base, b"two")
+        ns1.put(b"k", b"1")
+        ns2.put(b"k", b"2")
+        ns1.delete(b"k")
+        assert ns1.get(b"k") is None
+        assert ns2.get(b"k") == b"2"
+
+
+class TestAppendLogKV:
+    def test_persistence(self, tmp_path):
+        path = os.path.join(tmp_path, "log.db")
+        store = AppendLogKV(path)
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.delete(b"a")
+        store.close()
+        reopened = AppendLogKV(path)
+        assert reopened.get(b"a") is None
+        assert reopened.get(b"b") == b"2"
+        reopened.close()
+
+    def test_batch_commit(self, tmp_path):
+        path = os.path.join(tmp_path, "log.db")
+        with AppendLogKV(path) as store:
+            store.write_batch({b"x": b"1", b"y": b"2"})
+        with AppendLogKV(path) as reopened:
+            assert len(reopened) == 2
+
+    def test_sync_mode(self, tmp_path):
+        path = os.path.join(tmp_path, "log.db")
+        with AppendLogKV(path, sync=True) as store:
+            store.put(b"k", b"v")
+            assert store.get(b"k") == b"v"
+
+    def test_overwrite_survives_reopen(self, tmp_path):
+        path = os.path.join(tmp_path, "log.db")
+        with AppendLogKV(path) as store:
+            store.put(b"k", b"old")
+            store.put(b"k", b"new")
+        with AppendLogKV(path) as reopened:
+            assert reopened.get(b"k") == b"new"
+
+    def test_items(self, tmp_path):
+        path = os.path.join(tmp_path, "log.db")
+        with AppendLogKV(path) as store:
+            store.put(b"a", b"1")
+            assert dict(store.items()) == {b"a": b"1"}
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.binary(min_size=1, max_size=6),
+                  st.binary(max_size=12)),
+        st.tuples(st.just("delete"), st.binary(min_size=1, max_size=6),
+                  st.just(b"")),
+    ),
+    max_size=40,
+)
+
+
+class TestModelBased:
+    @given(ops=_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_memory_kv_matches_dict(self, ops):
+        kv = MemoryKV()
+        model: dict[bytes, bytes] = {}
+        for op, key, value in ops:
+            if op == "put":
+                kv.put(key, value)
+                model[key] = value
+            else:
+                kv.delete(key)
+                model.pop(key, None)
+        assert dict(kv.items()) == model
+
+    @given(ops=_ops)
+    @settings(max_examples=20, deadline=None)
+    def test_append_log_matches_dict_after_reopen(self, ops, tmp_path_factory):
+        path = os.path.join(tmp_path_factory.mktemp("kv"), "log.db")
+        model: dict[bytes, bytes] = {}
+        with AppendLogKV(path) as kv:
+            for op, key, value in ops:
+                if op == "put":
+                    kv.put(key, value)
+                    model[key] = value
+                else:
+                    kv.delete(key)
+                    model.pop(key, None)
+        with AppendLogKV(path) as reopened:
+            assert dict(reopened.items()) == model

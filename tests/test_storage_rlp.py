@@ -1,0 +1,111 @@
+"""RLP codec tests: spec vectors, canonical enforcement, roundtrips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import rlp
+
+
+class TestSpecVectors:
+    def test_dog(self):
+        assert rlp.encode(b"dog") == b"\x83dog"
+
+    def test_cat_dog_list(self):
+        assert rlp.encode([b"cat", b"dog"]) == b"\xc8\x83cat\x83dog"
+
+    def test_empty_string(self):
+        assert rlp.encode(b"") == b"\x80"
+
+    def test_empty_list(self):
+        assert rlp.encode([]) == b"\xc0"
+
+    def test_single_low_byte(self):
+        assert rlp.encode(b"\x0f") == b"\x0f"
+        assert rlp.encode(b"\x7f") == b"\x7f"
+
+    def test_single_high_byte(self):
+        assert rlp.encode(b"\x80") == b"\x81\x80"
+
+    def test_long_string(self):
+        lorem = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit"
+        encoded = rlp.encode(lorem)
+        assert encoded[0] == 0xB8
+        assert encoded[1] == len(lorem)
+
+    def test_set_theoretic_representation(self):
+        # [ [], [[]], [ [], [[]] ] ]
+        value = [[], [[]], [[], [[]]]]
+        assert rlp.encode(value) == bytes.fromhex("c7c0c1c0c3c0c1c0")
+
+
+class TestDecodingErrors:
+    def test_trailing_bytes(self):
+        with pytest.raises(StorageError):
+            rlp.decode(rlp.encode(b"dog") + b"!")
+
+    def test_truncated(self):
+        with pytest.raises(StorageError):
+            rlp.decode(b"\x83do")
+
+    def test_non_canonical_single_byte(self):
+        with pytest.raises(StorageError):
+            rlp.decode(b"\x81\x05")  # 0x05 must be encoded as itself
+
+    def test_non_canonical_long_length(self):
+        # long form used for a length < 56
+        with pytest.raises(StorageError):
+            rlp.decode(b"\xb8\x01a")
+
+    def test_leading_zero_length(self):
+        with pytest.raises(StorageError):
+            rlp.decode(b"\xb9\x00\x38" + b"a" * 56)
+
+    def test_empty_input(self):
+        with pytest.raises(StorageError):
+            rlp.decode(b"")
+
+    def test_unencodable_type(self):
+        with pytest.raises(StorageError):
+            rlp.encode(3.14)
+
+
+class TestIntegers:
+    def test_zero(self):
+        assert rlp.encode_int(0) == b""
+        assert rlp.decode_int(b"") == 0
+
+    def test_roundtrip_values(self):
+        for value in (1, 127, 128, 255, 256, 1024, 2**64 - 1, 2**100):
+            assert rlp.decode_int(rlp.encode_int(value)) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError):
+            rlp.encode_int(-1)
+
+    def test_leading_zero_rejected(self):
+        with pytest.raises(StorageError):
+            rlp.decode_int(b"\x00\x01")
+
+
+_rlp_values = st.recursive(
+    st.binary(max_size=80),
+    lambda children: st.lists(children, max_size=6),
+    max_leaves=25,
+)
+
+
+class TestProperties:
+    @given(value=_rlp_values)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, value):
+        assert rlp.decode(rlp.encode(value)) == value
+
+    @given(value=_rlp_values)
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_is_injective_prefix_free(self, value):
+        # decode must consume the full encoding (prefix property).
+        encoded = rlp.encode(value)
+        with pytest.raises(StorageError):
+            rlp.decode(encoded + b"\x00")

@@ -1,0 +1,105 @@
+"""Remote/local attestation tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import AttestationError
+from repro.tee import (
+    AttestationService,
+    Enclave,
+    Platform,
+    create_local_report,
+    create_quote,
+    verify_local_report,
+)
+
+
+class AppEnclave(Enclave):
+    def ecall_noop(self):
+        return None
+
+
+class EvilEnclave(Enclave):
+    def ecall_noop(self):
+        return None
+
+    def ecall_extra(self):
+        return None
+
+
+@pytest.fixture
+def service():
+    return AttestationService()
+
+
+@pytest.fixture
+def platform(service):
+    p = Platform("genuine")
+    service.register_platform(p)
+    return p
+
+
+class TestRemoteAttestation:
+    def test_valid_quote(self, service, platform):
+        enclave = AppEnclave(platform, "app")
+        quote = create_quote(enclave, b"report-data")
+        service.verify(quote, enclave.measurement)
+
+    def test_unknown_platform(self, service):
+        rogue = Platform("rogue")
+        enclave = AppEnclave(rogue, "app")
+        with pytest.raises(AttestationError):
+            service.verify(create_quote(enclave))
+
+    def test_measurement_mismatch(self, service, platform):
+        good = AppEnclave(platform, "good")
+        evil = EvilEnclave(platform, "evil")
+        quote = create_quote(evil)
+        with pytest.raises(AttestationError):
+            service.verify(quote, good.measurement)
+
+    def test_tampered_report_data(self, service, platform):
+        enclave = AppEnclave(platform, "app")
+        quote = create_quote(enclave, b"honest")
+        forged = dataclasses.replace(
+            quote, report_data=b"forged".ljust(64, b"\x00")
+        )
+        with pytest.raises(AttestationError):
+            service.verify(forged)
+
+    def test_tampered_measurement(self, service, platform):
+        enclave = AppEnclave(platform, "app")
+        evil = EvilEnclave(platform, "evil")
+        quote = create_quote(evil)
+        forged = dataclasses.replace(quote, measurement=enclave.measurement)
+        with pytest.raises(AttestationError):
+            service.verify(forged, enclave.measurement)
+
+    def test_report_data_too_long(self, platform):
+        enclave = AppEnclave(platform, "app")
+        with pytest.raises(AttestationError):
+            create_quote(enclave, b"x" * 65)
+
+    def test_report_data_for_key_is_32_bytes(self):
+        assert len(AttestationService.report_data_for_key(b"pubkey")) == 32
+
+
+class TestLocalAttestation:
+    def test_valid_report(self, platform):
+        enclave = AppEnclave(platform, "app")
+        report = create_local_report(enclave, b"hello")
+        verify_local_report(platform, report)
+
+    def test_cross_platform_fails(self, platform):
+        enclave = AppEnclave(platform, "app")
+        report = create_local_report(enclave)
+        with pytest.raises(AttestationError):
+            verify_local_report(Platform("other"), report)
+
+    def test_tampered_mac(self, platform):
+        enclave = AppEnclave(platform, "app")
+        report = create_local_report(enclave)
+        forged = dataclasses.replace(report, mac=bytes(32))
+        with pytest.raises(AttestationError):
+            verify_local_report(platform, forged)

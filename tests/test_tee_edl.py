@@ -1,0 +1,59 @@
+"""EDL interface declaration tests."""
+
+import pytest
+
+from repro.errors import EnclaveError
+from repro.tee.edl import Direction, EdlFunction, EdlInterface, EdlParam
+
+
+class TestEdlFunction:
+    def test_copied_sizes_counts_directed_buffers(self):
+        func = EdlFunction(
+            "f", lambda a, b: None,
+            params=(EdlParam("a", Direction.IN), EdlParam("b", Direction.OUT)),
+        )
+        assert func.copied_sizes((b"12345", b"6789")) == 9
+
+    def test_user_check_skips_copy(self):
+        func = EdlFunction(
+            "f", lambda a, b: None,
+            params=(
+                EdlParam("a", Direction.USER_CHECK),
+                EdlParam("b", Direction.IN),
+            ),
+        )
+        assert func.copied_sizes((b"x" * 1000, b"yy")) == 2
+
+    def test_non_buffer_args_free(self):
+        func = EdlFunction(
+            "f", lambda a, b: None,
+            params=(EdlParam("a"), EdlParam("b")),
+        )
+        assert func.copied_sizes((42, "not-bytes")) == 0
+
+    def test_memoryview_counted(self):
+        func = EdlFunction("f", lambda a: None, params=(EdlParam("a"),))
+        assert func.copied_sizes((memoryview(b"abc"),)) == 3
+
+
+class TestEdlInterface:
+    def test_declarations(self):
+        interface = EdlInterface()
+        interface.declare_ecall("enter", lambda: None)
+        interface.declare_ocall("leave", lambda: None)
+        assert "enter" in interface.ecalls
+        assert "leave" in interface.ocalls
+        assert not interface.ecalls["enter"].is_ocall
+        assert interface.ocalls["leave"].is_ocall
+
+    def test_duplicate_ecall_rejected(self):
+        interface = EdlInterface()
+        interface.declare_ecall("x", lambda: None)
+        with pytest.raises(EnclaveError):
+            interface.declare_ecall("x", lambda: None)
+
+    def test_duplicate_ocall_rejected(self):
+        interface = EdlInterface()
+        interface.declare_ocall("x", lambda: None)
+        with pytest.raises(EnclaveError):
+            interface.declare_ocall("x", lambda: None)

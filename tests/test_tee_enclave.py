@@ -1,0 +1,197 @@
+"""Enclave trust boundary, lifecycle, transitions, and sealing tests."""
+
+import pytest
+
+from repro.errors import EnclaveError
+from repro.tee import Enclave, Platform
+
+
+class StoreEnclave(Enclave):
+    def ecall_put(self, key: bytes, value: bytes):
+        self.trusted[key] = value
+
+    def ecall_get(self, key: bytes):
+        return self.trusted.get(key)
+
+    def ecall_roundtrip_out(self, data: bytes):
+        return self.ocall("sink", data)
+
+    def ecall_nested_boundary(self):
+        # Inside the enclave, trusted access works...
+        self.trusted[b"inner"] = b"1"
+        # ...and during an ocall it must NOT (we've left the enclave).
+        return self.ocall("probe")
+
+
+class OtherEnclave(Enclave):
+    def ecall_noop(self):
+        return None
+
+
+@pytest.fixture
+def platform():
+    return Platform("test-platform")
+
+
+@pytest.fixture
+def enclave(platform):
+    return StoreEnclave(platform, "store")
+
+
+class TestBoundary:
+    def test_trusted_unreachable_from_outside(self, enclave):
+        with pytest.raises(EnclaveError):
+            _ = enclave.trusted
+
+    def test_trusted_reachable_inside_ecall(self, enclave):
+        enclave.ecall("put", b"k", b"v")
+        assert enclave.ecall("get", b"k") == b"v"
+
+    def test_trusted_unreachable_during_ocall(self, enclave):
+        observed = {}
+
+        def probe():
+            try:
+                _ = enclave.trusted
+                observed["leak"] = True
+            except EnclaveError:
+                observed["leak"] = False
+
+        enclave.register_ocall("probe", probe)
+        enclave.ecall("nested_boundary")
+        assert observed["leak"] is False
+
+    def test_unknown_ecall(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.ecall("missing")
+
+    def test_unknown_ocall(self, enclave):
+        enclave.register_ocall("sink", lambda d: len(d))
+        with pytest.raises(EnclaveError):
+            enclave._depth += 1
+            try:
+                enclave.ocall("nope")
+            finally:
+                enclave._depth -= 1
+
+    def test_ocall_outside_ecall_rejected(self, enclave):
+        enclave.register_ocall("sink", lambda d: len(d))
+        with pytest.raises(EnclaveError):
+            enclave.ocall("sink", b"x")
+
+    def test_duplicate_ocall_registration(self, enclave):
+        enclave.register_ocall("sink", lambda d: None)
+        with pytest.raises(EnclaveError):
+            enclave.register_ocall("sink", lambda d: None)
+
+
+class TestAccounting:
+    def test_ecall_and_copy_charged(self, platform, enclave):
+        before = platform.accountant.snapshot()
+        enclave.ecall("put", b"key", b"value" * 100)
+        after = platform.accountant.snapshot()
+        assert after["ecalls"] == before["ecalls"] + 1
+        assert after["bytes_copied"] >= before["bytes_copied"] + 503
+
+    def test_user_check_skips_copy(self, platform, enclave):
+        enclave.ecall("put", b"warm", b"x")
+        before = platform.accountant.bytes_copied
+        enclave.ecall("put", b"key2", b"v" * 1000, user_check=True)
+        assert platform.accountant.bytes_copied == before
+
+    def test_ocall_charged(self, platform, enclave):
+        enclave.register_ocall("sink", lambda d: len(d))
+        before = platform.accountant.ocalls
+        enclave.ecall("roundtrip_out", b"data")
+        assert platform.accountant.ocalls == before + 1
+
+    def test_modeled_seconds_positive(self, platform, enclave):
+        enclave.ecall("put", b"k", b"v")
+        assert platform.accountant.seconds > 0
+
+
+class TestMeasurement:
+    def test_same_class_same_measurement(self, platform):
+        a = StoreEnclave(platform, "a")
+        b = StoreEnclave(platform, "b")
+        assert a.measurement == b.measurement
+
+    def test_different_code_different_measurement(self, platform, enclave):
+        other = OtherEnclave(platform, "other")
+        assert other.measurement != enclave.measurement
+
+
+class TestLifecycle:
+    def test_destroy_blocks_ecalls(self, enclave):
+        enclave.destroy()
+        assert enclave.destroyed
+        with pytest.raises(EnclaveError):
+            enclave.ecall("get", b"k")
+
+    def test_destroy_releases_heap(self, platform, enclave):
+        handle = enclave.malloc(8192)
+        resident_with = platform.epc.resident_pages
+        enclave.destroy()
+        assert platform.epc.resident_pages <= resident_with
+        del handle
+
+    def test_destroy_idempotent(self, enclave):
+        enclave.destroy()
+        enclave.destroy()
+
+
+class TestSealing:
+    def _seal(self, enclave, data, aad=b""):
+        enclave._depth += 1
+        try:
+            return enclave.seal(data, aad)
+        finally:
+            enclave._depth -= 1
+
+    def _unseal(self, enclave, blob, aad=b""):
+        enclave._depth += 1
+        try:
+            return enclave.unseal(blob, aad)
+        finally:
+            enclave._depth -= 1
+
+    def test_roundtrip(self, enclave):
+        blob = self._seal(enclave, b"secret", b"aad")
+        assert self._unseal(enclave, blob, b"aad") == b"secret"
+
+    def test_same_code_same_platform_can_unseal(self, platform, enclave):
+        blob = self._seal(enclave, b"secret")
+        twin = StoreEnclave(platform, "twin")
+        assert self._unseal(twin, blob) == b"secret"
+
+    def test_other_platform_cannot_unseal(self, enclave):
+        blob = self._seal(enclave, b"secret")
+        foreign = StoreEnclave(Platform("other-machine"), "foreign")
+        with pytest.raises(Exception):
+            self._unseal(foreign, blob)
+
+    def test_other_code_cannot_unseal(self, platform, enclave):
+        blob = self._seal(enclave, b"secret")
+        other = OtherEnclave(platform, "other")
+        with pytest.raises(Exception):
+            self._unseal(other, blob)
+
+    def test_short_blob(self, enclave):
+        with pytest.raises(EnclaveError):
+            self._unseal(enclave, b"xx")
+
+
+class TestLocalChannel:
+    def test_symmetric_between_enclaves(self, platform):
+        a = StoreEnclave(platform, "a")
+        b = OtherEnclave(platform, "b")
+        k1 = platform.local_channel_key(a.measurement, b.measurement)
+        k2 = platform.local_channel_key(b.measurement, a.measurement)
+        assert k1 == k2
+
+    def test_platform_bound(self, platform):
+        a = StoreEnclave(platform, "a")
+        b = OtherEnclave(platform, "b")
+        other = Platform("elsewhere")
+        assert platform.local_channel_key(a.measurement, b.measurement) != \
+            other.local_channel_key(a.measurement, b.measurement)

@@ -1,0 +1,131 @@
+"""EPC pager tests: budgets, eviction, page-in, memory pool."""
+
+import pytest
+
+from repro.errors import PagingError
+from repro.tee.epc import PAGE_SIZE, EpcAllocator
+from repro.tee.transitions import CostModel, CycleAccountant
+
+
+def make_allocator(pages: int, pool: bool = False):
+    accountant = CycleAccountant()
+    return accountant, EpcAllocator(
+        accountant, budget_bytes=pages * PAGE_SIZE, use_pool=pool
+    )
+
+
+class TestAllocation:
+    def test_simple_allocate_free(self):
+        _, alloc = make_allocator(10)
+        handle = alloc.allocate(PAGE_SIZE)
+        assert alloc.resident_pages >= 1
+        alloc.free(handle)
+        assert alloc.resident_pages == 0
+
+    def test_zero_size_rejected(self):
+        _, alloc = make_allocator(10)
+        with pytest.raises(PagingError):
+            alloc.allocate(0)
+
+    def test_over_budget_single_allocation(self):
+        _, alloc = make_allocator(4)
+        with pytest.raises(PagingError):
+            alloc.allocate(100 * PAGE_SIZE)
+
+    def test_double_free(self):
+        _, alloc = make_allocator(10)
+        handle = alloc.allocate(PAGE_SIZE)
+        alloc.free(handle)
+        with pytest.raises(PagingError):
+            alloc.free(handle)
+
+    def test_unknown_touch(self):
+        _, alloc = make_allocator(10)
+        with pytest.raises(PagingError):
+            alloc.touch(42)
+
+    def test_fragmentation_inflates_without_pool(self):
+        _, without = make_allocator(100, pool=False)
+        _, with_pool = make_allocator(100, pool=True)
+        without.allocate(10 * PAGE_SIZE)
+        with_pool.allocate(10 * PAGE_SIZE)
+        assert without.resident_pages > with_pool.resident_pages
+
+
+class TestEviction:
+    def test_lru_eviction_charges_swaps(self):
+        accountant, alloc = make_allocator(10, pool=True)
+        a = alloc.allocate(4 * PAGE_SIZE)
+        alloc.allocate(4 * PAGE_SIZE)
+        assert accountant.pages_swapped == 0
+        alloc.allocate(4 * PAGE_SIZE)  # must evict a
+        assert accountant.pages_swapped > 0
+        del a
+
+    def test_page_in_on_touch(self):
+        accountant, alloc = make_allocator(8, pool=True)
+        a = alloc.allocate(4 * PAGE_SIZE)
+        alloc.allocate(4 * PAGE_SIZE)
+        alloc.allocate(3 * PAGE_SIZE)  # evicts a (LRU)
+        swapped_before = accountant.pages_swapped
+        alloc.touch(a)  # page back in
+        assert accountant.pages_swapped > swapped_before
+
+    def test_touch_updates_lru_order(self):
+        accountant, alloc = make_allocator(8, pool=True)
+        a = alloc.allocate(3 * PAGE_SIZE)
+        b = alloc.allocate(3 * PAGE_SIZE)
+        alloc.touch(a)  # now b is the LRU victim
+        alloc.allocate(2 * PAGE_SIZE)
+        # a stays resident: touching must not fault
+        swaps = accountant.pages_swapped
+        alloc.touch(a)
+        assert accountant.pages_swapped == swaps
+        del b
+
+
+class TestMemoryPool:
+    def test_pool_reuses_freed_pages(self):
+        accountant, alloc = make_allocator(16, pool=True)
+        for _ in range(50):
+            handle = alloc.allocate(4 * PAGE_SIZE)
+            alloc.free(handle)
+        # Pool reuse: no eviction churn at all.
+        assert accountant.pages_swapped == 0
+
+    def test_pool_alloc_cheaper(self):
+        model = CostModel()
+        acc_pool = CycleAccountant(model=model)
+        acc_raw = CycleAccountant(model=model)
+        pool = EpcAllocator(acc_pool, budget_bytes=64 * PAGE_SIZE, use_pool=True)
+        raw = EpcAllocator(acc_raw, budget_bytes=64 * PAGE_SIZE, use_pool=False)
+        for _ in range(10):
+            pool.free(pool.allocate(PAGE_SIZE))
+            raw.free(raw.allocate(PAGE_SIZE))
+        assert acc_pool.cycles < acc_raw.cycles
+
+    def test_pool_shrinks_under_pressure(self):
+        _, alloc = make_allocator(8, pool=True)
+        handle = alloc.allocate(6 * PAGE_SIZE)
+        alloc.free(handle)  # 6 pages on the freelist
+        alloc.allocate(7 * PAGE_SIZE)  # must reclaim freelist + allocate
+
+
+class TestCostModel:
+    def test_ocall_blend(self):
+        model = CostModel(ocall_miss_ratio=0.0)
+        assert model.ocall_cycles == model.ocall_cycles_hit
+        model = CostModel(ocall_miss_ratio=1.0)
+        assert model.ocall_cycles == model.ocall_cycles_miss
+
+    def test_cycles_to_seconds(self):
+        model = CostModel(cpu_ghz=1.0)
+        assert model.cycles_to_seconds(1e9) == pytest.approx(1.0)
+
+    def test_accountant_reset(self):
+        accountant = CycleAccountant()
+        accountant.charge_ecall()
+        accountant.charge_copy(100)
+        accountant.reset()
+        assert accountant.cycles == 0
+        assert accountant.ecalls == 0

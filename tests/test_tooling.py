@@ -1,0 +1,123 @@
+"""Disassembler and CLI tests."""
+
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lang import compile_source
+from repro.vm.disasm import (
+    disassemble_artifact,
+    disassemble_evm,
+    instruction_histogram,
+)
+
+SOURCE = """
+fn _helper(a) -> i64 { return a * 2; }
+fn main() {
+    let total = 0;
+    let i = 0;
+    while (i < 4) { total = total + _helper(i); i = i + 1; }
+    let out = alloc(8);
+    store64(out, total);
+    output(out, 8);
+}
+"""
+
+
+class TestDisassembler:
+    def test_wasm_listing(self):
+        artifact = compile_source(SOURCE, "wasm")
+        listing = disassemble_artifact(artifact)
+        assert "fn main" in listing
+        assert "fn _helper" not in listing  # internal -> func_N label
+        assert "LOCAL_GET" in listing
+        assert "CALL" in listing
+        assert "host imports" in listing
+
+    def test_wasm_fused_listing_shows_superinstructions(self):
+        artifact = compile_source(SOURCE, "wasm")
+        plain = disassemble_artifact(artifact)
+        fused = disassemble_artifact(artifact, fuse=True)
+        assert "CMP_BR" not in plain
+        assert "CMP_BR" in fused
+
+    def test_evm_listing(self):
+        artifact = compile_source(SOURCE, "evm")
+        listing = disassemble_artifact(artifact)
+        assert "entry main:" in listing
+        assert "JUMPDEST" in listing
+        assert "MSTORE" in listing
+        assert "PUSH" in listing
+
+    def test_evm_push_immediates_not_decoded_as_ops(self):
+        # PUSH2 0x5b5b must render as one instruction, not two JUMPDESTs.
+        listing = disassemble_evm(bytes([0x61, 0x5B, 0x5B, 0x00]))
+        assert listing.count("JUMPDEST") == 0
+        assert "PUSH2 0x5b5b" in listing
+
+    def test_unknown_bytes_rendered_as_db(self):
+        listing = disassemble_evm(bytes([0xFE, 0x45]))
+        assert "INVALID" in listing
+        assert "DB 0x45" in listing
+
+    def test_histogram_wasm(self):
+        artifact = compile_source(SOURCE, "wasm")
+        histogram = instruction_histogram(artifact)
+        assert histogram["RETURN"] >= 2
+        assert sum(histogram.values()) > 20
+
+    def test_histogram_evm(self):
+        artifact = compile_source(SOURCE, "evm")
+        histogram = instruction_histogram(artifact)
+        assert histogram["JUMP"] >= 2
+        assert any(name.startswith("PUSH") for name in histogram)
+
+
+class TestCli:
+    @pytest.fixture
+    def contract_file(self, tmp_path):
+        path = os.path.join(tmp_path, "c.cws")
+        with open(path, "w") as f:
+            f.write(SOURCE)
+        return path
+
+    def test_compile_command(self, contract_file, capsys, tmp_path):
+        out = os.path.join(tmp_path, "c.bin")
+        assert cli_main(["compile", contract_file, "-o", out]) == 0
+        assert os.path.exists(out)
+        captured = capsys.readouterr()
+        assert "methods: main" in captured.out
+
+    def test_compile_evm_target(self, contract_file, capsys, tmp_path):
+        out = os.path.join(tmp_path, "c.evm.bin")
+        assert cli_main(
+            ["compile", contract_file, "--target", "evm", "-o", out]
+        ) == 0
+
+    def test_disasm_command(self, contract_file, capsys):
+        assert cli_main(["disasm", contract_file]) == 0
+        assert "fn main" in capsys.readouterr().out
+
+    def test_disasm_fused(self, contract_file, capsys):
+        assert cli_main(["disasm", contract_file, "--fuse"]) == 0
+        assert "CMP_BR" in capsys.readouterr().out
+
+    def test_histogram_command(self, contract_file, capsys):
+        assert cli_main(["histogram", contract_file]) == 0
+        assert "distinct opcodes" in capsys.readouterr().out
+
+    def test_demo_command(self, capsys):
+        assert cli_main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "sealed receipt opened: output=42" in out
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = os.path.join(tmp_path, "bad.cws")
+        with open(path, "w") as f:
+            f.write("fn main() { let x = ; }")
+        assert cli_main(["compile", path]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert cli_main(["compile", "/nonexistent.cws"]) == 1

@@ -1,0 +1,232 @@
+"""EVM baseline tests: opcodes, gas, jumps, storage slots, reverts."""
+
+import pytest
+
+from conftest import MockHost
+from repro.errors import OutOfGasError, TrapError, VMError
+from repro.vm.evm import EvmInstance, EvmRevert, opcodes as op
+from repro.vm.evm.interpreter import SlottedStorage, scan_jumpdests
+
+_M256 = (1 << 256) - 1
+
+
+def asm(*parts):
+    out = bytearray()
+    for part in parts:
+        if isinstance(part, int):
+            out.append(part)
+        else:
+            out += part
+    return bytes(out)
+
+
+def push(value: int) -> bytes:
+    raw = value.to_bytes(max(1, (value.bit_length() + 7) // 8), "big")
+    return bytes([op.PUSH1 + len(raw) - 1]) + raw
+
+
+def run(code, ctx=None, gas=10_000_000):
+    return EvmInstance(code, ctx or MockHost(), gas_limit=gas).run()
+
+
+def result_value(code, ctx=None):
+    full = asm(code, push(0), op.MSTORE, push(32), push(0), op.RETURN)
+    res = run(full, ctx)
+    return int.from_bytes(res.output, "big")
+
+
+class TestArithmetic:
+    def test_add_mod_2_256(self):
+        assert result_value(asm(push(_M256), push(2), op.ADD)) == 1
+
+    def test_sub_push_order(self):
+        # Our convention: left operand pushed first -> 10 - 3.
+        assert result_value(asm(push(10), push(3), op.SUB)) == 7
+
+    def test_div_by_zero_is_zero(self):
+        assert result_value(asm(push(10), push(0), op.DIV)) == 0
+
+    def test_sdiv_negative(self):
+        minus_seven = (-7) & _M256
+        assert result_value(asm(push(minus_seven), push(2), op.SDIV)) == (-3) & _M256
+
+    def test_smod_sign(self):
+        minus_seven = (-7) & _M256
+        assert result_value(asm(push(minus_seven), push(2), op.SMOD)) == (-1) & _M256
+
+    def test_exp(self):
+        assert result_value(asm(push(2), push(10), op.EXP)) == 1024
+
+    def test_signextend_byte(self):
+        assert result_value(asm(push(0xFF), push(0), op.SIGNEXTEND)) == _M256
+
+    def test_signextend_positive(self):
+        assert result_value(asm(push(0x7F), push(0), op.SIGNEXTEND)) == 0x7F
+
+    def test_byte_op(self):
+        word = 0xAA << (8 * 30)  # byte index 1 from the left
+        assert result_value(asm(push(word), push(1), op.BYTE)) == 0xAA
+
+    def test_not(self):
+        assert result_value(asm(push(0), op.NOT)) == _M256
+
+    def test_shl_shr_sar(self):
+        assert result_value(asm(push(1), push(8), op.SHL)) == 256
+        assert result_value(asm(push(256), push(8), op.SHR)) == 1
+        neg = (-256) & _M256
+        assert result_value(asm(push(neg), push(4), op.SAR)) == (-16) & _M256
+
+    def test_comparisons(self):
+        assert result_value(asm(push(1), push(2), op.LT)) == 1
+        assert result_value(asm(push(2), push(1), op.GT)) == 1
+        minus_one = _M256
+        assert result_value(asm(push(minus_one), push(0), op.SLT)) == 1
+        assert result_value(asm(push(5), push(5), op.EQ)) == 1
+        assert result_value(asm(push(0), op.ISZERO)) == 1
+
+
+class TestStackOps:
+    def test_dup_depths(self):
+        assert result_value(asm(push(7), push(0), op.DUP1 + 1)) == 7
+
+    def test_swap(self):
+        assert result_value(asm(push(1), push(2), op.SWAP1, op.POP)) == 2
+
+    def test_underflow_traps(self):
+        with pytest.raises(TrapError):
+            run(asm(op.ADD))
+
+    def test_overflow_traps(self):
+        body = asm(*([push(1)] * 1025), op.STOP)
+        with pytest.raises(TrapError):
+            run(body)
+
+
+class TestJumps:
+    def test_jump_to_jumpdest(self):
+        # 0: PUSH1, 1: 0x04, 2: JUMP, 3: INVALID, 4: JUMPDEST, 5: STOP
+        code = asm(push(4), op.JUMP, op.INVALID, op.JUMPDEST, op.STOP)
+        run(code)  # must not raise
+
+    def test_jump_into_push_data_rejected(self):
+        # PUSH1 0x5B: the 0x5B byte is data, not a JUMPDEST.
+        code = asm(push(3), op.JUMP, bytes([op.PUSH1, op.JUMPDEST]), op.STOP)
+        with pytest.raises(TrapError):
+            run(code)
+
+    def test_jumpi_not_taken(self):
+        code = asm(push(0), push(99), op.JUMPI, op.STOP)
+        run(code)
+
+    def test_scan_jumpdests_skips_push_immediates(self):
+        code = asm(bytes([op.PUSH1 + 1, op.JUMPDEST, op.JUMPDEST]), op.JUMPDEST)
+        dests = scan_jumpdests(code)
+        assert dests == {3}
+
+
+class TestMemoryAndData:
+    def test_mstore_mload(self):
+        assert result_value(asm(push(123), push(64), op.MSTORE,
+                                push(64), op.MLOAD)) == 123
+
+    def test_mstore8(self):
+        code = asm(push(0xAB), push(0), op.MSTORE8, push(0), op.MLOAD)
+        assert result_value(code) == 0xAB << 248
+
+    def test_calldata(self):
+        ctx = MockHost(input_data=b"\x01\x02" + bytes(30))
+        assert result_value(asm(push(0), op.CALLDATALOAD), ctx) == int.from_bytes(
+            b"\x01\x02" + bytes(30), "big"
+        )
+        assert result_value(asm(op.CALLDATASIZE), ctx) == 32
+
+    def test_calldatacopy_zero_pads(self):
+        ctx = MockHost(input_data=b"\xff")
+        code = asm(push(32), push(0), push(0), op.CALLDATACOPY, push(0), op.MLOAD)
+        assert result_value(code, ctx) == 0xFF << 248
+
+    def test_codecopy(self):
+        code = asm(push(3), push(0), push(0), op.CODECOPY, push(0), op.MLOAD)
+        res = run(code)
+        # first 3 bytes of the code land at memory 0
+
+    def test_keccak_op(self):
+        from repro.crypto.hashes import keccak256
+        code = asm(push(0), push(0), op.KECCAK256)
+        assert result_value(code) == int.from_bytes(keccak256(b""), "big")
+
+    def test_caller_op(self):
+        ctx = MockHost(caller=b"\x11" * 20)
+        assert result_value(asm(op.CALLER), ctx) == int.from_bytes(b"\x11" * 20, "big")
+
+
+class TestGas:
+    def test_out_of_gas(self):
+        code = asm(push(0), op.JUMPDEST, op.POP, push(1), push(1), op.JUMPDEST,
+                   push(1), op.JUMP)
+        # infinite-ish loop: must OOG, not hang
+        loop = asm(op.JUMPDEST, push(0), op.JUMP)
+        with pytest.raises(OutOfGasError):
+            run(loop, gas=10_000)
+
+    def test_gas_reported(self):
+        res = run(asm(push(1), op.POP, op.STOP))
+        assert res.gas_used > 0
+
+    def test_memory_expansion_costs(self):
+        small = run(asm(push(1), push(0), op.MSTORE, op.STOP)).gas_used
+        big = run(asm(push(1), push(100_000), op.MSTORE, op.STOP)).gas_used
+        assert big > small
+
+    def test_gas_opcode(self):
+        assert result_value(asm(op.GAS)) > 0
+
+
+class TestHalting:
+    def test_revert_carries_payload(self):
+        code = asm(push(0xAB), push(0), op.MSTORE8, push(1), push(0), op.REVERT)
+        with pytest.raises(EvmRevert) as excinfo:
+            run(code)
+        assert excinfo.value.payload == b"\xab"
+
+    def test_invalid_opcode(self):
+        with pytest.raises(TrapError):
+            run(asm(op.INVALID))
+
+    def test_unimplemented_opcode(self):
+        with pytest.raises(VMError):
+            run(asm(0x45))  # GASLIMIT — not implemented
+
+    def test_log0(self):
+        ctx = MockHost()
+        code = asm(push(0xCD), push(0), op.MSTORE8, push(1), push(0), op.LOG0,
+                   op.STOP)
+        res = run(code, ctx)
+        assert res.logs == [b"\xcd"]
+
+
+class TestSlottedStorage:
+    def test_roundtrip_various_lengths(self):
+        inner = MockHost()
+        adapter = SlottedStorage(inner)
+        for length in (0, 1, 31, 32, 33, 64, 100):
+            value = bytes(range(256))[:length] if length else b""
+            adapter.storage_set(f"k{length}".encode(), value)
+            assert adapter.storage_get(f"k{length}".encode()) == value
+
+    def test_missing_key(self):
+        assert SlottedStorage(MockHost()).storage_get(b"ghost") is None
+
+    def test_slot_count(self):
+        inner = MockHost()
+        adapter = SlottedStorage(inner)
+        adapter.storage_set(b"k", b"x" * 100)
+        # 1 length slot + ceil(100/32) = 4 chunk slots
+        assert len(inner.store) == 5
+
+    def test_overwrite_shorter_value(self):
+        inner = MockHost()
+        adapter = SlottedStorage(inner)
+        adapter.storage_set(b"k", b"x" * 64)
+        adapter.storage_set(b"k", b"y" * 10)
+        assert adapter.storage_get(b"k") == b"y" * 10

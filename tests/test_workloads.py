@@ -1,0 +1,257 @@
+"""Workload tests: synthetic kernels, ABS variants, SCF-AR operation mix."""
+
+import pytest
+
+from conftest import MockHost, deploy_confidential, run_confidential
+from repro.ccle import decode as ccle_decode
+from repro.core.stats import (
+    CONTRACT_CALL,
+    GET_STORAGE,
+    SET_STORAGE,
+    TX_DECRYPT,
+    TX_VERIFY,
+)
+from repro.crypto.ecc import decode_point
+from repro.crypto.hashes import keccak256, sha256
+from repro.lang import compile_source
+from repro.vm.host import AbortExecution
+from repro.vm.runner import execute
+from repro.workloads import (
+    ABS_SCHEMA,
+    EXPECTED_CONTRACT_CALLS,
+    EXPECTED_GET_STORAGE,
+    EXPECTED_SET_STORAGE,
+    Client,
+    ScfSuite,
+    abs_workload,
+    encode_asset_flatbuffers,
+    encode_asset_json,
+    make_asset,
+    make_transfer_input,
+    setup_plan,
+    synthetic_workloads,
+)
+
+
+class TestSyntheticWorkloads:
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return synthetic_workloads(json_kv=12, concat_kv=6, enote_bytes=256)
+
+    @pytest.mark.parametrize("target", ["wasm", "evm"])
+    def test_concat_joins_pieces(self, workloads, target):
+        w = workloads["string-concat"]
+        artifact = compile_source(w.source, target)
+        result = execute(artifact, w.method, MockHost(w.make_input(0)))
+        assert result.output.count(b",") == 7  # 6 kv pieces + ID
+        assert b"key_0_00" in result.output
+        assert b"ID00000000" in result.output
+
+    @pytest.mark.parametrize("target", ["wasm", "evm"])
+    def test_enotes_stores_payload(self, workloads, target):
+        w = workloads["enotes-depository"]
+        artifact = compile_source(w.source, target)
+        ctx = MockHost(w.make_input(3))
+        result = execute(artifact, w.method, ctx)
+        assert int.from_bytes(result.output, "big") == 256
+        assert result.storage_writes >= 1
+
+    def test_enotes_rejects_short_input(self, workloads):
+        w = workloads["enotes-depository"]
+        artifact = compile_source(w.source, "wasm")
+        with pytest.raises(AbortExecution):
+            execute(artifact, w.method, MockHost(b"tiny"))
+
+    @pytest.mark.parametrize("target", ["wasm", "evm"])
+    def test_hash_chain_matches_python(self, workloads, target):
+        w = workloads["crypto-hash"]
+        artifact = compile_source(w.source, target)
+        data = w.make_input(0)
+        result = execute(artifact, w.method, MockHost(data))
+        buf = bytearray(data)
+        n = len(data)
+        for _ in range(100):
+            digest = sha256(bytes(buf[:n]))
+            buf[:32] = digest
+        for _ in range(100):
+            digest = keccak256(bytes(buf[:n]))
+            buf[:32] = digest
+        assert result.output == digest
+
+    @pytest.mark.parametrize("target", ["wasm", "evm"])
+    def test_json_parse_counts_and_extracts(self, workloads, target):
+        w = workloads["json-parsing"]
+        artifact = compile_source(w.source, target)
+        result = execute(artifact, w.method, MockHost(w.make_input(5)))
+        count = int.from_bytes(result.output[:8], "big")
+        amount = int.from_bytes(result.output[8:16], "big")
+        bank_len = int.from_bytes(result.output[16:24], "big")
+        assert count == 12
+        assert amount == 10_005
+        assert bank_len == len("bank-5")
+
+    def test_wasm_beats_evm_on_instructions(self, workloads):
+        w = workloads["json-parsing"]
+        data = w.make_input(0)
+        wasm_instrs = execute(
+            compile_source(w.source, "wasm"), w.method, MockHost(data)
+        ).instructions
+        evm_instrs = execute(
+            compile_source(w.source, "evm"), w.method, MockHost(data)
+        ).instructions
+        assert evm_instrs > wasm_instrs * 2
+
+
+class TestAbsWorkload:
+    @pytest.mark.parametrize("variant,encoder", [
+        ("flatbuffers", encode_asset_flatbuffers),
+        ("json", encode_asset_json),
+    ])
+    def test_transfer_stores_asset(self, variant, encoder):
+        w = abs_workload(variant)
+        artifact = compile_source(w.source, "wasm")
+        ctx = MockHost(encoder(4))
+        result = execute(artifact, w.method, ctx)
+        asset = make_asset(4)
+        assert int.from_bytes(result.output, "big") == asset["principal"]
+        stored = ctx.store.get(asset["asset_id"].encode())
+        assert stored is not None
+
+    def test_variants_agree_on_output(self):
+        for i in (0, 1, 5):
+            outs = []
+            for variant in ("flatbuffers", "json"):
+                w = abs_workload(variant)
+                artifact = compile_source(w.source, "wasm")
+                result = execute(artifact, w.method, MockHost(w.make_input(i)))
+                outs.append(result.output)
+            assert outs[0] == outs[1]
+
+    def test_json_variant_costs_more_instructions(self):
+        fb = abs_workload("flatbuffers")
+        js = abs_workload("json")
+        fb_instrs = execute(
+            compile_source(fb.source, "wasm"), fb.method, MockHost(fb.make_input(0))
+        ).instructions
+        js_instrs = execute(
+            compile_source(js.source, "wasm"), js.method, MockHost(js.make_input(0))
+        ).instructions
+        assert js_instrs > fb_instrs * 3  # the OPT2 effect
+
+    def test_validation_rejects_bad_institution(self):
+        w = abs_workload("flatbuffers")
+        artifact = compile_source(w.source, "wasm")
+        from repro.ccle import encode as ccle_encode
+        asset = make_asset(0)
+        asset["institution"] = "EVIL_BANK"
+        with pytest.raises(AbortExecution, match="institution"):
+            execute(artifact, w.method, MockHost(ccle_encode(ABS_SCHEMA, asset)))
+
+    def test_validation_rejects_bad_mode(self):
+        w = abs_workload("flatbuffers")
+        artifact = compile_source(w.source, "wasm")
+        from repro.ccle import encode as ccle_encode
+        asset = make_asset(0)
+        asset["repay_mode"] = 9
+        with pytest.raises(AbortExecution, match="repay mode"):
+            execute(artifact, w.method, MockHost(ccle_encode(ABS_SCHEMA, asset)))
+
+    def test_validation_rejects_bad_principal(self):
+        w = abs_workload("flatbuffers")
+        artifact = compile_source(w.source, "wasm")
+        from repro.ccle import encode as ccle_encode
+        asset = make_asset(0)
+        asset["principal"] = 5
+        with pytest.raises(AbortExecution, match="principal"):
+            execute(artifact, w.method, MockHost(ccle_encode(ABS_SCHEMA, asset)))
+
+    def test_acl_denies_wrong_caller(self):
+        w = abs_workload("flatbuffers")
+        artifact = compile_source(w.source, "wasm")
+        ctx = MockHost(b"admin-addr-20-bytes!")
+        execute(artifact, "setup", ctx)
+        ctx2 = MockHost(w.make_input(0), caller=b"\x01" * 20)
+        ctx2.store = ctx.store
+        with pytest.raises(AbortExecution, match="denied"):
+            execute(artifact, w.method, ctx2)
+
+    def test_institution_conflict_pattern(self):
+        # Adjacent transfers alternate institutions -> disjoint aggregates.
+        a0 = make_asset(0)["institution"]
+        a1 = make_asset(1)["institution"]
+        assert a0 != a1
+        assert make_asset(2)["institution"] == a0
+
+    def test_asset_payload_size_about_1kb(self):
+        blob = encode_asset_flatbuffers(0)
+        assert 700 < len(blob) < 1400
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            abs_workload("xml")
+
+
+class TestScfWorkload:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        from repro.core import ConfidentialEngine, bootstrap_founder
+        from repro.storage import MemoryKV
+
+        suite = ScfSuite.compile("wasm")
+        engine = ConfidentialEngine(MemoryKV())
+        bootstrap_founder(engine.km)
+        engine.provision_from_km()
+        pk = decode_point(engine.pk_tx)
+        client = Client.from_seed(b"scf-test")
+        addresses = {}
+        for name, artifact in suite.artifacts.items():
+            tx, address = client.confidential_deploy(pk, artifact)
+            outcome = engine.execute(tx)
+            assert outcome.receipt.success, (name, outcome.receipt.error)
+            addresses[name] = address
+        for cname, method, args in setup_plan(addresses):
+            tx = client.confidential_call(pk, addresses[cname], method, args)
+            outcome = engine.execute(tx)
+            assert outcome.receipt.success, (cname, outcome.receipt.error)
+        return engine, client, addresses
+
+    def test_transfer_succeeds(self, deployment):
+        engine, client, addresses = deployment
+        outcome = run_confidential(
+            engine, client, addresses["gateway"], "transfer", make_transfer_input()
+        )
+        assert outcome.receipt.success, outcome.receipt.error
+        moved = int.from_bytes(outcome.receipt.output, "big")
+        assert moved == sum(100 + s for s in range(7))
+
+    def test_table1_operation_counts(self, deployment):
+        engine, client, addresses = deployment
+        engine.stats.reset()
+        outcome = run_confidential(
+            engine, client, addresses["gateway"], "transfer",
+            make_transfer_input(b"ACCT-00X", b"ACCT-00Y", b"CERT-00Z"),
+        )
+        assert outcome.receipt.success, outcome.receipt.error
+        assert engine.stats.count(CONTRACT_CALL) == EXPECTED_CONTRACT_CALLS
+        assert engine.stats.count(GET_STORAGE) == EXPECTED_GET_STORAGE
+        assert engine.stats.count(SET_STORAGE) == EXPECTED_SET_STORAGE
+        assert engine.stats.count(TX_VERIFY) == 1
+        assert engine.stats.count(TX_DECRYPT) == 1
+
+    def test_bad_input_rejected(self, deployment):
+        engine, client, addresses = deployment
+        outcome = run_confidential(
+            engine, client, addresses["gateway"], "transfer", b"short"
+        )
+        assert not outcome.receipt.success
+
+    def test_input_helper_validates(self):
+        with pytest.raises(ValueError):
+            make_transfer_input(b"short", b"ACCT-002", b"CERT-777")
+
+    def test_suite_compiles_to_evm_too(self):
+        suite = ScfSuite.compile("evm")
+        assert set(suite.artifacts) == {
+            "gateway", "manager", "transfer", "account", "issue",
+            "financing", "clearing",
+        }

@@ -1,0 +1,150 @@
+"""Cold-chain logistics workload tests."""
+
+import pytest
+
+from conftest import MockHost, deploy_confidential, run_confidential
+from repro.lang import compile_source
+from repro.vm.host import AbortExecution
+from repro.vm.runner import execute
+from repro.workloads import (
+    COLDCHAIN_CONTRACT,
+    coldchain_workload,
+    decode_history,
+    decode_status,
+    encode_reading,
+    encode_register,
+)
+
+
+def fresh(target="wasm"):
+    return compile_source(COLDCHAIN_CONTRACT, target)
+
+
+def run(artifact, method, store, data=b""):
+    ctx = MockHost(data)
+    ctx.store = store
+    return execute(artifact, method, ctx)
+
+
+class TestContract:
+    @pytest.mark.parametrize("target", ["wasm", "evm"])
+    def test_register_and_status(self, target):
+        artifact = fresh(target)
+        store = {}
+        run(artifact, "register", store, encode_register(b"SHIP0001", 20, 80))
+        result = run(artifact, "status", store, b"SHIP0001")
+        assert decode_status(result.output) == (0, True)
+
+    def test_duplicate_registration_rejected(self):
+        artifact = fresh()
+        store = {}
+        run(artifact, "register", store, encode_register(b"SHIP0001", 20, 80))
+        with pytest.raises(AbortExecution, match="duplicate"):
+            run(artifact, "register", store, encode_register(b"SHIP0001", 0, 10))
+
+    def test_reading_unknown_shipment(self):
+        artifact = fresh()
+        with pytest.raises(AbortExecution, match="unknown"):
+            run(artifact, "record", {}, encode_reading(b"GHOST123", 50, b"S"))
+
+    @pytest.mark.parametrize("target", ["wasm", "evm"])
+    def test_breach_flips_flag_permanently(self, target):
+        artifact = fresh(target)
+        store = {}
+        run(artifact, "register", store, encode_register(b"SHIP0001", 20, 80))
+        run(artifact, "record", store, encode_reading(b"SHIP0001", 50, b"S1"))
+        result = run(artifact, "record", store,
+                     encode_reading(b"SHIP0001", 99, b"S1"))
+        assert result.logs == [b"breach"]
+        # Back in range: the flag must stay breached.
+        run(artifact, "record", store, encode_reading(b"SHIP0001", 50, b"S1"))
+        count, ok = decode_status(run(artifact, "status", store, b"SHIP0001").output)
+        assert count == 3
+        assert ok is False
+
+    def test_negative_range_boundaries(self):
+        artifact = fresh()
+        store = {}
+        run(artifact, "register", store, encode_register(b"FROZEN01", -200, -150))
+        # Exactly on the boundary is compliant.
+        run(artifact, "record", store, encode_reading(b"FROZEN01", -200, b"S"))
+        run(artifact, "record", store, encode_reading(b"FROZEN01", -150, b"S"))
+        _, ok = decode_status(run(artifact, "status", store, b"FROZEN01").output)
+        assert ok is True
+        # One deci-degree past the boundary breaches.
+        run(artifact, "record", store, encode_reading(b"FROZEN01", -149, b"S"))
+        _, ok = decode_status(run(artifact, "status", store, b"FROZEN01").output)
+        assert ok is False
+
+    def test_history_preserves_order_and_signs(self):
+        artifact = fresh()
+        store = {}
+        run(artifact, "register", store, encode_register(b"SHIP0001", -300, 300))
+        temps = [-10, 0, 250, -299]
+        for i, temp in enumerate(temps):
+            run(artifact, "record", store,
+                encode_reading(b"SHIP0001", temp, f"S{i}".encode()))
+        history = decode_history(run(artifact, "history", store, b"SHIP0001").output)
+        assert [t for t, _ in history] == temps
+        assert [s for _, s in history] == [b"S0", b"S1", b"S2", b"S3"]
+
+    def test_shipments_are_independent(self):
+        artifact = fresh()
+        store = {}
+        run(artifact, "register", store, encode_register(b"SHIP000A", 0, 10))
+        run(artifact, "register", store, encode_register(b"SHIP000B", 0, 10))
+        run(artifact, "record", store, encode_reading(b"SHIP000A", 99, b"S"))
+        _, ok_a = decode_status(run(artifact, "status", store, b"SHIP000A").output)
+        _, ok_b = decode_status(run(artifact, "status", store, b"SHIP000B").output)
+        assert not ok_a
+        assert ok_b
+
+    def test_bad_input_sizes(self):
+        artifact = fresh()
+        with pytest.raises(AbortExecution):
+            run(artifact, "register", {}, b"short")
+        with pytest.raises(AbortExecution):
+            run(artifact, "record", {}, b"short")
+
+
+class TestHelpers:
+    def test_encode_register_validates_id(self):
+        with pytest.raises(ValueError):
+            encode_register(b"short", 0, 1)
+
+    def test_encode_reading_pads_sensor(self):
+        blob = encode_reading(b"SHIP0001", 1, b"S")
+        assert len(blob) == 24
+
+    def test_workload_generator_cycles_shipments(self):
+        workload = coldchain_workload(num_shipments=2)
+        first = workload.make_input(0)[:8]
+        third = workload.make_input(2)[:8]
+        assert first == third
+
+
+class TestOnConfidentialEngine:
+    def test_telemetry_confidential_flag_public_queryable(
+        self, confidential_engine, client
+    ):
+        address = deploy_confidential(
+            confidential_engine, client, COLDCHAIN_CONTRACT
+        )
+        outcome = run_confidential(
+            confidential_engine, client, address, "register",
+            encode_register(b"VACCINE1", 20, 80),
+        )
+        assert outcome.receipt.success, outcome.receipt.error
+        outcome = run_confidential(
+            confidential_engine, client, address, "record",
+            encode_reading(b"VACCINE1", 95, b"S7"),
+        )
+        assert outcome.receipt.success
+        assert b"breach" in outcome.receipt.logs
+        status = confidential_engine.call_readonly(address, "status", b"VACCINE1")
+        assert decode_status(status) == (1, False)
+        # Raw telemetry never appears in the database.
+        needle = (95).to_bytes(8, "big")
+        for key, value in confidential_engine.kv.items():
+            if key.startswith(b"s:"):
+                assert needle not in value

@@ -1,0 +1,109 @@
+"""Tests for the shared CWScript library (string/JSON/number helpers)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import MockHost
+from repro.lang import compile_source
+from repro.vm.runner import execute
+from repro.workloads.cwslib import JSON_LIB, STR_LIB, make_json_object
+
+_HARNESS = STR_LIB + JSON_LIB + """
+fn roundtrip_number() {
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+    let v = load64(buf);
+    let text = alloc(24);
+    let len = _u64_to_dec(text, v);
+    let back = _dec_to_u64(text, len);
+    let out = alloc(16);
+    store64(out, back);
+    store64(out + 8, len);
+    output(out, 16);
+}
+fn str_eq_check() {
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+    let half = n / 2;
+    let out = alloc(8);
+    store64(out, _str_eq(buf, half, buf + half, n - half));
+    output(out, 8);
+}
+fn json_probe() {
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+    let out = alloc(16);
+    store64(out, _json_count(buf, n));
+    let v = _json_find(buf, n, "needle", 6);
+    let val = 0;
+    if (v != 0) { val = _json_int(v); }
+    store64(out + 8, val);
+    output(out, 16);
+}
+"""
+
+
+@pytest.fixture(scope="module", params=["wasm", "evm"])
+def harness(request):
+    return compile_source(_HARNESS, request.param)
+
+
+class TestNumberHelpers:
+    # Domain: [0, 2^63) — CWScript arithmetic/comparisons are signed.
+    @pytest.mark.parametrize("value", [0, 1, 9, 10, 12345, 10**18, 2**63 - 1])
+    def test_u64_dec_roundtrip(self, harness, value):
+        data = value.to_bytes(8, "big")
+        result = execute(harness, "roundtrip_number", MockHost(data))
+        back = int.from_bytes(result.output[:8], "big")
+        length = int.from_bytes(result.output[8:], "big")
+        assert back == value
+        assert length == len(str(value))
+
+    @given(value=st.integers(min_value=0, max_value=(1 << 63) - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_u64_dec_roundtrip_property(self, value):
+        artifact = compile_source(_HARNESS, "wasm")
+        result = execute(
+            artifact, "roundtrip_number", MockHost(value.to_bytes(8, "big"))
+        )
+        assert int.from_bytes(result.output[:8], "big") == value
+
+
+class TestStrEq:
+    def test_equal_halves(self, harness):
+        result = execute(harness, "str_eq_check", MockHost(b"abcabc"))
+        assert int.from_bytes(result.output, "big") == 1
+
+    def test_unequal_halves(self, harness):
+        result = execute(harness, "str_eq_check", MockHost(b"abcabd"))
+        assert int.from_bytes(result.output, "big") == 0
+
+    def test_length_mismatch(self, harness):
+        result = execute(harness, "str_eq_check", MockHost(b"abcab"))
+        assert int.from_bytes(result.output, "big") == 0
+
+
+class TestJsonLib:
+    def test_count_and_find(self, harness):
+        doc = make_json_object([("a", "x"), ("needle", 42), ("b", 7)])
+        result = execute(harness, "json_probe", MockHost(doc))
+        assert int.from_bytes(result.output[:8], "big") == 3
+        assert int.from_bytes(result.output[8:], "big") == 42
+
+    def test_missing_key(self, harness):
+        doc = make_json_object([("a", 1)])
+        result = execute(harness, "json_probe", MockHost(doc))
+        assert int.from_bytes(result.output[8:], "big") == 0
+
+    def test_key_not_confused_with_string_value(self, harness):
+        # "needle" appearing as a *value* must not match.
+        doc = make_json_object([("a", "needle"), ("needle", 9)])
+        result = execute(harness, "json_probe", MockHost(doc))
+        assert int.from_bytes(result.output[8:], "big") == 9
+
+    def test_make_json_object_format(self):
+        assert make_json_object([("k", 1), ("s", "v")]) == b'{"k":1,"s":"v"}'
