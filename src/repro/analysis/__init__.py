@@ -1,0 +1,68 @@
+"""Deploy-time static analysis (taint + bytecode verification).
+
+Two cooperating passes guard deploy admission:
+
+- :mod:`repro.analysis.taint` — confidentiality information-flow
+  analysis over CWScript source (paper §4's ``confidential`` promise,
+  enforced on the *code*);
+- :mod:`repro.analysis.verifier` — structural verification of untrusted
+  WASM/EVM artifacts (the compile-time ``validate_module`` guarantees,
+  re-established against byzantine deploy blobs).
+
+Run them from the CLI with ``repro analyze``; the engines run them
+automatically inside deploy admission (see ``core/engine.py``).
+"""
+
+from repro.analysis.report import (
+    KIND_BYTECODE,
+    SINK_CALL_CONTRACT,
+    SINK_LOG,
+    SINK_QUERY_OUTPUT,
+    SINK_QUERY_RETURN,
+    SINK_STORAGE_SET,
+    AnalysisReport,
+    Declassification,
+    Finding,
+)
+from repro.analysis.taint import (
+    CCLE_PREFIX,
+    Policy,
+    TaintAnalyzer,
+    analyze_program,
+    analyze_source,
+    build_policy,
+    extract_directives,
+)
+from repro.analysis.verifier import (
+    HOST_WHITELIST,
+    check_artifact,
+    verify_artifact,
+    verify_evm,
+    verify_module,
+)
+from repro.errors import AnalysisError
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "CCLE_PREFIX",
+    "Declassification",
+    "Finding",
+    "HOST_WHITELIST",
+    "KIND_BYTECODE",
+    "Policy",
+    "SINK_CALL_CONTRACT",
+    "SINK_LOG",
+    "SINK_QUERY_OUTPUT",
+    "SINK_QUERY_RETURN",
+    "SINK_STORAGE_SET",
+    "TaintAnalyzer",
+    "analyze_program",
+    "analyze_source",
+    "build_policy",
+    "check_artifact",
+    "extract_directives",
+    "verify_artifact",
+    "verify_evm",
+    "verify_module",
+]

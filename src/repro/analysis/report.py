@@ -1,0 +1,99 @@
+"""Structured results of the deploy-time static analyses.
+
+Both passes (taint analysis and bytecode verification) report through
+the same :class:`AnalysisReport`, so the CLI, the deploy-admission hook
+and the test fixtures consume one machine-readable shape.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+#: finding kinds produced by the taint pass
+SINK_LOG = "log"
+SINK_STORAGE_SET = "storage_set"
+SINK_CALL_CONTRACT = "call_contract"
+SINK_QUERY_OUTPUT = "query_output"
+SINK_QUERY_RETURN = "query_return"
+
+#: finding kind produced by the bytecode verifier
+KIND_BYTECODE = "bytecode"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One confidential-to-public flow or structural defect."""
+
+    kind: str            # sink kind or 'bytecode'
+    message: str
+    function: str = ""   # CWScript function containing the sink
+    line: int = 0
+    column: int = 0
+    detail: str = ""     # e.g. the static storage-key prefix
+
+    def location(self) -> str:
+        if self.line:
+            return f"{self.function or '?'} (line {self.line}, col {self.column})"
+        return self.function or "artifact"
+
+
+@dataclass(frozen=True)
+class Declassification:
+    """An audited ``declassify(...)`` escape hatch the analyzer honoured."""
+
+    function: str
+    line: int
+    column: int
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of running the analyses over one contract."""
+
+    contract: str = ""
+    findings: list[Finding] = field(default_factory=list)
+    declassifications: list[Declassification] = field(default_factory=list)
+    sources_seen: list[str] = field(default_factory=list)  # conf key prefixes hit
+    functions_analyzed: int = 0
+    verifier_checks: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def merge(self, other: "AnalysisReport") -> None:
+        self.findings.extend(other.findings)
+        self.declassifications.extend(other.declassifications)
+        for src in other.sources_seen:
+            if src not in self.sources_seen:
+                self.sources_seen.append(src)
+        self.functions_analyzed += other.functions_analyzed
+        self.verifier_checks += other.verifier_checks
+
+    def to_dict(self) -> dict:
+        return {
+            "contract": self.contract,
+            "clean": self.clean,
+            "findings": [asdict(f) for f in self.findings],
+            "declassifications": [asdict(d) for d in self.declassifications],
+            "sources_seen": list(self.sources_seen),
+            "functions_analyzed": self.functions_analyzed,
+            "verifier_checks": self.verifier_checks,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def summary(self) -> str:
+        if self.clean:
+            extra = ""
+            if self.declassifications:
+                extra = f" ({len(self.declassifications)} declassification(s))"
+            return f"{self.contract or 'contract'}: clean{extra}"
+        lines = [f"{self.contract or 'contract'}: {len(self.findings)} finding(s)"]
+        for finding in self.findings:
+            lines.append(
+                f"  [{finding.kind}] {finding.location()}: {finding.message}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,658 @@
+"""Pass 1 — confidentiality information-flow analysis for CWScript.
+
+CONFIDE's promise (paper §4) is that ``confidential``-annotated data
+never leaves the enclave in plaintext.  The VM and the D-Protocol keep
+*state* sealed, but nothing stops contract *code* from copying a
+confidential value into a public sink.  This pass closes that gap with
+a forward taint analysis over the CWScript AST:
+
+sources
+    ``storage_get`` under a key the policy marks confidential.  CWScript
+    addresses storage with raw byte-string keys, so the policy maps key
+    *prefixes* to confidentiality: source directives
+    (``//@confidential-keys: "cfg.", "rd"``) plus the implicit ``ccle:``
+    prefix whenever the bound CCLe schema declares confidential fields.
+
+sinks
+    ``log`` (the public event stream), ``storage_set`` under a key that
+    is not provably confidential, ``call_contract`` arguments, and the
+    ``output``/``return`` of a method declared a public query
+    (``//@public-queries: status``).  ``abort`` is *not* a sink: abort
+    payloads only reach the receipt, which travels sealed under k_tx.
+
+declassify
+    ``declassify(expr)`` is the audited escape hatch: the analyzer
+    clears taint (and records the site), the compiler erases the call.
+
+The analysis is flow-sensitive within a function, summary-based across
+functions (a fixpoint over per-function summaries whose taint tokens
+are ``CONF`` plus parameter indices), tracks implicit flows via a
+pc-taint stack, and keeps a per-buffer "key tag" — the known literal
+prefix at offset 0 — so computed keys built with ``_copy_bytes(key,
+"cfg.", 4)`` idioms classify correctly.
+
+Known, documented imprecision: reads under keys the analyzer cannot
+resolve are NOT treated as sources (so fully dynamic key schemes are
+not protected), and writes through a computed address whose leftmost
+variable is not the buffer base are lost.  See docs/analysis.md.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.report import (
+    SINK_CALL_CONTRACT,
+    SINK_LOG,
+    SINK_QUERY_OUTPUT,
+    SINK_QUERY_RETURN,
+    SINK_STORAGE_SET,
+    AnalysisReport,
+    Declassification,
+    Finding,
+)
+from repro.errors import AnalysisError
+from repro.lang import ast_nodes as ast
+from repro.lang.builtins import HOST_BUILTINS, MEM_INTRINSICS
+from repro.lang.parser import parse
+
+#: taint token for "derived from a confidential source" (parameters use
+#: their integer index as token, enabling symbolic function summaries).
+CONF = "CONF"
+
+#: storage prefix the engines use for CCLe-encoded root state.
+CCLE_PREFIX = b"ccle:"
+
+DECLASSIFY = "declassify"
+
+_EMPTY: frozenset = frozenset()
+_CONF_ONLY: frozenset = frozenset([CONF])
+
+_KEYS_DIRECTIVE = re.compile(r"^\s*//\s*@confidential-keys\s*:\s*(.+?)\s*$", re.M)
+_QUERIES_DIRECTIVE = re.compile(r"^\s*//\s*@public-queries\s*:\s*(.+?)\s*$", re.M)
+_QUOTED = re.compile(r'"([^"]*)"')
+
+KEY_CONFIDENTIAL = "confidential"
+KEY_PUBLIC = "public"
+KEY_UNKNOWN = "unknown"
+
+#: functions with a (dst, src, len) byte-copy shape through which the
+#: analyzer derives key tags from string literals.  Taint still flows
+#: through the generic summaries for any user function.
+TAG_COPY_FUNCS = {"memcopy", "__memcopy_soft", "_copy_bytes"}
+
+_MAX_FIXPOINT_ROUNDS = 12
+_MAX_LOOP_ROUNDS = 8
+
+
+# -- policy -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Policy:
+    """What is confidential, and which methods are public queries."""
+
+    confidential_prefixes: tuple[bytes, ...] = ()
+    public_queries: frozenset = frozenset()
+
+    def classify_key(self, tag: bytes | None) -> str:
+        """Classify a storage key from its statically-known prefix."""
+        if tag is None:
+            return KEY_UNKNOWN
+        for prefix in self.confidential_prefixes:
+            if tag.startswith(prefix):
+                return KEY_CONFIDENTIAL
+            if prefix.startswith(tag):
+                return KEY_UNKNOWN  # too short to rule the prefix out
+        return KEY_PUBLIC
+
+
+def extract_directives(source: str) -> tuple[tuple[bytes, ...], frozenset]:
+    """Pull ``//@confidential-keys`` / ``//@public-queries`` out of raw
+    source (the tokenizer strips comments, so this must pre-scan)."""
+    prefixes: list[bytes] = []
+    for match in _KEYS_DIRECTIVE.finditer(source):
+        for literal in _QUOTED.findall(match.group(1)):
+            encoded = literal.encode("latin-1")
+            if encoded not in prefixes:
+                prefixes.append(encoded)
+    queries: set = set()
+    for match in _QUERIES_DIRECTIVE.finditer(source):
+        for name in re.split(r"[,\s]+", match.group(1)):
+            if name:
+                queries.add(name)
+    return tuple(prefixes), frozenset(queries)
+
+
+def build_policy(
+    source: str,
+    schema=None,
+    extra_confidential=(),
+    public_queries=(),
+) -> Policy:
+    """Combine source directives, the bound CCLe schema, and explicit
+    extras into one policy."""
+    prefixes, queries = extract_directives(source)
+    combined = list(prefixes)
+    for extra in extra_confidential:
+        encoded = extra.encode("latin-1") if isinstance(extra, str) else bytes(extra)
+        if encoded not in combined:
+            combined.append(encoded)
+    if schema is not None and schema.confidential_paths():
+        if CCLE_PREFIX not in combined:
+            combined.append(CCLE_PREFIX)
+    return Policy(tuple(combined), queries | frozenset(public_queries))
+
+
+# -- summaries ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SymEvent:
+    """A sink occurrence with (possibly symbolic) taint."""
+
+    kind: str
+    message: str
+    function: str
+    line: int
+    column: int
+    detail: str
+    taint: frozenset
+
+
+def _event_order(event: SymEvent):
+    return (event.line, event.column, event.kind, sorted(map(str, event.taint)))
+
+
+@dataclass(frozen=True)
+class FuncSummary:
+    """Transfer function of one CWScript function, in terms of tokens."""
+
+    result: frozenset = _EMPTY
+    param_writes: tuple = ()       # ((param index, tokens), ...)
+    global_writes: tuple = ()      # ((global name, tokens), ...)
+    events: tuple = ()             # SymEvents, symbolic in the params
+    declass: tuple = ()            # Declassification sites
+    sources: frozenset = _EMPTY    # confidential key tags actually read
+    callees: frozenset = _EMPTY
+
+
+def _base_var(expr) -> str | None:
+    """The buffer base of an address expression (pointer-first idiom:
+    ``buf + 8 + i * 16`` → ``buf``)."""
+    while isinstance(expr, (ast.Binary, ast.Unary)):
+        expr = expr.left if isinstance(expr, ast.Binary) else expr.operand
+    if isinstance(expr, ast.Var):
+        return expr.name
+    return None
+
+
+class _FuncAnalysis:
+    """One flow-sensitive walk of a function body."""
+
+    def __init__(self, analyzer: "TaintAnalyzer", func: ast.Func):
+        self.a = analyzer
+        self.func = func
+        self.param_of = {p: i for i, p in enumerate(func.params)}
+        # var -> (taint, key tag).  A parameter's buffer content is
+        # whatever the caller passed: its own index token.
+        self.env: dict = {
+            p: (frozenset([i]), None) for i, p in enumerate(func.params)
+        }
+        self.pc: list = []
+        self.result: set = set()
+        self.param_writes: dict = {}
+        self.global_writes: dict = {}
+        self.events: dict = {}
+        self.declass: dict = {}
+        self.sources: set = set()
+        self.callees: set = set()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _pc_taint(self) -> frozenset:
+        out: set = set()
+        for taint in self.pc:
+            out |= taint
+        return frozenset(out)
+
+    def _const_value(self, expr) -> int | None:
+        if isinstance(expr, ast.Num):
+            return expr.value
+        if isinstance(expr, ast.Var) and expr.name in self.a.program.consts:
+            return self.a.program.consts[expr.name]
+        return None
+
+    def _const_offset(self, expr) -> int | None:
+        """Constant byte offset of an address expr from its base var."""
+        if isinstance(expr, ast.Var):
+            return 0
+        if isinstance(expr, ast.Binary) and expr.op == "+":
+            left = self._const_offset(expr.left)
+            right = self._const_value(expr.right)
+            if left is not None and right is not None:
+                return left + right
+        return None
+
+    @staticmethod
+    def _tag_after_write(cur_tag, offset, src_tag, copy_len):
+        if offset == 0 and src_tag is not None:
+            return src_tag[:copy_len] if copy_len is not None else None
+        if offset is None or cur_tag is None:
+            return None
+        if offset >= len(cur_tag):
+            return cur_tag  # write lands past the known prefix
+        if src_tag is not None and copy_len is not None:
+            return cur_tag[:offset] + src_tag[:copy_len]
+        return cur_tag[:offset]
+
+    def _write_buffer(self, addr_expr, taint, src_tag=None, copy_len=None):
+        """Model a store through an address expression."""
+        base = _base_var(addr_expr)
+        if base is None:
+            return  # write through a computed address: dropped (documented)
+        taint = frozenset(taint) | self._pc_taint()
+        offset = self._const_offset(addr_expr)
+        if base in self.env:
+            cur_taint, cur_tag = self.env[base]
+            new_tag = self._tag_after_write(cur_tag, offset, src_tag, copy_len)
+            self.env[base] = (cur_taint | taint, new_tag)
+            idx = self.param_of.get(base)
+            if idx is not None:
+                self.param_writes.setdefault(idx, set()).update(taint)
+        elif base in self.a.program.globals:
+            self._write_global(base, taint)
+
+    def _write_global(self, name, taint):
+        self.global_writes.setdefault(name, set()).update(taint)
+        if CONF in taint:
+            self.a.global_taint[name] = (
+                self.a.global_taint.get(name, _EMPTY) | _CONF_ONLY
+            )
+
+    def _event(self, kind, message, pos, detail, taint):
+        taint = frozenset(taint)
+        if not taint:
+            return
+        event = SymEvent(kind, message, self.func.name,
+                         pos.line, pos.column, detail, taint)
+        self.events[(kind, event.function, event.line, event.column, taint)] = event
+
+    def _declassify_site(self, pos):
+        key = (self.func.name, pos.line, pos.column)
+        self.declass[key] = Declassification(self.func.name, pos.line, pos.column)
+
+    @staticmethod
+    def _substitute(tokens, arg_taints) -> frozenset:
+        out: set = set()
+        for token in tokens:
+            if token == CONF:
+                out.add(CONF)
+            elif isinstance(token, int) and token < len(arg_taints):
+                out |= arg_taints[token]
+        return frozenset(out)
+
+    # -- expressions -----------------------------------------------------
+
+    def _eval(self, expr):
+        """Evaluate an expression to (taint, key tag)."""
+        if isinstance(expr, ast.Num):
+            return _EMPTY, None
+        if isinstance(expr, ast.Str):
+            return _EMPTY, bytes(expr.value)
+        if isinstance(expr, ast.Var):
+            name = expr.name
+            if name in self.env:
+                return self.env[name]
+            if name in self.a.program.consts:
+                return _EMPTY, None
+            if name in self.a.program.globals:
+                return self.a.global_taint.get(name, _EMPTY), None
+            return _EMPTY, None
+        if isinstance(expr, ast.Unary):
+            taint, _ = self._eval(expr.operand)
+            return taint, None
+        if isinstance(expr, ast.Binary):
+            left, _ = self._eval(expr.left)
+            right, _ = self._eval(expr.right)
+            return left | right, None
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        return _EMPTY, None
+
+    def _call(self, expr: ast.Call):
+        name = expr.name
+        if name == DECLASSIFY:
+            if len(expr.args) != 1:
+                # report here, where positions are still relative to the
+                # user's source (the compiler's own check sees the
+                # prelude-shifted program)
+                raise AnalysisError(
+                    f"declassify(expr) takes exactly one argument "
+                    f"at {expr.pos}"
+                )
+            _, tag = self._eval(expr.args[0])
+            self._declassify_site(expr.pos)
+            return _EMPTY, tag
+        if name in ("alloc", "__alloc"):
+            for arg in expr.args:
+                self._eval(arg)
+            return _EMPTY, None
+        if name == "sizeof":
+            return _EMPTY, None
+        if name in MEM_INTRINSICS:
+            return self._mem_intrinsic(name, expr)
+        if name in HOST_BUILTINS:
+            return self._host_call(name, expr)
+        return self._user_call(name, expr)
+
+    def _mem_intrinsic(self, name, expr):
+        args = expr.args
+        vals = [self._eval(arg) for arg in args]
+        if name.startswith("load"):
+            # reading through a pointer yields the buffer's taint (the
+            # base var accumulates buffer taint on every store)
+            return vals[0][0], None
+        if name.startswith("store"):
+            self._write_buffer(args[0], vals[0][0] | vals[1][0])
+            return _EMPTY, None
+        if name == "memcopy" or name == "memfill":
+            taint = vals[1][0] | vals[2][0]
+            src_tag = vals[1][1] if name == "memcopy" else None
+            copy_len = self._const_value(args[2])
+            self._write_buffer(args[0], taint, src_tag=src_tag, copy_len=copy_len)
+            return _EMPTY, None
+        return _EMPTY, None  # memsize
+
+    def _host_call(self, name, expr):
+        args = expr.args
+        vals = [self._eval(arg) for arg in args]
+        pc = self._pc_taint()
+        pos = expr.pos
+        if name == "storage_get":
+            key_tag = vals[0][1]
+            if self.a.policy.classify_key(key_tag) == KEY_CONFIDENTIAL:
+                self._write_buffer(args[2], _CONF_ONLY)
+                self.sources.add(key_tag)
+            else:
+                self._write_buffer(args[2], _EMPTY)
+            return _EMPTY, None
+        if name == "storage_set":
+            key_taint, key_tag = vals[0]
+            classification = self.a.policy.classify_key(key_tag)
+            if classification != KEY_CONFIDENTIAL:
+                taint = vals[1][0] | vals[2][0] | vals[3][0] | key_taint | pc
+                if classification == KEY_PUBLIC:
+                    detail = key_tag.decode("latin-1")
+                    message = (
+                        "confidential data written under public "
+                        f"storage key '{detail}'"
+                    )
+                else:
+                    detail = "<computed>"
+                    message = ("confidential data written under a storage "
+                               "key the analyzer cannot prove confidential")
+                self._event(SINK_STORAGE_SET, message, pos, detail, taint)
+            return _EMPTY, None
+        if name == "log":
+            taint = vals[0][0] | vals[1][0] | pc
+            self._event(
+                SINK_LOG,
+                "confidential data reaches emit_log (public event stream)",
+                pos, "", taint,
+            )
+            return _EMPTY, None
+        if name == "output":
+            taint = vals[0][0] | vals[1][0] | pc
+            self._event(SINK_QUERY_OUTPUT, "output", pos, "", taint)
+            return _EMPTY, None
+        if name == "call_contract":
+            taint = pc.union(*(v[0] for v in vals)) if vals else pc
+            self._event(
+                SINK_CALL_CONTRACT,
+                "confidential data escapes via call_contract arguments",
+                pos, "", taint,
+            )
+            return _EMPTY, None
+        if name in ("sha256", "keccak256"):
+            taint = vals[0][0] | vals[1][0]
+            self._write_buffer(args[2], taint)
+            return _EMPTY, None
+        if name == "input_read" or name == "caller":
+            self._write_buffer(args[0], _EMPTY)
+            return _EMPTY, None
+        # input_size / abort / anything new: no flow
+        return _EMPTY, None
+
+    def _user_call(self, name, expr):
+        args = expr.args
+        vals = [self._eval(arg) for arg in args]
+        arg_taints = [v[0] for v in vals]
+        pc = self._pc_taint()
+        self.callees.add(name)
+        summary = self.a.summaries.get(name)
+        if summary is None:
+            # undefined function: codegen will reject it anyway; be
+            # conservative so partial programs still analyze
+            combined = pc.union(*arg_taints) if arg_taints else pc
+            return combined, None
+        for idx, tokens in summary.param_writes:
+            if idx >= len(args):
+                continue
+            instantiated = self._substitute(tokens, arg_taints)
+            src_tag = copy_len = None
+            if name in TAG_COPY_FUNCS and len(args) == 3 and idx == 0:
+                src_tag = vals[1][1]
+                copy_len = self._const_value(args[2])
+            self._write_buffer(args[idx], instantiated,
+                               src_tag=src_tag, copy_len=copy_len)
+        for gname, tokens in summary.global_writes:
+            instantiated = self._substitute(tokens, arg_taints) | pc
+            if instantiated:
+                self.global_writes.setdefault(gname, set()).update(instantiated)
+                if CONF in instantiated:
+                    self.a.global_taint[gname] = (
+                        self.a.global_taint.get(gname, _EMPTY) | _CONF_ONLY
+                    )
+        for event in summary.events:
+            if event.kind == SINK_QUERY_RETURN:
+                continue  # a callee's return value is not the query's
+            instantiated = self._substitute(event.taint, arg_taints) | pc
+            if instantiated:
+                inst = replace(event, taint=instantiated)
+                self.events[(inst.kind, inst.function, inst.line,
+                             inst.column, instantiated)] = inst
+        return self._substitute(summary.result, arg_taints), None
+
+    # -- statements ------------------------------------------------------
+
+    def _walk(self, stmts):
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt):
+        if isinstance(stmt, (ast.Let, ast.Assign)):
+            taint, tag = self._eval(stmt.value)
+            taint = taint | self._pc_taint()
+            name = stmt.name
+            if (isinstance(stmt, ast.Assign) and name not in self.env
+                    and name in self.a.program.globals):
+                self._write_global(name, taint)
+            else:
+                self.env[name] = (taint, tag)
+        elif isinstance(stmt, ast.If):
+            cond_taint, _ = self._eval(stmt.cond)
+            self.pc.append(cond_taint)
+            saved = dict(self.env)
+            self._walk(stmt.then_body)
+            env_then = self.env
+            self.env = dict(saved)
+            self._walk(stmt.else_body)
+            self.env = self._join(env_then, self.env)
+            self.pc.pop()
+        elif isinstance(stmt, ast.While):
+            for _ in range(_MAX_LOOP_ROUNDS):
+                before_env = dict(self.env)
+                before_globals = dict(self.a.global_taint)
+                cond_taint, _ = self._eval(stmt.cond)
+                self.pc.append(cond_taint)
+                self._walk(stmt.body)
+                self.pc.pop()
+                self.env = self._join(self.env, before_env)
+                if (self.env == before_env
+                        and self.a.global_taint == before_globals):
+                    break
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint, _ = self._eval(stmt.value)
+                taint = taint | self._pc_taint()
+                self.result.update(taint)
+                if self.func.has_result:
+                    self._event(SINK_QUERY_RETURN, "return", stmt.pos, "", taint)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr)
+        # Break / Continue need no transfer: loop bodies iterate to a
+        # joined fixpoint anyway.
+
+    @staticmethod
+    def _join(env_a, env_b):
+        out = {}
+        for name in set(env_a) | set(env_b):
+            taint_a, tag_a = env_a.get(name, (_EMPTY, None))
+            taint_b, tag_b = env_b.get(name, (_EMPTY, None))
+            out[name] = (taint_a | taint_b, tag_a if tag_a == tag_b else None)
+        return out
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self) -> FuncSummary:
+        self._walk(self.func.body)
+        return FuncSummary(
+            result=frozenset(self.result),
+            param_writes=tuple(
+                (i, frozenset(s)) for i, s in sorted(self.param_writes.items())
+            ),
+            global_writes=tuple(
+                (n, frozenset(s)) for n, s in sorted(self.global_writes.items())
+            ),
+            events=tuple(sorted(self.events.values(), key=_event_order)),
+            declass=tuple(
+                self.declass[k] for k in sorted(self.declass)
+            ),
+            sources=frozenset(self.sources),
+            callees=frozenset(self.callees),
+        )
+
+
+# -- whole-program driver -----------------------------------------------------
+
+class TaintAnalyzer:
+    """Summary-based interprocedural taint analysis of one program."""
+
+    def __init__(self, program: ast.Program, policy: Policy):
+        self.program = program
+        self.policy = policy
+        self.funcs = {func.name: func for func in program.funcs}
+        self.summaries: dict = {name: FuncSummary() for name in self.funcs}
+        self.global_taint: dict = {}
+
+    def run(self) -> None:
+        for _ in range(_MAX_FIXPOINT_ROUNDS):
+            changed = False
+            for func in self.program.funcs:
+                summary = _FuncAnalysis(self, func).run()
+                if summary != self.summaries[func.name]:
+                    self.summaries[func.name] = summary
+                    changed = True
+            if not changed:
+                return
+
+    def _reachable(self) -> set:
+        stack = [f.name for f in self.program.funcs if f.exported]
+        seen: set = set()
+        while stack:
+            name = stack.pop()
+            if name in seen or name not in self.summaries:
+                continue
+            seen.add(name)
+            stack.extend(self.summaries[name].callees)
+        return seen
+
+    def report(self, contract_name: str = "") -> AnalysisReport:
+        rep = AnalysisReport(contract=contract_name)
+        rep.functions_analyzed = len(self.funcs)
+        reachable = self._reachable()
+        seen_findings: set = set()
+        findings: list[Finding] = []
+        for func in self.program.funcs:
+            if not func.exported:
+                continue
+            for event in self.summaries[func.name].events:
+                if CONF not in event.taint:
+                    continue
+                if event.kind in (SINK_QUERY_OUTPUT, SINK_QUERY_RETURN):
+                    if func.name not in self.policy.public_queries:
+                        continue  # sealed receipt, not a public channel
+                    message = (
+                        f"public query '{func.name}' exposes confidential "
+                        f"data via {event.message}"
+                    )
+                    key = (event.kind, func.name, event.function,
+                           event.line, event.column)
+                else:
+                    message = event.message
+                    key = (event.kind, event.function, event.line, event.column)
+                if key in seen_findings:
+                    continue
+                seen_findings.add(key)
+                findings.append(Finding(
+                    kind=event.kind, message=message, function=event.function,
+                    line=event.line, column=event.column, detail=event.detail,
+                ))
+        rep.findings = sorted(
+            findings, key=lambda f: (f.line, f.column, f.kind, f.message)
+        )
+        for name in sorted(reachable):
+            summary = self.summaries.get(name)
+            if summary is None:
+                continue
+            rep.declassifications.extend(summary.declass)
+            for tag in summary.sources:
+                decoded = tag.decode("latin-1")
+                if decoded not in rep.sources_seen:
+                    rep.sources_seen.append(decoded)
+        rep.declassifications.sort(key=lambda d: (d.function, d.line, d.column))
+        rep.sources_seen.sort()
+        return rep
+
+
+def analyze_program(
+    program: ast.Program, policy: Policy, contract_name: str = ""
+) -> AnalysisReport:
+    analyzer = TaintAnalyzer(program, policy)
+    analyzer.run()
+    return analyzer.report(contract_name)
+
+
+def analyze_source(
+    source: str,
+    schema_source: str = "",
+    *,
+    schema=None,
+    contract_name: str = "",
+    extra_confidential=(),
+    public_queries=(),
+) -> AnalysisReport:
+    """Parse + analyze one contract.  ``schema``/``schema_source`` bind
+    the CCLe schema whose confidential fields seed the ``ccle:`` prefix;
+    source directives add raw-key prefixes and public queries."""
+    if schema is None and schema_source:
+        from repro.ccle.parser import parse_schema
+
+        schema = parse_schema(schema_source)
+    policy = build_policy(
+        source, schema,
+        extra_confidential=extra_confidential,
+        public_queries=public_queries,
+    )
+    program = parse(source)
+    return analyze_program(program, policy, contract_name)

@@ -1,0 +1,305 @@
+"""Pass 2 — untrusted-bytecode verifier for deployed artifacts.
+
+``validate_module`` runs when a node *compiles* a contract, but a
+byzantine peer can gossip a deploy transaction carrying any blob it
+likes; today that blob reaches the executor unchecked.  This pass makes
+deploy admission re-establish everything a local compile would have
+guaranteed:
+
+- the module decodes and passes structural validation (indices, jump
+  targets — including the superinstruction forms the optimizer emits);
+- every host import matches the canonical reduced host table by name
+  *and* signature (paper §6.4's reduced instruction set: a foreign
+  import is an escape hatch out of the enclave's semantics);
+- stack effects balance along every path: an abstract interpretation
+  walks each function with a worklist, checking underflow, join-depth
+  consistency, RETURN arity, and that no conditional branch can fall
+  off the end of a body;
+- memory declarations stay within sane bounds.
+
+EVM artifacts get a linear scan that respects PUSH immediates, stops at
+the first ``INVALID`` guard (the codegen places the raw data image after
+it), validates opcodes, checks static jumps land on ``JUMPDEST``, and
+checks the method entry table points at real instruction boundaries.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import KIND_BYTECODE, AnalysisReport, Finding
+from repro.errors import AnalysisError, VMError
+from repro.vm import host as host_mod
+from repro.vm.evm import opcodes as evm_op
+from repro.vm.wasm import opcodes as op
+from repro.vm.wasm.module import Module, decode_module, validate_module
+
+#: canonical host signatures a module may import (name -> (params, results))
+HOST_WHITELIST: dict[str, tuple[int, int]] = {
+    imp.name: (imp.nparams, imp.nresults) for imp in host_mod.HOST_TABLE
+}
+
+MAX_MEMORY_PAGES = 4096       # 256 MiB, far above anything the compiler emits
+MAX_FUNCTION_VARS = 4096
+MAX_FUNCTION_INSTRS = 1 << 20
+
+_ALU_OPS = frozenset({
+    op.ADD, op.SUB, op.MUL, op.DIV_S, op.DIV_U, op.REM_S, op.REM_U,
+    op.AND, op.OR, op.XOR, op.SHL, op.SHR_U, op.SHR_S,
+})
+_CMP_OPS = frozenset({
+    op.EQ, op.NE, op.LT_S, op.LT_U, op.GT_S, op.GT_U,
+    op.LE_S, op.LE_U, op.GE_S, op.GE_U,
+})
+_LOAD_OPS = frozenset({op.LOAD8_U, op.LOAD16_U, op.LOAD32_U, op.LOAD64})
+_STORE_OPS = frozenset({op.STORE8, op.STORE16, op.STORE32, op.STORE64})
+
+#: (pops, pushes) for every opcode with a fixed effect — including the
+#: superinstructions, so post-fusion code verifies too.
+STACK_EFFECTS: dict[int, tuple[int, int]] = {
+    op.NOP: (0, 0),
+    op.CONST: (0, 1),
+    op.DROP: (1, 0),
+    op.LOCAL_GET: (0, 1),
+    op.LOCAL_SET: (1, 0),
+    op.LOCAL_TEE: (1, 1),
+    op.JMP: (0, 0),
+    op.JMP_IF: (1, 0),
+    op.JMP_IFZ: (1, 0),
+    op.SELECT: (3, 1),
+    op.EQZ: (1, 1),
+    op.MEMCOPY: (3, 0),
+    op.MEMFILL: (3, 0),
+    op.MEMSIZE: (0, 1),
+    op.GETGET: (0, 2),
+    op.GETCONST: (0, 2),
+    op.ADDI: (1, 1),
+    op.GETADD: (1, 1),
+    op.MOVL: (0, 0),
+    op.CMP_BR: (2, 0),
+    op.LOAD8_LOCAL: (0, 1),
+    op.INCL: (0, 0),
+}
+for _o in _ALU_OPS | _CMP_OPS:
+    STACK_EFFECTS[_o] = (2, 1)
+for _o in _LOAD_OPS:
+    STACK_EFFECTS[_o] = (1, 1)
+for _o in _STORE_OPS:
+    STACK_EFFECTS[_o] = (2, 0)
+
+
+def _finding(message: str, detail: str = "") -> Finding:
+    return Finding(kind=KIND_BYTECODE, message=message, detail=detail)
+
+
+# -- CONFIDE-VM (wasm) --------------------------------------------------------
+
+def _verify_wasm_function(module: Module, fidx: int) -> list[Finding]:
+    """Abstract interpretation of one body's stack discipline."""
+    func = module.functions[fidx]
+    code = func.code
+    size = len(code)
+    findings: list[Finding] = []
+    where = f"function {fidx}"
+    if func.nresults not in (0, 1):
+        return [_finding(f"{where}: nresults must be 0 or 1, got {func.nresults}")]
+    if func.nparams + func.nlocals > MAX_FUNCTION_VARS:
+        return [_finding(f"{where}: too many locals")]
+    if size > MAX_FUNCTION_INSTRS:
+        return [_finding(f"{where}: body too large")]
+
+    depths: dict[int, int] = {0: 0}
+    work = [0]
+    while work and not findings:
+        index = work.pop()
+        depth = depths[index]
+        opcode, a, _b = code[index]
+        at = f"{where} instr {index} ({op.NAMES.get(opcode, opcode)})"
+        if opcode == op.RETURN:
+            if depth < func.nresults:
+                findings.append(_finding(
+                    f"{at}: RETURN with stack depth {depth} < {func.nresults}"
+                ))
+            continue
+        if opcode == op.UNREACHABLE:
+            continue
+        if opcode == op.CALL:
+            callee = module.functions[a]
+            pops, pushes = callee.nparams, callee.nresults
+        elif opcode == op.CALL_HOST:
+            imp = module.hosts[a]
+            pops, pushes = imp.nparams, imp.nresults
+        else:
+            effect = STACK_EFFECTS.get(opcode)
+            if effect is None:
+                findings.append(_finding(f"{at}: no stack effect defined"))
+                continue
+            pops, pushes = effect
+        if depth < pops:
+            findings.append(_finding(
+                f"{at}: stack underflow (depth {depth}, pops {pops})"
+            ))
+            continue
+        after = depth - pops + pushes
+        successors = []
+        if opcode == op.JMP:
+            successors.append(a)
+        elif opcode in op.BRANCH_OPS:  # JMP_IF / JMP_IFZ / CMP_BR
+            successors.append(a)
+            successors.append(index + 1)
+        else:
+            successors.append(index + 1)
+        for succ in successors:
+            if succ >= size:
+                findings.append(_finding(
+                    f"{at}: control falls off the end of the body"
+                ))
+                break
+            known = depths.get(succ)
+            if known is None:
+                depths[succ] = after
+                work.append(succ)
+            elif known != after:
+                findings.append(_finding(
+                    f"{where} instr {succ}: inconsistent stack depth at "
+                    f"join ({known} vs {after})"
+                ))
+                break
+    return findings
+
+
+def verify_module(module: Module) -> list[Finding]:
+    """Full verification of a decoded (possibly fused) module."""
+    try:
+        validate_module(module)
+    except VMError as exc:
+        return [_finding(f"structural validation failed: {exc}")]
+    findings: list[Finding] = []
+    if not 1 <= module.memory_pages <= MAX_MEMORY_PAGES:
+        findings.append(_finding(
+            f"memory declaration out of bounds: {module.memory_pages} pages"
+        ))
+    for imp in module.hosts:
+        expected = HOST_WHITELIST.get(imp.name)
+        if expected is None:
+            findings.append(_finding(
+                f"host import '{imp.name}' is not in the canonical host table"
+            ))
+        elif expected != (imp.nparams, imp.nresults):
+            findings.append(_finding(
+                f"host import '{imp.name}' signature {imp.nparams}/"
+                f"{imp.nresults} != canonical {expected[0]}/{expected[1]}"
+            ))
+    for name, idx in sorted(module.exports.items()):
+        if module.functions[idx].nparams != 0:
+            findings.append(_finding(
+                f"exported method '{name}' takes parameters"
+            ))
+    for fidx in range(len(module.functions)):
+        findings.extend(_verify_wasm_function(module, fidx))
+    return findings
+
+
+# -- EVM ----------------------------------------------------------------------
+
+def verify_evm(code: bytes, entries: dict[str, int]) -> list[Finding]:
+    """Linear scan of EVM bytecode up to the data-region guard."""
+    findings: list[Finding] = []
+    starts: set[int] = set()
+    jumpdests: set[int] = set()
+    pushes: dict[int, int] = {}  # pos -> immediate value
+    pos = 0
+    code_end = len(code)
+    prev_pos: int | None = None
+    while pos < len(code):
+        opcode = code[pos]
+        if opcode == evm_op.INVALID:
+            # the codegen's guard: everything after is the memory image
+            code_end = pos
+            starts.add(pos)
+            break
+        if opcode not in evm_op.NAMES:
+            findings.append(_finding(
+                f"invalid EVM opcode 0x{opcode:02x} at offset {pos}"
+            ))
+            return findings
+        starts.add(pos)
+        if evm_op.PUSH1 <= opcode <= evm_op.PUSH1 + 31:
+            width = opcode - evm_op.PUSH1 + 1
+            if pos + width >= len(code):
+                findings.append(_finding(
+                    f"truncated PUSH{width} immediate at offset {pos}"
+                ))
+                return findings
+            pushes[pos] = int.from_bytes(code[pos + 1 : pos + 1 + width], "big")
+            next_pos = pos + 1 + width
+        else:
+            if opcode == evm_op.JUMPDEST:
+                jumpdests.add(pos)
+            if opcode in (evm_op.JUMP, evm_op.JUMPI) and prev_pos in pushes:
+                target = pushes[prev_pos]
+                if target not in jumpdests and (
+                    target >= len(code) or code[target] != evm_op.JUMPDEST
+                ):
+                    findings.append(_finding(
+                        f"static jump at offset {pos} targets {target}, "
+                        "which is not a JUMPDEST"
+                    ))
+            next_pos = pos + 1
+        prev_pos = pos
+        pos = next_pos
+    for name in sorted(entries):
+        entry = entries[name]
+        if entry >= code_end or entry not in starts:
+            findings.append(_finding(
+                f"entry '{name}' at offset {entry} is not an instruction "
+                "boundary in the code region"
+            ))
+    return findings
+
+
+# -- artifact front door ------------------------------------------------------
+
+def check_artifact(artifact, contract_name: str = "") -> AnalysisReport:
+    """Verify one deployable artifact; returns a report, never raises."""
+    report = AnalysisReport(contract=contract_name or f"<{artifact.target}>")
+    findings: list[Finding] = []
+    checks = 0
+    if artifact.target == "wasm":
+        try:
+            module = decode_module(artifact.code)
+        except (VMError, ValueError, IndexError, KeyError,
+                UnicodeDecodeError) as exc:
+            findings.append(_finding(f"module does not decode: {exc}"))
+            module = None
+        if module is not None:
+            checks += 3 + sum(len(f.code) for f in module.functions)
+            findings.extend(verify_module(module))
+            for method in artifact.methods:
+                if method not in module.exports:
+                    findings.append(_finding(
+                        f"declared method '{method}' is not exported"
+                    ))
+    elif artifact.target == "evm":
+        checks += 1 + len(artifact.code)
+        findings.extend(verify_evm(artifact.code, artifact.entries))
+        for method in artifact.methods:
+            if method not in artifact.entries:
+                findings.append(_finding(
+                    f"declared method '{method}' has no entry offset"
+                ))
+    else:
+        findings.append(_finding(f"unknown artifact target '{artifact.target}'"))
+    report.findings = findings
+    report.verifier_checks = checks
+    return report
+
+
+def verify_artifact(artifact, contract_name: str = "") -> AnalysisReport:
+    """Like :func:`check_artifact` but raises :class:`AnalysisError`."""
+    report = check_artifact(artifact, contract_name)
+    if not report.clean:
+        first = report.findings[0].message
+        extra = len(report.findings) - 1
+        suffix = f" (+{extra} more)" if extra else ""
+        raise AnalysisError(f"artifact rejected: {first}{suffix}",
+                            report.findings)
+    return report

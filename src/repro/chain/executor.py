@@ -36,6 +36,7 @@ class BlockExecutionReport:
     makespan_s: float = 0.0
     lanes: int = 1
     conflict_edges: int = 0
+    analysis_rejections: int = 0  # deploys refused by the static verifier
 
     @property
     def speedup(self) -> float:
@@ -93,6 +94,9 @@ class BlockExecutor:
                 outcome = self.public.execute(tx)
             report.outcomes.append(outcome)
             report.serial_duration_s += outcome.duration
+            receipt = outcome.receipt
+            if not receipt.success and receipt.error.startswith("analysis:"):
+                report.analysis_rejections += 1
         report.makespan_s, report.conflict_edges = lane_schedule(
             report.outcomes, self.lanes
         )

@@ -167,13 +167,26 @@ class Transaction:
         return RawTransaction.decode(self.payload)
 
 
-def deploy_args(code: bytes, vm: str, schema_source: str = "") -> bytes:
-    """Argument blob for a deploy transaction."""
-    return rlp.encode([code, vm.encode(), schema_source.encode()])
+def deploy_args(
+    code: bytes, vm: str, schema_source: str = "", source: str = ""
+) -> bytes:
+    """Argument blob for a deploy transaction.
+
+    ``source`` optionally carries the CWScript source so deploy
+    admission can run the confidentiality taint analysis (the bytecode
+    verifier runs either way).  It is appended as a fourth RLP item only
+    when present, keeping the three-item wire form byte-identical.
+    """
+    items = [code, vm.encode(), schema_source.encode()]
+    if source:
+        items.append(source.encode())
+    return rlp.encode(items)
 
 
-def parse_deploy_args(args: bytes) -> tuple[bytes, str, str]:
+def parse_deploy_args(args: bytes) -> tuple[bytes, str, str, str]:
+    """(code blob, vm, schema source, contract source or '')."""
     items = rlp.decode(args)
-    if not isinstance(items, list) or len(items) != 3:
+    if not isinstance(items, list) or len(items) not in (3, 4):
         raise ChainError("malformed deploy args")
-    return items[0], items[1].decode(), items[2].decode()
+    source = items[3].decode() if len(items) == 4 else ""
+    return items[0], items[1].decode(), items[2].decode(), source

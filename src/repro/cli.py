@@ -7,6 +7,9 @@ Commands:
 - ``disasm <file.cws> [--target ...] [--fuse]`` — compile and print the
   disassembly (``--fuse`` shows the post-OPT4 superinstruction form).
 - ``histogram <file.cws> [--target ...]`` — static opcode frequencies.
+- ``analyze <file.cws> [--schema file.ccle] [--target ...] [--json]`` —
+  run the deploy-time static analyses (confidentiality taint analysis
+  plus the untrusted-bytecode verifier); exits non-zero on findings.
 - ``demo`` — run the quickstart flow (single confidential node).
 - ``bench [--quick]`` — print the paper's tables/figures from a quick run.
 """
@@ -50,6 +53,24 @@ def cmd_histogram(args) -> int:
     for name, count in sorted(histogram.items(), key=lambda kv: -kv[1]):
         print(f"  {name:16s} {count:6d}  {count / total * 100:5.1f}%")
     return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import analyze_source, check_artifact
+
+    source = _read_source(args.file)
+    schema_source = _read_source(args.schema) if args.schema else ""
+    report = analyze_source(source, schema_source, contract_name=args.file)
+    artifact = compile_source(source, args.target)
+    report.merge(check_artifact(artifact, contract_name=args.file))
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+        for declass in report.declassifications:
+            print(f"  declassify in {declass.function} "
+                  f"(line {declass.line}, col {declass.column})")
+    return 0 if report.clean else 1
 
 
 def cmd_demo(_args) -> int:
@@ -135,6 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--target", choices=("wasm", "evm"), default="wasm")
     p.set_defaults(func=cmd_histogram)
+
+    p = sub.add_parser(
+        "analyze", help="run the deploy-time static analyses"
+    )
+    p.add_argument("file")
+    p.add_argument("--schema", help="CCLe schema whose confidential "
+                   "fields seed the taint analysis")
+    p.add_argument("--target", choices=("wasm", "evm"), default="wasm")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("demo", help="run the confidential quickstart flow")
     p.set_defaults(func=cmd_demo)

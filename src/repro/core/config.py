@@ -28,6 +28,11 @@ class EngineConfig:
     use_memory_pool: bool = True
     use_preverification: bool = True
     use_instruction_fusion: bool = True
+    # Deploy-time static analysis (repro.analysis): structural
+    # verification of untrusted artifacts, and — when the deploy carries
+    # source — confidentiality taint analysis.
+    use_deploy_verification: bool = True
+    use_taint_analysis: bool = True
     code_cache_capacity: int = 64
     max_steps: int = DEFAULT_MAX_STEPS
     gas_limit: int = DEFAULT_GAS_LIMIT

@@ -40,16 +40,26 @@ from repro.core.preprocessor import PreProcessor
 from repro.core.receipts import Receipt
 from repro.core.sdm import SecureDataModule
 from repro.core.stats import (
+    ARTIFACT_VERIFY,
     CONTRACT_CALL,
+    DEPLOY_REJECT,
     GET_STORAGE,
     OperationStats,
     SET_STORAGE,
+    TAINT_ANALYZE,
     TX_DECRYPT,
     TX_VERIFY,
 )
 from repro.crypto.gcm import NONCE_SIZE, AesGcm
 from repro.crypto.keys import KeyPair
-from repro.errors import ChainError, ContractError, ProtocolError, ReproError, VMError
+from repro.errors import (
+    AnalysisError,
+    ChainError,
+    ContractError,
+    ProtocolError,
+    ReproError,
+    VMError,
+)
 from repro.lang.compiler import ContractArtifact
 from repro.storage import rlp
 from repro.storage.kv import KVStore
@@ -208,6 +218,55 @@ class _BaseEngine:
     def _charge_vm_memory(self, record: _DeployedContract) -> None:
         """Hook: account enclave memory for one VM instantiation."""
 
+    def _admit_artifact(
+        self,
+        artifact: ContractArtifact,
+        schema: Schema | None,
+        source: str,
+    ) -> None:
+        """Deploy admission: re-establish compile-time guarantees on an
+        untrusted artifact (always), and run the confidentiality taint
+        analysis when the deploy carries source (§4: the ``confidential``
+        promise, enforced on the code).  Raises :class:`AnalysisError`.
+        """
+        from repro.analysis.taint import analyze_source
+        from repro.analysis.verifier import verify_artifact
+
+        if self.config.use_deploy_verification:
+            started = time.perf_counter()
+            try:
+                verify_artifact(artifact)
+            except AnalysisError:
+                self.stats.record(DEPLOY_REJECT, 0.0)
+                raise
+            finally:
+                self.stats.record(ARTIFACT_VERIFY,
+                                  time.perf_counter() - started)
+        if self.config.use_taint_analysis and source:
+            started = time.perf_counter()
+            try:
+                try:
+                    report = analyze_source(source, schema=schema)
+                except AnalysisError:
+                    raise
+                except ReproError as exc:
+                    raise AnalysisError(f"source does not analyze: {exc}")
+                if not report.clean:
+                    first = report.findings[0]
+                    extra = len(report.findings) - 1
+                    suffix = f" (+{extra} more)" if extra else ""
+                    raise AnalysisError(
+                        f"confidentiality leak at {first.location()}: "
+                        f"{first.message}{suffix}",
+                        tuple(report.findings),
+                    )
+            except AnalysisError:
+                self.stats.record(DEPLOY_REJECT, 0.0)
+                raise
+            finally:
+                self.stats.record(TAINT_ANALYZE,
+                                  time.perf_counter() - started)
+
     def _upgrade(self, raw: RawTransaction) -> bytes:
         """Replace a contract's code, bumping its security version.
 
@@ -221,9 +280,10 @@ class _BaseEngine:
         record = self._get_record(raw.contract)
         if raw.sender != record.owner:
             raise ContractError("only the contract owner can upgrade")
-        code_blob, _vm, schema_source = parse_deploy_args(raw.args)
+        code_blob, _vm, schema_source, source = parse_deploy_args(raw.args)
         artifact = ContractArtifact.decode(code_blob)
         schema = parse_schema(schema_source) if schema_source else None
+        self._admit_artifact(artifact, schema, source)
         upgraded = _DeployedContract(
             record.address, record.owner, artifact, schema, schema_source,
             record.security_version + 1,
@@ -300,10 +360,11 @@ class _BaseEngine:
         """Deploy or call; returns the receipt output."""
         self._check_and_bump_nonce(raw)
         if raw.is_deploy:
-            code_blob, vm_name, schema_source = parse_deploy_args(raw.args)
+            code_blob, vm_name, schema_source, source = parse_deploy_args(raw.args)
             artifact = ContractArtifact.decode(code_blob)
             address = contract_address(raw.sender, raw.nonce)
             schema = parse_schema(schema_source) if schema_source else None
+            self._admit_artifact(artifact, schema, source)
             record = _DeployedContract(
                 address, raw.sender, artifact, schema, schema_source
             )

@@ -15,6 +15,12 @@ SET_STORAGE = "SetStorage"
 TX_VERIFY = "Transaction Verify"
 TX_DECRYPT = "Transaction Decryption"
 
+# Deploy-time static analysis (not part of Table 1: it runs once per
+# deploy, off the per-transaction hot path).
+ARTIFACT_VERIFY = "Artifact Verify"
+TAINT_ANALYZE = "Taint Analysis"
+DEPLOY_REJECT = "Deploy Rejected"
+
 TABLE1_ORDER = (CONTRACT_CALL, GET_STORAGE, SET_STORAGE, TX_VERIFY, TX_DECRYPT)
 
 

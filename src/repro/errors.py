@@ -68,3 +68,17 @@ class ChainError(ReproError):
 
 class ContractError(ReproError):
     """A smart contract aborted with an application-level error."""
+
+
+class AnalysisError(ReproError):
+    """Deploy-time static analysis rejected a contract.
+
+    Raised by the taint analyzer (confidential-to-public flow) or the
+    bytecode verifier (structurally invalid artifact).  ``findings``
+    carries the structured findings behind the rejection; the message is
+    prefixed ``analysis:`` so chain-level receipts are attributable.
+    """
+
+    def __init__(self, message: str, findings: tuple = ()):
+        super().__init__(f"analysis: {message}")
+        self.findings = tuple(findings)

@@ -124,6 +124,53 @@ def _desugar_asserts(program) -> None:
         rewrite(func.body)
 
 
+def _desugar_declassify(program) -> None:
+    """Erase ``declassify(expr)`` calls, leaving ``expr``.
+
+    ``declassify`` only means something to the static taint analyzer
+    (``repro.analysis``): it marks an audited confidential-to-public
+    flow.  At runtime it is the identity function, so the front end
+    rewrites it away before either backend sees it.
+    """
+    from repro.lang import ast_nodes as ast
+
+    def rewrite_expr(expr):
+        if isinstance(expr, ast.Call):
+            if expr.name == "declassify":
+                if len(expr.args) != 1:
+                    raise CompileError(
+                        f"declassify(expr) takes exactly one argument "
+                        f"at {expr.pos}"
+                    )
+                return rewrite_expr(expr.args[0])
+            expr.args = [rewrite_expr(arg) for arg in expr.args]
+        elif isinstance(expr, ast.Unary):
+            expr.operand = rewrite_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            expr.left = rewrite_expr(expr.left)
+            expr.right = rewrite_expr(expr.right)
+        return expr
+
+    def rewrite(stmts: list) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Let, ast.Assign)):
+                stmt.value = rewrite_expr(stmt.value)
+            elif isinstance(stmt, ast.If):
+                stmt.cond = rewrite_expr(stmt.cond)
+                rewrite(stmt.then_body)
+                rewrite(stmt.else_body)
+            elif isinstance(stmt, ast.While):
+                stmt.cond = rewrite_expr(stmt.cond)
+                rewrite(stmt.body)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                stmt.value = rewrite_expr(stmt.value)
+            elif isinstance(stmt, ast.ExprStmt):
+                stmt.expr = rewrite_expr(stmt.expr)
+
+    for func in program.funcs:
+        rewrite(func.body)
+
+
 def compile_source(
     source: str,
     target: str = "wasm",
@@ -134,6 +181,7 @@ def compile_source(
         raise CompileError(f"unknown target '{target}' (want one of {TARGETS})")
     program = parse(PRELUDE_SOURCE + source)
     _desugar_asserts(program)
+    _desugar_declassify(program)
     layout = build_layout(program, target)
     from repro.lang.builtins import PRELUDE_NAMES
 

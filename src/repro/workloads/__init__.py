@@ -12,6 +12,7 @@ from repro.workloads.abs import (
 from repro.workloads.clients import Client
 from repro.workloads.coldchain import (
     COLDCHAIN_CONTRACT,
+    COLDCHAIN_SCHEMA_SOURCE,
     coldchain_workload,
     decode_history,
     decode_status,
@@ -29,9 +30,35 @@ from repro.workloads.scf import (
 )
 from repro.workloads.synthetic import Workload, synthetic_workloads
 
+
+def all_contract_sources() -> dict[str, tuple[str, str]]:
+    """Every shipped contract, as ``name -> (source, schema_source)``.
+
+    The analysis test suite (and CI) sweeps this registry through the
+    deploy-time analyzer, so a confidential-to-public flow in any
+    bundled workload can never ship unnoticed.
+    """
+    from repro.workloads.abs import flatbuffers_contract_source, json_contract_source
+
+    registry: dict[str, tuple[str, str]] = {
+        "coldchain": (COLDCHAIN_CONTRACT, COLDCHAIN_SCHEMA_SOURCE),
+        "abs-flatbuffers": (flatbuffers_contract_source(), ABS_SCHEMA_SOURCE),
+        "abs-json": (json_contract_source(), ABS_SCHEMA_SOURCE),
+    }
+    for name, source in CONTRACT_SOURCES.items():
+        registry[f"scf-{name}"] = (source, "")
+    for workload in synthetic_workloads().values():
+        registry[f"synthetic-{workload.name}"] = (
+            workload.source, workload.schema_source
+        )
+    return registry
+
+
 __all__ = [
     "ABS_SCHEMA",
     "COLDCHAIN_CONTRACT",
+    "COLDCHAIN_SCHEMA_SOURCE",
+    "all_contract_sources",
     "coldchain_workload",
     "decode_history",
     "decode_status",

@@ -63,27 +63,35 @@ class Client:
         return raw.signed_by(self.keypair)
 
     def deploy_raw(
-        self, artifact: ContractArtifact, schema_source: str = ""
+        self, artifact: ContractArtifact, schema_source: str = "",
+        source: str = "",
     ) -> tuple[RawTransaction, bytes]:
-        """Signed deploy transaction + the address it will create."""
+        """Signed deploy transaction + the address it will create.
+
+        Pass ``source`` to ship the CWScript source alongside the
+        artifact so deploy admission can run the taint analysis.
+        """
         raw = RawTransaction(
             sender=self.address,
             contract=b"\x00" * 20,
             method=DEPLOY_METHOD,
-            args=deploy_args(artifact.encode(), artifact.target, schema_source),
+            args=deploy_args(artifact.encode(), artifact.target,
+                             schema_source, source),
             nonce=self.next_nonce(),
         ).signed_by(self.keypair)
         return raw, contract_address(self.address, raw.nonce)
 
     def upgrade_raw(
-        self, contract: bytes, artifact: ContractArtifact, schema_source: str = ""
+        self, contract: bytes, artifact: ContractArtifact,
+        schema_source: str = "", source: str = "",
     ) -> RawTransaction:
         """Signed upgrade transaction (owner-only at execution time)."""
         return RawTransaction(
             sender=self.address,
             contract=contract,
             method=UPGRADE_METHOD,
-            args=deploy_args(artifact.encode(), artifact.target, schema_source),
+            args=deploy_args(artifact.encode(), artifact.target,
+                             schema_source, source),
             nonce=self.next_nonce(),
         ).signed_by(self.keypair)
 
@@ -107,9 +115,10 @@ class Client:
         return self.seal(pk_tx, self.call_raw(contract, method, args))
 
     def confidential_deploy(
-        self, pk_tx: Point, artifact: ContractArtifact, schema_source: str = ""
+        self, pk_tx: Point, artifact: ContractArtifact,
+        schema_source: str = "", source: str = "",
     ) -> tuple[Transaction, bytes]:
-        raw, address = self.deploy_raw(artifact, schema_source)
+        raw, address = self.deploy_raw(artifact, schema_source, source)
         return self.seal(pk_tx, raw), address
 
     # -- receipts -------------------------------------------------------------------

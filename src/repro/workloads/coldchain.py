@@ -46,7 +46,14 @@ root_type Shipment;
 #   "cnt."  + SID -> reading count (8)
 #   "ok."   + SID -> compliance flag (8)
 #   "rd.N." + SID -> reading N: temp(8) | sensor(8)
+#
+# The analyzer directives below declare the temperature range and the
+# reading history confidential and `status` a public query; the breach
+# branch in `record` is the contract's one audited declassification
+# (the public pass/fail flag is the product's whole point).
 COLDCHAIN_CONTRACT = STR_LIB + """
+//@confidential-keys: "cfg.", "rd"
+//@public-queries: status
 fn register() {
     // input: shipment id (8) | min temp (8, signed) | max temp (8, signed)
     let n = input_size();
@@ -101,8 +108,11 @@ fn record() {
     store8(rkey + 4, '.');
     _copy_bytes(rkey + 5, buf, 8);
     storage_set(rkey, 13, buf + 8, 16);
-    // breach handling: the public flag only ever goes 1 -> 0
-    if (temp < lo || temp > hi) {
+    // breach handling: the public flag only ever goes 1 -> 0.  The
+    // declassify() is the audited exception: revealing *that* the range
+    // was breached (never the reading or the range itself) is the
+    // contract's purpose.
+    if (declassify(temp < lo || temp > hi)) {
         let zero = alloc(8);
         store64(zero, 0);
         _copy_bytes(key, "ok..", 4);

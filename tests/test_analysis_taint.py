@@ -1,0 +1,448 @@
+"""Deploy-time confidentiality taint analysis (repro.analysis.taint).
+
+Two corpora drive the suite: LEAKY contracts where the analyzer must
+report at least one flow (zero false negatives), and CLEAN contracts
+where it must report none (no false positives on the patterns the
+shipped workloads actually use).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    SINK_CALL_CONTRACT,
+    SINK_LOG,
+    SINK_QUERY_OUTPUT,
+    SINK_QUERY_RETURN,
+    SINK_STORAGE_SET,
+    Policy,
+    analyze_source,
+    build_policy,
+    extract_directives,
+)
+from repro.ccle import parse_schema
+
+SECRET_SCHEMA = """
+attribute "confidential";
+table Loan {
+  debtor: string(confidential);
+  amount: long;
+}
+root_type Loan;
+"""
+
+# ---------------------------------------------------------------------------
+# leaky corpus — every entry must produce >= 1 finding of the given kind
+# ---------------------------------------------------------------------------
+
+LEAKY = {
+    "direct-log": (SINK_LOG, """
+//@confidential-keys: "sec."
+fn peek() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    log(buf, 8);
+}
+"""),
+    "storage-set-public-key": (SINK_STORAGE_SET, """
+//@confidential-keys: "sec."
+fn mirror() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    storage_set("pub.x", 5, buf, 8);
+}
+"""),
+    "storage-set-computed-key": (SINK_STORAGE_SET, """
+//@confidential-keys: "sec."
+fn stash() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    let key = alloc(8);
+    input_read(key, 0, 8);
+    storage_set(key, 8, buf, 8);
+}
+"""),
+    "implicit-flow-log": (SINK_LOG, """
+//@confidential-keys: "sec."
+fn check() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    if (load64(buf) > 100) {
+        log("big", 3);
+    }
+}
+"""),
+    "implicit-flow-storage": (SINK_STORAGE_SET, """
+//@confidential-keys: "sec."
+fn flagit() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    let one = alloc(8);
+    store64(one, 1);
+    if (load64(buf) > 100) {
+        storage_set("flag", 4, one, 8);
+    }
+}
+"""),
+    "interproc-helper-logs": (SINK_LOG, """
+//@confidential-keys: "sec."
+fn _emit(p) {
+    log(p, 8);
+}
+fn run() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    _emit(buf);
+}
+"""),
+    "interproc-helper-returns": (SINK_LOG, """
+//@confidential-keys: "sec."
+fn _fetch() -> i64 {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    return load64(buf);
+}
+fn show() {
+    let out = alloc(8);
+    store64(out, _fetch());
+    log(out, 8);
+}
+"""),
+    "public-query-output": (SINK_QUERY_OUTPUT, """
+//@confidential-keys: "sec."
+//@public-queries: reveal
+fn reveal() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    output(buf, 8);
+}
+"""),
+    "public-query-return": (SINK_QUERY_RETURN, """
+//@confidential-keys: "sec."
+//@public-queries: reveal
+fn reveal() -> i64 {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    return load64(buf);
+}
+"""),
+    "call-contract-args": (SINK_CALL_CONTRACT, """
+//@confidential-keys: "sec."
+fn fwd() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    let out = alloc(8);
+    call_contract("AAAAAAAAAAAAAAAAAAAA", 20, "run", 3, buf, 8, out, 8);
+}
+"""),
+    "global-carries-taint": (SINK_LOG, """
+//@confidential-keys: "sec."
+global g;
+fn absorb() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    g = load64(buf);
+}
+fn show() {
+    let out = alloc(8);
+    store64(out, g);
+    log(out, 8);
+}
+"""),
+    "hash-of-secret": (SINK_LOG, """
+//@confidential-keys: "sec."
+fn digest() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    let h = alloc(32);
+    sha256(buf, 8, h);
+    log(h, 32);
+}
+"""),
+    "memcopy-propagates": (SINK_LOG, """
+//@confidential-keys: "sec."
+fn duplicate() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    let dup = alloc(8);
+    memcopy(dup, buf, 8);
+    log(dup, 8);
+}
+"""),
+    "arithmetic-propagates": (SINK_LOG, """
+//@confidential-keys: "sec."
+fn arith() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    let v = load64(buf) + 1;
+    store64(buf, v * 3);
+    log(buf, 8);
+}
+"""),
+    "loop-accumulates": (SINK_LOG, """
+//@confidential-keys: "sec."
+fn accumulate() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    let acc = 0;
+    let i = 0;
+    while (i < 4) {
+        acc = acc + load64(buf);
+        i = i + 1;
+    }
+    store64(buf, acc);
+    log(buf, 8);
+}
+"""),
+}
+
+# schema-driven: the source has no directives at all; the confidential
+# key prefix comes from the bound CCLe schema
+SCHEMA_LEAK = """
+fn reveal_debtor() {
+    let buf = alloc(32);
+    storage_get("ccle:debtor", 11, buf, 32);
+    log(buf, 32);
+}
+"""
+
+# ---------------------------------------------------------------------------
+# clean corpus — every entry must produce zero findings
+# ---------------------------------------------------------------------------
+
+CLEAN = {
+    "no-confidential-keys": """
+fn greet() {
+    let buf = alloc(8);
+    let n = storage_get("count", 5, buf, 8);
+    let v = 0;
+    if (n == 8) { v = load64(buf); }
+    store64(buf, v + 1);
+    storage_set("count", 5, buf, 8);
+    output(buf, 8);
+}
+""",
+    "secret-to-secret": """
+//@confidential-keys: "sec."
+fn rotate() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    storage_set("sec.y", 5, buf, 8);
+}
+""",
+    "declassified-value": """
+//@confidential-keys: "sec."
+fn disclose() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    let out = alloc(8);
+    store64(out, declassify(load64(buf)));
+    log(out, 8);
+}
+""",
+    "declassified-branch": """
+//@confidential-keys: "sec."
+fn flag() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    if (declassify(load64(buf) > 100)) {
+        log("big", 3);
+    }
+}
+""",
+    "sealed-output-not-a-query": """
+//@confidential-keys: "sec."
+fn fetch() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    output(buf, 8);
+}
+""",
+    "abort-is-sealed": """
+//@confidential-keys: "sec."
+fn guard() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    if (load64(buf) > 100) { abort("too big", 7); }
+}
+""",
+    "interproc-secret-to-secret": """
+//@confidential-keys: "sec."
+fn _save(p) {
+    storage_set("sec.dst", 7, p, 8);
+}
+fn run() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    _save(buf);
+}
+""",
+    "built-key-keeps-prefix": """
+//@confidential-keys: "sec."
+fn keyed() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    let key = alloc(12);
+    memcopy(key, "sec.", 4);
+    input_read(key + 4, 0, 8);
+    storage_set(key, 12, buf, 8);
+}
+""",
+    "public-query-public-data": """
+//@confidential-keys: "sec."
+//@public-queries: count
+fn count() {
+    let buf = alloc(8);
+    storage_get("cnt", 3, buf, 8);
+    output(buf, 8);
+}
+""",
+    "unknown-key-not-a-source": """
+//@confidential-keys: "sec."
+fn echo() {
+    let key = alloc(8);
+    input_read(key, 0, 8);
+    let buf = alloc(8);
+    storage_get(key, 8, buf, 8);
+    log(buf, 8);
+}
+""",
+    "dead-helper-ignored": """
+//@confidential-keys: "sec."
+fn _dead(p) {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    log(buf, 8);
+}
+fn live() {
+    log("hi", 2);
+}
+""",
+    "input-is-not-secret": """
+//@confidential-keys: "sec."
+fn ingest() {
+    let buf = alloc(8);
+    input_read(buf, 0, 8);
+    storage_set("sec.in", 6, buf, 8);
+    log(buf, 8);
+}
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(LEAKY))
+def test_leaky_contract_is_flagged(name):
+    kind, source = LEAKY[name]
+    report = analyze_source(source, contract_name=name)
+    assert not report.clean, f"{name}: analyzer missed the leak"
+    assert kind in {f.kind for f in report.findings}, (
+        name, [f.kind for f in report.findings]
+    )
+
+
+@pytest.mark.parametrize("name", sorted(LEAKY))
+def test_leaky_findings_have_positions(name):
+    _kind, source = LEAKY[name]
+    report = analyze_source(source, contract_name=name)
+    for finding in report.findings:
+        assert finding.function, (name, finding)
+        assert finding.line > 0, (name, finding)
+
+
+@pytest.mark.parametrize("name", sorted(CLEAN))
+def test_clean_contract_has_no_findings(name):
+    report = analyze_source(CLEAN[name], contract_name=name)
+    assert report.clean, (name, [str(f) for f in report.findings])
+
+
+def test_schema_confidential_fields_seed_the_analysis():
+    # without the schema nothing is confidential; with it, the ccle:
+    # namespace is and the log is a leak
+    assert analyze_source(SCHEMA_LEAK).clean
+    schema = parse_schema(SECRET_SCHEMA)
+    report = analyze_source(SCHEMA_LEAK, schema=schema)
+    assert not report.clean
+    assert report.findings[0].kind == SINK_LOG
+
+
+def test_declassification_sites_are_recorded():
+    report = analyze_source(CLEAN["declassified-branch"])
+    assert report.clean
+    assert len(report.declassifications) == 1
+    declass = report.declassifications[0]
+    assert declass.function == "flag"
+    assert declass.line > 0
+
+
+def test_sources_seen_lists_keys_actually_read():
+    report = analyze_source(LEAKY["direct-log"][1])
+    assert report.sources_seen == ["sec.x"]
+    report = analyze_source(CLEAN["public-query-public-data"])
+    assert report.sources_seen == []
+
+
+def test_finding_location_is_the_sink_line():
+    report = analyze_source(LEAKY["direct-log"][1])
+    finding = report.findings[0]
+    # line 6 of the source above is the log() call
+    assert finding.function == "peek"
+    assert finding.line == 6
+
+
+def test_extract_directives():
+    prefixes, queries = extract_directives(
+        '//@confidential-keys: "cfg.", "rd"\n'
+        "//@public-queries: status, history\n"
+    )
+    assert prefixes == (b"cfg.", b"rd")
+    assert queries == frozenset({"status", "history"})
+    assert extract_directives("fn f() {}") == ((), frozenset())
+
+
+def test_classify_key():
+    policy = Policy(confidential_prefixes=(b"sec.",))
+    assert policy.classify_key(b"sec.balance") == "confidential"
+    assert policy.classify_key(b"pub.balance") == "public"
+    assert policy.classify_key(None) == "unknown"
+    # a known prefix shorter than the policy prefix cannot be ruled out
+    assert policy.classify_key(b"se") == "unknown"
+
+
+def test_build_policy_merges_all_inputs():
+    schema = parse_schema(SECRET_SCHEMA)
+    policy = build_policy(
+        '//@confidential-keys: "a."\n', schema=schema,
+        extra_confidential=("b.",), public_queries=("status",),
+    )
+    assert b"a." in policy.confidential_prefixes
+    assert b"b." in policy.confidential_prefixes
+    assert b"ccle:" in policy.confidential_prefixes
+    assert "status" in policy.public_queries
+
+
+def test_extra_args_to_analyze_source():
+    # the directive-free leak is caught when the policy comes in
+    # through keyword arguments instead
+    source = """
+fn peek() {
+    let buf = alloc(8);
+    storage_get("sec.x", 5, buf, 8);
+    output(buf, 8);
+}
+"""
+    assert analyze_source(source).clean
+    report = analyze_source(
+        source, extra_confidential=("sec.",), public_queries=("peek",)
+    )
+    assert not report.clean
+    assert report.findings[0].kind == SINK_QUERY_OUTPUT
+
+
+def test_report_json_shape():
+    report = analyze_source(LEAKY["direct-log"][1], contract_name="leaky")
+    data = report.to_dict()
+    assert data["contract"] == "leaky"
+    assert data["clean"] is False
+    assert data["findings"][0]["kind"] == SINK_LOG
+    assert data["sources_seen"] == ["sec.x"]

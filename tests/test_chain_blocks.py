@@ -85,7 +85,21 @@ class TestRawTransaction:
 
     def test_deploy_args_roundtrip(self):
         blob = deploy_args(b"code", "wasm", "schema src")
-        assert parse_deploy_args(blob) == (b"code", "wasm", "schema src")
+        assert parse_deploy_args(blob) == (b"code", "wasm", "schema src", "")
+
+    def test_deploy_args_roundtrip_with_source(self):
+        blob = deploy_args(b"code", "wasm", "schema src", "fn main() {}")
+        assert parse_deploy_args(blob) == (
+            b"code", "wasm", "schema src", "fn main() {}"
+        )
+
+    def test_deploy_args_without_source_stay_three_items(self):
+        # legacy nodes RLP-decode a 3-item list; the optional source must
+        # not change the wire form when absent
+        from repro.storage import rlp
+
+        blob = deploy_args(b"code", "wasm", "schema src")
+        assert len(rlp.decode(blob)) == 3
 
     def test_contract_address_deterministic(self):
         assert contract_address(b"\x01" * 20, 5) == contract_address(b"\x01" * 20, 5)
