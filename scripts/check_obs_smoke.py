@@ -1,0 +1,54 @@
+"""CI observability smoke check.
+
+Validates the artifacts produced by ``repro demo --trace`` /
+``repro trace`` (Chrome trace-event JSON with complete spans carrying
+modeled cycles) and ``repro metrics`` (scrapeable Prometheus text).
+
+Usage: python scripts/check_obs_smoke.py TRACE.json [TRACE2.json ...] METRICS.prom
+"""
+
+import json
+import sys
+
+from repro.obs.export import parse_prometheus_text
+
+
+def check_trace(path: str) -> None:
+    with open(path) as f:
+        events = json.load(f)["traceEvents"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        raise SystemExit(f"{path}: no complete spans")
+    for event in spans:
+        if "cycles" not in event["args"] or "modeled_us" not in event["args"]:
+            raise SystemExit(f"{path}: span {event['name']} lacks cycle args")
+    print(f"{path}: {len(events)} events, {len(spans)} spans OK")
+
+
+def check_metrics(path: str) -> None:
+    with open(path) as f:
+        samples = parse_prometheus_text(f.read())
+    required_prefixes = (
+        "confide_op_seconds_total",
+        "confide_epc_",
+        "confide_mempool_depth",
+    )
+    for prefix in required_prefixes:
+        if not any(key.startswith(prefix) for key in samples):
+            raise SystemExit(f"{path}: no sample with prefix {prefix}")
+    print(f"{path}: {len(samples)} samples OK")
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        raise SystemExit(__doc__)
+    for path in argv:
+        if path.endswith(".json"):
+            check_trace(path)
+        else:
+            check_metrics(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

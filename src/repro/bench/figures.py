@@ -143,8 +143,15 @@ class Table1Row:
     ratio: float
 
 
-def table1_rows(runs: int = 3, preverify: bool = False) -> list[Table1Row]:
-    """Execute SCF-AR asset transfers and average the operation stats."""
+def table1_rows(runs: int = 3, preverify: bool = False,
+                registry=None) -> list[Table1Row]:
+    """Execute SCF-AR asset transfers and average the operation stats.
+
+    Pass a :class:`~repro.obs.metrics.MetricsRegistry` to also absorb the
+    run's engine metrics into it (``confide_op_seconds_total`` et al.) —
+    the registry reads the same ledger the rows do, so the two views are
+    equal by construction (asserted in tests).
+    """
     from repro.core import ConfidentialEngine, bootstrap_founder
 
     suite = ScfSuite.compile("wasm")
@@ -196,6 +203,10 @@ def table1_rows(runs: int = 3, preverify: bool = False) -> list[Table1Row]:
                 ratio=engine.stats.ratio(op),
             )
         )
+    if registry is not None:
+        from repro.obs.collect import collect_engine
+
+        collect_engine(registry, engine, label="confidential")
     return rows
 
 

@@ -149,8 +149,19 @@ def run_throughput(
     preverify: bool = False,
     start_index: int = 0,
     warmup: int = 2,
+    trace_path: str | None = None,
 ) -> ThroughputResult:
-    """Build txs up-front, then time the execution phase."""
+    """Build txs up-front, then time the execution phase.
+
+    With ``trace_path`` the measured phase runs under the span tracer and
+    the drained spans are written there as Chrome trace-event JSON.  The
+    tracer's buffered ring keeps the probe off the transition accounting,
+    but the wall-clock numbers of a traced run still carry the probe's
+    own (small) cost — compare traced runs with traced runs.
+    """
+    from repro.obs.export import drain_to_file
+    from repro.obs.trace import get_tracer
+
     for w in range(warmup):
         tx = rig.make_tx(1_000_000 + start_index + w)
         if preverify:
@@ -160,11 +171,20 @@ def run_throughput(
     if preverify:
         for tx in txs:
             rig.engine.preverify(tx)
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    if trace_path is not None:
+        tracer.enabled = True
     overhead_before = rig.overhead_seconds()
     started = time.perf_counter()
-    for tx in txs:
-        rig.execute(tx)
-    wall = time.perf_counter() - started
+    try:
+        for tx in txs:
+            rig.execute(tx)
+    finally:
+        wall = time.perf_counter() - started
+        if trace_path is not None:
+            drain_to_file(tracer, trace_path)
+            tracer.enabled = was_enabled
     overhead = rig.overhead_seconds() - overhead_before
     return ThroughputResult(
         name=f"{rig.workload.name}",

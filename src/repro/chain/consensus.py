@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.chain.network import NetworkModel
 from repro.errors import ChainError
+from repro.obs.trace import get_tracer
 
 _PHASE_MSG_BYTES = 192  # header hash + signature + view metadata
 
@@ -97,6 +98,15 @@ class PBFTOrderer:
             raise ChainError(
                 f"{len(faulty)} faulty nodes exceed the f={self.f} tolerance"
             )
+        with get_tracer().span("consensus.round", block_bytes=block_bytes,
+                               nodes=self.n, faulty=len(faulty)) as span:
+            report = self._round_latency(block_bytes, faulty)
+            span.set("ordered_s", report.committed_s)
+        return report
+
+    def _round_latency(
+        self, block_bytes: int, faulty: frozenset[int]
+    ) -> RoundReport:
         alive = [i for i in range(self.n) if i not in faulty]
         never = float("inf")
         preprepare = self._broadcast_arrivals(self.leader, 0.0, block_bytes)
@@ -162,6 +172,13 @@ class PBFTOrderer:
         all-to-all prepare/commit messages) shares one inter-zone pipe.
         Returns seconds of pipe time consumed per block.
         """
+        with get_tracer().span("consensus.pipeline", block_bytes=block_bytes,
+                               nodes=self.n) as span:
+            interval = self._pipelined_block_interval(block_bytes)
+            span.set("interval_s", interval)
+        return interval
+
+    def _pipelined_block_interval(self, block_bytes: int) -> float:
         zones = self.zones
         leader_zone = zones[self.leader]
         # Leader uplink: n-1 block copies.

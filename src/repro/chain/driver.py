@@ -23,6 +23,7 @@ from repro.chain.consensus import PBFTOrderer
 from repro.chain.node import Node
 from repro.chain.transaction import Transaction
 from repro.errors import ChainError
+from repro.obs.trace import get_tracer
 
 
 @dataclass(frozen=True)
@@ -144,12 +145,16 @@ class ClosedLoopDriver:
                 next_arrival += 1
 
             batch = self.node.draft_block(max_bytes=self.max_block_bytes)
-            started = time.perf_counter()
-            applied = self.node.apply_transactions(batch)
-            _ = time.perf_counter() - started
-            order_s = self.orderer.pipelined_block_interval(
-                applied.block.byte_size
-            )
+            with get_tracer().span("chain.block", num_txs=len(batch)) as span:
+                started = time.perf_counter()
+                applied = self.node.apply_transactions(batch)
+                _ = time.perf_counter() - started
+                order_s = self.orderer.pipelined_block_interval(
+                    applied.block.byte_size
+                )
+                span.set("height", applied.block.header.height)
+                span.set("block_bytes", applied.block.byte_size)
+                span.set("order_s", order_s)
             exec_s = applied.exec_seconds
             write_s = applied.write_seconds
             commit_time = clock + max(exec_s, order_s) + write_s

@@ -22,6 +22,8 @@ from typing import TYPE_CHECKING
 
 from repro.chain.transaction import Transaction
 from repro.errors import ChainError
+from repro.obs.collect import block_metrics_snapshot
+from repro.obs.trace import get_tracer
 
 if TYPE_CHECKING:  # imported lazily to avoid a chain <-> core import cycle
     from repro.core.engine import ConfidentialEngine, ExecutionOutcome, PublicEngine
@@ -37,6 +39,10 @@ class BlockExecutionReport:
     lanes: int = 1
     conflict_edges: int = 0
     analysis_rejections: int = 0  # deploys refused by the static verifier
+    # Post-block observability snapshot: cumulative engine metrics as of
+    # this block's commit ("name{label=value}" -> value), from the same
+    # ledgers Table 1 reads.
+    metrics: dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -86,18 +92,22 @@ class BlockExecutor:
         self.lanes = lanes
 
     def execute_block(self, transactions: list[Transaction]) -> BlockExecutionReport:
-        report = BlockExecutionReport(lanes=self.lanes)
-        for tx in transactions:
-            if tx.is_confidential:
-                outcome = self.confidential.execute(tx)
-            else:
-                outcome = self.public.execute(tx)
-            report.outcomes.append(outcome)
-            report.serial_duration_s += outcome.duration
-            receipt = outcome.receipt
-            if not receipt.success and receipt.error.startswith("analysis:"):
-                report.analysis_rejections += 1
-        report.makespan_s, report.conflict_edges = lane_schedule(
-            report.outcomes, self.lanes
-        )
+        with get_tracer().span("block.execute",
+                               num_txs=len(transactions)) as span:
+            report = BlockExecutionReport(lanes=self.lanes)
+            for tx in transactions:
+                if tx.is_confidential:
+                    outcome = self.confidential.execute(tx)
+                else:
+                    outcome = self.public.execute(tx)
+                report.outcomes.append(outcome)
+                report.serial_duration_s += outcome.duration
+                receipt = outcome.receipt
+                if not receipt.success and receipt.error.startswith("analysis:"):
+                    report.analysis_rejections += 1
+            report.makespan_s, report.conflict_edges = lane_schedule(
+                report.outcomes, self.lanes
+            )
+            report.metrics = block_metrics_snapshot(self.confidential, self.public)
+            span.set("conflict_edges", report.conflict_edges)
         return report

@@ -51,11 +51,13 @@ def zones_for(num_nodes: int, num_zones: int, ratio: tuple[int, ...] = (1, 2)) -
     """Assign nodes to zones.
 
     For two zones the paper uses a 1:2 split between the city groups;
-    `ratio` generalizes that.
+    `ratio` generalizes that.  When ``num_zones`` exceeds the ratio's
+    length, the missing zones get weight 1, so every zone is populated
+    (as long as there are at least as many nodes as zones).
     """
     if num_zones <= 1:
         return [0] * num_nodes
-    ratio = ratio[:num_zones]
+    ratio = (tuple(ratio) + (1,) * num_zones)[:num_zones]
     total = sum(ratio)
     counts = [num_nodes * r // total for r in ratio]
     while sum(counts) < num_nodes:

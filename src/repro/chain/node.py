@@ -35,6 +35,7 @@ from repro.core.k_protocol import (
 )
 from repro.crypto.ecc import Point, decode_point
 from repro.errors import ChainError
+from repro.obs.trace import get_tracer
 from repro.storage.kv import KVStore, MemoryKV
 from repro.storage.merkle import state_root as compute_state_root
 from repro.tee.attestation import AttestationService
@@ -107,24 +108,26 @@ class Node:
         batches (one transition per batch, Figure 7 step P1); public
         transactions verify outside the enclave.
         """
-        moved = 0
-        while len(self.unverified):
-            batch = self.unverified.pop_batch(max_count=64)
-            confidential = [tx for tx in batch if tx.is_confidential]
-            verdicts: dict[bytes, bool] = {}
-            if confidential:
-                results = self.confidential.preverify_batch(confidential)
-                verdicts = {
-                    tx.tx_hash: ok for tx, ok in zip(confidential, results)
-                }
-            for tx in batch:
-                if tx.is_confidential:
-                    ok = verdicts[tx.tx_hash]
-                else:
-                    ok = self.public.preverify(tx)
-                if ok:
-                    self.verified.add(tx)
-                    moved += 1
+        with get_tracer().span("chain.preverify") as span:
+            moved = 0
+            while len(self.unverified):
+                batch = self.unverified.pop_batch(max_count=64)
+                confidential = [tx for tx in batch if tx.is_confidential]
+                verdicts: dict[bytes, bool] = {}
+                if confidential:
+                    results = self.confidential.preverify_batch(confidential)
+                    verdicts = {
+                        tx.tx_hash: ok for tx, ok in zip(confidential, results)
+                    }
+                for tx in batch:
+                    if tx.is_confidential:
+                        ok = verdicts[tx.tx_hash]
+                    else:
+                        ok = self.public.preverify(tx)
+                    if ok:
+                        self.verified.add(tx)
+                        moved += 1
+            span.set("admitted", moved)
         return moved
 
     # -- block lifecycle --------------------------------------------------------
@@ -153,9 +156,12 @@ class Node:
         `proposer` is the consensus leader's id — part of the replicated
         header, identical on every node.
         """
-        exec_started = time.perf_counter()
-        report = self.executor.execute_block(transactions)
-        exec_seconds = time.perf_counter() - exec_started
+        with get_tracer().span("chain.block_execute",
+                               num_txs=len(transactions),
+                               height=self.height + 1):
+            exec_started = time.perf_counter()
+            report = self.executor.execute_block(transactions)
+            exec_seconds = time.perf_counter() - exec_started
 
         receipt_blobs = []
         for tx, outcome in zip(transactions, report.outcomes):

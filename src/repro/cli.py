@@ -10,8 +10,15 @@ Commands:
 - ``analyze <file.cws> [--schema file.ccle] [--target ...] [--json]`` —
   run the deploy-time static analyses (confidentiality taint analysis
   plus the untrusted-bytecode verifier); exits non-zero on findings.
-- ``demo`` — run the quickstart flow (single confidential node).
-- ``bench [--quick]`` — print the paper's tables/figures from a quick run.
+- ``demo [--trace out.json]`` — run the quickstart flow (single
+  confidential node), optionally writing a Chrome trace of it.
+- ``bench [--quick]`` — print the paper's tables/figures from a quick
+  run, including the Table 1 / metrics-registry crosscheck.
+- ``metrics [--txs N]`` — run a small confidential flow on a full node
+  and print the metrics registry in Prometheus text exposition format.
+- ``trace [-o out.json] [--txs N]`` — run the same flow under the span
+  tracer and write Chrome trace-event JSON (load in Perfetto or
+  ``chrome://tracing``).
 """
 
 from __future__ import annotations
@@ -73,12 +80,17 @@ def cmd_analyze(args) -> int:
     return 0 if report.clean else 1
 
 
-def cmd_demo(_args) -> int:
+def cmd_demo(args) -> int:
     from repro.core import ConfidentialEngine, bootstrap_founder
     from repro.crypto.ecc import decode_point
     from repro.storage import MemoryKV
     from repro.workloads import Client
 
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs.trace import get_tracer
+
+        get_tracer().enabled = True
     engine = ConfidentialEngine(MemoryKV())
     bootstrap_founder(engine.km)
     pk = decode_point(engine.provision_from_km())
@@ -103,6 +115,86 @@ def cmd_demo(_args) -> int:
     print(f"sealed receipt opened: output={int.from_bytes(receipt.output, 'big')}")
     ciphertext = [k for k, _ in engine.kv.items() if k.startswith(b"s:")]
     print(f"{len(ciphertext)} encrypted state entries in the node database")
+    if trace_path:
+        from repro.obs.export import drain_to_file
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        events = drain_to_file(tracer, trace_path)
+        tracer.enabled = False
+        print(f"wrote {events} trace events to {trace_path}")
+    return 0
+
+
+def _observed_flow(num_txs: int):
+    """Stand up one confidential node, deploy a contract, push a small
+    block of confidential calls through pre-verification and execution.
+    Shared by ``repro metrics`` and ``repro trace``."""
+    from repro.chain.node import Node
+    from repro.core import bootstrap_founder
+    from repro.workloads import Client
+
+    node = Node(0)
+    bootstrap_founder(node.confidential.km)
+    node.confidential.provision_from_km()
+    pk = node.pk_tx
+    client = Client.from_seed(b"cli-observed")
+    artifact = compile_source(
+        """
+        fn main() {
+            let v = alloc(8);
+            let n = storage_get("hits", 4, v, 8);
+            let count = 0;
+            if (n > 0) { count = load64(v); }
+            store64(v, count + 1);
+            storage_set("hits", 4, v, 8);
+            output(v, 8);
+        }
+        """,
+        "wasm",
+    )
+    tx, address = client.confidential_deploy(pk, artifact)
+    node.receive_transaction(tx)
+    node.preverify_pending()
+    node.apply_transactions(node.draft_block(max_bytes=1 << 20))
+    for i in range(num_txs):
+        node.receive_transaction(
+            client.confidential_call(pk, address, "main", b"")
+        )
+    node.preverify_pending()
+    applied = node.apply_transactions(node.draft_block(max_bytes=1 << 20))
+    for outcome in applied.report.outcomes:
+        if not outcome.receipt.success:
+            raise ReproError(f"observed flow tx failed: {outcome.receipt.error}")
+    return node
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs.collect import collect_node, collect_tracer
+    from repro.obs.export import prometheus_text
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import get_tracer
+
+    node = _observed_flow(args.txs)
+    registry = MetricsRegistry()
+    collect_node(registry, node)
+    collect_tracer(registry, get_tracer())
+    print(prometheus_text(registry), end="")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.export import drain_to_file
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    tracer.enabled = True
+    try:
+        _observed_flow(args.txs)
+        events = drain_to_file(tracer, args.output)
+    finally:
+        tracer.enabled = False
+    print(f"wrote {events} trace events to {args.output}")
     return 0
 
 
@@ -116,6 +208,8 @@ def cmd_bench(args) -> int:
     )
     from repro.bench import reporting
 
+    from repro.obs.metrics import MetricsRegistry
+
     num_txs = 4 if args.quick else 8
     print(reporting.format_fig10(fig10_series(num_txs=num_txs, json_kv=30)))
     print()
@@ -125,7 +219,12 @@ def cmd_bench(args) -> int:
               for n in (4, 12, 20)]
     print(reporting.format_fig11(points))
     print()
-    print(reporting.format_table1(table1_rows(runs=2)))
+    registry = MetricsRegistry()
+    table1_runs = 2
+    rows = table1_rows(runs=table1_runs, registry=registry)
+    print(reporting.format_table1(rows))
+    print()
+    print(reporting.format_table1_crosscheck(rows, registry, table1_runs))
     print()
     print(reporting.format_fig12(fig12_series(num_txs=num_txs)))
     print()
@@ -169,11 +268,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("demo", help="run the confidential quickstart flow")
+    p.add_argument("--trace", metavar="OUT",
+                   help="write a Chrome trace of the flow to this file")
     p.set_defaults(func=cmd_demo)
 
     p = sub.add_parser("bench", help="print the paper's tables/figures")
     p.add_argument("--quick", action="store_true")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a small confidential flow and print Prometheus metrics",
+    )
+    p.add_argument("--txs", type=int, default=4,
+                   help="confidential calls to execute (default 4)")
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a small confidential flow and write a Chrome trace",
+    )
+    p.add_argument("-o", "--output", default="trace.json")
+    p.add_argument("--txs", type=int, default=4,
+                   help="confidential calls to execute (default 4)")
+    p.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -61,6 +61,7 @@ from repro.errors import (
     VMError,
 )
 from repro.lang.compiler import ContractArtifact
+from repro.obs.trace import get_tracer
 from repro.storage import rlp
 from repro.storage.kv import KVStore
 from repro.tee.enclave import Enclave, Platform
@@ -135,28 +136,34 @@ class _CallContext(HostContext):
         return self._caller
 
     def storage_get(self, key: bytes) -> bytes | None:
-        started = time.perf_counter()
-        full_key = _state_key(self._record.address, key)
-        scope = self._scope
-        scope.read_set.add(full_key)
-        scope.storage_reads += 1
-        if full_key in scope.overlay:
-            value = scope.overlay[full_key]
-        else:
-            value = self._engine._backend_get(self._record, key, full_key)
-        elapsed = time.perf_counter() - started
-        self._engine._record_inner(GET_STORAGE, elapsed)
+        # Telemetry records only sizes — never keys or values, which may
+        # be (derived from) application plaintext.
+        with get_tracer().span("storage.get", key_bytes=len(key)) as span:
+            started = time.perf_counter()
+            full_key = _state_key(self._record.address, key)
+            scope = self._scope
+            scope.read_set.add(full_key)
+            scope.storage_reads += 1
+            if full_key in scope.overlay:
+                value = scope.overlay[full_key]
+            else:
+                value = self._engine._backend_get(self._record, key, full_key)
+            elapsed = time.perf_counter() - started
+            self._engine._record_inner(GET_STORAGE, elapsed)
+            span.set("value_bytes", len(value) if value is not None else -1)
         return value
 
     def storage_set(self, key: bytes, value: bytes) -> None:
-        started = time.perf_counter()
-        full_key = _state_key(self._record.address, key)
-        scope = self._scope
-        scope.write_set.add(full_key)
-        scope.storage_writes += 1
-        scope.overlay[full_key] = bytes(value)
-        elapsed = time.perf_counter() - started
-        self._engine._record_inner(SET_STORAGE, elapsed)
+        with get_tracer().span("storage.set", key_bytes=len(key),
+                               value_bytes=len(value)):
+            started = time.perf_counter()
+            full_key = _state_key(self._record.address, key)
+            scope = self._scope
+            scope.write_set.add(full_key)
+            scope.storage_writes += 1
+            scope.overlay[full_key] = bytes(value)
+            elapsed = time.perf_counter() - started
+            self._engine._record_inner(SET_STORAGE, elapsed)
 
     def call_contract(self, address: bytes, method: str, argument: bytes) -> bytes:
         return self._engine._call(
@@ -321,30 +328,33 @@ class _BaseEngine:
               caller: bytes, scope: _TxScope, depth: int) -> bytes:
         if depth > self.config.max_call_depth:
             raise VMError("cross-contract call depth exceeded")
-        started = time.perf_counter()
-        self._excluded_stack.append(0.0)
-        try:
-            record = self._get_record(address)
-            self._charge_vm_memory(record)
-            context = _CallContext(self, record, caller, argument, scope, depth)
-            result = runner.execute(
-                record.artifact,
-                method,
-                context,
-                code_cache=self.code_cache,
-                fuse=self.config.use_instruction_fusion,
-                max_steps=self.config.max_steps,
-                gas_limit=self.config.gas_limit,
-            )
-            scope.instructions += result.instructions
-            scope.gas_used += result.gas_used
-            return result.output
-        finally:
-            excluded = self._excluded_stack.pop()
-            total = time.perf_counter() - started
-            self.stats.record(CONTRACT_CALL, max(total - excluded, 0.0))
-            if self._excluded_stack:
-                self._excluded_stack[-1] += total
+        with get_tracer().span("vm.call", method=method, depth=depth,
+                               input_bytes=len(argument)) as span:
+            started = time.perf_counter()
+            self._excluded_stack.append(0.0)
+            try:
+                record = self._get_record(address)
+                self._charge_vm_memory(record)
+                context = _CallContext(self, record, caller, argument, scope, depth)
+                result = runner.execute(
+                    record.artifact,
+                    method,
+                    context,
+                    code_cache=self.code_cache,
+                    fuse=self.config.use_instruction_fusion,
+                    max_steps=self.config.max_steps,
+                    gas_limit=self.config.gas_limit,
+                )
+                scope.instructions += result.instructions
+                scope.gas_used += result.gas_used
+                span.set("instructions", result.instructions)
+                return result.output
+            finally:
+                excluded = self._excluded_stack.pop()
+                total = time.perf_counter() - started
+                self.stats.record(CONTRACT_CALL, max(total - excluded, 0.0))
+                if self._excluded_stack:
+                    self._excluded_stack[-1] += total
 
     def _check_and_bump_nonce(self, raw: RawTransaction) -> None:
         key = _NONCE_PREFIX + raw.sender
@@ -361,15 +371,18 @@ class _BaseEngine:
         self._check_and_bump_nonce(raw)
         if raw.is_deploy:
             code_blob, vm_name, schema_source, source = parse_deploy_args(raw.args)
-            artifact = ContractArtifact.decode(code_blob)
-            address = contract_address(raw.sender, raw.nonce)
-            schema = parse_schema(schema_source) if schema_source else None
-            self._admit_artifact(artifact, schema, source)
-            record = _DeployedContract(
-                address, raw.sender, artifact, schema, schema_source
-            )
-            self.contracts[address] = record
-            self._persist_code(record)
+            with get_tracer().span("engine.deploy",
+                                   code_bytes=len(code_blob)) as span:
+                artifact = ContractArtifact.decode(code_blob)
+                address = contract_address(raw.sender, raw.nonce)
+                schema = parse_schema(schema_source) if schema_source else None
+                self._admit_artifact(artifact, schema, source)
+                record = _DeployedContract(
+                    address, raw.sender, artifact, schema, schema_source
+                )
+                self.contracts[address] = record
+                self._persist_code(record)
+                span.set("vm", artifact.target)
             return address
         if raw.method == UPGRADE_METHOD:
             return self._upgrade(raw)
@@ -430,39 +443,43 @@ class PublicEngine(_BaseEngine):
 
     def execute(self, tx: Transaction) -> ExecutionOutcome:
         """Execute one public transaction; returns its outcome."""
-        started = time.perf_counter()
-        raw = tx.raw()
-        verified = self._verified.pop(tx.tx_hash, None)
-        if verified is None:
-            verify_started = time.perf_counter()
-            verified = raw.verify_signature()
-            self.stats.record(TX_VERIFY, time.perf_counter() - verify_started)
-        scope = _TxScope()
-        if not verified:
-            receipt = Receipt(tx.tx_hash, False, error="invalid signature",
-                              sender=raw.sender, contract=raw.contract)
+        with get_tracer().span("engine.execute_tx", kind="public") as span:
+            started = time.perf_counter()
+            raw = tx.raw()
+            verified = self._verified.pop(tx.tx_hash, None)
+            if verified is None:
+                verify_started = time.perf_counter()
+                verified = raw.verify_signature()
+                self.stats.record(TX_VERIFY, time.perf_counter() - verify_started)
+            scope = _TxScope()
+            if not verified:
+                span.set("outcome", "invalid signature")
+                receipt = Receipt(tx.tx_hash, False, error="invalid signature",
+                                  sender=raw.sender, contract=raw.contract)
+                return ExecutionOutcome(
+                    receipt, None, time.perf_counter() - started,
+                    frozenset(), frozenset(),
+                )
+            try:
+                output = self._apply_raw(raw, scope)
+                self._commit_state(self.contracts, scope)
+                receipt = Receipt(
+                    tx.tx_hash, True, output=output,
+                    logs=tuple(scope.logs),
+                    instructions=scope.instructions, gas_used=scope.gas_used,
+                    storage_reads=scope.storage_reads,
+                    storage_writes=scope.storage_writes,
+                    sender=raw.sender, contract=raw.contract,
+                )
+                span.set("outcome", "ok")
+            except ReproError as exc:
+                span.set("outcome", "reverted")
+                receipt = Receipt(tx.tx_hash, False, error=str(exc),
+                                  sender=raw.sender, contract=raw.contract)
             return ExecutionOutcome(
                 receipt, None, time.perf_counter() - started,
-                frozenset(), frozenset(),
+                frozenset(scope.read_set), frozenset(scope.write_set),
             )
-        try:
-            output = self._apply_raw(raw, scope)
-            self._commit_state(self.contracts, scope)
-            receipt = Receipt(
-                tx.tx_hash, True, output=output,
-                logs=tuple(scope.logs),
-                instructions=scope.instructions, gas_used=scope.gas_used,
-                storage_reads=scope.storage_reads,
-                storage_writes=scope.storage_writes,
-                sender=raw.sender, contract=raw.contract,
-            )
-        except ReproError as exc:
-            receipt = Receipt(tx.tx_hash, False, error=str(exc),
-                              sender=raw.sender, contract=raw.contract)
-        return ExecutionOutcome(
-            receipt, None, time.perf_counter() - started,
-            frozenset(scope.read_set), frozenset(scope.write_set),
-        )
 
 
 class CSEnclave(Enclave):
@@ -553,6 +570,11 @@ class ConfidentialEngine(_BaseEngine):
         self.preprocessor = PreProcessor(self.stats)
         self.sdm: SecureDataModule | None = None
         self._pk_tx: bytes | None = None
+        # Spans record modeled TEE cycles next to wall-clock time.  The
+        # tracer is process-global, so the most recently built engine's
+        # accountant wins — fine for the single-platform benches and demos
+        # this instrumentation serves.
+        get_tracer().cycle_source = lambda: self.platform.accountant.cycles
 
     # -- key lifecycle ---------------------------------------------------------
 
@@ -732,45 +754,50 @@ class ConfidentialEngine(_BaseEngine):
         return self.cs.ecall("execute", tx.encode(), user_check=True)
 
     def _execute_inside(self, tx: Transaction) -> ExecutionOutcome:
-        started = time.perf_counter()
-        sk = self.cs.sk_tx()
-        try:
-            # The pre-processor records TX_DECRYPT / TX_VERIFY timings
-            # into the shared stats ledger itself.
-            processed = self.preprocessor.process(sk, tx)
-        except ReproError as exc:
-            receipt = Receipt(tx.tx_hash, False, error=f"undecryptable: {exc}")
-            return ExecutionOutcome(receipt, None,
-                                    time.perf_counter() - started,
-                                    frozenset(), frozenset())
-        raw = processed.raw
-        verified = processed.verified
-        scope = _TxScope()
-        if not verified:
-            receipt = Receipt(tx.tx_hash, False, error="invalid signature",
-                              sender=raw.sender, contract=raw.contract)
+        with get_tracer().span("engine.execute_tx", kind="confidential") as span:
+            started = time.perf_counter()
+            sk = self.cs.sk_tx()
+            try:
+                # The pre-processor records TX_DECRYPT / TX_VERIFY timings
+                # into the shared stats ledger itself.
+                processed = self.preprocessor.process(sk, tx)
+            except ReproError as exc:
+                span.set("outcome", "undecryptable")
+                receipt = Receipt(tx.tx_hash, False, error=f"undecryptable: {exc}")
+                return ExecutionOutcome(receipt, None,
+                                        time.perf_counter() - started,
+                                        frozenset(), frozenset())
+            raw = processed.raw
+            verified = processed.verified
+            scope = _TxScope()
+            if not verified:
+                span.set("outcome", "invalid signature")
+                receipt = Receipt(tx.tx_hash, False, error="invalid signature",
+                                  sender=raw.sender, contract=raw.contract)
+                sealed = t_protocol.seal_receipt(processed.k_tx, receipt.encode())
+                return ExecutionOutcome(receipt, sealed,
+                                        time.perf_counter() - started,
+                                        frozenset(), frozenset())
+            try:
+                output = self._apply_raw(raw, scope)
+                self._commit_state(self.contracts, scope)
+                receipt = Receipt(
+                    tx.tx_hash, True, output=output, logs=tuple(scope.logs),
+                    instructions=scope.instructions, gas_used=scope.gas_used,
+                    storage_reads=scope.storage_reads,
+                    storage_writes=scope.storage_writes,
+                    sender=raw.sender, contract=raw.contract,
+                )
+                span.set("outcome", "ok")
+            except ReproError as exc:
+                span.set("outcome", "reverted")
+                receipt = Receipt(tx.tx_hash, False, error=str(exc),
+                                  sender=raw.sender, contract=raw.contract)
             sealed = t_protocol.seal_receipt(processed.k_tx, receipt.encode())
-            return ExecutionOutcome(receipt, sealed,
-                                    time.perf_counter() - started,
-                                    frozenset(), frozenset())
-        try:
-            output = self._apply_raw(raw, scope)
-            self._commit_state(self.contracts, scope)
-            receipt = Receipt(
-                tx.tx_hash, True, output=output, logs=tuple(scope.logs),
-                instructions=scope.instructions, gas_used=scope.gas_used,
-                storage_reads=scope.storage_reads,
-                storage_writes=scope.storage_writes,
-                sender=raw.sender, contract=raw.contract,
+            return ExecutionOutcome(
+                receipt, sealed, time.perf_counter() - started,
+                frozenset(scope.read_set), frozenset(scope.write_set),
             )
-        except ReproError as exc:
-            receipt = Receipt(tx.tx_hash, False, error=str(exc),
-                              sender=raw.sender, contract=raw.contract)
-        sealed = t_protocol.seal_receipt(processed.k_tx, receipt.encode())
-        return ExecutionOutcome(
-            receipt, sealed, time.perf_counter() - started,
-            frozenset(scope.read_set), frozenset(scope.write_set),
-        )
 
     # -- convenience ------------------------------------------------------------------
 

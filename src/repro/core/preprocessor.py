@@ -21,6 +21,7 @@ from repro.core import t_protocol
 from repro.core.stats import TX_DECRYPT, TX_VERIFY, OperationStats
 from repro.crypto.keys import KeyPair
 from repro.errors import ProtocolError
+from repro.obs.trace import get_tracer
 
 
 @dataclass(frozen=True)
@@ -71,28 +72,38 @@ class PreProcessor:
         """Full decrypt + verify; cache the metadata (steps P2–P4)."""
         if not tx.is_confidential:
             raise ProtocolError("pre-verification is for confidential transactions")
-        k_tx, raw = self._full_open(sk_tx, tx.payload, self.off_path_stats)
-        verified = self._timed_verify(raw, self.off_path_stats)
-        self._remember(tx.tx_hash, TxMetadata(k_tx, verified))
-        self.preverified += 1
+        with get_tracer().span("preprocess.preverify",
+                               payload_bytes=len(tx.payload)) as span:
+            k_tx, raw = self._full_open(sk_tx, tx.payload, self.off_path_stats)
+            verified = self._timed_verify(raw, self.off_path_stats)
+            self._remember(tx.tx_hash, TxMetadata(k_tx, verified))
+            self.preverified += 1
+            span.set("outcome", "ok" if verified else "invalid signature")
         return verified
 
     def process(self, sk_tx: KeyPair, tx: Transaction) -> ProcessedTx:
         """Admit a transaction for execution (steps C2–C4)."""
         if not tx.is_confidential:
             raise ProtocolError("pre-processor handles confidential transactions")
-        meta = self._cache.get(tx.tx_hash)
-        if meta is not None:
-            self.cache_hits += 1
-            started = time.perf_counter()
-            raw = t_protocol.open_body(meta.k_tx, t_protocol.envelope_body(tx.payload))
-            self._stats.record(TX_DECRYPT, time.perf_counter() - started)
-            return ProcessedTx(raw, meta.k_tx, meta.f_verified, cache_hit=True)
-        self.cache_misses += 1
-        k_tx, raw = self._full_open(sk_tx, tx.payload, self._stats)
-        verified = self._timed_verify(raw, self._stats)
-        self._remember(tx.tx_hash, TxMetadata(k_tx, verified))
-        return ProcessedTx(raw, k_tx, verified, cache_hit=False)
+        with get_tracer().span("preprocess.process",
+                               payload_bytes=len(tx.payload)) as span:
+            meta = self._cache.get(tx.tx_hash)
+            if meta is not None:
+                self.cache_hits += 1
+                span.set("outcome", "cache hit")
+                with get_tracer().span("protocol.tx_decrypt", phase="body"):
+                    started = time.perf_counter()
+                    raw = t_protocol.open_body(
+                        meta.k_tx, t_protocol.envelope_body(tx.payload)
+                    )
+                    self._stats.record(TX_DECRYPT, time.perf_counter() - started)
+                return ProcessedTx(raw, meta.k_tx, meta.f_verified, cache_hit=True)
+            self.cache_misses += 1
+            span.set("outcome", "cache miss")
+            k_tx, raw = self._full_open(sk_tx, tx.payload, self._stats)
+            verified = self._timed_verify(raw, self._stats)
+            self._remember(tx.tx_hash, TxMetadata(k_tx, verified))
+            return ProcessedTx(raw, k_tx, verified, cache_hit=False)
 
     def _remember(self, tx_hash: bytes, meta: TxMetadata) -> None:
         self._cache[tx_hash] = meta
@@ -103,16 +114,18 @@ class PreProcessor:
     def _full_open(
         self, sk_tx: KeyPair, envelope: bytes, stats: OperationStats
     ) -> tuple[bytes, RawTransaction]:
-        started = time.perf_counter()
-        k_tx, body = t_protocol.open_envelope_key(sk_tx, envelope)
-        raw = t_protocol.open_body(k_tx, body)
-        stats.record(TX_DECRYPT, time.perf_counter() - started)
+        with get_tracer().span("protocol.tx_decrypt", phase="envelope"):
+            started = time.perf_counter()
+            k_tx, body = t_protocol.open_envelope_key(sk_tx, envelope)
+            raw = t_protocol.open_body(k_tx, body)
+            stats.record(TX_DECRYPT, time.perf_counter() - started)
         return k_tx, raw
 
     def _timed_verify(self, raw: RawTransaction, stats: OperationStats) -> bool:
-        started = time.perf_counter()
-        verified = raw.verify_signature()
-        stats.record(TX_VERIFY, time.perf_counter() - started)
+        with get_tracer().span("protocol.verify"):
+            started = time.perf_counter()
+            verified = raw.verify_signature()
+            stats.record(TX_VERIFY, time.perf_counter() - started)
         return verified
 
     def lookup_key(self, tx_hash: bytes) -> bytes | None:

@@ -3,10 +3,17 @@
 The engines record wall-clock durations and counts of the operations the
 paper profiles for the SCF-AR workload: Contract Call, GetStorage,
 SetStorage, Transaction Verify, Transaction Decryption.
+
+``record`` is safe under concurrent engine use (pre-verification lanes
+run off the execution path and may share a ledger), and
+:meth:`OperationStats.snapshot` hands the observability collectors a
+consistent copy — :mod:`repro.obs.collect` absorbs this ledger into the
+metrics registry without changing any call site.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 CONTRACT_CALL = "Contract Call"
@@ -30,10 +37,14 @@ class OperationStats:
 
     durations: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record(self, op: str, seconds: float) -> None:
-        self.durations[op] = self.durations.get(op, 0.0) + seconds
-        self.counts[op] = self.counts.get(op, 0) + 1
+        with self._lock:
+            self.durations[op] = self.durations.get(op, 0.0) + seconds
+            self.counts[op] = self.counts.get(op, 0) + 1
 
     def count(self, op: str) -> int:
         return self.counts.get(op, 0)
@@ -50,8 +61,14 @@ class OperationStats:
         return self.durations.get(op, 0.0) / total if total else 0.0
 
     def reset(self) -> None:
-        self.durations.clear()
-        self.counts.clear()
+        with self._lock:
+            self.durations.clear()
+            self.counts.clear()
+
+    def snapshot(self) -> tuple[dict[str, float], dict[str, int]]:
+        """Consistent (durations, counts) copy for the collectors."""
+        with self._lock:
+            return dict(self.durations), dict(self.counts)
 
     def table_rows(self) -> list[tuple[str, float, int, float]]:
         """(op, duration_ms, count, ratio) rows in the paper's order."""

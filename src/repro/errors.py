@@ -66,6 +66,11 @@ class ChainError(ReproError):
     """Blockchain substrate failure (consensus, block, mempool, node)."""
 
 
+class TelemetryError(ReproError):
+    """The telemetry confidentiality guard rejected a span or metric
+    field (payload bytes, non-allowlisted string, malformed name)."""
+
+
 class ContractError(ReproError):
     """A smart contract aborted with an application-level error."""
 

@@ -157,7 +157,14 @@ def tokenize(source: str) -> list[Token]:
                     out.append(_ESCAPES[esc])
                     advance()
                 else:
-                    out.append(ord(source[i]))
+                    code = ord(source[i])
+                    if code > 0xFF:
+                        # String literals are byte strings (latin-1).
+                        raise CompileError(
+                            f"non-latin-1 character {source[i]!r} in string "
+                            f"literal at {start}"
+                        )
+                    out.append(code)
                     advance()
             if i >= size:
                 raise CompileError(f"unterminated string literal at {start}")

@@ -1,0 +1,281 @@
+"""Thread-safe registry of labeled counters, gauges and histograms.
+
+This is the single sink the scattered instrumentation feeds into:
+``OperationStats`` (Table 1), ``CycleAccountant`` snapshots, EPC pager
+occupancy, wasm code-cache hit rates, mempool depth, pre-verification
+cache hits, analysis rejections — see :mod:`repro.obs.collect` for the
+pull-model bridges that absorb those legacy sources without changing
+their APIs.
+
+Semantics follow Prometheus: a *counter* is monotonically increasing, a
+*gauge* is a point-in-time level, a *histogram* buckets observations and
+also tracks ``_sum``/``_count``.  Label names and values pass the
+confidentiality guard (:mod:`repro.obs.guard`), so a metric can never be
+labeled with payload bytes.
+
+Because most existing sources already keep their own cumulative totals,
+counters additionally support :meth:`Counter.set_total` — collection
+copies the source's running total instead of replaying increments.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+from repro.errors import TelemetryError
+from repro.obs.guard import guard_field, guard_name
+
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+LabelValues = tuple
+
+
+def _format_labels(labelnames: tuple[str, ...], values: LabelValues) -> str:
+    if not labelnames:
+        return ""
+    body = ",".join(
+        f'{name}="{value}"' for name, value in zip(labelnames, values)
+    )
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared machinery: name, help, label family, per-metric lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = ()):
+        self.name = guard_name(name)
+        self.help = help
+        self.labelnames = tuple(guard_name(n) for n in labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[LabelValues, dict] = {}
+
+    def _child(self, values: LabelValues) -> dict:
+        child = self._children.get(values)
+        if child is None:
+            child = self._children.setdefault(values, self._new_child())
+        return child
+
+    def _new_child(self) -> dict:
+        return {"value": 0.0}
+
+    def _resolve(self, labelvalues: dict) -> LabelValues:
+        if set(labelvalues) != set(self.labelnames):
+            raise TelemetryError(
+                f"metric '{self.name}' expects labels "
+                f"{list(self.labelnames)}, got {sorted(labelvalues)}"
+            )
+        # Label values are strings in the exposition format; numerics are
+        # stringified after guarding so children sort consistently.
+        return tuple(
+            str(guard_field(name, labelvalues[name]))
+            for name in self.labelnames
+        )
+
+    def _default(self) -> LabelValues:
+        if self.labelnames:
+            raise TelemetryError(
+                f"metric '{self.name}' is labeled; use labels(...)"
+            )
+        return ()
+
+    def samples(self) -> list[tuple[str, dict, float]]:
+        """(suffixed name, labels dict, value) rows for exposition."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labelvalues) -> None:
+        if amount < 0:
+            raise TelemetryError("counters only go up")
+        values = self._resolve(labelvalues) if labelvalues else self._default()
+        with self._lock:
+            self._child(values)["value"] += amount
+
+    def set_total(self, total: float, **labelvalues) -> None:
+        """Absolute-set for pull-collection from a cumulative source."""
+        values = self._resolve(labelvalues) if labelvalues else self._default()
+        with self._lock:
+            self._child(values)["value"] = float(total)
+
+    def value(self, **labelvalues) -> float:
+        values = self._resolve(labelvalues) if labelvalues else self._default()
+        with self._lock:
+            return self._child(values)["value"]
+
+    def samples(self):
+        with self._lock:
+            return [
+                (self.name, dict(zip(self.labelnames, values)), child["value"])
+                for values, child in sorted(self._children.items())
+            ]
+
+
+class Gauge(_Metric):
+    """Point-in-time level (can go up and down)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labelvalues) -> None:
+        values = self._resolve(labelvalues) if labelvalues else self._default()
+        with self._lock:
+            self._child(values)["value"] = float(value)
+
+    def inc(self, amount: float = 1.0, **labelvalues) -> None:
+        values = self._resolve(labelvalues) if labelvalues else self._default()
+        with self._lock:
+            self._child(values)["value"] += amount
+
+    def dec(self, amount: float = 1.0, **labelvalues) -> None:
+        self.inc(-amount, **labelvalues)
+
+    def value(self, **labelvalues) -> float:
+        values = self._resolve(labelvalues) if labelvalues else self._default()
+        with self._lock:
+            return self._child(values)["value"]
+
+    def samples(self):
+        with self._lock:
+            return [
+                (self.name, dict(zip(self.labelnames, values)), child["value"])
+                for values, child in sorted(self._children.items())
+            ]
+
+
+class Histogram(_Metric):
+    """Bucketed observations with cumulative buckets, sum and count."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = (),
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise TelemetryError("histogram needs at least one bucket")
+
+    def _new_child(self) -> dict:
+        return {
+            "counts": [0] * (len(self.buckets) + 1),  # +1 for +Inf
+            "sum": 0.0,
+            "count": 0,
+        }
+
+    def observe(self, value: float, **labelvalues) -> None:
+        values = self._resolve(labelvalues) if labelvalues else self._default()
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            child = self._child(values)
+            child["counts"][index] += 1
+            child["sum"] += value
+            child["count"] += 1
+
+    def snapshot(self, **labelvalues) -> dict:
+        values = self._resolve(labelvalues) if labelvalues else self._default()
+        with self._lock:
+            child = self._child(values)
+            return {
+                "count": child["count"],
+                "sum": child["sum"],
+                "counts": list(child["counts"]),
+            }
+
+    def samples(self):
+        rows = []
+        with self._lock:
+            for values, child in sorted(self._children.items()):
+                labels = dict(zip(self.labelnames, values))
+                cumulative = 0
+                for bound, count in zip(self.buckets, child["counts"]):
+                    cumulative += count
+                    rows.append(
+                        (self.name + "_bucket",
+                         {**labels, "le": repr(float(bound))}, cumulative)
+                    )
+                rows.append(
+                    (self.name + "_bucket",
+                     {**labels, "le": "+Inf"}, child["count"])
+                )
+                rows.append((self.name + "_sum", dict(labels), child["sum"]))
+                rows.append((self.name + "_count", dict(labels),
+                             child["count"]))
+        return rows
+
+
+class MetricsRegistry:
+    """Get-or-create registry; the unit every exporter works from."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, tuple(labelnames), **kwargs)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, cls):
+            raise TelemetryError(
+                f"metric '{name}' already registered as {metric.kind}"
+            )
+        if tuple(labelnames) != metric.labelnames:
+            raise TelemetryError(
+                f"metric '{name}' already registered with labels "
+                f"{list(metric.labelnames)}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def metrics(self) -> list[_Metric]:
+        with self._lock:
+            return sorted(self._metrics.values(), key=lambda m: m.name)
+
+    def sample_dict(self) -> dict[str, float]:
+        """Flat ``name{labels}`` → value mapping (drift-proof snapshots)."""
+        out: dict[str, float] = {}
+        for metric in self.metrics():
+            for name, labels, value in metric.samples():
+                ordered = tuple(sorted(labels.items()))
+                key = name + _format_labels(
+                    tuple(k for k, _ in ordered), tuple(v for _, v in ordered)
+                )
+                out[key] = value
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY

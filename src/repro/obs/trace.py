@@ -1,0 +1,210 @@
+"""Hierarchical span tracer with wall-clock and modeled-cycle time.
+
+One tracer instance (usually the process-wide :func:`get_tracer`) owns:
+
+- a per-thread **span stack** for context propagation — ``span()``
+  inside an open span becomes its child, so the transaction path
+  (preprocessor → protocols → ecall → VM → storage) nests without any
+  plumbing through call signatures;
+- the **exit-less ring buffer** finished spans are appended to
+  (:mod:`repro.obs.ring`, the same path as the §5.3 enclave monitor), so
+  tracing never issues an ocall and never distorts the transition
+  accounting it is measuring;
+- an optional **cycle source** (the platform's
+  :class:`~repro.tee.transitions.CycleAccountant` total), sampled at
+  span start/end so every span carries modeled TEE cycles next to its
+  wall-clock duration.
+
+Every span name and attribute passes the confidentiality guard
+(:mod:`repro.obs.guard`): only operation names, sizes, durations and
+counts may cross; payload bytes raise
+:class:`~repro.errors.TelemetryError` at the emission site.
+
+Tracing is off by default and the disabled fast path is a single
+attribute check returning a shared no-op span.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs.guard import guard_field, guard_name
+from repro.obs.ring import RingBuffer
+
+DEFAULT_SPAN_CAPACITY = 65_536
+
+
+class Span:
+    """One timed operation; usable as a context manager."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "tid",
+        "start_s",
+        "duration_s",
+        "start_cycles",
+        "cycles",
+        "args",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: int, tid: int, attrs: dict):
+        self._tracer = tracer
+        self.name = guard_name(name)
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tid = tid
+        self.start_s = 0.0
+        self.duration_s = 0.0
+        self.start_cycles = 0.0
+        self.cycles = 0.0
+        self.args = {k: guard_field(k, v) for k, v in attrs.items()}
+
+    def set(self, key: str, value) -> None:
+        """Attach one guarded attribute to the span."""
+        self.args[key] = guard_field(key, value)
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.args["outcome"] = "error"
+            self.args["error_kind"] = exc_type.__name__[:64]
+        self._tracer._exit(self)
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Span factory + exit-less buffer for one tracing session."""
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY,
+                 enabled: bool = False):
+        self.enabled = enabled
+        self.ring = RingBuffer(capacity)
+        # Modeled-cycle sampler (e.g. the platform accountant's running
+        # total); spans record the delta across their lifetime.
+        self.cycle_source: Callable[[], float] | None = None
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._origin_s = time.perf_counter()
+        self._tids: dict[int, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop buffered spans and restart the clock origin."""
+        self.ring = RingBuffer(self.ring.capacity)
+        self._origin_s = time.perf_counter()
+
+    @property
+    def dropped(self) -> int:
+        """Spans overwritten because the ring was not drained in time."""
+        return self.ring.dropped
+
+    # -- span creation ------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids) + 1)
+        return tid
+
+    def _new_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def span(self, name: str, **attrs):
+        """Open a span; use as ``with tracer.span("vm.call", op=m):``."""
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else 0
+        return Span(self, name, self._new_id(), parent_id, self._tid(), attrs)
+
+    def current(self):
+        """The innermost open span on this thread (or a no-op span)."""
+        stack = self._stack()
+        return stack[-1] if stack else NULL_SPAN
+
+    def instant(self, name: str, **attrs) -> None:
+        """Record a zero-duration event (e.g. one EPC page swap)."""
+        if not self.enabled:
+            return
+        span = Span(self, name, self._new_id(),
+                    self.current().span_id if self._stack() else 0,
+                    self._tid(), attrs)
+        span.start_s = time.perf_counter() - self._origin_s
+        span.duration_s = -1.0  # marks an instant event for the exporter
+        self.ring.put(span)
+
+    def _enter(self, span: Span) -> None:
+        self._stack().append(span)
+        if self.cycle_source is not None:
+            span.start_cycles = self.cycle_source()
+        span.start_s = time.perf_counter() - self._origin_s
+
+    def _exit(self, span: Span) -> None:
+        span.duration_s = time.perf_counter() - self._origin_s - span.start_s
+        if self.cycle_source is not None:
+            span.cycles = self.cycle_source() - span.start_cycles
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # tolerate out-of-order exits
+            stack.remove(span)
+        self.ring.put(span)
+
+    # -- consumption --------------------------------------------------------
+
+    def drain(self) -> list[Span]:
+        """Untrusted poller: drain finished spans out of the ring."""
+        return self.ring.drain()
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instrumented code emits into."""
+    return _TRACER

@@ -27,6 +27,7 @@ from repro.crypto.hashes import sha256
 from repro.crypto.hkdf import hkdf
 from repro.crypto.keys import KeyPair
 from repro.errors import EnclaveError
+from repro.obs.trace import get_tracer
 from repro.tee.edl import Direction, EdlInterface, EdlParam
 from repro.tee.epc import EPC_USABLE_BYTES, EpcAllocator
 from repro.tee.transitions import DEFAULT_COST_MODEL, CostModel, CycleAccountant
@@ -177,7 +178,15 @@ class Enclave:
             )
         self._depth += 1
         try:
-            return func.handler(*args)
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return func.handler(*args)
+            with tracer.span("tee.ecall", op=name) as span:
+                cycles_before = accountant.cycles
+                try:
+                    return func.handler(*args)
+                finally:
+                    span.set("cycles", accountant.cycles - cycles_before)
         finally:
             self._depth -= 1
 
@@ -202,7 +211,15 @@ class Enclave:
         # Leave the enclave for the duration of the untrusted handler.
         depth, self._depth = self._depth, 0
         try:
-            return func.handler(*args)
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return func.handler(*args)
+            with tracer.span("tee.ocall", op=name) as span:
+                cycles_before = accountant.cycles
+                try:
+                    return func.handler(*args)
+                finally:
+                    span.set("cycles", accountant.cycles - cycles_before)
         finally:
             self._depth = depth
 

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import PagingError
+from repro.obs.trace import get_tracer
 from repro.tee.transitions import CycleAccountant
 
 PAGE_SIZE = 4096
@@ -73,6 +74,11 @@ class EpcAllocator:
     def budget_pages(self) -> int:
         return self._budget_pages
 
+    @property
+    def pool_pages_free(self) -> int:
+        """Pages parked on the OPT1 freelist (0 when the pool is off)."""
+        return self._pool_pages_free
+
     def allocate(self, size_bytes: int) -> int:
         """Reserve pages for `size_bytes`; returns an allocation handle."""
         if size_bytes <= 0:
@@ -122,6 +128,8 @@ class EpcAllocator:
         if not alloc.resident:
             self._make_room(alloc.pages)
             self._accountant.charge_page_swaps(alloc.pages)  # page-in decrypt
+            get_tracer().instant("epc.page_swap", pages=alloc.pages,
+                                 direction="in")
             self._resident_pages += alloc.pages
             alloc.resident = True
 
@@ -141,6 +149,8 @@ class EpcAllocator:
             victim.resident = False
             self._resident_pages -= victim.pages
             self._accountant.charge_page_swaps(victim.pages)  # encrypt + evict
+            get_tracer().instant("epc.page_swap", pages=victim.pages,
+                                 direction="out")
             free_now += victim.pages
 
     def _find_victim(self) -> _Allocation | None:

@@ -16,53 +16,20 @@ The simulation keeps the two cost paths honest:
 
 Only error/status strings cross — never application data (paper: "The
 status information contains only error messages which are not related to
-any application data").
+any application data").  The ring buffer itself lives in
+:mod:`repro.obs.ring` so the span tracer shares the identical exit-less
+path; ``RingBuffer`` is re-exported here for backward compatibility, and
+``RingBuffer.dropped`` is surfaced as the
+``confide_monitor_ring_dropped_total`` metric by
+:func:`repro.obs.collect.collect_monitor_ring`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
+from repro.obs.ring import RingBuffer
 from repro.tee.enclave import Enclave
 
-
-@dataclass
-class RingBuffer:
-    """Single-producer/single-consumer overwrite-oldest ring buffer."""
-
-    capacity: int = 1024
-    _slots: list[str | None] = field(default_factory=list)
-    _head: int = 0  # next write position
-    _tail: int = 0  # next read position
-    dropped: int = 0
-
-    def __post_init__(self) -> None:
-        if self.capacity <= 0:
-            raise ValueError("ring buffer capacity must be positive")
-        self._slots = [None] * self.capacity
-
-    def __len__(self) -> int:
-        return self._head - self._tail
-
-    def put(self, item: str) -> None:
-        if len(self) == self.capacity:
-            self._tail += 1  # overwrite oldest
-            self.dropped += 1
-        self._slots[self._head % self.capacity] = item
-        self._head += 1
-
-    def get(self) -> str | None:
-        if self._tail == self._head:
-            return None
-        item = self._slots[self._tail % self.capacity]
-        self._tail += 1
-        return item
-
-    def drain(self) -> list[str]:
-        out = []
-        while (item := self.get()) is not None:
-            out.append(item)
-        return out
+__all__ = ["EnclaveMonitor", "RingBuffer"]
 
 
 class EnclaveMonitor:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.errors import VMError
 from repro.lang.compiler import ContractArtifact
+from repro.obs.trace import get_tracer
 from repro.vm.evm.interpreter import DEFAULT_GAS_LIMIT, EvmInstance
 from repro.vm.host import ExecutionResult, HostContext
 from repro.vm.wasm.code_cache import CodeCache, prepare_module
@@ -30,14 +31,19 @@ def execute(
     """Run `method` of a compiled contract and return its result."""
     if method not in artifact.methods:
         raise VMError(f"contract has no method '{method}'")
-    if artifact.target == "wasm":
-        if code_cache is not None:
-            module = code_cache.prepare(artifact.code)
+    with get_tracer().span("vm.exec", vm=artifact.target,
+                           code_bytes=len(artifact.code)) as span:
+        if artifact.target == "wasm":
+            if code_cache is not None:
+                module = code_cache.prepare(artifact.code)
+            else:
+                module = prepare_module(artifact.code, fuse=fuse)
+            instance = WasmInstance(module, context, max_steps=max_steps)
+            result = instance.run(method)
+        elif artifact.target == "evm":
+            instance = EvmInstance(artifact.code, context, gas_limit=gas_limit)
+            result = instance.run(artifact.entry_for(method))
         else:
-            module = prepare_module(artifact.code, fuse=fuse)
-        instance = WasmInstance(module, context, max_steps=max_steps)
-        return instance.run(method)
-    if artifact.target == "evm":
-        instance = EvmInstance(artifact.code, context, gas_limit=gas_limit)
-        return instance.run(artifact.entry_for(method))
-    raise VMError(f"unknown artifact target '{artifact.target}'")
+            raise VMError(f"unknown artifact target '{artifact.target}'")
+        span.set("instructions", result.instructions)
+        return result

@@ -33,6 +33,23 @@ class TestZones:
         for n in (4, 5, 7, 20):
             assert len(zones_for(n, 2)) == n
 
+    def test_more_zones_than_ratio_entries(self):
+        # Regression: with the default (1, 2) ratio, num_zones > 2 used
+        # to silently collapse to two zones.  Missing zones pad with
+        # weight 1, so every zone is populated.
+        for num_zones in (3, 4, 5):
+            zones = zones_for(10, num_zones)
+            assert len(zones) == 10
+            assert set(zones) == set(range(num_zones))
+
+    def test_padded_ratio_keeps_explicit_weights(self):
+        zones = zones_for(12, 3, ratio=(1, 2))
+        assert set(zones) == {0, 1, 2}
+        # 1:2:1 split of 12 nodes.
+        assert zones.count(0) == 3
+        assert zones.count(1) == 6
+        assert zones.count(2) == 3
+
 
 class TestPBFT:
     def test_minimum_size(self):

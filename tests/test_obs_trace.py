@@ -1,0 +1,157 @@
+"""Span tracer, ring buffer, and confidentiality guard tests."""
+
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.guard import guard_field, guard_fields, guard_name
+from repro.obs.ring import RingBuffer
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestRingBuffer:
+    def test_put_get_drain(self):
+        ring = RingBuffer(4)
+        for i in range(3):
+            ring.put(i)
+        assert len(ring) == 3
+        assert ring.get() == 0
+        assert ring.drain() == [1, 2]
+        assert len(ring) == 0
+
+    def test_overwrites_oldest_and_counts_drops(self):
+        ring = RingBuffer(3)
+        for i in range(5):
+            ring.put(i)
+        assert ring.dropped == 2
+        assert ring.drain() == [2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+
+class TestGuard:
+    def test_names(self):
+        assert guard_name("tee.ecall") == "tee.ecall"
+        for bad in ("", "0op", "op name", "op\n", b"op", "x" * 101):
+            with pytest.raises(TelemetryError):
+                guard_name(bad)
+
+    def test_numbers_always_pass(self):
+        assert guard_field("key_bytes", 42) == 42
+        assert guard_field("ratio", 0.5) == 0.5
+        assert guard_field("hit", True) is True
+
+    def test_bytes_always_rejected(self):
+        for value in (b"secret", bytearray(b"secret"), memoryview(b"s")):
+            with pytest.raises(TelemetryError, match="payload bytes"):
+                guard_field("op", value)
+
+    def test_strings_only_on_allowlisted_fields(self):
+        assert guard_field("op", "execute") == "execute"
+        assert guard_field("vm", "wasm") == "wasm"
+        with pytest.raises(TelemetryError):
+            guard_field("key", "answer")  # not an allowlisted field
+
+    def test_string_values_must_be_short_printable(self):
+        with pytest.raises(TelemetryError):
+            guard_field("op", "x" * 65)
+        with pytest.raises(TelemetryError):
+            guard_field("op", "caf\xe9")
+        with pytest.raises(TelemetryError):
+            guard_field("op", "a\nb")
+
+    def test_unsupported_types_rejected(self):
+        with pytest.raises(TelemetryError):
+            guard_field("op", ["list"])
+
+    def test_guard_fields_copies(self):
+        fields = {"op": "x", "n": 1}
+        assert guard_fields(fields) == fields
+        assert guard_fields(fields) is not fields
+
+
+class TestTracer:
+    def test_disabled_returns_null_span(self):
+        tracer = Tracer()
+        assert tracer.span("vm.call") is NULL_SPAN
+        with tracer.span("vm.call", anything=b"ignored") as span:
+            span.set("also", b"ignored")  # no guard on the no-op path
+        assert tracer.drain() == []
+
+    def test_nesting_assigns_parents(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = sorted(tracer.drain(), key=lambda s: s.name)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == 0
+        assert inner.start_s >= outer.start_s
+        assert inner.duration_s <= outer.duration_s
+
+    def test_span_attrs_are_guarded(self, tracer):
+        with pytest.raises(TelemetryError):
+            tracer.span("storage.get", key=b"plaintext-key")
+        with tracer.span("storage.get", key_bytes=9) as span:
+            with pytest.raises(TelemetryError):
+                span.set("value", b"plaintext")
+
+    def test_exception_marks_outcome(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("vm.call"):
+                raise RuntimeError("boom")
+        (span,) = tracer.drain()
+        assert span.args["outcome"] == "error"
+        assert span.args["error_kind"] == "RuntimeError"
+
+    def test_cycle_source_delta(self, tracer):
+        counter = {"cycles": 100.0}
+        tracer.cycle_source = lambda: counter["cycles"]
+        with tracer.span("tee.ecall"):
+            counter["cycles"] += 8600.0
+        (span,) = tracer.drain()
+        assert span.cycles == pytest.approx(8600.0)
+
+    def test_instant_events(self, tracer):
+        tracer.instant("epc.page_swap", pages=3, direction="out")
+        (span,) = tracer.drain()
+        assert span.duration_s == -1.0
+        assert span.args == {"pages": 3, "direction": "out"}
+
+    def test_threads_get_separate_stacks(self, tracer):
+        seen = []
+
+        def worker():
+            with tracer.span("worker.op"):
+                pass
+            seen.append(True)
+
+        with tracer.span("main.op"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        spans = {s.name: s for s in tracer.drain()}
+        # The worker's span is not a child of main's (different thread).
+        assert spans["worker.op"].parent_id == 0
+        assert spans["worker.op"].tid != spans["main.op"].tid
+
+    def test_ring_overflow_counts_dropped_spans(self):
+        tracer = Tracer(capacity=8, enabled=True)
+        for _ in range(20):
+            with tracer.span("op"):
+                pass
+        assert tracer.dropped == 12
+        assert len(tracer.drain()) == 8
+
+    def test_reset_clears_buffer(self, tracer):
+        with tracer.span("op"):
+            pass
+        tracer.reset()
+        assert tracer.drain() == []
