@@ -80,6 +80,30 @@ class Block:
     def verify_tx_root(self) -> bool:
         return tx_merkle_root(self.transactions) == self.header.tx_root
 
+    def encode(self) -> bytes:
+        """Full-block wire/storage encoding (header + transactions).
+
+        Confidential transactions serialize as their sealed envelopes,
+        so a persisted or broadcast block never contains plaintext.
+        """
+        return rlp.encode(
+            [self.header.encode(), [tx.encode() for tx in self.transactions]]
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Block":
+        items = rlp.decode(data)
+        if not isinstance(items, list) or len(items) != 2 \
+                or not isinstance(items[1], list):
+            raise ChainError("malformed block")
+        block = cls(
+            header=BlockHeader.decode(items[0]),
+            transactions=[Transaction.decode(item) for item in items[1]],
+        )
+        if not block.verify_tx_root():
+            raise ChainError("decoded block fails its transaction root")
+        return block
+
 
 def tx_merkle_root(transactions: list[Transaction]) -> bytes:
     return MerkleTree([tx.tx_hash for tx in transactions]).root

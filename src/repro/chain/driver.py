@@ -27,6 +27,18 @@ from repro.obs.trace import get_tracer
 
 
 @dataclass(frozen=True)
+class FaultWindow:
+    """Nodes crashed during [start_s, end_s) of simulated time."""
+
+    start_s: float
+    end_s: float
+    nodes: frozenset[int]
+
+    def active_at(self, clock_s: float) -> bool:
+        return self.start_s <= clock_s < self.end_s
+
+
+@dataclass(frozen=True)
 class BlockTrace:
     """One produced block in the simulation."""
 
@@ -37,6 +49,8 @@ class BlockTrace:
     order_s: float
     write_s: float
     committed_at_s: float
+    faulty_nodes: int = 0
+    view_changed: bool = False
 
     @property
     def is_empty(self) -> bool:
@@ -99,6 +113,7 @@ class ClosedLoopDriver:
         block_interval_s: float = 0.030,
         max_block_bytes: int = 4096,
         preverify_lanes: int = 4,
+        fault_windows: list[FaultWindow] | None = None,
     ):
         if arrival_rate_per_s < 0:
             raise ChainError("arrival rate must be non-negative")
@@ -109,6 +124,40 @@ class ClosedLoopDriver:
         self.block_interval_s = block_interval_s
         self.max_block_bytes = max_block_bytes
         self.preverify_lanes = max(1, preverify_lanes)
+        self.fault_windows = list(fault_windows or [])
+
+    def _faulty_at(self, clock_s: float) -> frozenset[int]:
+        faulty: set[int] = set()
+        for window in self.fault_windows:
+            if window.active_at(clock_s):
+                faulty |= window.nodes
+        return frozenset(faulty)
+
+    def _order_block(self, block_bytes: int,
+                     faulty: frozenset[int]) -> tuple[float, bool]:
+        """Ordering latency for one block under the current fault set.
+
+        Crash faults slow the round (quorums wait on farther replicas);
+        a crashed *leader* additionally costs a view change, after which
+        the next replica leads the round.  Returns (seconds, view_changed).
+        """
+        order_s = self.orderer.pipelined_block_interval(block_bytes)
+        if not faulty:
+            return order_s, False
+        orderer = self.orderer
+        extra_s = 0.0
+        view_changed = False
+        if orderer.leader in faulty:
+            view_changed = True
+            extra_s = orderer.view_change_latency()
+            orderer = PBFTOrderer(
+                orderer.zones, orderer.model,
+                leader=(orderer.leader + 1) % orderer.n,
+            )
+            if orderer.leader in faulty:
+                raise ChainError("consecutive leaders faulty; no liveness")
+        round_report = orderer.round_latency(block_bytes, faulty)
+        return max(order_s, round_report.total_s) + extra_s, view_changed
 
     def run(self, sim_seconds: float) -> DriverReport:
         report = DriverReport(duration_s=sim_seconds)
@@ -145,12 +194,13 @@ class ClosedLoopDriver:
                 next_arrival += 1
 
             batch = self.node.draft_block(max_bytes=self.max_block_bytes)
+            faulty = self._faulty_at(clock)
             with get_tracer().span("chain.block", num_txs=len(batch)) as span:
                 started = time.perf_counter()
                 applied = self.node.apply_transactions(batch)
                 _ = time.perf_counter() - started
-                order_s = self.orderer.pipelined_block_interval(
-                    applied.block.byte_size
+                order_s, view_changed = self._order_block(
+                    applied.block.byte_size, faulty
                 )
                 span.set("height", applied.block.header.height)
                 span.set("block_bytes", applied.block.byte_size)
@@ -167,6 +217,8 @@ class ClosedLoopDriver:
                     order_s=order_s,
                     write_s=write_s,
                     committed_at_s=commit_time,
+                    faulty_nodes=len(faulty),
+                    view_changed=view_changed,
                 )
             )
             for tx in batch:

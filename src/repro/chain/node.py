@@ -36,6 +36,7 @@ from repro.core.k_protocol import (
 from repro.crypto.ecc import Point, decode_point
 from repro.errors import ChainError
 from repro.obs.trace import get_tracer
+from repro.storage import rlp
 from repro.storage.kv import KVStore, MemoryKV
 from repro.storage.merkle import state_root as compute_state_root
 from repro.tee.attestation import AttestationService
@@ -44,8 +45,16 @@ DEFAULT_BLOCK_BYTES = 4096  # the paper's 4 KB block size (§6.1)
 
 # Key prefixes that belong to replicated consensus state.  Everything
 # else in the KV store is node-local (platform-sealed key backups,
-# header cache, ...) and must not enter the state commitment.
+# header cache, persisted block bodies, ...) and must not enter the
+# state commitment.
 CONSENSUS_PREFIXES = (b"s:", b"c:", b"n:")
+
+_BLOCK_DATA_PREFIX = b"blkdata:"
+_RECEIPTS_DATA_PREFIX = b"rcptdata:"
+
+
+def _height_key(prefix: bytes, height: int) -> bytes:
+    return prefix + height.to_bytes(8, "big")
 
 
 def consensus_state(kv: KVStore) -> dict[bytes, bytes]:
@@ -75,12 +84,16 @@ class Node:
         kv: KVStore | None = None,
         config: EngineConfig = DEFAULT_CONFIG,
         lanes: int = 1,
+        platform=None,
     ):
         self.node_id = node_id
         self.zone = zone
         self.kv = kv if kv is not None else MemoryKV()
         self.config = config
-        self.confidential = ConfidentialEngine(self.kv, config)
+        # A restarted node passes the original Platform back in: SGX
+        # sealing keys are machine-bound, so key recovery only works on
+        # the machine the keys were sealed to.
+        self.confidential = ConfidentialEngine(self.kv, config, platform=platform)
         self.public = PublicEngine(self.kv, config)
         self.executor = BlockExecutor(self.confidential, self.public, lanes)
         self.unverified = TxPool()
@@ -186,7 +199,18 @@ class Node:
         block = Block(header, list(transactions))
 
         write_started = time.perf_counter()
-        self.kv.write_batch({b"blk:" + header.block_hash: header.encode()})
+        # Persist the header (hash-indexed) plus the full block body and
+        # its receipt blobs (height-indexed) so a restarted node can
+        # recover its chain position from storage alone.  Bodies hold
+        # sealed envelopes and sealed receipts — never plaintext.
+        self.kv.write_batch(
+            {
+                b"blk:" + header.block_hash: header.encode(),
+                _height_key(_BLOCK_DATA_PREFIX, header.height): block.encode(),
+                _height_key(_RECEIPTS_DATA_PREFIX, header.height):
+                    rlp.encode(receipt_blobs),
+            }
+        )
         write_seconds = time.perf_counter() - write_started
 
         self.chain.append(block)
@@ -239,6 +263,56 @@ class Node:
             self.apply_block(block)
             applied += 1
         return applied
+
+    def state_root(self) -> bytes:
+        """Commitment over the replicated portion of this node's store."""
+        return compute_state_root(consensus_state(self.kv))
+
+    def restore_chain_from_storage(self) -> int:
+        """Recover the chain after a restart by loading persisted blocks.
+
+        Blocks are *not* re-executed — the KV store already holds the
+        post-state of everything persisted (the state commit and the
+        block write land in the same batch).  Linkage and tx roots are
+        re-verified, and the recovered head's state root must match the
+        root recomputed from storage; a mismatch means the database lost
+        or gained state relative to the chain (durability violation).
+        Returns the number of blocks restored.
+        """
+        if self.chain:
+            raise ChainError("restore_chain_from_storage needs a fresh node")
+        restored = 0
+        prev_hash = GENESIS_HASH
+        while True:
+            blob = self.kv.get(_height_key(_BLOCK_DATA_PREFIX, restored + 1))
+            if blob is None:
+                break
+            block = Block.decode(blob)
+            if block.header.height != restored + 1:
+                raise ChainError(
+                    f"persisted block at height key {restored + 1} claims "
+                    f"height {block.header.height}"
+                )
+            if block.header.prev_hash != prev_hash:
+                raise ChainError("persisted chain linkage broken")
+            self.chain.append(block)
+            prev_hash = block.block_hash
+            receipts_blob = self.kv.get(
+                _height_key(_RECEIPTS_DATA_PREFIX, block.header.height)
+            )
+            if receipts_blob is not None:
+                blobs = rlp.decode(receipts_blob)
+                blobs = blobs if isinstance(blobs, list) else [blobs]
+                self._receipt_blobs_by_height[block.header.height] = blobs
+                for tx, blob_i in zip(block.transactions, blobs):
+                    self.receipts[tx.tx_hash] = blob_i
+            restored += 1
+        if self.chain and self.chain[-1].header.state_root != self.state_root():
+            raise ChainError(
+                "restored chain head disagrees with the state recomputed "
+                "from storage (durability violation)"
+            )
+        return restored
 
     def header_at(self, height: int) -> BlockHeader:
         if not 1 <= height <= self.height:

@@ -19,6 +19,10 @@ Commands:
 - ``trace [-o out.json] [--txs N]`` — run the same flow under the span
   tracer and write Chrome trace-event JSON (load in Perfetto or
   ``chrome://tracing``).
+- ``sim --seed S --steps N --faults drop,crash,partition,epc`` — run the
+  deterministic fault-injection simulator; exits non-zero (printing the
+  seed and fault schedule) if any safety/durability/confidentiality
+  invariant is violated.
 """
 
 from __future__ import annotations
@@ -232,6 +236,44 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_sim(args) -> int:
+    from repro.sim import SimConfig, parse_faults, run_sim
+
+    config = SimConfig(
+        seed=args.seed,
+        steps=args.steps,
+        faults=parse_faults(args.faults),
+        num_nodes=args.nodes,
+    )
+    result = run_sim(config)
+    if args.verify_determinism:
+        second = run_sim(config)
+        if (result.event_log_text != second.event_log_text
+                or result.final_state_roots != second.final_state_roots):
+            print("DETERMINISM FAILURE: two runs with the same seed "
+                  "diverged", file=sys.stderr)
+            print(result.summary(), file=sys.stderr)
+            print(second.summary(), file=sys.stderr)
+            return 1
+        print(f"determinism verified: two runs of seed {args.seed} produced "
+              f"byte-identical logs ({len(result.event_log)} events)")
+    if args.report:
+        faults_spec = ",".join(sorted(config.faults)) or "none"
+        with open(args.report, "w") as f:
+            f.write(f"# repro sim seed={config.seed} steps={config.steps} "
+                    f"faults={faults_spec} nodes={config.num_nodes}\n")
+            f.write(result.event_log_text + "\n")
+            f.write("\n# fault schedule\n")
+            for entry in result.fault_schedule:
+                f.write(f"# {entry}\n")
+        print(f"wrote event log + fault schedule to {args.report}")
+    print(result.summary())
+    if not result.ok:
+        print(result.failure_report(), file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CONFIDE reproduction toolkit"
@@ -292,6 +334,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--txs", type=int, default=4,
                    help="confidential calls to execute (default 4)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "sim",
+        help="run the deterministic fault-injection simulator",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="the run is a pure function of this seed")
+    p.add_argument("--steps", type=int, default=200,
+                   help="simulation steps (5 ms of simulated time each)")
+    p.add_argument("--faults", default="",
+                   help="comma-separated fault kinds: drop, delay, dup, "
+                        "partition, crash, slow, enclave, epc (or 'all')")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="consortium size (>= 4; default 4)")
+    p.add_argument("--report", metavar="OUT",
+                   help="write the event log + fault schedule to this file")
+    p.add_argument("--verify-determinism", action="store_true",
+                   help="run twice and require byte-identical event logs")
+    p.set_defaults(func=cmd_sim)
 
     return parser
 

@@ -19,8 +19,6 @@ authorization chain code — can open them.
 
 from __future__ import annotations
 
-import secrets
-
 from repro.chain.transaction import (
     TX_CONFIDENTIAL,
     RawTransaction,
@@ -28,6 +26,7 @@ from repro.chain.transaction import (
 )
 from repro.crypto import ecies
 from repro.crypto.ecc import Point
+from repro.crypto.entropy import token_bytes
 from repro.crypto.gcm import NONCE_SIZE, AesGcm, deterministic_nonce
 from repro.crypto.keys import KeyPair, SymmetricKey
 from repro.errors import ProtocolError
@@ -48,7 +47,7 @@ def seal_transaction(
     """Client side: wrap a signed raw transaction in the crypto envelope."""
     k_tx = derive_tx_key(user_root_key, raw.tx_hash)
     key_blob = ecies.encrypt(pk_tx, k_tx, _ENVELOPE_AAD)
-    nonce = secrets.token_bytes(NONCE_SIZE)
+    nonce = token_bytes(NONCE_SIZE)
     body = nonce + AesGcm(k_tx).seal(nonce, raw.encode(), _ENVELOPE_AAD)
     envelope = rlp.encode([key_blob, body])
     return Transaction(TX_CONFIDENTIAL, envelope)

@@ -13,9 +13,8 @@ CONFIDE lives only inside the Confidential-Engine's enclave.
 
 from __future__ import annotations
 
-import secrets
-
 from repro.crypto import ecc
+from repro.crypto.entropy import token_bytes
 from repro.crypto.gcm import NONCE_SIZE, AesGcm
 from repro.crypto.hkdf import hkdf
 from repro.crypto.keys import KeyPair
@@ -30,7 +29,7 @@ def encrypt(recipient: ecc.Point, plaintext: bytes, aad: bytes = b"") -> bytes:
     ephemeral = KeyPair.generate()
     shared = ephemeral.ecdh(recipient)
     key = hkdf(shared, info=_INFO, length=16)
-    nonce = secrets.token_bytes(NONCE_SIZE)
+    nonce = token_bytes(NONCE_SIZE)
     sealed = AesGcm(key).seal(nonce, plaintext, aad)
     return ephemeral.public_bytes() + nonce + sealed
 

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-import secrets
 
 from repro.crypto.aes import AES
+from repro.crypto.entropy import token_bytes
 from repro.errors import AuthenticationError, CryptoError
 
 TAG_SIZE = 16
@@ -185,7 +185,7 @@ def deterministic_nonce(key: bytes, plaintext: bytes, aad: bytes = b"") -> bytes
 
 def random_nonce() -> bytes:
     """A fresh random 12-byte nonce (for non-replicated uses)."""
-    return secrets.token_bytes(NONCE_SIZE)
+    return token_bytes(NONCE_SIZE)
 
 
 def seal(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:

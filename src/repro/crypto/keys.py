@@ -7,10 +7,10 @@
 
 from __future__ import annotations
 
-import secrets
 from dataclasses import dataclass, field
 
 from repro.crypto import ecc
+from repro.crypto.entropy import token_bytes
 from repro.crypto.hkdf import hkdf
 from repro.errors import CryptoError
 
@@ -26,7 +26,7 @@ class KeyPair:
     def generate(cls) -> "KeyPair":
         private = 0
         while not 1 <= private < ecc.N:
-            private = int.from_bytes(secrets.token_bytes(32), "big")
+            private = int.from_bytes(token_bytes(32), "big")
         return cls(private, ecc.scalar_mult(private))
 
     @classmethod
@@ -67,7 +67,7 @@ class SymmetricKey:
 
     @classmethod
     def generate(cls, size: int = 16) -> "SymmetricKey":
-        return cls(secrets.token_bytes(size))
+        return cls(token_bytes(size))
 
     @classmethod
     def derive(cls, root: bytes, info: bytes, size: int = 16) -> "SymmetricKey":

@@ -75,6 +75,13 @@ class ContractError(ReproError):
     """A smart contract aborted with an application-level error."""
 
 
+class InvariantViolation(ReproError):
+    """A fault-injection simulator invariant (safety, durability, or
+    confidentiality) was violated.  The message carries enough context
+    to replay the run (seed + fault schedule are printed by the
+    harness's failure report)."""
+
+
 class AnalysisError(ReproError):
     """Deploy-time static analysis rejected a contract.
 

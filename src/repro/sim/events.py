@@ -1,0 +1,102 @@
+"""Deterministic event log and run report for the fault simulator.
+
+Every observable thing the simulation does — fault injections, block
+commits, view changes, restarts, invariant checks — is appended to one
+:class:`EventLog` as a fixed-format text line keyed by (step, simulated
+time).  Two runs with the same seed and configuration must produce
+byte-identical logs; the determinism acceptance test compares them
+directly, so nothing time- or id-nondeterministic may ever enter a line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One logged simulation event."""
+
+    step: int
+    time_s: float
+    kind: str
+    detail: str
+
+    def line(self) -> str:
+        return f"{self.step:05d} t={self.time_s:010.4f} {self.kind:<12} {self.detail}"
+
+
+class EventLog:
+    """Append-only deterministic log."""
+
+    def __init__(self) -> None:
+        self.events: list[SimEvent] = []
+
+    def emit(self, step: int, time_s: float, kind: str, detail: str) -> None:
+        self.events.append(SimEvent(step, time_s, kind, detail))
+
+    @property
+    def text(self) -> str:
+        return "\n".join(event.line() for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run.
+
+    ``ok`` means every step-wise invariant held *and* the cluster
+    converged during the drain phase.  On failure,
+    :meth:`failure_report` prints everything needed to replay the run:
+    the seed, the full fault schedule, and the violations.
+    """
+
+    seed: int
+    steps: int
+    faults: tuple[str, ...]
+    num_nodes: int
+    event_log: EventLog = field(default_factory=EventLog)
+    fault_schedule: list[str] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    final_heights: dict[int, int] = field(default_factory=dict)
+    final_state_roots: dict[int, str] = field(default_factory=dict)
+    blocks_committed: int = 0
+    txs_committed: int = 0
+    view_changes: int = 0
+    converged: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.converged
+
+    @property
+    def event_log_text(self) -> str:
+        return self.event_log.text
+
+    def summary(self) -> str:
+        roots = sorted(set(self.final_state_roots.values()))
+        return (
+            f"sim seed={self.seed} steps={self.steps} "
+            f"faults={','.join(self.faults) or 'none'} nodes={self.num_nodes}: "
+            f"{self.blocks_committed} blocks / {self.txs_committed} txs committed, "
+            f"{self.view_changes} view changes, "
+            f"{len(self.fault_schedule)} faults injected, "
+            f"converged={self.converged}, "
+            f"state_roots={[r[:16] for r in roots]}, "
+            f"violations={len(self.violations)}"
+        )
+
+    def failure_report(self) -> str:
+        lines = [
+            "=== SIMULATION FAILURE ===",
+            f"replay with: seed={self.seed} steps={self.steps} "
+            f"faults={','.join(self.faults)} nodes={self.num_nodes}",
+            "",
+            "violations:",
+        ]
+        lines += [f"  - {v}" for v in self.violations] or ["  (none — convergence failure)"]
+        lines += ["", "fault schedule:"]
+        lines += [f"  {entry}" for entry in self.fault_schedule] or ["  (empty)"]
+        return "\n".join(lines)

@@ -20,9 +20,9 @@ register untrusted services as ocall handlers.
 
 from __future__ import annotations
 
-import secrets
 from dataclasses import dataclass
 
+from repro.crypto.entropy import token_hex
 from repro.crypto.hashes import sha256
 from repro.crypto.hkdf import hkdf
 from repro.crypto.keys import KeyPair
@@ -63,7 +63,7 @@ class Platform:
         epc_budget_bytes: int = EPC_USABLE_BYTES,
         use_memory_pool: bool = True,
     ):
-        self.platform_id = platform_id or secrets.token_hex(8)
+        self.platform_id = platform_id or token_hex(8)
         self.accountant = CycleAccountant(model=cost_model)
         self.epc = EpcAllocator(
             self.accountant, budget_bytes=epc_budget_bytes, use_pool=use_memory_pool

@@ -13,6 +13,21 @@ and touching an evicted allocation pages it back in.
 A freelist-backed :class:`MemoryPool` mode models the paper's OPT1
 "efficient memory management": pooled allocations reuse freed pages,
 avoiding both fragmentation growth and per-allocation overhead.
+
+Allocations can optionally carry *content* (:meth:`EpcAllocator.store_bytes`
+/ :meth:`EpcAllocator.read_bytes`).  Content follows SGX paging
+semantics: while the allocation is resident the plaintext lives inside
+the protected region; on eviction it is AES-GCM-encrypted under a
+per-allocator swap key and only the ciphertext sits in untrusted memory
+(:meth:`EpcAllocator.evicted_blob` is the attacker's view of it); paging
+back in decrypts and destroys the untrusted copy.  The fault-injection
+simulator's confidentiality invariant byte-scans those evicted blobs.
+
+Page accounting convention: ``resident_pages`` counts every page backed
+by an EPC frame — live allocations *and* pages parked on the OPT1
+freelist (they hold real frames until reclaimed).  ``_make_room``
+reclaims freelist frames before evicting anyone, and keeps both counters
+in step so ``resident_pages`` can never exceed ``budget_pages``.
 """
 
 from __future__ import annotations
@@ -20,6 +35,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.crypto.entropy import token_bytes
 from repro.errors import PagingError
 from repro.obs.trace import get_tracer
 from repro.tee.transitions import CycleAccountant
@@ -57,6 +73,11 @@ class EpcAllocator:
         self._next_handle = 1
         self._resident_pages = 0
         self._pool_pages_free = 0
+        # Page-content model: plaintext only while resident; ciphertext
+        # (the untrusted-memory copy) only while evicted.
+        self._resident_bytes: dict[int, bytes] = {}
+        self._evicted_bytes: dict[int, bytes] = {}
+        self._swap_key = token_bytes(16)
 
     @property
     def use_pool(self) -> bool:
@@ -112,8 +133,10 @@ class EpcAllocator:
         alloc = self._allocs.pop(handle, None)
         if alloc is None:
             raise PagingError(f"unknown allocation handle {handle}")
+        self._resident_bytes.pop(handle, None)
+        self._evicted_bytes.pop(handle, None)
         if not alloc.resident:
-            return
+            return  # evicted allocations hold no EPC frames
         if self._use_pool:
             self._pool_pages_free += alloc.pages
         else:
@@ -132,15 +155,63 @@ class EpcAllocator:
                                  direction="in")
             self._resident_pages += alloc.pages
             alloc.resident = True
+            blob = self._evicted_bytes.pop(handle, None)
+            if blob is not None:
+                self._resident_bytes[handle] = self._swap_open(handle, blob)
+
+    # -- page content -------------------------------------------------------
+
+    def store_bytes(self, handle: int, data: bytes) -> None:
+        """Attach content to an allocation (pages it in if needed)."""
+        self.touch(handle)
+        self._resident_bytes[handle] = bytes(data)
+
+    def read_bytes(self, handle: int) -> bytes:
+        """Read an allocation's content back (pages it in if needed)."""
+        self.touch(handle)
+        return self._resident_bytes.get(handle, b"")
+
+    def evicted_blob(self, handle: int) -> bytes | None:
+        """The untrusted-memory copy of an evicted allocation's content
+        (always ciphertext), or None while the allocation is resident."""
+        if handle not in self._allocs:
+            raise PagingError(f"unknown allocation handle {handle}")
+        return self._evicted_bytes.get(handle)
+
+    def evicted_blobs(self) -> dict[int, bytes]:
+        """All untrusted-memory page copies, by handle — the complete
+        attacker-visible view of swapped-out enclave memory.  The
+        simulator's confidentiality invariant byte-scans these."""
+        return dict(self._evicted_bytes)
+
+    def _swap_seal(self, handle: int, plaintext: bytes) -> bytes:
+        from repro.crypto.gcm import AesGcm, deterministic_nonce
+
+        aad = b"epc-page:" + handle.to_bytes(8, "big")
+        nonce = deterministic_nonce(self._swap_key, plaintext, aad)
+        return nonce + AesGcm(self._swap_key).seal(nonce, plaintext, aad)
+
+    def _swap_open(self, handle: int, blob: bytes) -> bytes:
+        from repro.crypto.gcm import NONCE_SIZE, AesGcm
+
+        aad = b"epc-page:" + handle.to_bytes(8, "big")
+        nonce, body = blob[:NONCE_SIZE], blob[NONCE_SIZE:]
+        return AesGcm(self._swap_key).open(nonce, body, aad)
+
+    # -- paging -------------------------------------------------------------
 
     def _make_room(self, pages_needed: int) -> None:
         if pages_needed <= 0:
             return
-        free_now = self._budget_pages - self._resident_pages - self._pool_pages_free
+        # resident_pages already counts freelist pages, so free frames are
+        # simply budget - resident (subtracting the freelist again would
+        # double-count it and report spurious exhaustion).
+        free_now = self._budget_pages - self._resident_pages
         if self._use_pool and free_now < pages_needed and self._pool_pages_free:
-            # Shrink the freelist before evicting anyone else's pages.
+            # Reclaim freelist frames before evicting anyone else's pages.
             reclaim = min(self._pool_pages_free, pages_needed - free_now)
             self._pool_pages_free -= reclaim
+            self._resident_pages -= reclaim
             free_now += reclaim
         while free_now < pages_needed:
             victim = self._find_victim()
@@ -151,6 +222,11 @@ class EpcAllocator:
             self._accountant.charge_page_swaps(victim.pages)  # encrypt + evict
             get_tracer().instant("epc.page_swap", pages=victim.pages,
                                  direction="out")
+            plaintext = self._resident_bytes.pop(victim.handle, None)
+            if plaintext is not None:
+                self._evicted_bytes[victim.handle] = self._swap_seal(
+                    victim.handle, plaintext
+                )
             free_now += victim.pages
 
     def _find_victim(self) -> _Allocation | None:

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import random
+import zlib
+
 import pytest
 
 from repro.core import ConfidentialEngine, PublicEngine, bootstrap_founder
@@ -62,6 +66,50 @@ fn fail() {
     abort("deliberate failure", 18);
 }
 """
+
+
+# ---------------------------------------------------------------------------
+# Deterministic seeding.  Every test runs with the stdlib ``random`` module
+# seeded from REPRO_TEST_SEED (or a fixed default) salted per-test, so a
+# failure seen in CI replays locally with the same seed.  crc32 (not hash())
+# is used for the salt because hash() is randomized per process.
+# ---------------------------------------------------------------------------
+
+DEFAULT_TEST_SEED = 20260805
+
+
+def _session_seed() -> int:
+    return int(os.environ.get("REPRO_TEST_SEED", DEFAULT_TEST_SEED))
+
+
+def _test_seed(nodeid: str) -> int:
+    return _session_seed() ^ zlib.crc32(nodeid.encode())
+
+
+def pytest_report_header(config):
+    return (
+        f"repro seed: REPRO_TEST_SEED={_session_seed()} "
+        f"(set REPRO_TEST_SEED to replay)"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_random(request):
+    """Seed ``random`` per test from the session seed + test id."""
+    random.seed(_test_seed(request.node.nodeid))
+    yield
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append((
+            "repro seed",
+            f"REPRO_TEST_SEED={_session_seed()} "
+            f"(derived per-test seed: {_test_seed(item.nodeid)})",
+        ))
 
 
 @pytest.fixture

@@ -4,7 +4,11 @@ import pytest
 
 from conftest import COUNTER_SOURCE, deploy_confidential, run_confidential
 from repro.core import ConfidentialEngine, bootstrap_founder
+from repro.crypto.ecc import decode_point
 from repro.errors import ProtocolError, ReproError
+from repro.lang import compile_source
+from repro.sim.cluster import SimCluster
+from repro.sim.invariants import SafetyChecker
 from repro.storage import MemoryKV
 from repro.tee import Platform
 from repro.workloads.clients import Client
@@ -68,3 +72,71 @@ class TestRestartRecovery:
         restarted = ConfidentialEngine(kv, platform=platform)
         with pytest.raises(ReproError):
             restarted.restore_keys_from_storage()
+
+
+class TestClusterCrashMidBlock:
+    """A node that crashes mid-round must, after restart, re-agree keys
+    via the K-Protocol and converge to the cluster's state root."""
+
+    def test_crash_mid_block_restart_converges(self):
+        cluster = SimCluster(4, [0, 0, 0, 0])
+        safety = SafetyChecker()
+        client = Client.from_seed(b"midblock-client")
+        pk = decode_point(cluster.pk_tx)
+        artifact = compile_source(COUNTER_SOURCE, "wasm")
+        founder = cluster[0].node
+
+        # Block 1: deploy, applied by everyone.
+        tx, address = client.confidential_deploy(pk, artifact)
+        founder.receive_transaction(tx)
+        founder.preverify_pending()
+        applied1 = founder.apply_transactions(
+            founder.draft_block(max_bytes=1 << 20)
+        )
+        safety.register_canonical(1, applied1.block.block_hash,
+                                  applied1.block.header.state_root)
+        for sim_node in list(cluster)[1:]:
+            sim_node.node.apply_block(applied1.block)
+
+        # Block 2 is cut and decided by the ordering service, but node 3
+        # crashes before applying it — a crash mid-round.
+        founder.receive_transaction(
+            client.confidential_call(pk, address, "increment", b"")
+        )
+        founder.preverify_pending()
+        applied2 = founder.apply_transactions(
+            founder.draft_block(max_bytes=1 << 20)
+        )
+        safety.register_canonical(2, applied2.block.block_hash,
+                                  applied2.block.header.state_root)
+        cluster[3].crash()
+        for sim_node in list(cluster)[1:3]:
+            sim_node.node.apply_block(applied2.block)
+
+        # Restart from persisted storage: keys must come back via the
+        # K-Protocol (platform-sealed recovery + re-attestation) and the
+        # chain must replay to the last block the node durably applied.
+        restored_height = cluster[3].restart(
+            cluster.attestation, cluster.pk_tx, cluster.cs_measurement,
+            safety,
+        )
+        assert restored_height == 1
+        assert cluster[3].node.confidential.pk_tx == cluster.pk_tx
+
+        # Catch up on the block it missed and converge with the cluster.
+        cluster[3].node.apply_block(applied2.block)
+        assert cluster[3].node.state_root() == founder.state_root()
+        assert cluster[3].node.head_hash == founder.head_hash
+
+        # The recovered engine still decrypts and executes confidential
+        # transactions against the replayed state.
+        cluster[3].node.receive_transaction(
+            client.confidential_call(pk, address, "read", b"")
+        )
+        cluster[3].node.preverify_pending()
+        applied3 = cluster[3].node.apply_transactions(
+            cluster[3].node.draft_block(max_bytes=1 << 20)
+        )
+        receipt = applied3.report.outcomes[0].receipt
+        assert receipt.success, receipt.error
+        assert int.from_bytes(receipt.output, "big") == 1
