@@ -9,6 +9,8 @@ software simulation cannot exhibit.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass
 
@@ -192,3 +194,127 @@ def run_throughput(
         wall_seconds=wall,
         modeled_overhead_seconds=overhead,
     )
+
+
+def run_parallel_bench(
+    workers: int = 4,
+    num_txs: int = 32,
+    senders: int = 8,
+    workload_name: str = "crypto-hash",
+    out_path: str | None = None,
+) -> dict:
+    """Serial-vs-parallel comparison of both pipeline stages.
+
+    Stage 1 (pre-verification): the same confidential transaction batch
+    through a serial pool and a ``workers``-wide pool.  Stage 2 (block
+    execution): a two-node consortium with shared keys executes the same
+    block — the leader serially, the replica with the dependency-aware
+    parallel dispatcher — and ``apply_block`` enforces that both produce
+    bit-identical headers (state root + receipts root), so the bench
+    doubles as a determinism check.
+
+    Honest numbers: wall-clock speedups are bounded by ``cpu_count``,
+    which is recorded in the result.  On a single-core machine the pool
+    pays coordination overhead for no parallelism; the ≥2x expectation
+    only applies with ≥2 cores (docs/parallelism.md).
+    """
+    from repro.chain.node import build_consortium
+    from repro.chain.preverify_pool import PreverifyPool
+    from repro.workloads.synthetic import synthetic_workloads
+
+    workload = synthetic_workloads()[workload_name]
+    result: dict = {
+        "cpu_count": os.cpu_count() or 1,
+        "workers": workers,
+        "workload": workload_name,
+    }
+
+    # -- stage 1: pre-verification pool ---------------------------------
+    rig = build_confidential_rig(workload)
+    txs = [rig.make_tx(i) for i in range(num_txs)]
+    sk = rig.engine.export_worker_keys()
+
+    serial_pool = PreverifyPool(workers=0)
+    started = time.perf_counter()
+    serial_records = serial_pool.run(txs, sk)
+    serial_s = time.perf_counter() - started
+
+    pool = PreverifyPool(workers=workers)
+    try:
+        pool.run(txs[:2], sk)  # absorb executor startup cost
+        started = time.perf_counter()
+        pool_records = pool.run(txs, sk)
+        pool_s = time.perf_counter() - started
+    finally:
+        pool.close()
+    if [r.verified for r in serial_records] != [r.verified for r in pool_records]:
+        raise ReproError("pool and serial pre-verification verdicts diverge")
+    result["preverify"] = {
+        "num_txs": num_txs,
+        "serial_s": serial_s,
+        "pool_s": pool_s,
+        "speedup": serial_s / pool_s if pool_s else 0.0,
+        "mode": pool.mode,
+        "utilization": pool.stats.utilization(),
+        "queue_depth_peak": pool.stats.queue_depth_peak,
+    }
+
+    # -- stage 2: parallel block execution ------------------------------
+    nodes, _ = build_consortium(2)
+    serial_node, parallel_node = nodes
+    parallel_node.executor.workers = workers
+    clients = [Client.from_seed(f"parallel-bench-{i}".encode())
+               for i in range(senders)]
+    from repro.crypto.ecc import decode_point as _decode
+    pk_tx = _decode(serial_node.confidential.pk_tx)
+    artifact = compile_source(workload.source, "wasm")
+    deploy_tx, contract = clients[0].confidential_deploy(
+        pk_tx, artifact, workload.schema_source
+    )
+    for node in nodes:
+        node.receive_transaction(deploy_tx)
+        node.preverify_pending()
+    deploy_batch = serial_node.draft_block(max_bytes=1 << 22)
+    applied = serial_node.apply_transactions(deploy_batch)
+    for tx in deploy_batch:
+        parallel_node.verified.remove(tx.tx_hash)
+    parallel_node.apply_block(applied.block)
+
+    for i in range(num_txs):
+        client = clients[i % senders]
+        tx = client.confidential_call(
+            pk_tx, contract, workload.method, workload.make_input(i)
+        )
+        for node in nodes:
+            node.receive_transaction(tx)
+    for node in nodes:
+        node.preverify_pending()
+    batch = serial_node.draft_block(max_bytes=1 << 22, max_txs=num_txs)
+    applied = serial_node.apply_transactions(batch)
+    for tx in batch:
+        parallel_node.verified.remove(tx.tx_hash)
+    # apply_block raises if the parallel execution diverges bit-for-bit.
+    applied_parallel = parallel_node.apply_block(applied.block)
+    report = applied_parallel.report
+    result["execution"] = {
+        "num_txs": len(batch),
+        "senders": senders,
+        "serial_exec_s": applied.exec_seconds,
+        "parallel_exec_s": applied_parallel.exec_seconds,
+        "speedup": (applied.exec_seconds / applied_parallel.exec_seconds
+                    if applied_parallel.exec_seconds else 0.0),
+        "waves": report.waves,
+        "barrier_waves": report.barrier_waves,
+        "conflict_aborts": report.conflict_aborts,
+        "reexecutions": report.reexecutions,
+        "parallel_wall_s": report.parallel_wall_s,
+        "modeled_makespan_s": report.makespan_s,
+        "deterministic_equivalent": True,  # apply_block would have raised
+    }
+    for node in nodes:
+        node.close()
+
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+    return result

@@ -180,18 +180,21 @@ class ClosedLoopDriver:
         clock = 0.0
         while clock < sim_seconds:
             # Deliver everything that arrived before this block slot.
+            delivered = False
             while next_arrival < len(arrivals) and arrivals[next_arrival][0] <= clock:
                 arrived_at, tx = arrivals[next_arrival]
-                # Pre-verification happens in the pipeline gap before
-                # ordering (parallelizable; modeled as not on the
-                # critical path, exactly the point of §5.2).
-                if tx.is_confidential:
-                    self.node.confidential.preverify(tx)
-                else:
-                    self.node.public.preverify(tx)
-                self.node.verified.add(tx)
+                self.node.receive_transaction(tx)
                 arrival_times[tx.tx_hash] = arrived_at
                 next_arrival += 1
+                delivered = True
+            if delivered:
+                # Pre-verification happens in the pipeline gap before
+                # ordering (off the critical path, exactly the point of
+                # §5.2; fans out when the node has a worker pool).  Only
+                # transactions that actually pass reach the verified pool
+                # — a failed verdict must not smuggle a bad transaction
+                # into a block.
+                self.node.preverify_pending()
 
             batch = self.node.draft_block(max_bytes=self.max_block_bytes)
             faulty = self._faulty_at(clock)

@@ -25,7 +25,8 @@ from repro.chain.block import (
 )
 from repro.chain.executor import BlockExecutionReport, BlockExecutor
 from repro.chain.mempool import TxPool
-from repro.chain.transaction import Transaction
+from repro.chain.preverify_pool import PreverifyPool
+from repro.chain.transaction import TX_CONFIDENTIAL, Transaction
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.engine import ConfidentialEngine, PublicEngine
 from repro.core.k_protocol import (
@@ -95,7 +96,16 @@ class Node:
         # the machine the keys were sealed to.
         self.confidential = ConfidentialEngine(self.kv, config, platform=platform)
         self.public = PublicEngine(self.kv, config)
-        self.executor = BlockExecutor(self.confidential, self.public, lanes)
+        self.executor = BlockExecutor(
+            self.confidential, self.public, lanes,
+            workers=config.exec_workers,
+        )
+        # §5.2 off-path pre-verification pool; workers=0 runs inline.
+        self.preverify_pool = PreverifyPool(
+            workers=config.preverify_workers,
+            mode=config.preverify_pool_mode,
+        )
+        self._worker_sk: bytes | None = None
         self.unverified = TxPool()
         self.verified = TxPool()
         self.chain: list[Block] = []
@@ -117,14 +127,20 @@ class Node:
     def preverify_pending(self) -> int:
         """Run the pre-verification phase over the unverified pool.
 
-        Confidential transactions are pushed into the CS enclave in
-        batches (one transition per batch, Figure 7 step P1); public
-        transactions verify outside the enclave.
+        With ``preverify_workers > 0`` the decrypt + verify work fans out
+        across the node's worker pool and the results are installed into
+        the engines in one batch per engine; otherwise confidential
+        transactions are pushed into the CS enclave in batches (one
+        transition per batch, Figure 7 step P1) and public transactions
+        verify outside the enclave, all on the calling thread.
         """
         with get_tracer().span("chain.preverify") as span:
             moved = 0
             while len(self.unverified):
                 batch = self.unverified.pop_batch(max_count=64)
+                if self.preverify_pool.mode != "serial":
+                    moved += self._preverify_batch_pooled(batch)
+                    continue
                 confidential = [tx for tx in batch if tx.is_confidential]
                 verdicts: dict[bytes, bool] = {}
                 if confidential:
@@ -142,6 +158,31 @@ class Node:
                         moved += 1
             span.set("admitted", moved)
         return moved
+
+    def _preverify_batch_pooled(self, batch: list[Transaction]) -> int:
+        """Fan a batch across the worker pool and install the results."""
+        if any(tx.is_confidential for tx in batch) and self._worker_sk is None:
+            self._worker_sk = self.confidential.export_worker_keys()
+        records = self.preverify_pool.run(batch, self._worker_sk or b"")
+        confidential_records = [
+            record for record in records if record.tx_type == TX_CONFIDENTIAL
+        ]
+        self.confidential.install_preverified(confidential_records)
+        moved = 0
+        for tx, record in zip(batch, records):
+            if not tx.is_confidential:
+                self.public.install_preverified(
+                    tx.tx_hash, record.verified, record.verify_seconds
+                )
+            if record.verified:
+                self.verified.add(tx)
+                moved += 1
+        return moved
+
+    def close(self) -> None:
+        """Shut down the node's worker pools."""
+        self.preverify_pool.close()
+        self.executor.close()
 
     # -- block lifecycle --------------------------------------------------------
 

@@ -1,0 +1,87 @@
+"""Dependency-aware transaction scheduling for parallel block execution.
+
+The block executor used to *model* parallelism (``lane_schedule`` computes
+a makespan from per-transaction durations) while executing strictly
+serially.  This module plans **real** concurrent execution:
+
+- Each transaction gets a *conflict domain* — what it is known to touch
+  up front that OCC validation cannot repair: its sender's nonce row.
+  (State-key conflicts, including two transactions hitting the same
+  contract, are caught after the fact by read-set validation and fixed
+  by re-execution; a nonce-on-nonce dependency is different — replay
+  protection must observe the earlier bump *before* executing, so two
+  transactions from one sender never share a wave.)  For public
+  transactions the domain comes straight from the raw encoding; for
+  confidential ones it comes from the pre-verification metadata cache
+  (the §5.2 pre-processor recovers sender/contract while decrypting,
+  off the critical path).
+
+- Transactions are grouped into contiguous *waves*.  A wave extends
+  while the next transaction's domain is disjoint from every domain
+  already in the wave; the first collision closes it.  Waves stay
+  contiguous in block order so the in-order commit that follows is a
+  simple prefix walk.
+
+- Deploys, upgrades, and transactions with no known profile are
+  *barriers*: they run alone between waves.  Deploys/upgrades mutate the
+  shared code registry; an unknown profile means we cannot bound what
+  the transaction touches.
+
+Domains deliberately ignore state: wave-mates can and do collide on
+actual storage keys (same contract, shared hot entries, cross-contract
+calls).  The executor validates each speculative execution's *actual*
+read set against the writes committed before it in the wave, and
+re-executes against the committed prefix on overlap — so the waves only
+need to make conflicts survivable, not impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.preprocessor import TxProfile
+
+
+@dataclass(frozen=True)
+class Wave:
+    """A contiguous run of block positions executed concurrently."""
+
+    indices: tuple[int, ...]
+    barrier: bool = False
+
+
+def domain_of(profile: TxProfile) -> frozenset[bytes]:
+    """The dependencies OCC validation cannot repair: the sender's
+    nonce row.  Everything else is left to read-set validation."""
+    return frozenset((b"a:" + profile.sender,))
+
+
+def build_waves(profiles: list[TxProfile | None]) -> list[Wave]:
+    """Plan execution waves for a block's transactions (in block order).
+
+    ``profiles[i]`` is the scheduler profile of the i-th transaction, or
+    None when nothing is known about it (never preverified).
+    """
+    waves: list[Wave] = []
+    current: list[int] = []
+    occupied: set[bytes] = set()
+
+    def close() -> None:
+        nonlocal current, occupied
+        if current:
+            waves.append(Wave(tuple(current)))
+            current = []
+            occupied = set()
+
+    for index, profile in enumerate(profiles):
+        if profile is None or profile.is_barrier:
+            close()
+            waves.append(Wave((index,), barrier=True))
+            continue
+        domain = domain_of(profile)
+        if occupied & domain:
+            close()
+        current.append(index)
+        occupied |= domain
+    close()
+    return waves

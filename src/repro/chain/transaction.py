@@ -12,6 +12,7 @@ encoding: the network, the orderer, and the storage only ever see
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 
 from repro.crypto import ecdsa
 from repro.crypto.ecc import decode_point
@@ -138,7 +139,7 @@ class Transaction:
     tx_type: int
     payload: bytes
 
-    @property
+    @cached_property
     def tx_hash(self) -> bytes:
         return sha256(bytes([self.tx_type]) + self.payload)
 
@@ -147,7 +148,18 @@ class Transaction:
         return self.tx_type == TX_CONFIDENTIAL
 
     def encode(self) -> bytes:
+        return self._encoded
+
+    @cached_property
+    def _encoded(self) -> bytes:
         return rlp.encode([bytes([self.tx_type]), self.payload])
+
+    @cached_property
+    def wire_size(self) -> int:
+        """Encoded size in bytes, computed once.  Block drafting sizes
+        every pool-head candidate on every pass; caching keeps that from
+        re-serializing the whole pool tail."""
+        return len(self.encode())
 
     @classmethod
     def decode(cls, data: bytes) -> "Transaction":

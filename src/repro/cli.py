@@ -214,6 +214,31 @@ def cmd_bench(args) -> int:
 
     from repro.obs.metrics import MetricsRegistry
 
+    if args.workers:
+        from repro.bench.harness import run_parallel_bench
+
+        result = run_parallel_bench(
+            workers=args.workers,
+            num_txs=8 if args.quick else 32,
+            out_path=args.parallel_out,
+        )
+        pre, execution = result["preverify"], result["execution"]
+        print(f"parallel pipeline bench ({result['cpu_count']} CPU(s), "
+              f"{args.workers} workers)")
+        print(f"  preverify : serial {pre['serial_s'] * 1000:8.1f} ms  "
+              f"pool {pre['pool_s'] * 1000:8.1f} ms  "
+              f"speedup {pre['speedup']:.2f}x  mode={pre['mode']}")
+        print(f"  execute   : serial {execution['serial_exec_s'] * 1000:8.1f} ms  "
+              f"parallel {execution['parallel_exec_s'] * 1000:8.1f} ms  "
+              f"speedup {execution['speedup']:.2f}x  "
+              f"waves={execution['waves']} "
+              f"reexec={execution['reexecutions']}")
+        print("  determinism: parallel replica produced bit-identical "
+              "state/receipt roots")
+        if args.parallel_out:
+            print(f"wrote {args.parallel_out}")
+        return 0
+
     num_txs = 4 if args.quick else 8
     print(reporting.format_fig10(fig10_series(num_txs=num_txs, json_kv=30)))
     print()
@@ -316,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="print the paper's tables/figures")
     p.add_argument("--quick", action="store_true")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="run the serial-vs-parallel pipeline bench with "
+                        "N workers instead of the paper tables")
+    p.add_argument("--parallel-out", metavar="FILE",
+                   help="write the parallel bench result JSON here "
+                        "(e.g. BENCH_parallel.json)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

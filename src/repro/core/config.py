@@ -34,6 +34,11 @@ class EngineConfig:
     use_deploy_verification: bool = True
     use_taint_analysis: bool = True
     code_cache_capacity: int = 64
+    # Parallel pipeline (docs/parallelism.md).  Zero keeps both stages
+    # serial — the default, and what the deterministic simulator pins.
+    preverify_workers: int = 0  # §5.2 off-path pre-verification pool size
+    preverify_pool_mode: str = "auto"  # "auto" | "process" | "thread" | "serial"
+    exec_workers: int = 0  # dependency-aware block-execution workers
     max_steps: int = DEFAULT_MAX_STEPS
     gas_limit: int = DEFAULT_GAS_LIMIT
     max_call_depth: int = 64

@@ -19,6 +19,8 @@ Table 1.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -36,8 +38,14 @@ from repro.core import t_protocol
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.d_protocol import StateAad, StateCipher
 from repro.core.kmm import KMEnclave
-from repro.core.preprocessor import PreProcessor
-from repro.core.receipts import Receipt
+from repro.core.preprocessor import PreProcessor, PreverifiedRecord
+from repro.core.receipts import (
+    KIND_ANALYSIS,
+    KIND_BAD_SIGNATURE,
+    KIND_REVERT,
+    KIND_UNDECRYPTABLE,
+    Receipt,
+)
 from repro.core.sdm import SecureDataModule
 from repro.core.stats import (
     ARTIFACT_VERIFY,
@@ -110,6 +118,27 @@ class _TxScope:
     gas_used: int = 0
     storage_reads: int = 0
     storage_writes: int = 0
+    # Nonce bumps are buffered here (not written through) so a
+    # speculative execution leaves zero footprint until it commits.
+    nonce_updates: dict[bytes, bytes] = field(default_factory=dict)
+    success: bool = False
+
+
+@dataclass(frozen=True)
+class SpeculativeExecution:
+    """A deferred-commit execution: the outcome plus a commit handle.
+
+    The parallel block executor runs non-conflicting transactions
+    concurrently; each produces a :class:`SpeculativeExecution` whose
+    state effects (overlay writes *and* nonce bumps) stay buffered
+    inside the engine until :meth:`_BaseEngine.commit_speculative` is
+    called in block order.  ``token is None`` means the engine had to
+    commit inline (deploys/upgrades mutate the code registry and never
+    defer); there is nothing left to commit or discard.
+    """
+
+    outcome: ExecutionOutcome
+    token: int | None
 
 
 def _state_key(address: bytes, key: bytes) -> bytes:
@@ -193,7 +222,22 @@ class _BaseEngine:
             )
         # Exclusive-time tracking for CONTRACT_CALL (children and storage
         # spans are subtracted from the enclosing call's duration).
-        self._excluded_stack: list[float] = []
+        # Thread-local: pre-verification and parallel-execution workers
+        # share the engine, and one thread's nesting must not leak into
+        # another's accounting.
+        self._tls = threading.local()
+        # Speculative (deferred-commit) executions awaiting their
+        # commit-or-discard decision from the parallel block executor.
+        self._pending_scopes: dict[int, _TxScope] = {}
+        self._spec_tokens = itertools.count(1)
+        self._spec_lock = threading.Lock()
+
+    @property
+    def _excluded_stack(self) -> list[float]:
+        stack = getattr(self._tls, "excluded_stack", None)
+        if stack is None:
+            stack = self._tls.excluded_stack = []
+        return stack
 
     # -- storage backend hooks (overridden by the confidential engine) ------
 
@@ -356,7 +400,8 @@ class _BaseEngine:
                 if self._excluded_stack:
                     self._excluded_stack[-1] += total
 
-    def _check_and_bump_nonce(self, raw: RawTransaction) -> None:
+    def _check_and_bump_nonce(self, raw: RawTransaction,
+                              scope: _TxScope) -> None:
         key = _NONCE_PREFIX + raw.sender
         stored = self._raw_kv_get(key)
         last = rlp.decode_int(stored) if stored else -1
@@ -364,11 +409,51 @@ class _BaseEngine:
             raise ChainError(
                 f"nonce replay: {raw.nonce} <= {last} for {raw.sender.hex()}"
             )
-        self._raw_kv_set(key, rlp.encode_int(raw.nonce) or b"\x00")
+        # Buffered, not written through: the bump lands with the scope's
+        # commit (it still persists when the transaction reverts —
+        # replay protection survives failed executions).
+        scope.nonce_updates[key] = rlp.encode_int(raw.nonce) or b"\x00"
+
+    def _apply_nonce_updates(self, scope: _TxScope) -> None:
+        for key, value in scope.nonce_updates.items():
+            self._raw_kv_set(key, value)
+
+    # -- speculative (deferred-commit) execution ---------------------------
+
+    def _stash_scope(self, scope: _TxScope) -> int:
+        with self._spec_lock:
+            token = next(self._spec_tokens)
+            self._pending_scopes[token] = scope
+        return token
+
+    def _take_scope(self, token: int) -> _TxScope:
+        with self._spec_lock:
+            scope = self._pending_scopes.pop(token, None)
+        if scope is None:
+            raise ChainError(f"unknown speculative-execution token {token}")
+        return scope
+
+    def _apply_scope(self, scope: _TxScope) -> None:
+        """Apply a buffered scope: nonce bumps always, overlay on success."""
+        self._apply_nonce_updates(scope)
+        if scope.success:
+            self._commit_state(self.contracts, scope)
+
+    def commit_speculative(self, token: int | None) -> None:
+        """Apply a deferred execution's buffered effects, in block order."""
+        if token is None:
+            return
+        self._apply_scope(self._take_scope(token))
+
+    def discard_speculative(self, token: int | None) -> None:
+        """Drop a deferred execution (conflict abort); zero state effect."""
+        if token is None:
+            return
+        self._take_scope(token)
 
     def _apply_raw(self, raw: RawTransaction, scope: _TxScope) -> bytes:
         """Deploy or call; returns the receipt output."""
-        self._check_and_bump_nonce(raw)
+        self._check_and_bump_nonce(raw, scope)
         if raw.is_deploy:
             code_blob, vm_name, schema_source, source = parse_deploy_args(raw.args)
             with get_tracer().span("engine.deploy",
@@ -391,9 +476,6 @@ class _BaseEngine:
             caller=raw.sender, scope=scope, depth=1,
         )
 
-    def _nonce_rollback_key(self, raw: RawTransaction) -> bytes:
-        return _NONCE_PREFIX + raw.sender
-
 
 class PublicEngine(_BaseEngine):
     """The stock plaintext execution engine (Public-Engine in Figure 2)."""
@@ -410,6 +492,13 @@ class PublicEngine(_BaseEngine):
         self.stats.record(TX_VERIFY, time.perf_counter() - verify_started)
         self._verified[tx.tx_hash] = verified
         return verified
+
+    def install_preverified(self, tx_hash: bytes, verified: bool,
+                            elapsed: float = 0.0) -> None:
+        """Adopt a verdict computed off-path by a pre-verification worker."""
+        if elapsed:
+            self.stats.record(TX_VERIFY, elapsed)
+        self._verified[tx_hash] = verified
 
     def _backend_get(self, record, key, full_key):
         return self._raw_kv_get(full_key)
@@ -443,6 +532,14 @@ class PublicEngine(_BaseEngine):
 
     def execute(self, tx: Transaction) -> ExecutionOutcome:
         """Execute one public transaction; returns its outcome."""
+        return self._execute_public(tx, commit=True).outcome
+
+    def execute_speculative(self, tx: Transaction) -> SpeculativeExecution:
+        """Execute with effects buffered for an in-order commit later."""
+        return self._execute_public(tx, commit=False)
+
+    def _execute_public(self, tx: Transaction,
+                        commit: bool) -> SpeculativeExecution:
         with get_tracer().span("engine.execute_tx", kind="public") as span:
             started = time.perf_counter()
             raw = tx.raw()
@@ -455,14 +552,23 @@ class PublicEngine(_BaseEngine):
             if not verified:
                 span.set("outcome", "invalid signature")
                 receipt = Receipt(tx.tx_hash, False, error="invalid signature",
-                                  sender=raw.sender, contract=raw.contract)
-                return ExecutionOutcome(
+                                  sender=raw.sender, contract=raw.contract,
+                                  kind=KIND_BAD_SIGNATURE)
+                outcome = ExecutionOutcome(
                     receipt, None, time.perf_counter() - started,
                     frozenset(), frozenset(),
                 )
+                return SpeculativeExecution(outcome, None)
+            if not commit and (raw.is_deploy or raw.is_upgrade):
+                # Deploys/upgrades mutate the shared code registry and
+                # persist immediately; they never defer.  The scheduler
+                # treats them as barriers, so this is a safety valve.
+                return self._execute_public(tx, commit=True)
             try:
                 output = self._apply_raw(raw, scope)
-                self._commit_state(self.contracts, scope)
+                scope.success = True
+                if commit:
+                    self._apply_scope(scope)
                 receipt = Receipt(
                     tx.tx_hash, True, output=output,
                     logs=tuple(scope.logs),
@@ -474,12 +580,19 @@ class PublicEngine(_BaseEngine):
                 span.set("outcome", "ok")
             except ReproError as exc:
                 span.set("outcome", "reverted")
+                if commit:
+                    self._apply_scope(scope)
+                kind = (KIND_ANALYSIS if isinstance(exc, AnalysisError)
+                        else KIND_REVERT)
                 receipt = Receipt(tx.tx_hash, False, error=str(exc),
-                                  sender=raw.sender, contract=raw.contract)
-            return ExecutionOutcome(
+                                  sender=raw.sender, contract=raw.contract,
+                                  kind=kind)
+            outcome = ExecutionOutcome(
                 receipt, None, time.perf_counter() - started,
                 frozenset(scope.read_set), frozenset(scope.write_set),
             )
+            token = None if commit else self._stash_scope(scope)
+            return SpeculativeExecution(outcome, token)
 
 
 class CSEnclave(Enclave):
@@ -527,7 +640,36 @@ class CSEnclave(Enclave):
 
     def ecall_execute(self, tx_bytes: bytes):
         tx = Transaction.decode(tx_bytes)
-        return self._engine._execute_inside(tx)
+        return self._engine._execute_inside(tx, commit=True)
+
+    def ecall_execute_spec(self, tx_bytes: bytes):
+        """Speculative execution for the parallel block executor: state
+        effects stay buffered in-enclave until commit_spec/discard_spec."""
+        tx = Transaction.decode(tx_bytes)
+        return self._engine._execute_inside(tx, commit=False)
+
+    def ecall_commit_spec(self, token: int) -> None:
+        self._engine._apply_scope(self._engine._take_scope(token))
+
+    def ecall_discard_spec(self, token: int) -> None:
+        self._engine._take_scope(token)
+
+    def ecall_install_preverified(self, blob: bytes) -> int:
+        """Adopt metadata computed by pre-verification worker enclaves
+        (Figure 7 step P4, fanned out): each entry carries the verdict,
+        the recovered ``k_tx`` and the transaction profile the
+        dependency-aware scheduler groups by."""
+        return self._engine._install_preverified_inside(blob)
+
+    def ecall_export_worker_keys(self) -> bytes:
+        """Provision a pre-verification worker with the envelope key.
+
+        Models SGX worker threads (TCS entries) sharing enclave memory:
+        the process-pool workers stand in for in-enclave threads, so the
+        key handed out here never leaves the trust boundary in the
+        modeled system — see docs/parallelism.md.
+        """
+        return self.sk_tx().private.to_bytes(32, "big")
 
     def ecall_query(self, address: bytes, method: bytes, argument: bytes) -> bytes:
         return self._engine._query_inside(address, method.decode(), argument)
@@ -747,13 +889,58 @@ class ConfidentialEngine(_BaseEngine):
             # invalid transactions are discarded in advance).
             return False
 
+    def install_preverified(self, records: list[PreverifiedRecord]) -> int:
+        """Adopt worker-pool results with one enclave transition; returns
+        the number of records installed into the metadata cache."""
+        if not records:
+            return 0
+        blob = rlp.encode([record.encode() for record in records])
+        return self.cs.ecall("install_preverified", blob)
+
+    def _install_preverified_inside(self, blob: bytes) -> int:
+        items = rlp.decode(blob)
+        installed = 0
+        for item in items:
+            record = PreverifiedRecord.decode(item)
+            self.preprocessor.install(record)
+            if record.k_tx:
+                installed += 1
+        return installed
+
+    def export_worker_keys(self) -> bytes:
+        """Envelope private key for pre-verification workers (models TCS
+        worker threads sharing enclave memory — see docs/parallelism.md)."""
+        return self.cs.ecall("export_worker_keys")
+
+    def tx_profile(self, tx_hash: bytes):
+        """Cached scheduler profile (sender/contract/barrier flags), or
+        None when the transaction was never preverified."""
+        return self.preprocessor.profile(tx_hash)
+
     def execute(self, tx: Transaction) -> ExecutionOutcome:
         """Execute one confidential transaction inside the CS enclave."""
         if not tx.is_confidential:
             raise ProtocolError("ConfidentialEngine only executes TYPE=1")
         return self.cs.ecall("execute", tx.encode(), user_check=True)
 
-    def _execute_inside(self, tx: Transaction) -> ExecutionOutcome:
+    def execute_speculative(self, tx: Transaction) -> SpeculativeExecution:
+        """Execute with effects buffered in-enclave for a later commit."""
+        if not tx.is_confidential:
+            raise ProtocolError("ConfidentialEngine only executes TYPE=1")
+        return self.cs.ecall("execute_spec", tx.encode(), user_check=True)
+
+    def commit_speculative(self, token: int | None) -> None:
+        if token is None:
+            return
+        self.cs.ecall("commit_spec", token)
+
+    def discard_speculative(self, token: int | None) -> None:
+        if token is None:
+            return
+        self.cs.ecall("discard_spec", token)
+
+    def _execute_inside(self, tx: Transaction,
+                        commit: bool = True) -> "ExecutionOutcome | SpeculativeExecution":
         with get_tracer().span("engine.execute_tx", kind="confidential") as span:
             started = time.perf_counter()
             sk = self.cs.sk_tx()
@@ -763,24 +950,36 @@ class ConfidentialEngine(_BaseEngine):
                 processed = self.preprocessor.process(sk, tx)
             except ReproError as exc:
                 span.set("outcome", "undecryptable")
-                receipt = Receipt(tx.tx_hash, False, error=f"undecryptable: {exc}")
-                return ExecutionOutcome(receipt, None,
-                                        time.perf_counter() - started,
-                                        frozenset(), frozenset())
+                receipt = Receipt(tx.tx_hash, False,
+                                  error=f"undecryptable: {exc}",
+                                  kind=KIND_UNDECRYPTABLE)
+                outcome = ExecutionOutcome(receipt, None,
+                                           time.perf_counter() - started,
+                                           frozenset(), frozenset())
+                return outcome if commit else SpeculativeExecution(outcome, None)
             raw = processed.raw
             verified = processed.verified
             scope = _TxScope()
             if not verified:
                 span.set("outcome", "invalid signature")
                 receipt = Receipt(tx.tx_hash, False, error="invalid signature",
-                                  sender=raw.sender, contract=raw.contract)
+                                  sender=raw.sender, contract=raw.contract,
+                                  kind=KIND_BAD_SIGNATURE)
                 sealed = t_protocol.seal_receipt(processed.k_tx, receipt.encode())
-                return ExecutionOutcome(receipt, sealed,
-                                        time.perf_counter() - started,
-                                        frozenset(), frozenset())
+                outcome = ExecutionOutcome(receipt, sealed,
+                                           time.perf_counter() - started,
+                                           frozenset(), frozenset())
+                return outcome if commit else SpeculativeExecution(outcome, None)
+            if not commit and (raw.is_deploy or raw.is_upgrade):
+                # Safety valve mirroring the scheduler's barrier rule.
+                return SpeculativeExecution(
+                    self._execute_inside(tx, commit=True), None
+                )
             try:
                 output = self._apply_raw(raw, scope)
-                self._commit_state(self.contracts, scope)
+                scope.success = True
+                if commit:
+                    self._apply_scope(scope)
                 receipt = Receipt(
                     tx.tx_hash, True, output=output, logs=tuple(scope.logs),
                     instructions=scope.instructions, gas_used=scope.gas_used,
@@ -791,13 +990,21 @@ class ConfidentialEngine(_BaseEngine):
                 span.set("outcome", "ok")
             except ReproError as exc:
                 span.set("outcome", "reverted")
+                if commit:
+                    self._apply_scope(scope)
+                kind = (KIND_ANALYSIS if isinstance(exc, AnalysisError)
+                        else KIND_REVERT)
                 receipt = Receipt(tx.tx_hash, False, error=str(exc),
-                                  sender=raw.sender, contract=raw.contract)
+                                  sender=raw.sender, contract=raw.contract,
+                                  kind=kind)
             sealed = t_protocol.seal_receipt(processed.k_tx, receipt.encode())
-            return ExecutionOutcome(
+            outcome = ExecutionOutcome(
                 receipt, sealed, time.perf_counter() - started,
                 frozenset(scope.read_set), frozenset(scope.write_set),
             )
+            if commit:
+                return outcome
+            return SpeculativeExecution(outcome, self._stash_scope(scope))
 
     # -- convenience ------------------------------------------------------------------
 

@@ -9,10 +9,20 @@ f_verified)`` — is cached inside the CS enclave.
 At execution time the pre-processor first consults the cache (steps
 C2–C3 in Figure 7): on a hit only the cheap symmetric decryption
 remains; on a miss the transaction takes the full path.
+
+The cache also remembers the transaction's *profile* (sender, target
+contract, deploy/upgrade flags) recovered during decryption.  The
+dependency-aware block scheduler groups non-conflicting transactions by
+profile without re-entering the enclave; a transaction with no cached
+profile is scheduled conservatively (as a barrier).
+
+The pre-processor is shared between the execution path and the §5.2
+worker pool, so cache mutation is lock-protected.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -22,6 +32,26 @@ from repro.core.stats import TX_DECRYPT, TX_VERIFY, OperationStats
 from repro.crypto.keys import KeyPair
 from repro.errors import ProtocolError
 from repro.obs.trace import get_tracer
+from repro.storage import rlp
+
+
+@dataclass(frozen=True)
+class TxProfile:
+    """Scheduler-visible facts about a transaction (no payload data)."""
+
+    sender: bytes
+    contract: bytes
+    is_deploy: bool
+    is_upgrade: bool
+
+    @property
+    def is_barrier(self) -> bool:
+        """Deploys/upgrades mutate the code registry: never parallelized."""
+        return self.is_deploy or self.is_upgrade
+
+    @classmethod
+    def of(cls, raw: RawTransaction) -> "TxProfile":
+        return cls(raw.sender, raw.contract, raw.is_deploy, raw.is_upgrade)
 
 
 @dataclass(frozen=True)
@@ -30,6 +60,70 @@ class TxMetadata:
 
     k_tx: bytes
     f_verified: bool
+    profile: TxProfile | None = None
+
+
+@dataclass(frozen=True)
+class PreverifiedRecord:
+    """One worker-computed pre-verification result, ready to install.
+
+    Produced by :mod:`repro.chain.preverify_pool` workers; carried back
+    to the owning engine and installed with a single enclave transition
+    per batch.  ``k_tx`` is empty for public or undecryptable
+    transactions.
+    """
+
+    tx_hash: bytes
+    tx_type: int
+    verified: bool
+    k_tx: bytes = b""
+    sender: bytes = b""
+    contract: bytes = b""
+    is_deploy: bool = False
+    is_upgrade: bool = False
+    decrypt_seconds: float = 0.0
+    verify_seconds: float = 0.0
+
+    @property
+    def profile(self) -> TxProfile | None:
+        if not self.sender:
+            return None
+        return TxProfile(self.sender, self.contract,
+                         self.is_deploy, self.is_upgrade)
+
+    def encode(self) -> bytes:
+        """Wire form for the batched install ecall (timings in ns)."""
+        flags = (1 if self.is_deploy else 0) | (2 if self.is_upgrade else 0)
+        return rlp.encode([
+            self.tx_hash,
+            rlp.encode_int(self.tx_type),
+            b"\x01" if self.verified else b"",
+            self.k_tx,
+            self.sender,
+            self.contract,
+            rlp.encode_int(flags),
+            rlp.encode_int(int(self.decrypt_seconds * 1e9)),
+            rlp.encode_int(int(self.verify_seconds * 1e9)),
+        ])
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PreverifiedRecord":
+        items = rlp.decode(data)
+        if not isinstance(items, list) or len(items) != 9:
+            raise ProtocolError("malformed pre-verification record")
+        flags = rlp.decode_int(items[6])
+        return cls(
+            tx_hash=items[0],
+            tx_type=rlp.decode_int(items[1]),
+            verified=bool(items[2]),
+            k_tx=items[3],
+            sender=items[4],
+            contract=items[5],
+            is_deploy=bool(flags & 1),
+            is_upgrade=bool(flags & 2),
+            decrypt_seconds=rlp.decode_int(items[7]) / 1e9,
+            verify_seconds=rlp.decode_int(items[8]) / 1e9,
+        )
 
 
 @dataclass
@@ -56,6 +150,7 @@ class PreProcessor:
         self._cache: "OrderedDict[bytes, TxMetadata]" = OrderedDict()
         self._capacity = cache_capacity
         self._stats = stats or OperationStats()
+        self._lock = threading.Lock()
         # Pre-verification happens off the execution path (pre-consensus,
         # parallelizable), so its costs are ledgered separately and never
         # show up in the Table 1 execution profile.
@@ -76,10 +171,33 @@ class PreProcessor:
                                payload_bytes=len(tx.payload)) as span:
             k_tx, raw = self._full_open(sk_tx, tx.payload, self.off_path_stats)
             verified = self._timed_verify(raw, self.off_path_stats)
-            self._remember(tx.tx_hash, TxMetadata(k_tx, verified))
-            self.preverified += 1
+            self._remember(
+                tx.tx_hash, TxMetadata(k_tx, verified, TxProfile.of(raw))
+            )
+            with self._lock:
+                self.preverified += 1
             span.set("outcome", "ok" if verified else "invalid signature")
         return verified
+
+    def install(self, record: PreverifiedRecord) -> None:
+        """Adopt a worker-computed result (Figure 7 step P4, fanned out).
+
+        The worker already paid the decrypt/verify cost off-path; its
+        timings land in the off-path ledger so worker-pool runs profile
+        identically to in-enclave pre-verification.
+        """
+        if record.decrypt_seconds:
+            self.off_path_stats.record(TX_DECRYPT, record.decrypt_seconds)
+        if record.verify_seconds:
+            self.off_path_stats.record(TX_VERIFY, record.verify_seconds)
+        if not record.k_tx:
+            return  # undecryptable: nothing worth caching
+        self._remember(
+            record.tx_hash,
+            TxMetadata(record.k_tx, record.verified, record.profile),
+        )
+        with self._lock:
+            self.preverified += 1
 
     def process(self, sk_tx: KeyPair, tx: Transaction) -> ProcessedTx:
         """Admit a transaction for execution (steps C2–C4)."""
@@ -87,9 +205,13 @@ class PreProcessor:
             raise ProtocolError("pre-processor handles confidential transactions")
         with get_tracer().span("preprocess.process",
                                payload_bytes=len(tx.payload)) as span:
-            meta = self._cache.get(tx.tx_hash)
+            with self._lock:
+                meta = self._cache.get(tx.tx_hash)
+                if meta is not None:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
             if meta is not None:
-                self.cache_hits += 1
                 span.set("outcome", "cache hit")
                 with get_tracer().span("protocol.tx_decrypt", phase="body"):
                     started = time.perf_counter()
@@ -98,18 +220,20 @@ class PreProcessor:
                     )
                     self._stats.record(TX_DECRYPT, time.perf_counter() - started)
                 return ProcessedTx(raw, meta.k_tx, meta.f_verified, cache_hit=True)
-            self.cache_misses += 1
             span.set("outcome", "cache miss")
             k_tx, raw = self._full_open(sk_tx, tx.payload, self._stats)
             verified = self._timed_verify(raw, self._stats)
-            self._remember(tx.tx_hash, TxMetadata(k_tx, verified))
+            self._remember(
+                tx.tx_hash, TxMetadata(k_tx, verified, TxProfile.of(raw))
+            )
             return ProcessedTx(raw, k_tx, verified, cache_hit=False)
 
     def _remember(self, tx_hash: bytes, meta: TxMetadata) -> None:
-        self._cache[tx_hash] = meta
-        self._cache.move_to_end(tx_hash)
-        while len(self._cache) > self._capacity:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[tx_hash] = meta
+            self._cache.move_to_end(tx_hash)
+            while len(self._cache) > self._capacity:
+                self._cache.popitem(last=False)
 
     def _full_open(
         self, sk_tx: KeyPair, envelope: bytes, stats: OperationStats
@@ -130,11 +254,19 @@ class PreProcessor:
 
     def lookup_key(self, tx_hash: bytes) -> bytes | None:
         """k_tx for a processed transaction (authorization chain code)."""
-        meta = self._cache.get(tx_hash)
+        with self._lock:
+            meta = self._cache.get(tx_hash)
         return meta.k_tx if meta else None
 
+    def profile(self, tx_hash: bytes) -> TxProfile | None:
+        """The cached scheduler profile, or None when never preverified."""
+        with self._lock:
+            meta = self._cache.get(tx_hash)
+        return meta.profile if meta else None
+
     def evict(self, tx_hash: bytes) -> None:
-        self._cache.pop(tx_hash, None)
+        with self._lock:
+            self._cache.pop(tx_hash, None)
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -30,6 +30,22 @@ ACL_METHOD = "acl_check"
 _WRAP_AAD = b"confide/receipt-authorization"
 
 
+# Structured failure classification.  ``error`` stays a human-readable
+# message; ``kind`` is what machines branch on — a contract revert whose
+# message happens to start with "analysis:" must never be mistaken for a
+# static-verifier rejection.
+KIND_OK = ""
+KIND_REVERT = "revert"
+KIND_ANALYSIS = "analysis"
+KIND_BAD_SIGNATURE = "bad-signature"
+KIND_UNDECRYPTABLE = "undecryptable"
+
+RECEIPT_KINDS = (
+    KIND_OK, KIND_REVERT, KIND_ANALYSIS, KIND_BAD_SIGNATURE,
+    KIND_UNDECRYPTABLE,
+)
+
+
 @dataclass(frozen=True)
 class Receipt:
     """Result of executing one transaction."""
@@ -45,6 +61,7 @@ class Receipt:
     storage_writes: int = 0
     sender: bytes = b""
     contract: bytes = b""
+    kind: str = KIND_OK  # one of RECEIPT_KINDS; "" for success
 
     def encode(self) -> bytes:
         return rlp.encode(
@@ -60,13 +77,15 @@ class Receipt:
                 rlp.encode_int(self.storage_writes),
                 self.sender,
                 self.contract,
+                self.kind.encode(),
             ]
         )
 
     @classmethod
     def decode(cls, data: bytes) -> "Receipt":
         items = rlp.decode(data)
-        if not isinstance(items, list) or len(items) != 11:
+        # 11-item receipts predate the structured ``kind`` field.
+        if not isinstance(items, list) or len(items) not in (11, 12):
             raise ChainError("malformed receipt")
         return cls(
             tx_hash=items[0],
@@ -80,6 +99,7 @@ class Receipt:
             storage_writes=rlp.decode_int(items[8]),
             sender=items[9],
             contract=items[10],
+            kind=items[11].decode() if len(items) == 12 else KIND_OK,
         )
 
 

@@ -18,6 +18,7 @@ sealed.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.ccle import codec as ccle_codec
@@ -38,6 +39,10 @@ class SecureDataModule:
         self._enclave = enclave
         self._cipher = cipher
         self._cache: OrderedDict[bytes, bytes | None] = OrderedDict()
+        # Speculative executions run on pool threads and share this
+        # cache; reentrant because load/store issue ocalls that may
+        # re-enter through the same thread.
+        self._lock = threading.RLock()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -45,21 +50,23 @@ class SecureDataModule:
 
     def load(self, full_key: bytes, aad: StateAad) -> bytes | None:
         """Read and decrypt one state value (cached)."""
-        if full_key in self._cache:
-            self.cache_hits += 1
-            self._cache.move_to_end(full_key)
-            return self._cache[full_key]
-        self.cache_misses += 1
-        sealed = self._enclave.ocall("kv_get", full_key)
-        value = None if sealed is None else self._cipher.open(sealed, aad)
-        self._remember(full_key, value)
-        return value
+        with self._lock:
+            if full_key in self._cache:
+                self.cache_hits += 1
+                self._cache.move_to_end(full_key)
+                return self._cache[full_key]
+            self.cache_misses += 1
+            sealed = self._enclave.ocall("kv_get", full_key)
+            value = None if sealed is None else self._cipher.open(sealed, aad)
+            self._remember(full_key, value)
+            return value
 
     def store(self, full_key: bytes, value: bytes, aad: StateAad) -> None:
         """Encrypt and write one state value (write-through)."""
-        sealed = self._cipher.seal(value, aad)
-        self._enclave.ocall("kv_set", full_key, sealed)
-        self._remember(full_key, bytes(value))
+        with self._lock:
+            sealed = self._cipher.seal(value, aad)
+            self._enclave.ocall("kv_set", full_key, sealed)
+            self._remember(full_key, bytes(value))
 
     # -- CCLe selective encryption ---------------------------------------------
 
@@ -73,46 +80,48 @@ class SecureDataModule:
         """Split an encoded CCLe value; persist the public part plaintext
         and each role's confidential subtree sealed under that role's
         subkey (unscoped confidential fields use k_states directly)."""
-        value = ccle_codec.decode(schema, encoded)
-        public, role_secrets = ccle_conf.split_by_role(schema, value)
-        public_blob = ccle_codec.encode(schema, public)
-        self._enclave.ocall("kv_set", full_key + _PUB_SUFFIX, public_blob)
-        for role in sorted(role_secrets):
-            secret_blob = ccle_conf.secret_to_bytes(role_secrets[role])
-            sealed = self._cipher.role_cipher(role).seal(secret_blob, aad)
-            self._enclave.ocall(
-                "kv_set", full_key + self._role_suffix(role), sealed
-            )
-        self._remember(full_key, bytes(encoded))
+        with self._lock:
+            value = ccle_codec.decode(schema, encoded)
+            public, role_secrets = ccle_conf.split_by_role(schema, value)
+            public_blob = ccle_codec.encode(schema, public)
+            self._enclave.ocall("kv_set", full_key + _PUB_SUFFIX, public_blob)
+            for role in sorted(role_secrets):
+                secret_blob = ccle_conf.secret_to_bytes(role_secrets[role])
+                sealed = self._cipher.role_cipher(role).seal(secret_blob, aad)
+                self._enclave.ocall(
+                    "kv_set", full_key + self._role_suffix(role), sealed
+                )
+            self._remember(full_key, bytes(encoded))
 
     def load_ccle(
         self, full_key: bytes, aad: StateAad, schema: Schema
     ) -> bytes | None:
         """Merge the plaintext public part with every decrypted role
         subtree and re-encode the full value for the contract."""
-        if full_key in self._cache:
-            self.cache_hits += 1
-            self._cache.move_to_end(full_key)
-            return self._cache[full_key]
-        self.cache_misses += 1
-        public_blob = self._enclave.ocall("kv_get", full_key + _PUB_SUFFIX)
-        if public_blob is None:
-            self._remember(full_key, None)
-            return None
-        merged = ccle_codec.decode(schema, public_blob)
-        for role in sorted(schema.roles() | {""}):
-            sealed = self._enclave.ocall(
-                "kv_get", full_key + self._role_suffix(role)
-            )
-            if sealed is None:
-                continue
-            secret = ccle_conf.secret_from_bytes(
-                self._cipher.role_cipher(role).open(sealed, aad)
-            )
-            merged = ccle_conf.merge(schema, merged, secret)
-        encoded = ccle_codec.encode(schema, merged)
-        self._remember(full_key, encoded)
-        return encoded
+        with self._lock:
+            if full_key in self._cache:
+                self.cache_hits += 1
+                self._cache.move_to_end(full_key)
+                return self._cache[full_key]
+            self.cache_misses += 1
+            public_blob = self._enclave.ocall("kv_get", full_key + _PUB_SUFFIX)
+            if public_blob is None:
+                self._remember(full_key, None)
+                return None
+            merged = ccle_codec.decode(schema, public_blob)
+            for role in sorted(schema.roles() | {""}):
+                sealed = self._enclave.ocall(
+                    "kv_get", full_key + self._role_suffix(role)
+                )
+                if sealed is None:
+                    continue
+                secret = ccle_conf.secret_from_bytes(
+                    self._cipher.role_cipher(role).open(sealed, aad)
+                )
+                merged = ccle_conf.merge(schema, merged, secret)
+            encoded = ccle_codec.encode(schema, merged)
+            self._remember(full_key, encoded)
+            return encoded
 
     # -- cache -------------------------------------------------------------------
 
@@ -123,4 +132,5 @@ class SecureDataModule:
             self._cache.popitem(last=False)
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()

@@ -40,6 +40,19 @@ PREVERIFY_CACHE_HITS = "confide_preverify_cache_hits_total"
 PREVERIFY_CACHE_MISSES = "confide_preverify_cache_misses_total"
 PREVERIFIED = "confide_preverified_total"
 MEMPOOL_DEPTH = "confide_mempool_depth"
+TXPOOL_REJECTED = "confide_txpool_rejected_total"
+TXPOOL_OVERSIZED = "confide_txpool_oversized_total"
+PREVERIFY_POOL_SUBMITTED = "confide_preverify_pool_submitted_total"
+PREVERIFY_POOL_OK = "confide_preverify_pool_ok_total"
+PREVERIFY_POOL_BAD = "confide_preverify_pool_bad_total"
+PREVERIFY_POOL_UNDECRYPTABLE = "confide_preverify_pool_undecryptable_total"
+PREVERIFY_POOL_QUEUE_PEAK = "confide_preverify_pool_queue_depth_peak"
+PREVERIFY_POOL_UTILIZATION = "confide_preverify_pool_utilization"
+PREVERIFY_POOL_BUSY_SECONDS = "confide_preverify_pool_busy_seconds_total"
+EXEC_CONFLICT_ABORTS = "confide_exec_conflict_aborts_total"
+EXEC_REEXECUTIONS = "confide_exec_reexecutions_total"
+EXEC_WAVES = "confide_exec_waves_total"
+EXEC_BARRIER_WAVES = "confide_exec_barrier_waves_total"
 MONITOR_RING_DROPPED = "confide_monitor_ring_dropped_total"
 TRACE_RING_DROPPED = "confide_trace_ring_dropped_total"
 TRACE_SPANS_BUFFERED = "confide_trace_spans_buffered"
@@ -163,6 +176,59 @@ def collect_mempool(registry: MetricsRegistry, pool, name: str) -> None:
     registry.gauge(
         MEMPOOL_DEPTH, "transactions waiting in a pool", ("pool",)
     ).set(len(pool), pool=name)
+    registry.counter(
+        TXPOOL_REJECTED, "transactions dropped because the pool was full",
+        ("pool",),
+    ).set_total(pool.rejected_full, pool=name)
+    registry.counter(
+        TXPOOL_OVERSIZED,
+        "transactions dropped for exceeding the block byte budget alone",
+        ("pool",),
+    ).set_total(pool.dropped_oversized, pool=name)
+
+
+def collect_preverify_pool(registry: MetricsRegistry, pool) -> None:
+    """Absorb a §5.2 worker pool's :class:`PoolStats`."""
+    stats = pool.stats
+    registry.counter(
+        PREVERIFY_POOL_SUBMITTED, "transactions fanned out to the pool"
+    ).set_total(stats.submitted)
+    registry.counter(
+        PREVERIFY_POOL_OK, "pool verdicts: signature valid"
+    ).set_total(stats.verified_ok)
+    registry.counter(
+        PREVERIFY_POOL_BAD, "pool verdicts: signature invalid"
+    ).set_total(stats.verified_bad)
+    registry.counter(
+        PREVERIFY_POOL_UNDECRYPTABLE, "pool verdicts: envelope unopenable"
+    ).set_total(stats.undecryptable)
+    registry.gauge(
+        PREVERIFY_POOL_QUEUE_PEAK, "peak chunks queued in one submission"
+    ).set(stats.queue_depth_peak)
+    registry.gauge(
+        PREVERIFY_POOL_UTILIZATION, "fraction of worker capacity kept busy"
+    ).set(stats.utilization())
+    registry.counter(
+        PREVERIFY_POOL_BUSY_SECONDS, "summed worker busy seconds"
+    ).set_total(stats.busy_seconds)
+
+
+def collect_executor(registry: MetricsRegistry, executor) -> None:
+    """Absorb the parallel block executor's dispatch counters."""
+    registry.counter(
+        EXEC_CONFLICT_ABORTS,
+        "speculative executions discarded at OCC validation",
+    ).set_total(executor.total_conflict_aborts)
+    registry.counter(
+        EXEC_REEXECUTIONS,
+        "transactions re-executed against the committed prefix",
+    ).set_total(executor.total_reexecutions)
+    registry.counter(
+        EXEC_WAVES, "execution waves dispatched"
+    ).set_total(executor.total_waves)
+    registry.counter(
+        EXEC_BARRIER_WAVES, "waves forced serial (deploy/upgrade/unknown)"
+    ).set_total(executor.total_barrier_waves)
 
 
 def collect_engine(registry: MetricsRegistry, engine,
@@ -202,6 +268,8 @@ def collect_node(registry: MetricsRegistry, node) -> None:
     collect_engine(registry, node.public, label="public")
     collect_mempool(registry, node.unverified, "unverified")
     collect_mempool(registry, node.verified, "verified")
+    collect_preverify_pool(registry, node.preverify_pool)
+    collect_executor(registry, node.executor)
 
 
 def block_metrics_snapshot(confidential, public) -> dict[str, float]:

@@ -93,6 +93,9 @@ class SimConfig:
     max_block_bytes: int = 4096
     sync_cooldown_steps: int = 4
     kv_scan_every: int = 10
+    # DEFAULT_CONFIG pins exec_workers=0 / preverify_workers=0: the sim
+    # replays the same seed expecting identical traces, so nodes execute
+    # serially here even though parallel mode is deterministic-equivalent.
     engine_config: EngineConfig = field(default_factory=lambda: DEFAULT_CONFIG)
 
 

@@ -20,6 +20,7 @@ register untrusted services as ocall handlers.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.crypto.entropy import token_hex
@@ -112,7 +113,10 @@ class Enclave:
         self.platform = platform
         self.name = name
         self._interface = EdlInterface()
-        self._depth = 0
+        # Per-thread call depth models SGX TCS entries: each thread enters
+        # through its own Thread Control Structure, so one thread sitting
+        # in an ocall must not strip another thread's in-enclave status.
+        self._tls = threading.local()
         self._destroyed = False
         self._trusted_state: dict = {}
         self._heap_handles: list[int] = []
@@ -124,6 +128,14 @@ class Enclave:
         platform.enclaves.append(self)
 
     # -- trust boundary ----------------------------------------------------
+
+    @property
+    def _depth(self) -> int:
+        return getattr(self._tls, "depth", 0)
+
+    @_depth.setter
+    def _depth(self, value: int) -> None:
+        self._tls.depth = value
 
     @property
     def trusted(self) -> dict:

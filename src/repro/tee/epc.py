@@ -32,6 +32,7 @@ in step so ``resident_pages`` can never exceed ``budget_pages``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -78,6 +79,11 @@ class EpcAllocator:
         self._resident_bytes: dict[int, bytes] = {}
         self._evicted_bytes: dict[int, bytes] = {}
         self._swap_key = token_bytes(16)
+        # One allocator serves every enclave on the platform, and the
+        # parallel executor allocates from pool threads: the LRU list,
+        # the freelist and the page counters move together under a lock
+        # (reentrant — touch() runs inside store/read).
+        self._lock = threading.RLock()
 
     @property
     def use_pool(self) -> bool:
@@ -102,87 +108,94 @@ class EpcAllocator:
 
     def allocate(self, size_bytes: int) -> int:
         """Reserve pages for `size_bytes`; returns an allocation handle."""
-        if size_bytes <= 0:
-            raise PagingError("allocation size must be positive")
-        effective = size_bytes if self._use_pool else int(size_bytes * _FRAGMENTATION_FACTOR)
-        pages = max(1, (effective + PAGE_SIZE - 1) // PAGE_SIZE)
-        if pages > self._budget_pages:
-            raise PagingError(
-                f"allocation of {pages} pages exceeds the whole EPC budget "
-                f"of {self._budget_pages} pages"
-            )
-        self._accountant.charge_alloc(pooled=self._use_pool)
-        if self._use_pool and self._pool_pages_free >= pages:
-            # Freelist hit: pages are already resident, no paging pressure.
-            self._pool_pages_free -= pages
-        else:
-            if self._use_pool:
-                pages_needed = pages - self._pool_pages_free
-                self._pool_pages_free = 0
+        with self._lock:
+            if size_bytes <= 0:
+                raise PagingError("allocation size must be positive")
+            effective = size_bytes if self._use_pool else int(size_bytes * _FRAGMENTATION_FACTOR)
+            pages = max(1, (effective + PAGE_SIZE - 1) // PAGE_SIZE)
+            if pages > self._budget_pages:
+                raise PagingError(
+                    f"allocation of {pages} pages exceeds the whole EPC budget "
+                    f"of {self._budget_pages} pages"
+                )
+            self._accountant.charge_alloc(pooled=self._use_pool)
+            if self._use_pool and self._pool_pages_free >= pages:
+                # Freelist hit: pages are already resident, no paging pressure.
+                self._pool_pages_free -= pages
             else:
-                pages_needed = pages
-            self._make_room(pages_needed)
-            self._resident_pages += pages_needed
-        handle = self._next_handle
-        self._next_handle += 1
-        self._allocs[handle] = _Allocation(handle, pages, resident=True)
-        return handle
+                if self._use_pool:
+                    pages_needed = pages - self._pool_pages_free
+                    self._pool_pages_free = 0
+                else:
+                    pages_needed = pages
+                self._make_room(pages_needed)
+                self._resident_pages += pages_needed
+            handle = self._next_handle
+            self._next_handle += 1
+            self._allocs[handle] = _Allocation(handle, pages, resident=True)
+            return handle
 
     def free(self, handle: int) -> None:
         """Release an allocation (pooled pages go back to the freelist)."""
-        alloc = self._allocs.pop(handle, None)
-        if alloc is None:
-            raise PagingError(f"unknown allocation handle {handle}")
-        self._resident_bytes.pop(handle, None)
-        self._evicted_bytes.pop(handle, None)
-        if not alloc.resident:
-            return  # evicted allocations hold no EPC frames
-        if self._use_pool:
-            self._pool_pages_free += alloc.pages
-        else:
-            self._resident_pages -= alloc.pages
+        with self._lock:
+            alloc = self._allocs.pop(handle, None)
+            if alloc is None:
+                raise PagingError(f"unknown allocation handle {handle}")
+            self._resident_bytes.pop(handle, None)
+            self._evicted_bytes.pop(handle, None)
+            if not alloc.resident:
+                return  # evicted allocations hold no EPC frames
+            if self._use_pool:
+                self._pool_pages_free += alloc.pages
+            else:
+                self._resident_pages -= alloc.pages
 
     def touch(self, handle: int) -> None:
         """Access an allocation; pages it back in if it was evicted."""
-        alloc = self._allocs.get(handle)
-        if alloc is None:
-            raise PagingError(f"unknown allocation handle {handle}")
-        self._allocs.move_to_end(handle)
-        if not alloc.resident:
-            self._make_room(alloc.pages)
-            self._accountant.charge_page_swaps(alloc.pages)  # page-in decrypt
-            get_tracer().instant("epc.page_swap", pages=alloc.pages,
-                                 direction="in")
-            self._resident_pages += alloc.pages
-            alloc.resident = True
-            blob = self._evicted_bytes.pop(handle, None)
-            if blob is not None:
-                self._resident_bytes[handle] = self._swap_open(handle, blob)
+        with self._lock:
+            alloc = self._allocs.get(handle)
+            if alloc is None:
+                raise PagingError(f"unknown allocation handle {handle}")
+            self._allocs.move_to_end(handle)
+            if not alloc.resident:
+                self._make_room(alloc.pages)
+                self._accountant.charge_page_swaps(alloc.pages)  # page-in decrypt
+                get_tracer().instant("epc.page_swap", pages=alloc.pages,
+                                     direction="in")
+                self._resident_pages += alloc.pages
+                alloc.resident = True
+                blob = self._evicted_bytes.pop(handle, None)
+                if blob is not None:
+                    self._resident_bytes[handle] = self._swap_open(handle, blob)
 
     # -- page content -------------------------------------------------------
 
     def store_bytes(self, handle: int, data: bytes) -> None:
         """Attach content to an allocation (pages it in if needed)."""
-        self.touch(handle)
-        self._resident_bytes[handle] = bytes(data)
+        with self._lock:
+            self.touch(handle)
+            self._resident_bytes[handle] = bytes(data)
 
     def read_bytes(self, handle: int) -> bytes:
         """Read an allocation's content back (pages it in if needed)."""
-        self.touch(handle)
-        return self._resident_bytes.get(handle, b"")
+        with self._lock:
+            self.touch(handle)
+            return self._resident_bytes.get(handle, b"")
 
     def evicted_blob(self, handle: int) -> bytes | None:
         """The untrusted-memory copy of an evicted allocation's content
         (always ciphertext), or None while the allocation is resident."""
-        if handle not in self._allocs:
-            raise PagingError(f"unknown allocation handle {handle}")
-        return self._evicted_bytes.get(handle)
+        with self._lock:
+            if handle not in self._allocs:
+                raise PagingError(f"unknown allocation handle {handle}")
+            return self._evicted_bytes.get(handle)
 
     def evicted_blobs(self) -> dict[int, bytes]:
         """All untrusted-memory page copies, by handle — the complete
         attacker-visible view of swapped-out enclave memory.  The
         simulator's confidentiality invariant byte-scans these."""
-        return dict(self._evicted_bytes)
+        with self._lock:
+            return dict(self._evicted_bytes)
 
     def _swap_seal(self, handle: int, plaintext: bytes) -> bytes:
         from repro.crypto.gcm import AesGcm, deterministic_nonce

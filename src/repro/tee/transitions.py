@@ -18,6 +18,7 @@ Constants follow the sources the paper cites:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -55,7 +56,12 @@ DEFAULT_COST_MODEL = CostModel()
 
 @dataclass
 class CycleAccountant:
-    """Accumulates modeled hardware cycles and event counters."""
+    """Accumulates modeled hardware cycles and event counters.
+
+    Shared by every enclave on a platform, and — since the parallel block
+    executor drives ecalls from pool threads — charged concurrently, so
+    the read-modify-write updates are serialized under a lock.
+    """
 
     model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
     cycles: float = 0.0
@@ -64,29 +70,37 @@ class CycleAccountant:
     bytes_copied: int = 0
     pages_swapped: int = 0
     allocations: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def charge_ecall(self) -> None:
-        self.ecalls += 1
-        self.cycles += self.model.ecall_cycles
+        with self._lock:
+            self.ecalls += 1
+            self.cycles += self.model.ecall_cycles
 
     def charge_ocall(self) -> None:
-        self.ocalls += 1
-        self.cycles += self.model.ocall_cycles
+        with self._lock:
+            self.ocalls += 1
+            self.cycles += self.model.ocall_cycles
 
     def charge_copy(self, num_bytes: int) -> None:
-        self.bytes_copied += num_bytes
-        self.cycles += num_bytes * self.model.copy_cycles_per_byte
+        with self._lock:
+            self.bytes_copied += num_bytes
+            self.cycles += num_bytes * self.model.copy_cycles_per_byte
 
     def charge_page_swaps(self, pages: int) -> None:
-        self.pages_swapped += pages
-        self.cycles += pages * self.model.page_swap_cycles
+        with self._lock:
+            self.pages_swapped += pages
+            self.cycles += pages * self.model.page_swap_cycles
 
     def charge_alloc(self, pooled: bool) -> None:
-        self.allocations += 1
-        if pooled:
-            self.cycles += self.model.pool_malloc_cycles
-        else:
-            self.cycles += self.model.malloc_cycles
+        with self._lock:
+            self.allocations += 1
+            if pooled:
+                self.cycles += self.model.pool_malloc_cycles
+            else:
+                self.cycles += self.model.malloc_cycles
 
     @property
     def seconds(self) -> float:

@@ -12,6 +12,7 @@ memory, which is EPC-constrained.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -35,28 +36,40 @@ class CodeCache:
         self.fuse = fuse
         self.stats = CacheStats()
         self._entries: OrderedDict[bytes, Module] = OrderedDict()
+        # The parallel block executor prepares modules from several
+        # worker threads at once; the LRU reorder + insert + evict
+        # sequence must be atomic or the OrderedDict corrupts.
+        self._lock = threading.Lock()
 
     def prepare(self, blob: bytes) -> Module:
         """Return a ready-to-execute module for the code blob."""
         key = sha256(blob)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return cached
-        self.stats.misses += 1
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self.stats.misses += 1
+        # Decode/validate/fuse outside the lock: it is pure and by far
+        # the expensive part; a racing double-prepare just wastes one
+        # preparation, it cannot corrupt the cache.
         module = prepare_module(blob, fuse=self.fuse)
-        self._entries[key] = module
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = module
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
         return module
 
     def invalidate(self, blob_hash: bytes) -> None:
-        self._entries.pop(blob_hash, None)
+        with self._lock:
+            self._entries.pop(blob_hash, None)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -165,18 +165,24 @@ class TestMempool:
         batch = pool.pop_batch(max_bytes=one_size * 3 + 1)
         assert len(batch) == 3
 
-    def test_first_tx_always_fits(self):
+    def test_oversized_tx_is_dropped_not_admitted(self):
+        # A tx that can never fit the block budget must neither be
+        # admitted over budget nor left clogging the queue head.
         pool = TxPool()
         pool.add(make_tx(1))
         batch = pool.pop_batch(max_bytes=1)  # smaller than any tx
-        assert len(batch) == 1  # blocks must not stall on a large tx
+        assert batch == []
+        assert pool.dropped_oversized == 1
+        assert len(pool) == 0  # dropped, not stuck at the head
 
     def test_capacity(self):
         pool = TxPool(capacity=2)
-        pool.add(make_tx(1))
-        pool.add(make_tx(2))
-        with pytest.raises(ChainError):
-            pool.add(make_tx(3))
+        assert pool.add(make_tx(1))
+        assert pool.add(make_tx(2))
+        # A full pool is backpressure on the ingest hot path, not an
+        # error: add() reports the drop and counts it.
+        assert pool.add(make_tx(3)) is False
+        assert pool.rejected_full == 1
 
     def test_remove_and_contains(self):
         pool = TxPool()

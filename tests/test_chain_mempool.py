@@ -1,0 +1,99 @@
+"""Mempool hot-path regressions: drop policies, cached encoding, and
+thread safety of the pool under the §5.2 pre-verification worker pool.
+
+The oversized-drop and full-pool-backpressure behaviours are pinned in
+``test_chain_blocks.py``; this module pins the remaining hot-path fixes.
+"""
+
+import threading
+
+from repro.chain.mempool import TxPool
+from repro.chain.transaction import RawTransaction, Transaction, address_of
+from repro.crypto.keys import KeyPair
+
+
+def make_tx(i: int, seed: bytes = b"mempool-user") -> Transaction:
+    keypair = KeyPair.from_seed(seed)
+    raw = RawTransaction(
+        sender=address_of(keypair.public_bytes()),
+        contract=b"\x02" * 20, method="m", args=i.to_bytes(4, "big"), nonce=i,
+    ).signed_by(keypair)
+    return Transaction.public(raw)
+
+
+class TestWireSizeCaching:
+    def test_encode_is_cached(self):
+        # Regression: block drafting sizes the pool head on every pass;
+        # encode() used to re-serialize each time.  The encoding is
+        # immutable, so the exact same object must come back.
+        tx = make_tx(1)
+        assert tx.encode() is tx.encode()
+
+    def test_wire_size_matches_encoding(self):
+        tx = make_tx(2)
+        assert tx.wire_size == len(tx.encode())
+
+    def test_tx_hash_is_cached(self):
+        tx = make_tx(3)
+        assert tx.tx_hash is tx.tx_hash
+
+    def test_pop_batch_budget_uses_wire_size(self):
+        pool = TxPool()
+        txs = [make_tx(i) for i in range(4)]
+        for tx in txs:
+            pool.add(tx)
+        budget = sum(tx.wire_size for tx in txs[:2])
+        batch = pool.pop_batch(max_bytes=budget)
+        assert batch == txs[:2]
+
+
+class TestPoolThreadSafety:
+    def test_concurrent_add_and_pop(self):
+        # The §5.2 worker pool feeds the verified pool while the
+        # proposer drafts from it; adds must never be lost or doubled.
+        pool = TxPool()
+        num_threads, per_thread = 8, 50
+        popped: list[Transaction] = []
+        popped_lock = threading.Lock()
+        start = threading.Barrier(num_threads + 1)
+
+        def producer(worker: int):
+            start.wait()
+            for i in range(per_thread):
+                pool.add(make_tx(i, seed=b"w%d" % worker))
+
+        def consumer():
+            start.wait()
+            for _ in range(200):
+                batch = pool.pop_batch(max_count=7)
+                with popped_lock:
+                    popped.extend(batch)
+
+        threads = [threading.Thread(target=producer, args=(w,))
+                   for w in range(num_threads)]
+        threads.append(threading.Thread(target=consumer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        popped.extend(pool.pop_batch())
+        assert len(popped) == num_threads * per_thread
+        assert len({tx.tx_hash for tx in popped}) == len(popped)
+        assert len(pool) == 0
+
+    def test_concurrent_adds_respect_capacity(self):
+        pool = TxPool(capacity=25)
+        txs = [make_tx(i, seed=b"cap") for i in range(100)]
+
+        def adder(chunk):
+            for tx in chunk:
+                pool.add(tx)
+
+        threads = [threading.Thread(target=adder, args=(txs[i::4],))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(pool) == 25
+        assert pool.rejected_full == 75

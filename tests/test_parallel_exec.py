@@ -1,0 +1,276 @@
+"""Parallel block execution: deterministic equivalence with serial.
+
+The determinism contract (docs/parallelism.md): with ``exec_workers >
+1`` a node must produce **byte-identical** state roots and receipt
+blobs for every block, regardless of thread timing — ``apply_block``'s
+bit-identical header check is the enforcement point, so a two-node
+consortium where only the replica runs parallel doubles as the
+equivalence harness.
+"""
+
+import threading
+
+import pytest
+
+from repro.chain.node import build_consortium
+from repro.chain.scheduler import build_waves
+from repro.core.preprocessor import TxProfile
+from repro.core.receipts import KIND_REVERT
+from repro.core.stats import OperationStats
+from repro.lang import compile_source
+from repro.vm.wasm.code_cache import CodeCache
+from repro.workloads.clients import Client
+from repro.workloads.coldchain import (
+    COLDCHAIN_CONTRACT,
+    COLDCHAIN_SCHEMA_SOURCE,
+    encode_reading,
+    encode_register,
+)
+from repro.workloads.synthetic import synthetic_workloads
+
+# Every call read-modify-writes the same storage cell: wave-mates from
+# different senders are guaranteed to collide on state, forcing the
+# OCC validation + re-execution path.
+_COUNTER_SOURCE = """
+fn bump() {
+    let cell = alloc(8);
+    let v = 0;
+    if (storage_get("cnt", 3, cell, 8) == 8) { v = load64(cell); }
+    store64(cell, v + 1);
+    storage_set("cnt", 3, cell, 8);
+    output(cell, 8);
+}
+"""
+
+# Reverts with a message that *looks like* a static-analysis rejection;
+# only the structured receipt kind may distinguish the two.
+_TRAP_SOURCE = """
+fn trap() {
+    abort("analysis: user-chosen revert message", 34);
+}
+"""
+
+
+def _apply_round(leader, replica, txs):
+    """Leader executes serially, replica parallel; apply_block raises on
+    any state/receipt divergence.  Returns the replica's report."""
+    for node in (leader, replica):
+        for tx in txs:
+            assert node.receive_transaction(tx)
+        node.preverify_pending()
+    batch = leader.draft_block(max_bytes=1 << 22, max_txs=len(txs))
+    assert len(batch) == len(txs)
+    applied = leader.apply_transactions(batch)
+    for tx in batch:
+        replica.verified.remove(tx.tx_hash)
+    applied_replica = replica.apply_block(applied.block)
+    height = leader.height
+    assert (leader.receipt_blobs_at(height)
+            == replica.receipt_blobs_at(height))
+    assert leader.state_root() == replica.state_root()
+    return applied_replica.report
+
+
+def _deploy(leader, replica, client, artifact, schema=""):
+    tx, address = client.confidential_deploy(leader.pk_tx, artifact, schema)
+    report = _apply_round(leader, replica, [tx])
+    assert report.outcomes[0].receipt.success
+    return address
+
+
+@pytest.fixture()
+def pair():
+    nodes, _ = build_consortium(2)
+    leader, replica = nodes
+    replica.executor.workers = 4
+    yield leader, replica
+    for node in nodes:
+        node.close()
+
+
+class TestDeterministicEquivalence:
+    @pytest.mark.parametrize("seed", [b"eq-a", b"eq-b", b"eq-c"])
+    def test_disjoint_senders_identical_roots(self, pair, seed):
+        leader, replica = pair
+        workload = synthetic_workloads()["crypto-hash"]
+        artifact = compile_source(workload.source, "wasm")
+        operator = Client.from_seed(seed + b"-op")
+        contract = _deploy(leader, replica, operator, artifact,
+                           workload.schema_source)
+        clients = [Client.from_seed(seed + b"-%d" % i) for i in range(4)]
+        txs = [
+            clients[i % 4].confidential_call(
+                leader.pk_tx, contract, workload.method, workload.make_input(i)
+            )
+            for i in range(12)
+        ]
+        report = _apply_round(leader, replica, txs)
+        assert report.workers == 4
+        assert report.waves >= 1
+        assert all(o.receipt.success for o in report.outcomes)
+
+    def test_state_conflicts_are_repaired(self, pair):
+        leader, replica = pair
+        artifact = compile_source(_COUNTER_SOURCE, "wasm")
+        operator = Client.from_seed(b"conflict-op")
+        contract = _deploy(leader, replica, operator, artifact)
+        clients = [Client.from_seed(b"conflict-%d" % i) for i in range(6)]
+        txs = [
+            client.confidential_call(leader.pk_tx, contract, "bump", b"")
+            for client in clients
+        ]
+        report = _apply_round(leader, replica, txs)
+        # Six different senders, one shared counter: they share a wave
+        # (sender-disjoint domains) and collide on state, so validation
+        # must discard speculations and re-execute.
+        assert report.reexecutions > 0
+        assert report.conflict_aborts == report.reexecutions
+        assert all(o.receipt.success for o in report.outcomes)
+        # The counter saw every increment exactly once, in order.
+        final = report.outcomes[-1].receipt
+        assert final.success
+
+    def test_coldchain_workload_identical_roots(self, pair):
+        leader, replica = pair
+        artifact = compile_source(COLDCHAIN_CONTRACT, "wasm")
+        operator = Client.from_seed(b"coldchain-op")
+        contract = _deploy(leader, replica, operator, artifact,
+                           COLDCHAIN_SCHEMA_SOURCE)
+        shipments = [b"SHIP%04d" % i for i in range(3)]
+        registers = [
+            operator.confidential_call(
+                leader.pk_tx, contract, "register",
+                encode_register(sid, 20, 80),
+            )
+            for sid in shipments
+        ]
+        report = _apply_round(leader, replica, registers)
+        assert all(o.receipt.success for o in report.outcomes)
+        sensors = [Client.from_seed(b"sensor-%d" % i) for i in range(4)]
+        readings = [
+            sensors[i % 4].confidential_call(
+                leader.pk_tx, contract, "record",
+                encode_reading(shipments[i % 3], 20 + (i * 7) % 40,
+                               b"S%d" % (i % 3)),
+            )
+            for i in range(12)
+        ]
+        report = _apply_round(leader, replica, readings)
+        # Sensors share shipments: wave-mates collide on the per-shipment
+        # counter/history keys and must be repaired by re-execution.
+        assert report.reexecutions > 0
+        assert all(o.receipt.success for o in report.outcomes)
+
+    def test_same_sender_serializes_via_waves(self, pair):
+        leader, replica = pair
+        workload = synthetic_workloads()["crypto-hash"]
+        artifact = compile_source(workload.source, "wasm")
+        client = Client.from_seed(b"one-sender")
+        contract = _deploy(leader, replica, client, artifact,
+                           workload.schema_source)
+        txs = [
+            client.confidential_call(
+                leader.pk_tx, contract, workload.method, workload.make_input(i)
+            )
+            for i in range(5)
+        ]
+        report = _apply_round(leader, replica, txs)
+        # One sender => nonce dependencies => one singleton wave per tx.
+        assert report.waves == 5
+        assert all(o.receipt.success for o in report.outcomes)
+
+
+class TestScheduler:
+    def _profile(self, sender, deploy=False):
+        return TxProfile(sender=sender, contract=b"\x09" * 20,
+                         is_deploy=deploy, is_upgrade=False)
+
+    def test_disjoint_senders_share_wave(self):
+        waves = build_waves([self._profile(b"a" * 20), self._profile(b"b" * 20)])
+        assert len(waves) == 1 and waves[0].indices == (0, 1)
+
+    def test_same_sender_splits_waves(self):
+        waves = build_waves([self._profile(b"a" * 20)] * 3)
+        assert [w.indices for w in waves] == [(0,), (1,), (2,)]
+
+    def test_deploy_is_barrier(self):
+        waves = build_waves([
+            self._profile(b"a" * 20),
+            self._profile(b"b" * 20, deploy=True),
+            self._profile(b"c" * 20),
+        ])
+        assert [w.barrier for w in waves] == [False, True, False]
+
+    def test_unknown_profile_is_barrier(self):
+        waves = build_waves([self._profile(b"a" * 20), None])
+        assert waves[1].barrier and waves[1].indices == (1,)
+
+
+class TestReceiptKindRegression:
+    def test_user_revert_is_not_an_analysis_rejection(self, pair):
+        # Regression: the executor used to classify receipts with
+        # receipt.error.startswith("analysis:") — a contract that aborts
+        # with that very prefix must still count as a plain revert.
+        leader, replica = pair
+        artifact = compile_source(_TRAP_SOURCE, "wasm")
+        operator = Client.from_seed(b"trap-op")
+        contract = _deploy(leader, replica, operator, artifact)
+        tx = operator.confidential_call(leader.pk_tx, contract, "trap", b"")
+        for node in (leader, replica):
+            node.receive_transaction(tx)
+            node.preverify_pending()
+        batch = leader.draft_block(max_bytes=1 << 22)
+        applied = leader.apply_transactions(batch)
+        receipt = applied.report.outcomes[0].receipt
+        assert not receipt.success
+        assert receipt.error.startswith("analysis:")  # the bait
+        assert receipt.kind == KIND_REVERT
+        assert applied.report.analysis_rejections == 0
+
+
+class TestThreadSafety:
+    def test_code_cache_hammer(self):
+        workloads = synthetic_workloads()
+        blobs = [
+            compile_source(workloads[name].source, "wasm").code
+            for name in ("crypto-hash", "string-concat", "json-parsing")
+        ]
+        cache = CodeCache(capacity=8)
+        errors = []
+
+        def worker():
+            try:
+                for i in range(30):
+                    blob = blobs[i % len(blobs)]
+                    module = cache.prepare(blob)
+                    assert module is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) == len(blobs)
+        total = 8 * 30
+        assert cache.stats.hits + cache.stats.misses == total
+        # Each distinct blob missed at least once; racing double-prepares
+        # are allowed, lost lookups are not.
+        assert len(blobs) <= cache.stats.misses < total
+
+    def test_operation_stats_hammer(self):
+        stats = OperationStats()
+
+        def worker():
+            for _ in range(500):
+                stats.record("op", 0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.count("op") == 8 * 500
+        assert stats.duration_ms("op") == pytest.approx(8 * 500 * 1.0)
