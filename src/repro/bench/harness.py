@@ -318,3 +318,116 @@ def run_parallel_bench(
         with open(out_path, "w", encoding="utf-8") as fh:
             json.dump(result, fh, indent=2, sort_keys=True)
     return result
+
+
+def run_storage_bench(
+    backends: tuple[str, ...] = ("memory", "appendlog", "lsm"),
+    num_blocks: int = 8,
+    txs_per_block: int = 4,
+    workload_name: str = "string-concat",
+    sync: bool = False,
+    out_path: str | None = None,
+) -> dict:
+    """Block-commit latency across storage backends (docs/storage.md).
+
+    For each backend a one-node chain commits ``num_blocks`` blocks of a
+    state-writing workload; the per-block storage write time and the
+    whole-block latency are recorded.  Persistent backends then prove
+    durability: the node is closed, the store reopened from disk, and
+    the restored chain must reach the same head and byte-identical state
+    root — the restart path's recovery time is the "reopen" figure.
+    """
+    import statistics
+    import tempfile
+
+    from repro.chain.node import Node, build_consortium, make_store
+    from repro.workloads.synthetic import synthetic_workloads
+
+    workload = synthetic_workloads()[workload_name]
+    artifact = compile_source(workload.source, "wasm")
+    result: dict = {
+        "workload": workload_name,
+        "num_blocks": num_blocks,
+        "txs_per_block": txs_per_block,
+        "sync": sync,
+        "backends": {},
+    }
+    for backend in backends:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as root:
+            data_dir = os.path.join(root, "node-0")
+            config = EngineConfig(storage_backend=backend, storage_sync=sync)
+            nodes, _ = build_consortium(1, config=config, data_dirs=[data_dir])
+            node = nodes[0]
+            client = Client.from_seed(b"storage-bench")
+            deploy_tx, contract = client.confidential_deploy(
+                node.pk_tx, artifact, workload.schema_source
+            )
+            node.receive_transaction(deploy_tx)
+            node.preverify_pending()
+            node.apply_transactions(node.draft_block(max_bytes=1 << 22))
+
+            write_seconds: list[float] = []
+            block_seconds: list[float] = []
+            index = 0
+            for _ in range(num_blocks):
+                for _ in range(txs_per_block):
+                    node.receive_transaction(client.confidential_call(
+                        node.pk_tx, contract, workload.method,
+                        workload.make_input(index),
+                    ))
+                    index += 1
+                node.preverify_pending()
+                batch = node.draft_block(max_bytes=1 << 22)
+                started = time.perf_counter()
+                applied = node.apply_transactions(batch)
+                block_seconds.append(time.perf_counter() - started)
+                write_seconds.append(applied.write_seconds)
+            head_hash = node.head_hash
+            state_root = node.state_root()
+            height = node.height
+            platform = node.confidential.platform
+            entry: dict = {
+                "block_commit_ms": {
+                    "mean": statistics.mean(block_seconds) * 1000,
+                    "p50": statistics.median(block_seconds) * 1000,
+                    "max": max(block_seconds) * 1000,
+                },
+                "storage_write_ms": {
+                    "mean": statistics.mean(write_seconds) * 1000,
+                    "p50": statistics.median(write_seconds) * 1000,
+                    "max": max(write_seconds) * 1000,
+                },
+            }
+            stats = getattr(node.kv, "stats_snapshot", None)
+            if stats is not None:
+                snap = stats()
+                entry["lsm"] = {
+                    key: snap[key]
+                    for key in (
+                        "wal_bytes_written", "flushes", "compactions",
+                        "segments_live", "manifest_epoch", "cache_hit_rate",
+                    )
+                }
+            node.close()
+            if backend != "memory":
+                started = time.perf_counter()
+                kv = make_store(config, data_dir, platform)
+                reopened = Node(
+                    0, kv=kv, config=config, platform=platform
+                )
+                restored = reopened.restore_chain_from_storage()
+                reopen_s = time.perf_counter() - started
+                if (restored != height or reopened.head_hash != head_hash
+                        or reopened.state_root() != state_root):
+                    raise ReproError(
+                        f"{backend}: reopened chain diverges from the one "
+                        "committed before close"
+                    )
+                entry["reopen_ms"] = reopen_s * 1000
+                entry["reopen_restored_blocks"] = restored
+                reopened.close()
+            result["backends"][backend] = entry
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+    return result

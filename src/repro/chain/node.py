@@ -13,6 +13,7 @@ centralized KMS optionally).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -38,7 +39,8 @@ from repro.crypto.ecc import Point, decode_point
 from repro.errors import ChainError
 from repro.obs.trace import get_tracer
 from repro.storage import rlp
-from repro.storage.kv import KVStore, MemoryKV
+from repro.storage.kv import AppendLogKV, KVStore, MemoryKV
+from repro.storage.lsm import LsmKV, PlatformFreshness, StorageSealer
 from repro.storage.merkle import state_root as compute_state_root
 from repro.tee.attestation import AttestationService
 
@@ -52,10 +54,42 @@ CONSENSUS_PREFIXES = (b"s:", b"c:", b"n:")
 
 _BLOCK_DATA_PREFIX = b"blkdata:"
 _RECEIPTS_DATA_PREFIX = b"rcptdata:"
+_SNAPSHOT_KEY = b"snap:latest"  # node-local; outside CONSENSUS_PREFIXES
 
 
 def _height_key(prefix: bytes, height: int) -> bytes:
     return prefix + height.to_bytes(8, "big")
+
+
+def make_store(config: EngineConfig, directory: str, platform=None) -> KVStore:
+    """Build the KV store ``config.storage_backend`` names.
+
+    Persistent backends live under ``directory``.  A sealed LSM store
+    needs the node's platform: the seal key and the freshness counter
+    are both anchored there (docs/storage.md).
+    """
+    backend = config.storage_backend
+    if backend == "memory":
+        return MemoryKV()
+    os.makedirs(directory, exist_ok=True)
+    if backend == "appendlog":
+        return AppendLogKV(
+            os.path.join(directory, "chain.log"), sync=config.storage_sync
+        )
+    if backend == "lsm":
+        sealer = freshness = None
+        if config.storage_sealed:
+            if platform is None:
+                raise ChainError(
+                    "a sealed LSM store needs the node's platform"
+                )
+            sealer = StorageSealer.from_platform(platform)
+            freshness = PlatformFreshness(platform)
+        return LsmKV(
+            directory, sealer=sealer, freshness=freshness,
+            sync=config.storage_sync,
+        )
+    raise ChainError(f"unknown storage backend '{backend}'")
 
 
 def consensus_state(kv: KVStore) -> dict[bytes, bytes]:
@@ -75,6 +109,16 @@ class AppliedBlock:
     write_seconds: float
 
 
+@dataclass(frozen=True)
+class Snapshot:
+    """A persisted checkpoint of the replicated state (state-sync source)."""
+
+    height: int
+    head_hash: bytes
+    state_root: bytes
+    items: dict[bytes, bytes]
+
+
 class Node:
     """One consortium node."""
 
@@ -86,10 +130,22 @@ class Node:
         config: EngineConfig = DEFAULT_CONFIG,
         lanes: int = 1,
         platform=None,
+        data_dir: str | None = None,
     ):
         self.node_id = node_id
         self.zone = zone
+        if kv is None and data_dir is not None:
+            if (config.storage_backend == "lsm" and config.storage_sealed
+                    and platform is None):
+                # The store seals to the platform, so the platform must
+                # exist before the store — and the engine must then run
+                # on that same platform.
+                from repro.tee.enclave import Platform
+
+                platform = Platform()
+            kv = make_store(config, data_dir, platform)
         self.kv = kv if kv is not None else MemoryKV()
+        self.data_dir = data_dir
         self.config = config
         # A restarted node passes the original Platform back in: SGX
         # sealing keys are machine-bound, so key recovery only works on
@@ -179,10 +235,15 @@ class Node:
                 moved += 1
         return moved
 
-    def close(self) -> None:
-        """Shut down the node's worker pools."""
+    def close(self, close_kv: bool = True) -> None:
+        """Shut down the node's worker pools and (by default) cleanly
+        close the underlying KV store, releasing its file handles."""
         self.preverify_pool.close()
         self.executor.close()
+        if close_kv:
+            closer = getattr(self.kv, "close", None)
+            if closer is not None:
+                closer()
 
     # -- block lifecycle --------------------------------------------------------
 
@@ -210,52 +271,63 @@ class Node:
         `proposer` is the consensus leader's id — part of the replicated
         header, identical on every node.
         """
-        with get_tracer().span("chain.block_execute",
-                               num_txs=len(transactions),
-                               height=self.height + 1):
-            exec_started = time.perf_counter()
-            report = self.executor.execute_block(transactions)
-            exec_seconds = time.perf_counter() - exec_started
+        # Everything the block writes — every per-key state commit the
+        # engines make during execution, plus the header/body/receipt
+        # records below — lands in ONE atomic storage commit, so crash
+        # recovery can only ever observe whole blocks.
+        with self.kv.block_batch():
+            with get_tracer().span("chain.block_execute",
+                                   num_txs=len(transactions),
+                                   height=self.height + 1):
+                exec_started = time.perf_counter()
+                report = self.executor.execute_block(transactions)
+                exec_seconds = time.perf_counter() - exec_started
 
-        receipt_blobs = []
-        for tx, outcome in zip(transactions, report.outcomes):
-            blob = (
-                outcome.sealed_receipt
-                if outcome.sealed_receipt is not None
-                else outcome.receipt.encode()
+            receipt_blobs = []
+            for tx, outcome in zip(transactions, report.outcomes):
+                blob = (
+                    outcome.sealed_receipt
+                    if outcome.sealed_receipt is not None
+                    else outcome.receipt.encode()
+                )
+                receipt_blobs.append(blob)
+                self.receipts[tx.tx_hash] = blob
+
+            state_root = compute_state_root(consensus_state(self.kv))
+            header = BlockHeader(
+                height=self.height + 1,
+                prev_hash=self.head_hash,
+                tx_root=tx_merkle_root(transactions),
+                state_root=state_root,
+                receipts_root=receipts_merkle_root(receipt_blobs),
+                proposer=proposer.to_bytes(8, "big"),
+                timestamp=self.height + 1,
             )
-            receipt_blobs.append(blob)
-            self.receipts[tx.tx_hash] = blob
+            block = Block(header, list(transactions))
 
-        state_root = compute_state_root(consensus_state(self.kv))
-        header = BlockHeader(
-            height=self.height + 1,
-            prev_hash=self.head_hash,
-            tx_root=tx_merkle_root(transactions),
-            state_root=state_root,
-            receipts_root=receipts_merkle_root(receipt_blobs),
-            proposer=proposer.to_bytes(8, "big"),
-            timestamp=self.height + 1,
-        )
-        block = Block(header, list(transactions))
-
-        write_started = time.perf_counter()
-        # Persist the header (hash-indexed) plus the full block body and
-        # its receipt blobs (height-indexed) so a restarted node can
-        # recover its chain position from storage alone.  Bodies hold
-        # sealed envelopes and sealed receipts — never plaintext.
-        self.kv.write_batch(
-            {
-                b"blk:" + header.block_hash: header.encode(),
-                _height_key(_BLOCK_DATA_PREFIX, header.height): block.encode(),
-                _height_key(_RECEIPTS_DATA_PREFIX, header.height):
-                    rlp.encode(receipt_blobs),
-            }
-        )
-        write_seconds = time.perf_counter() - write_started
+            write_started = time.perf_counter()
+            # Persist the header (hash-indexed) plus the full block body
+            # and its receipt blobs (height-indexed) so a restarted node
+            # can recover its chain position from storage alone.  Bodies
+            # hold sealed envelopes and sealed receipts — never plaintext.
+            self.kv.write_batch(
+                {
+                    b"blk:" + header.block_hash: header.encode(),
+                    _height_key(_BLOCK_DATA_PREFIX, header.height): block.encode(),
+                    _height_key(_RECEIPTS_DATA_PREFIX, header.height):
+                        rlp.encode(receipt_blobs),
+                }
+            )
+            write_seconds = time.perf_counter() - write_started
 
         self.chain.append(block)
         self._receipt_blobs_by_height[header.height] = receipt_blobs
+        noter = getattr(self.kv, "note_state_root", None)
+        if noter is not None:
+            noter(state_root)
+        if (self.config.snapshot_every
+                and header.height % self.config.snapshot_every == 0):
+            self.write_snapshot()
         return AppliedBlock(block, report, exec_seconds, write_seconds)
 
     def verify_block(self, block: Block) -> None:
@@ -308,6 +380,100 @@ class Node:
     def state_root(self) -> bytes:
         """Commitment over the replicated portion of this node's store."""
         return compute_state_root(consensus_state(self.kv))
+
+    # -- snapshots and fast bootstrap ---------------------------------------
+
+    def write_snapshot(self) -> int:
+        """Persist a checkpoint of the replicated state at the current
+        height (the state-sync source; also written automatically every
+        ``config.snapshot_every`` blocks).  Values inside are the sealed
+        envelopes already in the store, so the snapshot leaks nothing the
+        store itself does not.  Returns the snapshot height.
+        """
+        items = sorted(consensus_state(self.kv).items())
+        blob = rlp.encode([
+            rlp.encode_int(self.height),
+            self.head_hash,
+            self.state_root(),
+            [[key, value] for key, value in items],
+        ])
+        self.kv.put(_SNAPSHOT_KEY, blob)
+        return self.height
+
+    def latest_snapshot(self) -> "Snapshot | None":
+        blob = self.kv.get(_SNAPSHOT_KEY)
+        if blob is None:
+            return None
+        fields = rlp.decode(blob)
+        if not isinstance(fields, list) or len(fields) != 4:
+            raise ChainError("malformed snapshot record")
+        return Snapshot(
+            height=rlp.decode_int(fields[0]),
+            head_hash=fields[1],
+            state_root=fields[2],
+            items={entry[0]: entry[1] for entry in fields[3]},
+        )
+
+    def state_sync_from(self, peer: "Node") -> int:
+        """Fast bootstrap: install the peer's latest snapshot instead of
+        re-executing its whole history, then replay only the tail.
+
+        Blocks up to the snapshot height are adopted without execution —
+        but never without verification: linkage and tx commitments are
+        checked per block, and the installed state must recompute to the
+        snapshot's (and head header's) state root before anything past it
+        is applied.  Blocks after the snapshot replay through the normal
+        verified :meth:`apply_block` path.  Returns blocks adopted+applied.
+        """
+        if self.chain:
+            raise ChainError("state_sync_from needs a fresh node")
+        snapshot = peer.latest_snapshot()
+        if snapshot is None:
+            return self.sync_from(peer)
+        with self.kv.block_batch():
+            for key, value in sorted(snapshot.items.items()):
+                self.kv.put(key, value)
+            if compute_state_root(consensus_state(self.kv)) != snapshot.state_root:
+                raise ChainError(
+                    "state-sync snapshot does not recompute to its state root"
+                )
+            prev_hash = GENESIS_HASH
+            for height in range(1, snapshot.height + 1):
+                block = peer.chain[height - 1]
+                header = block.header
+                if header.height != height or header.prev_hash != prev_hash:
+                    raise ChainError("state-sync peer chain linkage broken")
+                if not block.verify_tx_root():
+                    raise ChainError(
+                        f"state-sync block {height} transaction root mismatch"
+                    )
+                receipt_blobs = peer.receipt_blobs_at(height)
+                self.kv.write_batch({
+                    b"blk:" + header.block_hash: header.encode(),
+                    _height_key(_BLOCK_DATA_PREFIX, height): block.encode(),
+                    _height_key(_RECEIPTS_DATA_PREFIX, height):
+                        rlp.encode(receipt_blobs),
+                })
+                prev_hash = block.block_hash
+                self.chain.append(block)
+                self._receipt_blobs_by_height[height] = receipt_blobs
+                for tx, blob in zip(block.transactions, receipt_blobs):
+                    self.receipts[tx.tx_hash] = blob
+            if self.chain and (
+                self.chain[-1].header.state_root != snapshot.state_root
+                or self.chain[-1].block_hash != snapshot.head_hash
+            ):
+                raise ChainError(
+                    "state-sync snapshot disagrees with the peer chain head"
+                )
+        noter = getattr(self.kv, "note_state_root", None)
+        if noter is not None:
+            noter(snapshot.state_root)
+        tail = 0
+        while self.height < peer.height:
+            self.apply_block(peer.chain[self.height])
+            tail += 1
+        return snapshot.height + tail
 
     def restore_chain_from_storage(self) -> int:
         """Recover the chain after a restart by loading persisted blocks.
@@ -428,13 +594,18 @@ def build_consortium(
     config: EngineConfig = DEFAULT_CONFIG,
     lanes: int = 1,
     key_mode: str = "decentralized",
+    data_dirs: list[str] | None = None,
 ) -> tuple[list[Node], AttestationService]:
     """Create nodes and run the K-Protocol so all engines share keys."""
     if num_nodes < 1:
         raise ChainError("need at least one node")
     zones = zones or [0] * num_nodes
     nodes = [
-        Node(i, zone=zones[i], config=config, lanes=lanes) for i in range(num_nodes)
+        Node(
+            i, zone=zones[i], config=config, lanes=lanes,
+            data_dir=data_dirs[i] if data_dirs else None,
+        )
+        for i in range(num_nodes)
     ]
     attestation = AttestationService()
     for node in nodes:

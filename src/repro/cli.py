@@ -19,10 +19,12 @@ Commands:
 - ``trace [-o out.json] [--txs N]`` — run the same flow under the span
   tracer and write Chrome trace-event JSON (load in Perfetto or
   ``chrome://tracing``).
-- ``sim --seed S --steps N --faults drop,crash,partition,epc`` — run the
-  deterministic fault-injection simulator; exits non-zero (printing the
-  seed and fault schedule) if any safety/durability/confidentiality
-  invariant is violated.
+- ``sim --seed S --steps N --faults drop,crash,partition,epc
+  [--storage lsm]`` — run the deterministic fault-injection simulator;
+  exits non-zero (printing the seed and fault schedule) if any
+  safety/durability/confidentiality invariant is violated.
+- ``db stats|verify|compact <dir>`` — inspect or maintain an LSM store
+  directory (docs/storage.md).  Sealed stores need ``--seal-key`` (hex).
 """
 
 from __future__ import annotations
@@ -214,6 +216,33 @@ def cmd_bench(args) -> int:
 
     from repro.obs.metrics import MetricsRegistry
 
+    if args.storage:
+        from repro.bench.harness import run_storage_bench
+
+        backends = tuple(
+            name.strip() for name in args.storage.split(",") if name.strip()
+        )
+        result = run_storage_bench(
+            backends=backends,
+            num_blocks=3 if args.quick else 8,
+            txs_per_block=2 if args.quick else 4,
+            out_path=args.storage_out,
+        )
+        print(f"storage bench: {result['num_blocks']} blocks x "
+              f"{result['txs_per_block']} txs ({result['workload']})")
+        for backend, entry in result["backends"].items():
+            line = (f"  {backend:10s} block p50 "
+                    f"{entry['block_commit_ms']['p50']:8.2f} ms  "
+                    f"write p50 {entry['storage_write_ms']['p50']:8.3f} ms")
+            if "reopen_ms" in entry:
+                line += (f"  reopen {entry['reopen_ms']:8.2f} ms "
+                         f"({entry['reopen_restored_blocks']} blocks, "
+                         "state root verified)")
+            print(line)
+        if args.storage_out:
+            print(f"wrote {args.storage_out}")
+        return 0
+
     if args.workers:
         from repro.bench.harness import run_parallel_bench
 
@@ -261,6 +290,39 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_db(args) -> int:
+    from repro.storage.lsm import LsmKV, StorageSealer
+
+    sealer = None
+    if args.seal_key:
+        sealer = StorageSealer(
+            bytes.fromhex(args.seal_key),
+            identity=args.seal_identity.encode(),
+        )
+    kv = LsmKV(args.directory, sealer=sealer)
+    try:
+        if args.action == "stats":
+            for name, value in sorted(kv.stats_snapshot().items()):
+                print(f"  {name:24s} {value}")
+        elif args.action == "verify":
+            report = kv.verify()
+            print(f"  {args.directory}: manifest epoch "
+                  f"{report['manifest_epoch']}, {report['segments']} "
+                  f"segment(s), {report['blocks_checked']} block(s) "
+                  f"checked, {report['wal_records']} WAL record(s) replayable")
+            print("  integrity OK")
+        else:  # compact
+            before = kv.live_segments
+            kv.flush()
+            while kv.compact():
+                pass
+            print(f"  {before} -> {kv.live_segments} segment(s), "
+                  f"manifest epoch {kv.manifest_epoch}")
+    finally:
+        kv.close()
+    return 0
+
+
 def cmd_sim(args) -> int:
     from repro.sim import SimConfig, parse_faults, run_sim
 
@@ -269,6 +331,7 @@ def cmd_sim(args) -> int:
         steps=args.steps,
         faults=parse_faults(args.faults),
         num_nodes=args.nodes,
+        storage=args.storage,
     )
     result = run_sim(config)
     if args.verify_determinism:
@@ -347,6 +410,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--parallel-out", metavar="FILE",
                    help="write the parallel bench result JSON here "
                         "(e.g. BENCH_parallel.json)")
+    p.add_argument("--storage", metavar="BACKENDS",
+                   help="run the storage-backend bench instead of the "
+                        "paper tables: comma-separated list drawn from "
+                        "memory, appendlog, lsm")
+    p.add_argument("--storage-out", metavar="FILE",
+                   help="write the storage bench result JSON here "
+                        "(e.g. BENCH_storage.json)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -376,14 +446,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulation steps (5 ms of simulated time each)")
     p.add_argument("--faults", default="",
                    help="comma-separated fault kinds: drop, delay, dup, "
-                        "partition, crash, slow, enclave, epc (or 'all')")
+                        "partition, crash, torn, slow, enclave, epc "
+                        "(or 'all')")
     p.add_argument("--nodes", type=int, default=4,
                    help="consortium size (>= 4; default 4)")
+    p.add_argument("--storage", choices=("memory", "appendlog", "lsm"),
+                   default="memory",
+                   help="node storage backend; persistent backends write "
+                        "to a tempdir so crash faults exercise real "
+                        "on-disk recovery (default memory)")
     p.add_argument("--report", metavar="OUT",
                    help="write the event log + fault schedule to this file")
     p.add_argument("--verify-determinism", action="store_true",
                    help="run twice and require byte-identical event logs")
     p.set_defaults(func=cmd_sim)
+
+    p = sub.add_parser(
+        "db", help="inspect or maintain an LSM storage directory"
+    )
+    p.add_argument("action", choices=("stats", "verify", "compact"))
+    p.add_argument("directory")
+    p.add_argument("--seal-key", metavar="HEX",
+                   help="AES key (hex) for a sealed store; omit for "
+                        "unsealed stores.  Platform-bound stores cannot "
+                        "be opened offline — that is the point.")
+    p.add_argument("--seal-identity", default="d-protocol",
+                   help="identity string bound into the seal AAD "
+                        "(default: d-protocol)")
+    p.set_defaults(func=cmd_db)
 
     return parser
 

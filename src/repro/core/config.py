@@ -43,6 +43,14 @@ class EngineConfig:
     gas_limit: int = DEFAULT_GAS_LIMIT
     max_call_depth: int = 64
     security_version: int = 1
+    # Persistent storage (docs/storage.md).  "memory" keeps everything
+    # in-process; "appendlog" and "lsm" persist under the node's data
+    # directory; the LSM engine additionally seals every file at rest
+    # when storage_sealed is on.
+    storage_backend: str = "memory"  # "memory" | "appendlog" | "lsm"
+    storage_sync: bool = False  # fsync every commit (bench realism)
+    storage_sealed: bool = True  # seal LSM files with a platform key
+    snapshot_every: int = 0  # write a state snapshot every N blocks (0 = off)
 
     def without_optimizations(self) -> "EngineConfig":
         """Baseline configuration with every OPT switch off."""

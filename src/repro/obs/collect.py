@@ -57,6 +57,20 @@ MONITOR_RING_DROPPED = "confide_monitor_ring_dropped_total"
 TRACE_RING_DROPPED = "confide_trace_ring_dropped_total"
 TRACE_SPANS_BUFFERED = "confide_trace_spans_buffered"
 ANALYSIS_REJECTIONS = "confide_analysis_rejections_total"
+STORAGE_WAL_BYTES = "confide_storage_wal_bytes_total"
+STORAGE_WAL_RECORDS = "confide_storage_wal_records_total"
+STORAGE_WAL_TRUNCATED_BYTES = "confide_storage_wal_truncated_bytes_total"
+STORAGE_FLUSHES = "confide_storage_flushes_total"
+STORAGE_FLUSH_BYTES = "confide_storage_flush_bytes_total"
+STORAGE_COMPACTIONS = "confide_storage_compactions_total"
+STORAGE_COMPACTED_BYTES = "confide_storage_compacted_bytes_total"
+STORAGE_BLOCK_COMMITS = "confide_storage_block_commits_total"
+STORAGE_CACHE_HITS = "confide_storage_block_cache_hits_total"
+STORAGE_CACHE_MISSES = "confide_storage_block_cache_misses_total"
+STORAGE_CACHE_HIT_RATE = "confide_storage_block_cache_hit_rate"
+STORAGE_RECOVERY_SECONDS = "confide_storage_recovery_seconds"
+STORAGE_SEGMENTS_LIVE = "confide_storage_segments_live"
+STORAGE_MANIFEST_EPOCH = "confide_storage_manifest_epoch"
 
 
 def collect_operation_stats(registry: MetricsRegistry, stats,
@@ -262,6 +276,57 @@ def collect_engine(registry: MetricsRegistry, engine,
         collect_sdm(registry, sdm)
 
 
+def collect_storage(registry: MetricsRegistry, kv) -> None:
+    """Absorb an :class:`~repro.storage.lsm.LsmKV`'s engine counters."""
+    snapshot = getattr(kv, "stats_snapshot", None)
+    if snapshot is None:
+        return
+    snap = snapshot()
+    registry.counter(
+        STORAGE_WAL_BYTES, "bytes framed into the write-ahead log"
+    ).set_total(snap["wal_bytes_written"])
+    registry.counter(
+        STORAGE_WAL_RECORDS, "atomic batch records appended to the WAL"
+    ).set_total(snap["wal_records_written"])
+    registry.counter(
+        STORAGE_WAL_TRUNCATED_BYTES,
+        "torn-tail bytes discarded during WAL recovery",
+    ).set_total(snap["wal_truncated_bytes"])
+    registry.counter(
+        STORAGE_FLUSHES, "memtable flushes into SSTable segments"
+    ).set_total(snap["flushes"])
+    registry.counter(
+        STORAGE_FLUSH_BYTES, "segment bytes written by flushes"
+    ).set_total(snap["flush_bytes"])
+    registry.counter(
+        STORAGE_COMPACTIONS, "size-tiered compaction rounds"
+    ).set_total(snap["compactions"])
+    registry.counter(
+        STORAGE_COMPACTED_BYTES, "segment bytes consumed by compaction"
+    ).set_total(snap["compacted_bytes"])
+    registry.counter(
+        STORAGE_BLOCK_COMMITS, "atomic block batches committed"
+    ).set_total(snap["block_commits"])
+    registry.counter(
+        STORAGE_CACHE_HITS, "block cache hits"
+    ).set_total(snap["cache_hits"])
+    registry.counter(
+        STORAGE_CACHE_MISSES, "block cache misses"
+    ).set_total(snap["cache_misses"])
+    registry.gauge(
+        STORAGE_CACHE_HIT_RATE, "block cache hit fraction"
+    ).set(snap["cache_hit_rate"])
+    registry.gauge(
+        STORAGE_RECOVERY_SECONDS, "seconds spent recovering the store on open"
+    ).set(snap["recovery_seconds"])
+    registry.gauge(
+        STORAGE_SEGMENTS_LIVE, "live SSTable segments"
+    ).set(snap["segments_live"])
+    registry.gauge(
+        STORAGE_MANIFEST_EPOCH, "current sealed manifest epoch"
+    ).set(snap["manifest_epoch"])
+
+
 def collect_node(registry: MetricsRegistry, node) -> None:
     """Absorb a full node: both engines plus the transaction pools."""
     collect_engine(registry, node.confidential, label="confidential")
@@ -270,6 +335,7 @@ def collect_node(registry: MetricsRegistry, node) -> None:
     collect_mempool(registry, node.verified, "verified")
     collect_preverify_pool(registry, node.preverify_pool)
     collect_executor(registry, node.executor)
+    collect_storage(registry, node.kv)
 
 
 def block_metrics_snapshot(confidential, public) -> dict[str, float]:

@@ -18,14 +18,22 @@ storage, and must be a block the cluster canonically committed).
 
 from __future__ import annotations
 
+import glob
+import os
 import random
 
 from repro.chain.executor import BlockExecutor
-from repro.chain.node import Node
+from repro.chain.node import Node, make_store
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.engine import ConfidentialEngine
 from repro.core.k_protocol import bootstrap_founder, mutual_attested_provision
-from repro.errors import ChainError, EnclaveError, InvariantViolation, ProtocolError
+from repro.errors import (
+    ChainError,
+    EnclaveError,
+    InvariantViolation,
+    ProtocolError,
+    StorageError,
+)
 from repro.sim.invariants import SafetyChecker
 from repro.storage.kv import MemoryKV
 from repro.tee.attestation import AttestationService, create_quote
@@ -39,16 +47,23 @@ class SimNode:
     """One consortium member with durable storage and platform."""
 
     def __init__(self, node_id: int, zone: int, config: EngineConfig,
-                 lanes: int = 1):
+                 lanes: int = 1, data_dir: str | None = None):
         self.node_id = node_id
         self.zone = zone
         self.config = config
         self.lanes = lanes
-        self.kv = MemoryKV()  # survives crashes (the node's disk)
+        self.data_dir = data_dir
         self.platform = Platform(
             platform_id=f"sim-node-{node_id}",
             use_memory_pool=config.use_memory_pool,
         )
+        # The node's disk: survives crashes.  In-memory by default; with
+        # a data_dir and a persistent backend, a real on-disk store
+        # (sealed to this platform for the LSM engine).
+        if data_dir is not None and config.storage_backend != "memory":
+            self.kv = make_store(config, data_dir, self.platform)
+        else:
+            self.kv = MemoryKV()
         self.node: Node | None = Node(
             node_id, zone=zone, kv=self.kv, config=config, lanes=lanes,
             platform=self.platform,
@@ -69,12 +84,37 @@ class SimNode:
 
     # -- lifecycle faults ------------------------------------------------
 
-    def crash(self) -> None:
+    def crash(self, torn_bytes: int = 0) -> None:
         """Kill the process: in-memory node, pools, and buffers are gone;
-        the KV store and the platform (sealed secrets, EPC) remain."""
-        self.node = None
+        the disk (KV store) and the platform (sealed secrets, EPC)
+        remain.  ``torn_bytes`` shears that many bytes off the tail of
+        the newest WAL file — the mid-record write the process died in.
+        """
+        node, self.node = self.node, None
         self.buffered = {}
         self.crashes += 1
+        if node is not None:
+            node.close(close_kv=False)  # pools die with the process
+        crasher = getattr(self.kv, "crash", None)
+        if crasher is not None:
+            crasher()  # drop file handles with no flush / clean shutdown
+        if torn_bytes:
+            self._tear_wal_tail(torn_bytes)
+
+    def _tear_wal_tail(self, torn_bytes: int) -> int:
+        """Simulate a torn write by truncating the newest WAL file."""
+        if self.data_dir is None:
+            return 0
+        logs = sorted(set(glob.glob(os.path.join(self.data_dir, "*.log"))))
+        if not logs:
+            return 0
+        path = logs[-1]
+        size = os.path.getsize(path)
+        cut = min(torn_bytes, size)
+        if cut:
+            with open(path, "r+b") as f:
+                f.truncate(size - cut)
+        return cut
 
     def restart(self, attestation: AttestationService, expected_pk_tx: bytes,
                 cs_measurement, safety: SafetyChecker) -> int:
@@ -83,6 +123,17 @@ class SimNode:
         Raises :class:`InvariantViolation` if key recovery, attestation,
         or chain replay breaks an invariant.
         """
+        if self.data_dir is not None and self.config.storage_backend != "memory":
+            try:
+                # Reopen the on-disk store: WAL recovery (tolerating the
+                # torn tail a crash may have left) + manifest freshness
+                # checks against this platform's monotonic counter.
+                self.kv = make_store(self.config, self.data_dir, self.platform)
+            except StorageError as exc:
+                raise InvariantViolation(
+                    f"durability: node {self.node_id} storage reopen "
+                    f"refused after crash: {exc}"
+                )
         node = Node(
             self.node_id, zone=self.zone, kv=self.kv, config=self.config,
             lanes=self.lanes, platform=self.platform,
@@ -179,11 +230,17 @@ class SimCluster:
     """The full consortium plus its attestation service and shared keys."""
 
     def __init__(self, num_nodes: int, zones: list[int],
-                 config: EngineConfig = DEFAULT_CONFIG, lanes: int = 1):
+                 config: EngineConfig = DEFAULT_CONFIG, lanes: int = 1,
+                 data_root: str | None = None):
         if num_nodes < 4:
             raise ChainError("the simulator needs >= 4 nodes (PBFT f >= 1)")
         self.sim_nodes = [
-            SimNode(i, zones[i], config, lanes) for i in range(num_nodes)
+            SimNode(
+                i, zones[i], config, lanes,
+                data_dir=(os.path.join(data_root, f"node-{i}")
+                          if data_root is not None else None),
+            )
+            for i in range(num_nodes)
         ]
         self.attestation = AttestationService()
         for sim_node in self.sim_nodes:

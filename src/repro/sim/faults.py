@@ -8,7 +8,10 @@ Eight fault kinds, grouped by the layer they attack:
   number of steps;
 - node lifecycle faults (``crash`` — kill the in-memory node, keeping
   its persisted storage and platform, with a scheduled restart;
-  ``slow`` — a window during which a node's links crawl);
+  ``torn`` — upgrade crashes to tear off the tail of the node's
+  write-ahead log mid-record, exercising torn-write recovery on
+  persistent storage backends; ``slow`` — a window during which a
+  node's links crawl);
 - TEE faults (``enclave`` — tear the confidential engine down and
   rebuild it on the same platform, forcing K-Protocol key recovery and
   re-attestation; ``epc`` — EPC pressure spikes that force page
@@ -27,7 +30,8 @@ from dataclasses import dataclass
 from repro.errors import ChainError
 
 FAULT_KINDS = (
-    "drop", "delay", "dup", "partition", "crash", "slow", "enclave", "epc",
+    "drop", "delay", "dup", "partition", "crash", "torn", "slow", "enclave",
+    "epc",
 )
 
 MESSAGE_FAULTS = frozenset({"drop", "delay", "dup"})
@@ -68,12 +72,15 @@ class FaultRates:
     slow_factor: float = 5.0
     enclave_p: float = 0.02
     epc_p: float = 0.15
+    torn_p: float = 0.5  # chance a crash also tears the WAL tail
+    torn_bytes: tuple[int, int] = (1, 72)  # bytes sheared off the tail
 
 
 @dataclass(frozen=True)
 class CrashFault:
     node_id: int
     restart_step: int
+    torn_bytes: int = 0  # >0: shear this many bytes off the WAL tail
 
 
 @dataclass(frozen=True)
@@ -163,8 +170,15 @@ class FaultInjector:
             if len(crashed_ids) < self.max_faulty and alive_ids:
                 victim = rng.choice(sorted(alive_ids))
                 down = rng.randint(*rates.crash_steps)
-                plan.append(CrashFault(victim, step + down))
-                self.record(step, f"crash node={victim} restart_at={step + down}")
+                torn = 0
+                if "torn" in self.enabled and rng.random() < rates.torn_p:
+                    torn = rng.randint(*rates.torn_bytes)
+                plan.append(CrashFault(victim, step + down, torn))
+                self.record(
+                    step,
+                    f"crash node={victim} restart_at={step + down}"
+                    + (f" torn={torn}" if torn else ""),
+                )
 
         if "partition" in self.enabled and not partitioned \
                 and rng.random() < rates.partition_p and self.num_nodes >= 2:

@@ -22,7 +22,8 @@ canonical chain with byte-identical state roots.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+import tempfile
+from dataclasses import dataclass, field, replace
 
 from repro.chain.block import Block
 from repro.chain.network import NetworkModel, zones_for
@@ -93,6 +94,11 @@ class SimConfig:
     max_block_bytes: int = 4096
     sync_cooldown_steps: int = 4
     kv_scan_every: int = 10
+    # Storage backend for every node ("memory" | "lsm" | "appendlog").
+    # Persistent backends run on real temp-directory disks, which the
+    # crash/torn faults then attack; temp paths never enter the
+    # simulated state, so runs stay a pure function of the seed.
+    storage: str = "memory"
     # DEFAULT_CONFIG pins exec_workers=0 / preverify_workers=0: the sim
     # replays the same seed expecting identical traces, so nodes execute
     # serially here even though parallel mode is deterministic-equivalent.
@@ -111,8 +117,17 @@ class _Simulation:
         self.config = config
         self.rng = rng
         zones = zones_for(config.num_nodes, config.num_zones)
+        engine_config = config.engine_config
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        data_root = None
+        if config.storage != "memory":
+            engine_config = replace(
+                engine_config, storage_backend=config.storage
+            )
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-sim-")
+            data_root = self._tmpdir.name
         self.cluster = SimCluster(
-            config.num_nodes, zones, config.engine_config
+            config.num_nodes, zones, engine_config, data_root=data_root
         )
         self.canary = f"SIM-CANARY-{config.seed}".encode()
         self.epc_canary = f"EPC-SIM-CANARY-{config.seed}".encode()
@@ -176,6 +191,14 @@ class _Simulation:
             sim_node.alive and sim_node.height == self.canonical_height
             for sim_node in self.cluster
         )
+        for sim_node in self.cluster:
+            if sim_node.node is not None:
+                try:
+                    sim_node.node.close()
+                except ReproError:
+                    pass  # a violation run may leave a broken store behind
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
         return result
 
     def _bootstrap(self) -> None:
@@ -223,13 +246,15 @@ class _Simulation:
                 sim_node = self.cluster[fault.node_id]
                 if not sim_node.alive:
                     continue
-                sim_node.crash()
+                sim_node.crash(fault.torn_bytes)
                 self.restarts_due.setdefault(
                     fault.restart_step, []
                 ).append(fault.node_id)
-                self.log.emit(step, now, "crash",
-                              f"node={fault.node_id} "
-                              f"restart_at={fault.restart_step}")
+                self.log.emit(
+                    step, now, "crash",
+                    f"node={fault.node_id} restart_at={fault.restart_step}"
+                    + (f" torn={fault.torn_bytes}" if fault.torn_bytes else ""),
+                )
             elif isinstance(fault, PartitionFault):
                 self.transport.set_partition(fault.group_a, fault.group_b)
                 self.partition_heal_at = fault.heal_step
@@ -428,7 +453,12 @@ class _Simulation:
             self.scanner.scan_epc(sim_node.node_id, sim_node.platform.epc)
         if step % self.config.kv_scan_every == 0:
             for sim_node in self.cluster:
-                self.scanner.scan_kv(sim_node.node_id, sim_node.kv)
+                # A crashed persistent store has no open handles to read
+                # through — its raw files are scanned below instead.
+                if sim_node.alive or self.config.storage == "memory":
+                    self.scanner.scan_kv(sim_node.node_id, sim_node.kv)
+                if sim_node.data_dir is not None:
+                    self.scanner.scan_files(sim_node.node_id, sim_node.data_dir)
 
     # -- end of run ------------------------------------------------------
 
@@ -463,6 +493,8 @@ class _Simulation:
         roots: dict[int, bytes] = {}
         for sim_node in self.cluster:
             self.scanner.scan_kv(sim_node.node_id, sim_node.kv)
+            if sim_node.data_dir is not None:
+                self.scanner.scan_files(sim_node.node_id, sim_node.data_dir)
             self.scanner.scan_epc(sim_node.node_id, sim_node.platform.epc)
             check_epc_sanity(sim_node.node_id, sim_node.platform.epc)
             if sim_node.alive:

@@ -23,6 +23,8 @@ attaches the seed and fault schedule to its failure report.
 
 from __future__ import annotations
 
+import os
+
 from repro.errors import InvariantViolation
 from repro.storage.kv import KVStore
 from repro.tee.epc import EpcAllocator
@@ -84,6 +86,7 @@ class ConfidentialityChecker:
         self.wire_scans = 0
         self.kv_scans = 0
         self.epc_scans = 0
+        self.file_scans = 0
 
     def _hit(self, blob: bytes) -> bytes | None:
         for needle in self.needles:
@@ -109,6 +112,27 @@ class ConfidentialityChecker:
                 raise InvariantViolation(
                     f"confidentiality: canary {needle[:24]!r} persisted in "
                     f"node {node_id} storage under key {key[:32]!r}"
+                )
+
+    def scan_files(self, node_id: int, directory: str) -> None:
+        """Scan a node's raw on-disk storage files — WAL segments,
+        SSTables, manifests, snapshots — exactly as an attacker with the
+        disk would read them.  Works whether the node is up or crashed.
+        """
+        if not os.path.isdir(directory):
+            return
+        self.file_scans += 1
+        for name in sorted(os.listdir(directory)):
+            path = os.path.join(directory, name)
+            if not os.path.isfile(path):
+                continue
+            with open(path, "rb") as f:
+                blob = f.read()
+            needle = self._hit(blob)
+            if needle is not None:
+                raise InvariantViolation(
+                    f"confidentiality: canary {needle[:24]!r} in node "
+                    f"{node_id} storage file {name}"
                 )
 
     def scan_epc(self, node_id: int, epc: EpcAllocator) -> None:

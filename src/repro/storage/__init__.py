@@ -1,6 +1,7 @@
 """Storage substrate: pluggable KV stores, RLP, and merkle commitments."""
 
 from repro.storage.kv import AppendLogKV, KVStore, MemoryKV, NamespacedKV
+from repro.storage.lsm import LsmKV, StorageSealer
 from repro.storage.merkle import (
     EMPTY_ROOT,
     MerkleProof,
@@ -15,7 +16,9 @@ __all__ = [
     "AppendLogKV",
     "EMPTY_ROOT",
     "KVStore",
+    "LsmKV",
     "MemoryKV",
+    "StorageSealer",
     "MerkleProof",
     "MerkleTree",
     "NamespacedKV",

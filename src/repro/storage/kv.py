@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import os
 import struct
+import zlib
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from typing import Iterator
 
 from repro.errors import StorageError
@@ -60,6 +62,17 @@ class KVStore(ABC):
             if key.startswith(prefix):
                 yield key, value
 
+    @contextmanager
+    def block_batch(self):
+        """Scope under which every write belongs to one block commit.
+
+        The default is a no-op (writes apply as they happen); stores
+        with a write-ahead log override this to stage the scope's writes
+        and commit them as a single atomic record, so crash recovery
+        always lands on a block boundary.
+        """
+        yield self
+
 
 class MemoryKV(KVStore):
     """In-memory store."""
@@ -86,17 +99,22 @@ class MemoryKV(KVStore):
         return dict(self._data)
 
 
-_RECORD_HEADER = struct.Struct(">BII")  # op, key len, value len
+_RECORD_HEADER = struct.Struct(">IBII")  # crc32, op, key len, value len
 _OP_PUT = 1
 _OP_DELETE = 2
+_MAX_LOG_FIELD = 1 << 28  # sanity bound for lengths read from a torn tail
 
 
 class AppendLogKV(KVStore):
     """Durable append-only log store with an in-memory index.
 
-    Records are ``(op, klen, vlen, key, value)``; the full log is replayed
-    on open.  ``sync=True`` fsyncs on every batch commit, which is what
-    the §6.4 block-write-latency bench measures.
+    Records are ``(crc32, op, klen, vlen, key, value)`` where the CRC
+    covers everything after itself; the full log is replayed on open.  A
+    torn tail (record cut short by a crash, or failing its CRC) is
+    truncated back to the last complete record rather than refusing to
+    open — the prefix before it is intact and usable.  ``sync=True``
+    fsyncs on every batch commit, which is what the §6.4
+    block-write-latency bench measures.
     """
 
     def __init__(self, path: str, sync: bool = False):
@@ -104,36 +122,52 @@ class AppendLogKV(KVStore):
         self._sync = sync
         self._index: dict[bytes, bytes] = {}
         self._file = None
+        self.truncated_bytes = 0
         if os.path.exists(path):
             self._replay()
         self._file = open(path, "ab")
 
     def _replay(self) -> None:
         with open(self._path, "rb") as f:
-            while True:
-                header = f.read(_RECORD_HEADER.size)
-                if not header:
-                    break
-                if len(header) < _RECORD_HEADER.size:
-                    raise StorageError("truncated log header")
-                op, klen, vlen = _RECORD_HEADER.unpack(header)
-                key = f.read(klen)
-                value = f.read(vlen)
-                if len(key) < klen or len(value) < vlen:
-                    raise StorageError("truncated log record")
-                if op == _OP_PUT:
-                    self._index[key] = value
-                elif op == _OP_DELETE:
-                    self._index.pop(key, None)
-                else:
-                    raise StorageError(f"unknown log op {op}")
+            data = f.read()
+        pos = 0
+        good_end = 0
+        while pos < len(data):
+            header = data[pos:pos + _RECORD_HEADER.size]
+            if len(header) < _RECORD_HEADER.size:
+                break  # torn header
+            crc, op, klen, vlen = _RECORD_HEADER.unpack(header)
+            if klen > _MAX_LOG_FIELD or vlen > _MAX_LOG_FIELD:
+                break  # garbage lengths from a torn record
+            body = data[pos + _RECORD_HEADER.size:
+                        pos + _RECORD_HEADER.size + klen + vlen]
+            if len(body) < klen + vlen:
+                break  # torn body
+            if zlib.crc32(header[4:] + body) != crc:
+                break  # torn or bit-rotted record
+            key, value = body[:klen], body[klen:]
+            if op == _OP_PUT:
+                self._index[key] = value
+            elif op == _OP_DELETE:
+                self._index.pop(key, None)
+            else:
+                break  # unknown op: treat as corruption, keep the prefix
+            pos += _RECORD_HEADER.size + klen + vlen
+            good_end = pos
+        if good_end < len(data):
+            self.truncated_bytes = len(data) - good_end
+            with open(self._path, "r+b") as f:
+                f.truncate(good_end)
+
+    @staticmethod
+    def _record(op: int, key: bytes, value: bytes) -> bytes:
+        tail = struct.pack(">BII", op, len(key), len(value)) + key + value
+        return struct.pack(">I", zlib.crc32(tail)) + tail
 
     def _append(self, op: int, key: bytes, value: bytes) -> None:
         if self._file is None:
             raise StorageError("store is closed")
-        self._file.write(_RECORD_HEADER.pack(op, len(key), len(value)))
-        self._file.write(key)
-        self._file.write(value)
+        self._file.write(self._record(op, key, value))
 
     def get(self, key: bytes) -> bytes | None:
         return self._index.get(key)
@@ -151,15 +185,21 @@ class AppendLogKV(KVStore):
             del self._index[key]
 
     def write_batch(self, puts: dict[bytes, bytes], deletes: set[bytes] = frozenset()) -> None:
+        # Build the whole batch first and touch the index only after the
+        # flush succeeds, so a write error cannot leave the in-memory
+        # view ahead of the durable log.
+        records = []
         for key in deletes:
             if key in self._index:
-                self._append(_OP_DELETE, key, b"")
-                del self._index[key]
-        for key, value in puts.items():
-            key, value = bytes(key), bytes(value)
-            self._append(_OP_PUT, key, value)
-            self._index[key] = value
+                records.append((_OP_DELETE, bytes(key), b""))
+        staged = {bytes(k): bytes(v) for k, v in puts.items()}
+        records.extend((_OP_PUT, k, v) for k, v in staged.items())
+        for op, key, value in records:
+            self._append(op, key, value)
         self._flush()
+        for key in deletes:
+            self._index.pop(key, None)
+        self._index.update(staged)
 
     def _flush(self) -> None:
         assert self._file is not None

@@ -1,0 +1,66 @@
+"""LRU block cache over decoded SSTable blocks.
+
+Keys are ``(segment_id, block_offset)``; values are the decoded entry
+lists, so a cache hit skips the disk read, the unseal *and* the RLP
+decode.  The budget is expressed in (approximate plaintext) bytes, the
+same way RocksDB's block cache is sized.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+
+class BlockCache:
+    """Byte-budgeted LRU of decoded blocks, shared by all segments."""
+
+    def __init__(self, capacity_bytes: int = 1 << 20):
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[tuple[int, int], tuple[object, int]] = (
+            OrderedDict()
+        )
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_load(
+        self, segment_id: int, offset: int,
+        loader: Callable[[], tuple[object, int]],
+    ):
+        """Return the cached block, or load/insert it.  ``loader`` returns
+        ``(block, approximate_bytes)``."""
+        key = (segment_id, offset)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached[0]
+        self.misses += 1
+        block, size = loader()
+        self._entries[key] = (block, size)
+        self._used += size
+        while self._used > self.capacity_bytes and len(self._entries) > 1:
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self._used -= evicted_size
+            self.evictions += 1
+        return block
+
+    def drop_segment(self, segment_id: int) -> None:
+        """Invalidate every block of a compacted-away segment."""
+        stale = [key for key in self._entries if key[0] == segment_id]
+        for key in stale:
+            _, size = self._entries.pop(key)
+            self._used -= size
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

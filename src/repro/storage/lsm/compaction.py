@@ -1,0 +1,94 @@
+"""Size-tiered compaction.
+
+Segments are bucketed by size tier (powers of ``tier_base`` over the
+flush size); when a tier accumulates ``fanin`` segments they are merged
+into one, newest value per key winning.  Tombstones are dropped only
+when the merge includes the oldest live segment (nothing older can hold
+a value the tombstone still needs to shadow).
+
+Compaction runs opportunistically, piggybacked on flush commits — there
+is no background thread, so the store stays deterministic for the fault
+simulator while the amortized behavior matches a background compactor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.storage.lsm.manifest import SegmentRecord
+
+
+@dataclass(frozen=True)
+class CompactionPlan:
+    """Which segments to merge, and whether tombstones may drop."""
+
+    segment_ids: tuple[int, ...]
+    drop_tombstones: bool
+
+
+def _tier(size: int, flush_bytes: int, tier_base: int) -> int:
+    tier = 0
+    threshold = max(flush_bytes, 1)
+    while size > threshold:
+        tier += 1
+        threshold *= tier_base
+    return tier
+
+
+def plan_compaction(
+    segments: list[SegmentRecord],
+    flush_bytes: int,
+    fanin: int = 4,
+    tier_base: int = 4,
+) -> CompactionPlan | None:
+    """Pick the fullest overfull tier (lowest first, so small merges
+    happen before they cascade)."""
+    if len(segments) < fanin:
+        return None
+    tiers: dict[int, list[SegmentRecord]] = {}
+    for segment in segments:
+        tiers.setdefault(
+            _tier(segment.size, flush_bytes, tier_base), []
+        ).append(segment)
+    oldest_id = min(s.segment_id for s in segments)
+    for tier in sorted(tiers):
+        group = tiers[tier]
+        if len(group) >= fanin:
+            chosen = sorted(group, key=lambda s: s.segment_id)[:fanin]
+            chosen_ids = tuple(s.segment_id for s in chosen)
+            return CompactionPlan(
+                chosen_ids, drop_tombstones=oldest_id in chosen_ids
+            )
+    return None
+
+
+def merge_entries(readers, drop_tombstones: bool):
+    """K-way merge of sorted segment iterators, newest segment winning.
+
+    ``readers`` are (segment_id, iterator-of-(key, value_or_None)); the
+    output is strictly sorted and ready for :func:`write_sstable`.
+    """
+    counter = itertools.count()  # heap tiebreaker; values never compare
+    heap: list[tuple[bytes, int, int, bytes | None, object]] = []
+
+    def push(neg_id: int, iterator) -> None:
+        for key, value in iterator:
+            heapq.heappush(heap, (key, neg_id, next(counter), value, iterator))
+            return
+
+    for segment_id, iterator in readers:
+        # Higher segment_id == newer; negated so the newest version of a
+        # key pops first.
+        push(-segment_id, iter(iterator))
+    while heap:
+        key, neg_id, _, value, iterator = heapq.heappop(heap)
+        # Discard every older version of the same key, advancing the
+        # iterators they came from.
+        while heap and heap[0][0] == key:
+            _, stale_neg_id, _, _, stale_iter = heapq.heappop(heap)
+            push(stale_neg_id, stale_iter)
+        if not (value is None and drop_tombstones):
+            yield key, value
+        push(neg_id, iterator)

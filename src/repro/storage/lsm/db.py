@@ -1,0 +1,458 @@
+"""The LSM key-value store behind the :class:`KVStore` interface.
+
+Write path: WAL append (durable, one framed record per batch) →
+memtable.  When the memtable passes its threshold it flushes into an
+immutable SSTable segment, the manifest commits a new epoch naming the
+segment set + a fresh WAL generation, old WAL files are removed, and
+size-tiered compaction runs if a tier overflowed.
+
+Read path: active block buffer → memtable → segments newest-to-oldest
+(bloom filter, then block index, through the shared block cache).
+
+**Atomic block commits** (:meth:`block_batch`): everything a node writes
+while applying one block — every SDM ``kv_set`` ocall, the engine's
+scope commits, the block body and receipts — is buffered and lands in
+*one* WAL record.  Recovery therefore always lands exactly on a block
+boundary: a torn tail can lose the last block(s), never half of one.
+
+Everything on disk can be sealed (see :mod:`repro.storage.lsm.seal`)
+and the manifest enforces freshness + segment-set integrity (see
+:mod:`repro.storage.lsm.manifest`).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.kv import KVStore
+from repro.storage.lsm.cache import BlockCache
+from repro.storage.lsm.compaction import merge_entries, plan_compaction
+from repro.storage.lsm.manifest import (
+    MANIFEST_NAME,
+    RootManifest,
+    SegmentRecord,
+    read_manifest,
+    verify_segments,
+    write_manifest,
+)
+from repro.storage.lsm.memtable import TOMBSTONE, Memtable
+from repro.storage.lsm.seal import StorageSealer
+from repro.storage.lsm.sstable import SSTableReader, write_sstable
+from repro.storage.lsm.wal import WriteAheadLog, replay_file
+
+_WAL_PATTERN = "wal-*.log"
+
+
+def _wal_path(directory: str, seq: int) -> str:
+    return os.path.join(directory, f"wal-{seq:08d}.log")
+
+
+def _segment_path(directory: str, segment_id: int) -> str:
+    return os.path.join(directory, f"seg-{segment_id:08d}.sst")
+
+
+@dataclass
+class LsmStats:
+    """Cumulative engine counters (absorbed by ``obs.collect``)."""
+
+    wal_bytes_written: int = 0
+    wal_records_written: int = 0
+    wal_truncated_bytes: int = 0
+    wal_recovered_batches: int = 0
+    flushes: int = 0
+    flush_bytes: int = 0
+    compactions: int = 0
+    compacted_bytes: int = 0
+    recovery_seconds: float = 0.0
+    gets: int = 0
+    puts: int = 0
+    block_commits: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _BlockBuffer:
+    """Writes staged inside one :meth:`LsmKV.block_batch`."""
+
+    puts: dict[bytes, bytes] = field(default_factory=dict)
+    deletes: set[bytes] = field(default_factory=set)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.deletes.discard(key)
+        self.puts[bytes(key)] = bytes(value)
+
+    def delete(self, key: bytes) -> None:
+        self.puts.pop(key, None)
+        self.deletes.add(bytes(key))
+
+
+class LsmKV(KVStore):
+    """Persistent, optionally sealed, crash-consistent KV store."""
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        sealer: StorageSealer | None = None,
+        freshness=None,
+        sync: bool = False,
+        memtable_bytes: int = 256 * 1024,
+        block_bytes: int = 4096,
+        cache_bytes: int = 1 << 20,
+        compaction_fanin: int = 4,
+        auto_compact: bool = True,
+    ):
+        self.directory = directory
+        self._sealer = sealer
+        self._freshness = freshness
+        self._sync = sync
+        self._memtable_bytes = memtable_bytes
+        self._block_bytes = block_bytes
+        self._compaction_fanin = compaction_fanin
+        self._auto_compact = auto_compact
+        self.stats = LsmStats()
+        self.cache = BlockCache(cache_bytes)
+        self._lock = threading.RLock()
+        self._memtable = Memtable()
+        self._buffer: _BlockBuffer | None = None
+        self._closed = False
+        os.makedirs(directory, exist_ok=True)
+
+        started = time.perf_counter()
+        manifest = read_manifest(directory, sealer, freshness)
+        if manifest is None:
+            manifest = RootManifest(epoch=1, wal_seq=0, segments=())
+            write_manifest(directory, manifest, sealer, freshness)
+        else:
+            verify_segments(directory, manifest)
+        self._manifest = manifest
+        self._readers: dict[int, SSTableReader] = {}
+        for record in manifest.segments:
+            self._readers[record.segment_id] = SSTableReader(
+                os.path.join(directory, record.filename), sealer, self.cache
+            )
+        self._next_segment_id = 1 + max(
+            (r.segment_id for r in manifest.segments), default=0
+        )
+        # Recover the current WAL generation into the memtable; stray WAL
+        # files from other generations (a crash between manifest commit
+        # and unlink) are removed — their contents are already in
+        # segments or belong to an uncommitted future.
+        for stray in glob.glob(os.path.join(directory, _WAL_PATTERN)):
+            if stray != _wal_path(directory, manifest.wal_seq):
+                os.remove(stray)
+        self._wal = WriteAheadLog(
+            _wal_path(directory, manifest.wal_seq),
+            seq=manifest.wal_seq, sync=sync, sealer=sealer,
+        )
+        for puts, deletes in self._wal.recovered:
+            self._memtable.apply(puts, deletes)
+        self.stats.wal_recovered_batches = len(self._wal.recovered)
+        self.stats.wal_truncated_bytes = self._wal.truncated_bytes
+        self.stats.recovery_seconds = time.perf_counter() - started
+
+    # -- properties ------------------------------------------------------
+
+    @property
+    def manifest_epoch(self) -> int:
+        return self._manifest.epoch
+
+    @property
+    def live_segments(self) -> int:
+        return len(self._readers)
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealer is not None
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError("LSM store is closed")
+
+    # -- KVStore interface -----------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        with self._lock:
+            self._require_open()
+            self.stats.gets += 1
+            key = bytes(key)
+            if self._buffer is not None:
+                if key in self._buffer.puts:
+                    return self._buffer.puts[key]
+                if key in self._buffer.deletes:
+                    return None
+            present, value = self._memtable.get(key)
+            if present:
+                return value if value is not TOMBSTONE else None
+            for segment_id in sorted(self._readers, reverse=True):
+                found, value = self._readers[segment_id].get(key)
+                if found:
+                    return value
+            return None
+
+    def put(self, key: bytes, value: bytes) -> None:
+        with self._lock:
+            self._require_open()
+            self.stats.puts += 1
+            if self._buffer is not None:
+                self._buffer.put(key, value)
+                return
+            self._commit({bytes(key): bytes(value)}, set())
+
+    def delete(self, key: bytes) -> None:
+        with self._lock:
+            self._require_open()
+            if self._buffer is not None:
+                self._buffer.delete(key)
+                return
+            self._commit({}, {bytes(key)})
+
+    def write_batch(self, puts: dict[bytes, bytes], deletes: set[bytes] = frozenset()) -> None:
+        with self._lock:
+            self._require_open()
+            self.stats.puts += len(puts)
+            if self._buffer is not None:
+                for key in deletes:
+                    self._buffer.delete(key)
+                for key, value in puts.items():
+                    self._buffer.put(key, value)
+                return
+            self._commit(
+                {bytes(k): bytes(v) for k, v in puts.items()},
+                {bytes(k) for k in deletes},
+            )
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        with self._lock:
+            self._require_open()
+            merged: dict[bytes, bytes | None] = {}
+            for segment_id in sorted(self._readers):  # oldest first
+                for key, value in self._readers[segment_id].items():
+                    merged[key] = value
+            for key, value in self._memtable.items():
+                merged[key] = value
+            if self._buffer is not None:
+                for key in self._buffer.deletes:
+                    merged[key] = None
+                for key, value in self._buffer.puts.items():
+                    merged[key] = value
+            return iter([
+                (k, v) for k, v in merged.items() if v is not None
+            ])
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    # -- atomic block commits --------------------------------------------
+
+    @contextmanager
+    def block_batch(self):
+        """Stage every write until exit, then commit them as ONE WAL
+        record; on exception nothing is committed (see module doc)."""
+        with self._lock:
+            self._require_open()
+            if self._buffer is not None:
+                raise StorageError("block_batch does not nest")
+            self._buffer = _BlockBuffer()
+        try:
+            yield self
+        except BaseException:
+            with self._lock:
+                self._buffer = None
+            raise
+        else:
+            with self._lock:
+                buffer, self._buffer = self._buffer, None
+                if buffer.puts or buffer.deletes:
+                    self._commit(buffer.puts, buffer.deletes)
+                    self.stats.block_commits += 1
+
+    # -- write machinery -------------------------------------------------
+
+    def _commit(self, puts: dict[bytes, bytes], deletes: set[bytes]) -> None:
+        appended = self._wal.append(puts, deletes)
+        self.stats.wal_bytes_written += appended
+        self.stats.wal_records_written += 1
+        self._memtable.apply(puts, deletes)
+        if self._memtable.approximate_bytes >= self._memtable_bytes:
+            self.flush()
+
+    def flush(self) -> bool:
+        """Flush the memtable into a new segment + manifest epoch."""
+        with self._lock:
+            self._require_open()
+            if not len(self._memtable):
+                return False
+            segment_id = self._next_segment_id
+            self._next_segment_id += 1
+            meta = write_sstable(
+                _segment_path(self.directory, segment_id), segment_id,
+                self._memtable.items_sorted(), self._sealer, self._block_bytes,
+            )
+            segments = tuple(self._manifest.segments) + (
+                SegmentRecord.from_meta(meta),
+            )
+            self._commit_manifest(segments, self._manifest.wal_seq + 1)
+            self._readers[segment_id] = SSTableReader(
+                _segment_path(self.directory, segment_id),
+                self._sealer, self.cache,
+            )
+            self._memtable.clear()
+            self.stats.flushes += 1
+            self.stats.flush_bytes += meta.size
+            if self._auto_compact:
+                self.compact()
+            return True
+
+    def _commit_manifest(self, segments: tuple[SegmentRecord, ...],
+                         wal_seq: int, extra: bytes | None = None) -> None:
+        old_wal = self._wal
+        manifest = RootManifest(
+            epoch=self._manifest.epoch + 1,
+            wal_seq=wal_seq,
+            segments=segments,
+            extra=self._manifest.extra if extra is None else extra,
+        )
+        write_manifest(self.directory, manifest, self._sealer, self._freshness)
+        self._manifest = manifest
+        if wal_seq != old_wal.seq:
+            old_wal.close()
+            self._wal = WriteAheadLog(
+                _wal_path(self.directory, wal_seq),
+                seq=wal_seq, sync=self._sync, sealer=self._sealer,
+            )
+            os.remove(old_wal.path)
+
+    def note_state_root(self, state_root: bytes) -> None:
+        """Record the chain state root to bind into the next manifest
+        commit (surfaces in ``repro db stats``)."""
+        with self._lock:
+            self._manifest = RootManifest(
+                self._manifest.epoch, self._manifest.wal_seq,
+                self._manifest.segments, bytes(state_root),
+            )
+
+    @property
+    def manifest_extra(self) -> bytes:
+        return self._manifest.extra
+
+    def compact(self) -> bool:
+        """Run one size-tiered compaction round if a tier overflowed."""
+        with self._lock:
+            self._require_open()
+            plan = plan_compaction(
+                list(self._manifest.segments), self._memtable_bytes,
+                self._compaction_fanin,
+            )
+            if plan is None:
+                return False
+            readers = [
+                (segment_id, self._readers[segment_id].items())
+                for segment_id in plan.segment_ids
+            ]
+            segment_id = self._next_segment_id
+            self._next_segment_id += 1
+            merged_bytes = sum(
+                self._readers[s].size for s in plan.segment_ids
+            )
+            meta = write_sstable(
+                _segment_path(self.directory, segment_id), segment_id,
+                merge_entries(readers, plan.drop_tombstones),
+                self._sealer, self._block_bytes,
+            )
+            survivors = tuple(
+                record for record in self._manifest.segments
+                if record.segment_id not in plan.segment_ids
+            ) + (SegmentRecord.from_meta(meta),)
+            self._commit_manifest(survivors, self._manifest.wal_seq)
+            for stale_id in plan.segment_ids:
+                self._readers.pop(stale_id)
+                self.cache.drop_segment(stale_id)
+                os.remove(_segment_path(self.directory, stale_id))
+            self._readers[segment_id] = SSTableReader(
+                _segment_path(self.directory, segment_id),
+                self._sealer, self.cache,
+            )
+            self.stats.compactions += 1
+            self.stats.compacted_bytes += merged_bytes
+            return True
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Clean shutdown: flush the memtable so reopen skips WAL replay,
+        then release every file handle."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._buffer is not None:
+                raise StorageError("cannot close inside a block_batch")
+            self.flush()
+            self._wal.close()
+            self._closed = True
+
+    def crash(self) -> None:
+        """Simulated process death: drop handles, flush *nothing*.
+
+        The directory is left exactly as the last committed WAL record /
+        manifest epoch wrote it; a fresh :class:`LsmKV` recovers from it.
+        """
+        with self._lock:
+            self._wal.crash()
+            self._buffer = None
+            self._closed = True
+
+    def __enter__(self) -> "LsmKV":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- tooling ---------------------------------------------------------
+
+    def verify(self) -> dict[str, int]:
+        """Structural integrity sweep (works without the seal key only
+        for frame CRCs; sealed stores verify fully since we hold keys)."""
+        with self._lock:
+            self._require_open()
+            blocks = 0
+            for reader in self._readers.values():
+                blocks += reader.verify_blocks()
+            verify_segments(self.directory, self._manifest)
+            return {
+                "segments": len(self._readers),
+                "blocks_checked": blocks,
+                "manifest_epoch": self._manifest.epoch,
+                "wal_records": len(replay_file(
+                    self._wal.path, self._wal.seq, self._sealer
+                )) if os.path.exists(self._wal.path) else 0,
+            }
+
+    def stats_snapshot(self) -> dict[str, float]:
+        with self._lock:
+            snap = self.stats.snapshot()
+            snap.update({
+                "manifest_epoch": self._manifest.epoch,
+                "segments_live": len(self._readers),
+                "segment_bytes": sum(
+                    r.size for r in self._readers.values()
+                ),
+                "memtable_bytes": self._memtable.approximate_bytes,
+                "memtable_entries": len(self._memtable),
+                "cache_hits": self.cache.hits,
+                "cache_misses": self.cache.misses,
+                "cache_evictions": self.cache.evictions,
+                "cache_used_bytes": self.cache.used_bytes,
+                "cache_hit_rate": self.cache.hit_rate(),
+                "sealed": int(self.sealed),
+            })
+            return snap

@@ -1,0 +1,70 @@
+"""The mutable in-memory write buffer in front of the SSTable segments.
+
+Writes land here (after the WAL framed them durably) and reads check
+here first.  Deletes are recorded as :data:`TOMBSTONE` markers so they
+shadow older segment entries until compaction drops them at the bottom
+tier.  ``approximate_bytes`` drives the flush threshold; sorting is
+deferred to flush time (one ``sorted()`` instead of per-insert work).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+TOMBSTONE = None  # sentinel value for a delete marker
+
+_ENTRY_OVERHEAD = 32  # rough per-entry bookkeeping cost
+
+
+class Memtable:
+    """Unordered dict of the newest writes; sorted on flush."""
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes | None] = {}
+        self.approximate_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def get(self, key: bytes) -> tuple[bool, bytes | None]:
+        """(present, value) — value is TOMBSTONE for a buffered delete."""
+        if key in self._data:
+            return True, self._data[key]
+        return False, None
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._account(key, self._data.get(key), bytes(value))
+        self._data[bytes(key)] = bytes(value)
+
+    def delete(self, key: bytes) -> None:
+        self._account(key, self._data.get(key), TOMBSTONE)
+        self._data[bytes(key)] = TOMBSTONE
+
+    def _account(self, key: bytes, old: bytes | None, new: bytes | None) -> None:
+        if key not in self._data:
+            self.approximate_bytes += len(key) + _ENTRY_OVERHEAD
+        else:
+            self.approximate_bytes -= len(old) if old is not None else 0
+        self.approximate_bytes += len(new) if new is not None else 0
+
+    def apply(self, puts: dict[bytes, bytes], deletes=frozenset()) -> None:
+        for key in deletes:
+            self.delete(key)
+        for key, value in puts.items():
+            self.put(key, value)
+
+    def items_sorted(self) -> Iterator[tuple[bytes, bytes | None]]:
+        """All entries (tombstones included), sorted by key — the flush
+        order an SSTable requires."""
+        for key in sorted(self._data):
+            yield key, self._data[key]
+
+    def items(self) -> Iterator[tuple[bytes, bytes | None]]:
+        return iter(list(self._data.items()))
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.approximate_bytes = 0

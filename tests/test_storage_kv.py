@@ -117,6 +117,64 @@ class TestAppendLogKV:
             store.put(b"a", b"1")
             assert dict(store.items()) == {b"a": b"1"}
 
+    def test_torn_tail_truncated_not_refused(self, tmp_path):
+        """Regression: a record cut short by a crash used to make the
+        store refuse to open; now the intact prefix is recovered and the
+        torn tail truncated in place."""
+        path = os.path.join(tmp_path, "log.db")
+        with AppendLogKV(path) as store:
+            store.put(b"keep", b"1")
+            store.put(b"lost", b"2")
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 3)
+        torn_size = os.path.getsize(path)
+        reopened = AppendLogKV(path)
+        assert reopened.get(b"keep") == b"1"
+        assert reopened.get(b"lost") is None
+        assert reopened.truncated_bytes == torn_size - os.path.getsize(path)
+        assert reopened.truncated_bytes > 0
+        # The store stays writable after recovery.
+        reopened.put(b"new", b"3")
+        reopened.close()
+        with AppendLogKV(path) as again:
+            assert again.get(b"new") == b"3"
+            assert again.truncated_bytes == 0
+
+    def test_crc_bit_rot_drops_tail_record(self, tmp_path):
+        """Regression: records carry a CRC32; flipping one payload bit
+        in the last record drops it (and everything after) on replay."""
+        path = os.path.join(tmp_path, "log.db")
+        with AppendLogKV(path) as store:
+            store.put(b"keep", b"1")
+            store.put(b"rotted", b"2")
+        with open(path, "r+b") as f:
+            f.seek(-1, os.SEEK_END)
+            last = f.read(1)
+            f.seek(-1, os.SEEK_END)
+            f.write(bytes([last[0] ^ 0x01]))
+        reopened = AppendLogKV(path)
+        assert reopened.get(b"keep") == b"1"
+        assert reopened.get(b"rotted") is None
+        assert reopened.truncated_bytes > 0
+        reopened.close()
+
+    def test_write_batch_index_untouched_on_flush_failure(self, tmp_path):
+        """Regression: write_batch used to update the in-memory index
+        before the log flush, so a write error left readers seeing data
+        that was never durable."""
+        path = os.path.join(tmp_path, "log.db")
+        store = AppendLogKV(path)
+        store.put(b"old", b"1")
+
+        def boom():
+            raise OSError("disk full")
+
+        store._flush = boom
+        with pytest.raises(OSError):
+            store.write_batch({b"new": b"2"}, {b"old"})
+        assert store.get(b"new") is None
+        assert store.get(b"old") == b"1"
+
 
 _ops = st.lists(
     st.one_of(

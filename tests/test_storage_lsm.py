@@ -1,0 +1,610 @@
+"""LSM storage engine tests: WAL crash-point sweep, SSTables, sealed
+manifest freshness (rollback/forged-future/mix-and-match refusal),
+model-based store equivalence, node restart-from-disk, snapshot
+state-sync, and the at-rest confidentiality byte-scan."""
+
+import os
+import shutil
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChainError, StorageError
+from repro.storage.lsm import (
+    BlockCache,
+    CounterFreshness,
+    LsmKV,
+    PlatformFreshness,
+    SSTableReader,
+    StorageSealer,
+    WriteAheadLog,
+    write_sstable,
+)
+from repro.storage.lsm.manifest import (
+    MANIFEST_NAME,
+    RootManifest,
+    read_manifest,
+    write_manifest,
+)
+from repro.storage.lsm.wal import replay_file
+
+
+def _wal_path(tmp_path, name="w.log"):
+    return os.path.join(str(tmp_path), name)
+
+
+def needles_for(blob: bytes) -> list[bytes]:
+    """Byte forms an at-rest leak would take inside storage files."""
+    return [blob, blob.hex().encode(), blob.hex().upper().encode()]
+
+
+class TestWriteAheadLog:
+    def test_roundtrip(self, tmp_path):
+        path = _wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        wal.append({b"a": b"1", b"b": b"2"})
+        wal.append({b"c": b"3"}, deletes={b"a"})
+        wal.close()
+        batches = replay_file(path)
+        assert batches == [
+            ({b"a": b"1", b"b": b"2"}, set()),
+            ({b"c": b"3"}, {b"a"}),
+        ]
+
+    def test_crash_point_sweep_every_byte(self, tmp_path):
+        """Truncating the log at EVERY byte offset must recover exactly
+        the longest prefix of complete batches — never a partial one."""
+        path = _wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        sizes = [
+            wal.append({f"k{i}".encode(): bytes([i]) * (i + 1)},
+                       deletes={b"dead"} if i % 2 else frozenset())
+            for i in range(5)
+        ]
+        wal.close()
+        with open(path, "rb") as f:
+            full = f.read()
+        assert sum(sizes) == len(full)
+        boundaries = [0]
+        for size in sizes:
+            boundaries.append(boundaries[-1] + size)
+        complete_at = lambda cut: sum(1 for b in boundaries[1:] if b <= cut)
+
+        for cut in range(len(full) + 1):
+            torn = _wal_path(tmp_path, f"cut-{cut}.log")
+            with open(torn, "wb") as f:
+                f.write(full[:cut])
+            batches = replay_file(torn)
+            assert len(batches) == complete_at(cut), f"cut at byte {cut}"
+            # Recovery truncated the file back to the record boundary.
+            assert os.path.getsize(torn) == boundaries[complete_at(cut)]
+
+    def test_bit_rot_drops_tail(self, tmp_path):
+        path = _wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        wal.append({b"keep": b"1"})
+        wal.append({b"lost": b"2"})
+        wal.close()
+        with open(path, "r+b") as f:
+            f.seek(-1, os.SEEK_END)
+            last = f.read(1)
+            f.seek(-1, os.SEEK_END)
+            f.write(bytes([last[0] ^ 0xFF]))
+        batches = replay_file(path)
+        assert batches == [({b"keep": b"1"}, set())]
+
+    def test_sealed_wal_tamper_is_not_torn(self, tmp_path):
+        """A record whose CRC verifies but whose seal does not open is
+        tampering (fail closed), not a torn tail (truncate quietly)."""
+        sealer = StorageSealer(b"k" * 16, identity=b"t")
+        path = _wal_path(tmp_path)
+        wal = WriteAheadLog(path, seq=3, sealer=sealer)
+        wal.append({b"a": b"1"})
+        wal.close()
+        # Replaying under the wrong WAL sequence breaks the seal AAD.
+        with pytest.raises(StorageError):
+            replay_file(path, seq=4, sealer=sealer)
+        # The right sequence opens fine.
+        assert replay_file(path, seq=3, sealer=sealer) == [({b"a": b"1"}, set())]
+
+
+class TestSSTable:
+    def _write(self, tmp_path, entries, sealer=None, block_bytes=64):
+        path = os.path.join(str(tmp_path), "seg.sst")
+        meta = write_sstable(path, 7, entries, sealer, block_bytes)
+        return path, meta
+
+    def test_roundtrip_with_tombstones(self, tmp_path):
+        entries = [(f"k{i:03d}".encode(), None if i % 5 == 0 else bytes([i]))
+                   for i in range(50)]
+        path, meta = self._write(tmp_path, entries)
+        reader = SSTableReader(path)
+        assert meta.count == 50
+        assert list(reader.items()) == entries
+        assert reader.get(b"k007") == (True, bytes([7]))
+        assert reader.get(b"k005") == (True, None)  # tombstone is a hit
+        assert reader.get(b"nope") == (False, None)
+        assert reader.verify_blocks() > 1  # small blocks -> several
+
+    def test_unsorted_entries_refused(self, tmp_path):
+        with pytest.raises(StorageError):
+            self._write(tmp_path, [(b"b", b"1"), (b"a", b"2")])
+
+    def test_sealed_reader_needs_matching_sealer(self, tmp_path):
+        sealer = StorageSealer(b"s" * 16, identity=b"node")
+        entries = [(b"alpha", b"one"), (b"beta", b"two")]
+        path, _ = self._write(tmp_path, entries, sealer=sealer)
+        assert list(SSTableReader(path, sealer).items()) == entries
+        with pytest.raises(StorageError):
+            SSTableReader(path, StorageSealer(b"x" * 16, identity=b"node"))
+        with pytest.raises(StorageError):
+            SSTableReader(path, StorageSealer(b"s" * 16, identity=b"other"))
+
+    def test_block_cache_hits(self, tmp_path):
+        entries = [(f"k{i:03d}".encode(), bytes([i])) for i in range(40)]
+        path, _ = self._write(tmp_path, entries)
+        cache = BlockCache(1 << 16)
+        reader = SSTableReader(path, cache=cache)
+        reader.get(b"k001")
+        reader.get(b"k002")  # same block -> cache hit
+        assert cache.hits >= 1
+        assert 0.0 < cache.hit_rate() <= 1.0
+        cache.drop_segment(reader.segment_id)
+        assert cache.used_bytes == 0
+
+
+class TestManifestFreshness:
+    def _store(self, tmp_path, epoch, counter=None, sealer=None):
+        manifest = RootManifest(epoch=epoch, wal_seq=epoch, segments=())
+        write_manifest(str(tmp_path), manifest, sealer, counter)
+        return manifest
+
+    def test_rollback_refused(self, tmp_path):
+        counter = CounterFreshness()
+        self._store(tmp_path, 1, counter)
+        old = open(os.path.join(str(tmp_path), MANIFEST_NAME), "rb").read()
+        self._store(tmp_path, 5, counter)
+        with open(os.path.join(str(tmp_path), MANIFEST_NAME), "wb") as f:
+            f.write(old)  # host restores the old manifest
+        with pytest.raises(StorageError, match="rollback"):
+            read_manifest(str(tmp_path), freshness=counter)
+
+    def test_forged_future_refused(self, tmp_path):
+        self._store(tmp_path, 9)
+        with pytest.raises(StorageError, match="ahead of the monotonic"):
+            read_manifest(str(tmp_path), freshness=CounterFreshness(5))
+
+    def test_crash_window_accepted(self, tmp_path):
+        # Manifest written but the process died before the counter
+        # advanced: epoch == counter + 1 is legitimate.
+        self._store(tmp_path, 6)
+        counter = CounterFreshness(5)
+        manifest = read_manifest(str(tmp_path), freshness=counter)
+        assert manifest.epoch == 6
+        assert counter.current() == 6  # re-advanced on accept
+
+    def test_missing_manifest_with_counter_refused(self, tmp_path):
+        with pytest.raises(StorageError, match="manifest missing"):
+            read_manifest(str(tmp_path), freshness=CounterFreshness(3))
+        assert read_manifest(str(tmp_path)) is None  # genuinely fresh
+
+    def test_platform_freshness_survives_process_death(self, tmp_path):
+        class FakePlatform:
+            pass
+
+        platform = FakePlatform()
+        counter = CounterFreshness()  # stand-in for the write path
+        self._store(tmp_path, 4, PlatformFreshness(platform))
+        # A "new process" builds a fresh PlatformFreshness over the same
+        # platform object and still sees the committed epoch.
+        assert PlatformFreshness(platform).current() == 4
+        del counter
+
+
+def _fill(kv, n=120, prefix=b"key"):
+    for i in range(n):
+        kv.put(prefix + f"{i:04d}".encode(), f"value-{i}".encode() * 3)
+
+
+class TestLsmKV:
+    def test_roundtrip_reopen(self, tmp_path):
+        d = str(tmp_path)
+        kv = LsmKV(d, memtable_bytes=512)
+        _fill(kv)
+        kv.delete(b"key0003")
+        kv.put(b"key0004", b"overwritten")
+        assert kv.stats_snapshot()["flushes"] > 0
+        expected = dict(kv.items())
+        kv.close()
+        reopened = LsmKV(d)
+        assert dict(reopened.items()) == expected
+        assert reopened.get(b"key0003") is None
+        assert reopened.get(b"key0004") == b"overwritten"
+        reopened.close()
+
+    def test_tombstone_shadows_older_segment(self, tmp_path):
+        kv = LsmKV(str(tmp_path), memtable_bytes=64, auto_compact=False)
+        kv.put(b"k", b"old")
+        kv.flush()
+        kv.delete(b"k")
+        kv.flush()  # tombstone lives in a newer segment
+        assert kv.get(b"k") is None
+        assert b"k" not in dict(kv.items())
+        kv.close()
+
+    def test_compaction_preserves_content(self, tmp_path):
+        kv = LsmKV(str(tmp_path), memtable_bytes=256, auto_compact=False)
+        _fill(kv, 200)
+        before = dict(kv.items())
+        segments_before = kv.live_segments
+        while kv.compact():
+            pass
+        assert kv.live_segments < segments_before
+        assert dict(kv.items()) == before
+        # Stale segment files are actually deleted from disk.
+        sst_files = [n for n in os.listdir(str(tmp_path)) if n.endswith(".sst")]
+        assert len(sst_files) == kv.live_segments
+        kv.close()
+
+    def test_block_batch_atomic_over_crash(self, tmp_path):
+        d = str(tmp_path)
+        kv = LsmKV(d)
+        kv.put(b"durable", b"yes")
+        with kv.block_batch():
+            kv.put(b"a", b"1")
+            kv.put(b"b", b"2")
+            assert kv.get(b"a") == b"1"  # visible inside the batch
+        with pytest.raises(RuntimeError):
+            with kv.block_batch():
+                kv.put(b"half", b"written")
+                raise RuntimeError("mid-block failure")
+        assert kv.get(b"half") is None  # discarded, never hit the WAL
+        kv.crash()
+        recovered = LsmKV(d)
+        assert recovered.get(b"durable") == b"yes"
+        assert recovered.get(b"a") == b"1"
+        assert recovered.get(b"b") == b"2"
+        assert recovered.get(b"half") is None
+        recovered.close()
+
+    def test_wal_crash_recovers_unflushed_writes(self, tmp_path):
+        d = str(tmp_path)
+        kv = LsmKV(d)
+        kv.put(b"memtable-only", b"v")
+        kv.crash()  # no flush: the WAL is the only durable copy
+        recovered = LsmKV(d)
+        assert recovered.get(b"memtable-only") == b"v"
+        assert recovered.stats_snapshot()["wal_recovered_batches"] >= 1
+        recovered.close()
+
+    def test_torn_wal_tail_recovers_prefix(self, tmp_path):
+        d = str(tmp_path)
+        kv = LsmKV(d)
+        kv.put(b"first", b"1")
+        kv.put(b"second", b"2")
+        kv.crash()
+        wal = [n for n in os.listdir(d) if n.endswith(".log")][0]
+        path = os.path.join(d, wal)
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 3)
+        recovered = LsmKV(d)
+        assert recovered.get(b"first") == b"1"
+        assert recovered.get(b"second") is None  # torn record dropped
+        assert recovered.stats.wal_truncated_bytes > 0
+        recovered.close()
+
+    def test_rollback_of_manifest_refused_on_open(self, tmp_path):
+        d = str(tmp_path)
+        counter = CounterFreshness()
+        kv = LsmKV(d, freshness=counter)
+        kv.put(b"a", b"1")
+        kv.close()  # flush -> manifest epoch advances
+        saved = open(os.path.join(d, MANIFEST_NAME), "rb").read()
+        kv = LsmKV(d, freshness=counter)
+        kv.put(b"b", b"2")
+        kv.close()
+        with open(os.path.join(d, MANIFEST_NAME), "wb") as f:
+            f.write(saved)  # host rolls the root manifest back
+        with pytest.raises(StorageError, match="rollback"):
+            LsmKV(d, freshness=counter)
+
+    def test_segment_substitution_refused_on_open(self, tmp_path):
+        d = str(tmp_path)
+        kv = LsmKV(d, auto_compact=False)
+        kv.put(b"epoch1", b"a" * 64)
+        kv.flush()
+        first = sorted(n for n in os.listdir(d) if n.endswith(".sst"))[0]
+        shutil.copyfile(os.path.join(d, first), os.path.join(d, "old.bak"))
+        kv.put(b"epoch2", b"b" * 64)
+        kv.flush()
+        kv.compact()
+        kv.close()
+        live = sorted(n for n in os.listdir(d) if n.endswith(".sst"))[-1]
+        shutil.copyfile(os.path.join(d, "old.bak"), os.path.join(d, live))
+        os.remove(os.path.join(d, "old.bak"))
+        with pytest.raises(StorageError, match="refused|missing"):
+            LsmKV(d)
+
+    def test_sealed_store_reopens_and_rejects_foreign_key(self, tmp_path):
+        d = str(tmp_path)
+        sealer = StorageSealer(b"p" * 16, identity=b"node-0")
+        kv = LsmKV(d, sealer=sealer)
+        _fill(kv, 30)
+        kv.close()
+        same = LsmKV(d, sealer=StorageSealer(b"p" * 16, identity=b"node-0"))
+        assert same.get(b"key0010") == b"value-10" * 3
+        assert same.sealed
+        same.close()
+        with pytest.raises(StorageError):
+            LsmKV(d, sealer=StorageSealer(b"q" * 16, identity=b"node-0"))
+        with pytest.raises(StorageError):
+            LsmKV(d)  # unsealed open of a sealed store
+
+    def test_sealed_at_rest_canary_scan(self, tmp_path):
+        """No secret byte sequence may appear in ANY storage file — WAL,
+        SSTables, or manifest — in raw or hex form."""
+        d = str(tmp_path)
+        secrets = [b"CANARY-balance-7777777", b"CANARY-acct-SSN-123-45-6789"]
+        sealer = StorageSealer(b"m" * 16, identity=b"scan")
+        kv = LsmKV(d, sealer=sealer, memtable_bytes=256, auto_compact=False)
+        for i, secret in enumerate(secrets * 10):
+            kv.put(f"s:{i:04d}".encode(), secret)
+        kv.flush()
+        kv.put(b"s:wal-only", secrets[0])  # stays in the WAL
+        kv.crash()  # leave the WAL un-flushed on disk
+        for name in sorted(os.listdir(d)):
+            with open(os.path.join(d, name), "rb") as f:
+                blob = f.read()
+            for secret in secrets:
+                for needle in needles_for(secret):
+                    assert needle not in blob, f"{needle!r} leaked in {name}"
+
+    def test_unsealed_store_does_leak(self, tmp_path):
+        """Sanity check of the scan itself: without a sealer the canary
+        IS on disk (so the sealed test above is actually measuring)."""
+        d = str(tmp_path)
+        kv = LsmKV(d)
+        kv.put(b"k", b"CANARY-plaintext-visible")
+        kv.flush()
+        kv.close()
+        blobs = b"".join(
+            open(os.path.join(d, n), "rb").read() for n in os.listdir(d)
+        )
+        assert b"CANARY-plaintext-visible" in blobs
+
+    def test_verify_and_stats(self, tmp_path):
+        kv = LsmKV(str(tmp_path), memtable_bytes=512)
+        _fill(kv, 60)
+        report = kv.verify()
+        assert report["segments"] == kv.live_segments
+        assert report["blocks_checked"] > 0
+        snap = kv.stats_snapshot()
+        assert snap["puts"] == 60
+        assert snap["manifest_epoch"] == kv.manifest_epoch
+        kv.close()
+        with pytest.raises(StorageError):
+            kv.put(b"late", b"write")  # closed store fails closed
+
+    def test_note_state_root_lands_in_manifest(self, tmp_path):
+        d = str(tmp_path)
+        kv = LsmKV(d)
+        kv.put(b"a", b"1")
+        kv.note_state_root(b"\xaa" * 32)
+        kv.flush()
+        kv.close()
+        reopened = LsmKV(d)
+        assert reopened.manifest_extra == b"\xaa" * 32
+        reopened.close()
+
+
+_lsm_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.binary(min_size=1, max_size=8),
+                  st.binary(max_size=24)),
+        st.tuples(st.just("delete"), st.binary(min_size=1, max_size=8),
+                  st.just(b"")),
+        st.tuples(st.just("flush"), st.just(b""), st.just(b"")),
+    ),
+    max_size=50,
+)
+
+
+class TestLsmModelBased:
+    @given(ops=_lsm_ops)
+    @settings(max_examples=25, deadline=None)
+    def test_lsm_matches_dict_after_reopen(self, ops, tmp_path_factory):
+        d = str(tmp_path_factory.mktemp("lsm"))
+        model: dict[bytes, bytes] = {}
+        kv = LsmKV(d, memtable_bytes=128)
+        for op, key, value in ops:
+            if op == "put":
+                kv.put(key, value)
+                model[key] = value
+            elif op == "delete":
+                kv.delete(key)
+                model.pop(key, None)
+            else:
+                kv.flush()
+        assert dict(kv.items()) == model
+        for key, value in model.items():
+            assert kv.get(key) == value
+        kv.close()
+        reopened = LsmKV(d)
+        assert dict(reopened.items()) == model
+        reopened.close()
+
+
+def _one_node_world(tmp_path, backend, num_blocks=3, snapshot_every=0):
+    from repro.chain.node import build_consortium
+    from repro.core.config import EngineConfig
+    from repro.lang import compile_source
+    from repro.workloads import Client
+
+    config = EngineConfig(storage_backend=backend,
+                          snapshot_every=snapshot_every)
+    data_dir = os.path.join(str(tmp_path), "node-0")
+    nodes, _ = build_consortium(1, config=config, data_dirs=[data_dir])
+    node = nodes[0]
+    client = Client.from_seed(b"storage-test")
+    pk = node.pk_tx
+    artifact = compile_source(
+        """
+        fn main() {
+            let v = alloc(8);
+            let n = storage_get("hits", 4, v, 8);
+            let count = 0;
+            if (n > 0) { count = load64(v); }
+            store64(v, count + 1);
+            storage_set("hits", 4, v, 8);
+            output(v, 8);
+        }
+        """,
+        "wasm",
+    )
+    tx, address = client.confidential_deploy(pk, artifact)
+    node.receive_transaction(tx)
+    node.preverify_pending()
+    node.apply_transactions(node.draft_block(max_bytes=1 << 20))
+    for _ in range(num_blocks - 1):
+        for _ in range(2):
+            node.receive_transaction(
+                client.confidential_call(pk, address, "main", b"")
+            )
+        node.preverify_pending()
+        applied = node.apply_transactions(node.draft_block(max_bytes=1 << 20))
+        for outcome in applied.report.outcomes:
+            assert outcome.receipt.success, outcome.receipt.error
+    return node, config, data_dir
+
+
+class TestNodeOnPersistentStorage:
+    @pytest.mark.parametrize("backend", ["appendlog", "lsm"])
+    def test_restart_from_disk_equivalence(self, tmp_path, backend):
+        """Acceptance: a node reopened from its on-disk store recovers
+        the exact chain — height, head hash, and state root."""
+        from repro.chain.node import Node, make_store
+
+        node, config, data_dir = _one_node_world(tmp_path, backend)
+        height = node.height
+        head = node.head_hash
+        root = node.state_root()
+        platform = node.confidential.platform
+        node.close()
+
+        kv = make_store(config, data_dir, platform)
+        restarted = Node(0, kv=kv, config=config, platform=platform)
+        restored = restarted.restore_chain_from_storage()
+        assert restored == height
+        assert restarted.height == height
+        assert restarted.head_hash == head
+        assert restarted.state_root() == root
+        restarted.close()
+
+    def test_lsm_manifest_binds_state_root(self, tmp_path):
+        node, _, _ = _one_node_world(tmp_path, "lsm")
+        root = node.state_root()
+        node.kv.flush()
+        assert node.kv.manifest_extra == root
+        node.close()
+
+    def test_node_close_releases_store(self, tmp_path):
+        node, config, data_dir = _one_node_world(tmp_path, "lsm",
+                                                 num_blocks=2)
+        platform = node.confidential.platform
+        node.close()
+        with pytest.raises(StorageError):
+            node.kv.put(b"after-close", b"x")
+        # And the directory can be reopened immediately (handles freed).
+        from repro.chain.node import make_store
+
+        make_store(config, data_dir, platform).close()
+
+    def test_snapshot_state_sync_equivalence(self, tmp_path):
+        """A fresh node bootstrapped via snapshot + tail replay ends up
+        bit-identical to the peer that executed every block."""
+        from repro.chain.node import build_consortium
+        from repro.lang import compile_source
+        from repro.workloads import Client
+
+        nodes, _ = build_consortium(2)
+        source_node, fresh = nodes
+        client = Client.from_seed(b"sync-test")
+        pk = source_node.pk_tx
+        artifact = compile_source(
+            "fn main() { let v = alloc(8); store64(v, 9); "
+            "storage_set(\"x\", 1, v, 8); output(v, 8); }",
+            "wasm",
+        )
+        tx, address = client.confidential_deploy(pk, artifact)
+        source_node.receive_transaction(tx)
+        source_node.preverify_pending()
+        source_node.apply_transactions(
+            source_node.draft_block(max_bytes=1 << 20))
+        for _ in range(2):
+            source_node.receive_transaction(
+                client.confidential_call(pk, address, "main", b""))
+            source_node.preverify_pending()
+            source_node.apply_transactions(
+                source_node.draft_block(max_bytes=1 << 20))
+        snap_height = source_node.write_snapshot()
+        # Two more blocks AFTER the snapshot: the state-sync tail.
+        for _ in range(2):
+            source_node.receive_transaction(
+                client.confidential_call(pk, address, "main", b""))
+            source_node.preverify_pending()
+            source_node.apply_transactions(
+                source_node.draft_block(max_bytes=1 << 20))
+
+        synced = fresh.state_sync_from(source_node)
+        assert synced == source_node.height
+        assert snap_height < source_node.height  # tail actually replayed
+        assert fresh.height == source_node.height
+        assert fresh.head_hash == source_node.head_hash
+        assert fresh.state_root() == source_node.state_root()
+        # Receipts for pre-snapshot blocks were adopted too.
+        assert fresh.receipts.keys() == source_node.receipts.keys()
+
+    def test_state_sync_rejects_tampered_snapshot(self, tmp_path):
+        from repro.chain.node import build_consortium
+
+        nodes, _ = build_consortium(2)
+        source_node, fresh = nodes
+        source_node.write_snapshot()
+        snap = source_node.latest_snapshot()
+        # Corrupt the advertised state root; install must refuse.
+        import dataclasses
+
+        bad = dataclasses.replace(snap, state_root=b"\x00" * 32)
+        source_node.write_snapshot()  # rewrite, then override in place
+        from repro.chain.node import _SNAPSHOT_KEY
+        from repro.storage import rlp
+
+        source_node.kv.put(_SNAPSHOT_KEY, rlp.encode([
+            rlp.encode_int(bad.height), bad.head_hash, bad.state_root,
+            [[k, v] for k, v in sorted(bad.items.items())],
+        ]))
+        with pytest.raises(ChainError, match="state root"):
+            fresh.state_sync_from(source_node)
+
+
+class TestSimOnLsm:
+    def test_crash_torn_faults_converge(self):
+        from repro.sim import SimConfig, run_sim
+
+        config = SimConfig(seed=7, steps=60, faults=frozenset({"crash", "torn"}),
+                           num_nodes=4, storage="lsm")
+        result = run_sim(config)
+        assert result.ok, result.failure_report()
+        assert len(set(result.final_state_roots.values())) == 1
+
+    def test_lsm_run_is_deterministic(self):
+        from repro.sim import SimConfig, run_sim
+
+        config = SimConfig(seed=11, steps=40,
+                           faults=frozenset({"crash", "torn"}),
+                           num_nodes=4, storage="lsm")
+        first = run_sim(config)
+        second = run_sim(config)
+        assert first.event_log_text == second.event_log_text
+        assert first.final_state_roots == second.final_state_roots
