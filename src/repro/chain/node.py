@@ -448,6 +448,10 @@ class Node:
                         f"state-sync block {height} transaction root mismatch"
                     )
                 receipt_blobs = peer.receipt_blobs_at(height)
+                if receipts_merkle_root(receipt_blobs) != header.receipts_root:
+                    raise ChainError(
+                        f"state-sync block {height} receipts root mismatch"
+                    )
                 self.kv.write_batch({
                     b"blk:" + header.block_hash: header.encode(),
                     _height_key(_BLOCK_DATA_PREFIX, height): block.encode(),

@@ -1,10 +1,22 @@
 """Size-tiered compaction.
 
+Segment **recency is manifest order**, not segment id: a flush appends
+the newest segment at the end of the manifest list, and a compaction
+replaces a contiguous run of segments with its merge *in place*, so the
+list stays sorted oldest-to-newest even though merge outputs carry
+fresh (high) segment ids.  Reads and merges must therefore rank
+segments by manifest position — ranking by id would let a merge output
+shadow newer unmerged segments.
+
 Segments are bucketed by size tier (powers of ``tier_base`` over the
-flush size); when a tier accumulates ``fanin`` segments they are merged
-into one, newest value per key winning.  Tombstones are dropped only
-when the merge includes the oldest live segment (nothing older can hold
-a value the tombstone still needs to shadow).
+flush size); when a tier accumulates ``fanin`` *age-contiguous*
+segments they are merged into one, newest version per key winning.
+Contiguity is required for correctness: merging around an interleaved
+segment from another tier would fold values older and newer than it
+into one output, destroying the age ordering the read path relies on.
+Tombstones are dropped only when the run starts at the oldest live
+segment (nothing older can hold a value the tombstone still needs to
+shadow).
 
 Compaction runs opportunistically, piggybacked on flush commits — there
 is no background thread, so the store stays deterministic for the fault
@@ -22,9 +34,11 @@ from repro.storage.lsm.manifest import SegmentRecord
 
 @dataclass(frozen=True)
 class CompactionPlan:
-    """Which segments to merge, and whether tombstones may drop."""
+    """Which segments to merge, where the merge output lands in the
+    manifest order, and whether tombstones may drop."""
 
     segment_ids: tuple[int, ...]
+    position: int  # manifest index of the oldest merged segment
     drop_tombstones: bool
 
 
@@ -43,52 +57,63 @@ def plan_compaction(
     fanin: int = 4,
     tier_base: int = 4,
 ) -> CompactionPlan | None:
-    """Pick the fullest overfull tier (lowest first, so small merges
-    happen before they cascade)."""
+    """Pick the oldest ``fanin`` segments of the lowest overfull
+    age-contiguous same-tier run (lowest tier first, so small merges
+    happen before they cascade).
+
+    ``segments`` must be in manifest (oldest-to-newest) order.
+    """
     if len(segments) < fanin:
         return None
-    tiers: dict[int, list[SegmentRecord]] = {}
-    for segment in segments:
-        tiers.setdefault(
-            _tier(segment.size, flush_bytes, tier_base), []
-        ).append(segment)
-    oldest_id = min(s.segment_id for s in segments)
-    for tier in sorted(tiers):
-        group = tiers[tier]
-        if len(group) >= fanin:
-            chosen = sorted(group, key=lambda s: s.segment_id)[:fanin]
-            chosen_ids = tuple(s.segment_id for s in chosen)
-            return CompactionPlan(
-                chosen_ids, drop_tombstones=oldest_id in chosen_ids
-            )
-    return None
+    tiers = [_tier(s.size, flush_bytes, tier_base) for s in segments]
+    # Maximal runs of adjacent same-tier segments: (tier, start, length).
+    runs: list[tuple[int, int, int]] = []
+    start = 0
+    for i in range(1, len(segments) + 1):
+        if i == len(segments) or tiers[i] != tiers[start]:
+            runs.append((tiers[start], start, i - start))
+            start = i
+    candidates = [run for run in runs if run[2] >= fanin]
+    if not candidates:
+        return None
+    _, start, _ = min(candidates)  # lowest tier, then oldest run
+    chosen = segments[start:start + fanin]
+    return CompactionPlan(
+        segment_ids=tuple(s.segment_id for s in chosen),
+        position=start,
+        # Only the oldest-prefix run has nothing older to shadow.
+        drop_tombstones=start == 0,
+    )
 
 
 def merge_entries(readers, drop_tombstones: bool):
     """K-way merge of sorted segment iterators, newest segment winning.
 
-    ``readers`` are (segment_id, iterator-of-(key, value_or_None)); the
-    output is strictly sorted and ready for :func:`write_sstable`.
+    ``readers`` are (recency_rank, iterator-of-(key, value_or_None))
+    where a higher rank means a newer segment — the caller passes
+    manifest positions, since segment ids do not track age across
+    compactions.  The output is strictly sorted and ready for
+    :func:`write_sstable`.
     """
     counter = itertools.count()  # heap tiebreaker; values never compare
     heap: list[tuple[bytes, int, int, bytes | None, object]] = []
 
-    def push(neg_id: int, iterator) -> None:
+    def push(neg_rank: int, iterator) -> None:
         for key, value in iterator:
-            heapq.heappush(heap, (key, neg_id, next(counter), value, iterator))
+            heapq.heappush(heap, (key, neg_rank, next(counter), value, iterator))
             return
 
-    for segment_id, iterator in readers:
-        # Higher segment_id == newer; negated so the newest version of a
-        # key pops first.
-        push(-segment_id, iter(iterator))
+    for rank, iterator in readers:
+        # Higher rank == newer; negated so the newest version of a key
+        # pops first.
+        push(-rank, iter(iterator))
     while heap:
-        key, neg_id, _, value, iterator = heapq.heappop(heap)
+        key, neg_rank, _, value, iterator = heapq.heappop(heap)
         # Discard every older version of the same key, advancing the
         # iterators they came from.
         while heap and heap[0][0] == key:
-            _, stale_neg_id, _, _, stale_iter = heapq.heappop(heap)
-            push(stale_neg_id, stale_iter)
+            _, stale_neg_rank, _, _, stale_iter = heapq.heappop(heap)
+            push(stale_neg_rank, stale_iter)
         if not (value is None and drop_tombstones):
             yield key, value
-        push(neg_id, iterator)
+        push(neg_rank, iterator)

@@ -131,7 +131,7 @@ class LsmKV(KVStore):
         manifest = read_manifest(directory, sealer, freshness)
         if manifest is None:
             manifest = RootManifest(epoch=1, wal_seq=0, segments=())
-            write_manifest(directory, manifest, sealer, freshness)
+            write_manifest(directory, manifest, sealer, freshness, sync=sync)
         else:
             verify_segments(directory, manifest)
         self._manifest = manifest
@@ -193,8 +193,10 @@ class LsmKV(KVStore):
             present, value = self._memtable.get(key)
             if present:
                 return value if value is not TOMBSTONE else None
-            for segment_id in sorted(self._readers, reverse=True):
-                found, value = self._readers[segment_id].get(key)
+            # Manifest order is age order; segment ids are not (a merge
+            # output has a fresh id but old content).
+            for record in reversed(self._manifest.segments):
+                found, value = self._readers[record.segment_id].get(key)
                 if found:
                     return value
             return None
@@ -235,8 +237,8 @@ class LsmKV(KVStore):
         with self._lock:
             self._require_open()
             merged: dict[bytes, bytes | None] = {}
-            for segment_id in sorted(self._readers):  # oldest first
-                for key, value in self._readers[segment_id].items():
+            for record in self._manifest.segments:  # oldest first
+                for key, value in self._readers[record.segment_id].items():
                     merged[key] = value
             for key, value in self._memtable.items():
                 merged[key] = value
@@ -297,6 +299,7 @@ class LsmKV(KVStore):
             meta = write_sstable(
                 _segment_path(self.directory, segment_id), segment_id,
                 self._memtable.items_sorted(), self._sealer, self._block_bytes,
+                sync=self._sync,
             )
             segments = tuple(self._manifest.segments) + (
                 SegmentRecord.from_meta(meta),
@@ -322,7 +325,8 @@ class LsmKV(KVStore):
             segments=segments,
             extra=self._manifest.extra if extra is None else extra,
         )
-        write_manifest(self.directory, manifest, self._sealer, self._freshness)
+        write_manifest(self.directory, manifest, self._sealer,
+                       self._freshness, sync=self._sync)
         self._manifest = manifest
         if wal_seq != old_wal.seq:
             old_wal.close()
@@ -356,8 +360,8 @@ class LsmKV(KVStore):
             if plan is None:
                 return False
             readers = [
-                (segment_id, self._readers[segment_id].items())
-                for segment_id in plan.segment_ids
+                (rank, self._readers[chosen_id].items())
+                for rank, chosen_id in enumerate(plan.segment_ids)
             ]
             segment_id = self._next_segment_id
             self._next_segment_id += 1
@@ -367,12 +371,16 @@ class LsmKV(KVStore):
             meta = write_sstable(
                 _segment_path(self.directory, segment_id), segment_id,
                 merge_entries(readers, plan.drop_tombstones),
-                self._sealer, self._block_bytes,
+                self._sealer, self._block_bytes, sync=self._sync,
             )
-            survivors = tuple(
-                record for record in self._manifest.segments
-                if record.segment_id not in plan.segment_ids
-            ) + (SegmentRecord.from_meta(meta),)
+            # The merged output takes the run's slot in the manifest
+            # order, keeping the list sorted oldest-to-newest.
+            old = self._manifest.segments
+            survivors = (
+                old[:plan.position]
+                + (SegmentRecord.from_meta(meta),)
+                + old[plan.position + len(plan.segment_ids):]
+            )
             self._commit_manifest(survivors, self._manifest.wal_seq)
             for stale_id in plan.segment_ids:
                 self._readers.pop(stale_id)

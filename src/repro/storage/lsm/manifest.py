@@ -37,6 +37,7 @@ from repro.errors import StorageError
 from repro.storage import rlp
 from repro.storage.lsm.seal import StorageSealer
 from repro.storage.lsm.sstable import SegmentMeta
+from repro.storage.lsm.wal import fsync_dir
 
 MANIFEST_NAME = "MANIFEST"
 
@@ -144,8 +145,14 @@ def write_manifest(
     manifest: RootManifest,
     sealer: StorageSealer | None = None,
     freshness=None,
+    sync: bool = False,
 ) -> None:
-    """Commit one epoch atomically (write tmp, fsync, rename, advance)."""
+    """Commit one epoch atomically (write tmp, fsync, rename, advance).
+
+    With ``sync`` the directory is fsynced after the rename — without
+    it, power loss can forget the rename itself and silently revert the
+    store to the previous epoch.
+    """
     body = manifest.encode()
     if sealer is not None:
         body = sealer.seal(body, _context(manifest.epoch))
@@ -157,6 +164,8 @@ def write_manifest(
         f.flush()
         os.fsync(f.fileno())
     os.replace(tmp, os.path.join(directory, MANIFEST_NAME))
+    if sync:
+        fsync_dir(directory)
     if freshness is not None:
         freshness.advance(manifest.epoch)
 

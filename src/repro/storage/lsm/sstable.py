@@ -33,7 +33,7 @@ from repro.errors import StorageError
 from repro.storage import rlp
 from repro.storage.lsm.cache import BlockCache
 from repro.storage.lsm.seal import StorageSealer
-from repro.storage.lsm.wal import OP_DELETE, OP_PUT
+from repro.storage.lsm.wal import OP_DELETE, OP_PUT, fsync_dir
 
 _BLOCK_FRAME = struct.Struct(">II")  # crc32, length
 _FOOTER = struct.Struct(">QQIQIQII")
@@ -108,8 +108,10 @@ def write_sstable(
     entries,  # iterable of (key, value_or_TOMBSTONE), sorted by key
     sealer: StorageSealer | None = None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
+    sync: bool = False,
 ) -> "SegmentMeta":
-    """Write one immutable segment; returns its metadata."""
+    """Write one immutable segment; returns its metadata.  ``sync``
+    additionally fsyncs the directory so the rename survives power loss."""
     blocks: list[bytes] = []
     index: list[list[bytes]] = []
     keys: list[bytes] = []
@@ -179,6 +181,8 @@ def write_sstable(
         f.flush()
         os.fsync(f.fileno())
     os.replace(tmp, path)
+    if sync:
+        fsync_dir(os.path.dirname(path))
     size = os.path.getsize(path)
     with open(path, "rb") as f:
         checksum = zlib.crc32(f.read())

@@ -14,7 +14,10 @@ half a block.
 The payload is an RLP list ``[[op, key, value], ...]`` (op ``\\x01`` put,
 ``\\x02`` delete), optionally sealed: with a :class:`StorageSealer` the
 record payload on disk is AES-GCM ciphertext whose AAD binds the WAL
-sequence number, so records cannot be spliced between log generations.
+sequence number *and the record's index within the generation*, so
+records can neither be spliced between log generations nor reordered,
+duplicated, or dropped within one — recovery opens record *i* under
+index *i*, and any displaced record fails authentication.
 
 A CRC/short-read failure at the tail is *torn-write tolerance*
 (truncate and continue); a record whose CRC verifies but whose seal does
@@ -36,6 +39,15 @@ OP_PUT = b"\x01"
 OP_DELETE = b"\x02"
 
 _MAX_RECORD = 1 << 28  # 256 MB sanity bound on one batch
+
+
+def fsync_dir(directory: str) -> None:
+    """Flush a directory entry (new file / rename) to stable storage."""
+    fd = os.open(directory or ".", os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _encode_batch(puts: dict[bytes, bytes], deletes) -> bytes:
@@ -75,24 +87,37 @@ class WriteAheadLog:
         seq: int = 0,
         sync: bool = False,
         sealer: StorageSealer | None = None,
+        read_only: bool = False,
     ):
         self.path = path
         self.seq = seq
         self._sync = sync
         self._sealer = sealer
+        self._read_only = read_only
         self.bytes_written = 0
         self.records_written = 0
         self.truncated_bytes = 0
         self.recovered: list[tuple[dict[bytes, bytes], set[bytes]]] = []
-        if os.path.exists(path):
+        existed = os.path.exists(path)
+        if existed:
             self._recover()
-        self._file = open(path, "ab")
+        # Appends continue the per-generation record index where the
+        # recovered (post-truncation) prefix left off.
+        self._next_index = len(self.recovered)
+        if read_only:
+            self._file = None
+        else:
+            self._file = open(path, "ab")
+            if sync and not existed:
+                fsync_dir(os.path.dirname(path))
 
-    def _context(self) -> bytes:
-        return b"wal:" + self.seq.to_bytes(8, "big")
+    def _context(self, index: int) -> bytes:
+        return (b"wal:" + self.seq.to_bytes(8, "big")
+                + b":" + index.to_bytes(8, "big"))
 
     def _recover(self) -> None:
-        """Replay complete records; truncate a torn tail in place."""
+        """Replay complete records; truncate a torn tail in place
+        (unless the log was opened ``read_only``)."""
         good_end = 0
         with open(self.path, "rb") as f:
             data = f.read()
@@ -111,23 +136,30 @@ class WriteAheadLog:
                 break  # torn or bit-rotted tail record
             if self._sealer is not None:
                 # CRC says the record is complete; a seal that will not
-                # open is tampering, not a torn write.
-                payload = self._sealer.open(payload, self._context())
+                # open is tampering, not a torn write.  The AAD index
+                # also makes reordered/dropped/duplicated interior
+                # records fail here.
+                payload = self._sealer.open(
+                    payload, self._context(len(self.recovered))
+                )
             self.recovered.append(_decode_batch(payload))
             pos += _FRAME.size + length
             good_end = pos
         if good_end < len(data):
             self.truncated_bytes = len(data) - good_end
-            with open(self.path, "r+b") as f:
-                f.truncate(good_end)
+            if not self._read_only:
+                with open(self.path, "r+b") as f:
+                    f.truncate(good_end)
 
     def append(self, puts: dict[bytes, bytes], deletes=frozenset()) -> int:
         """Durably frame one batch; returns bytes appended."""
         if self._file is None:
-            raise StorageError("WAL is closed")
+            raise StorageError(
+                "WAL is read-only" if self._read_only else "WAL is closed"
+            )
         payload = _encode_batch(puts, deletes)
         if self._sealer is not None:
-            payload = self._sealer.seal(payload, self._context())
+            payload = self._sealer.seal(payload, self._context(self._next_index))
         frame = _FRAME.pack(
             zlib.crc32(struct.pack(">I", len(payload)) + payload), len(payload)
         )
@@ -138,6 +170,7 @@ class WriteAheadLog:
             os.fsync(self._file.fileno())
         self.bytes_written += len(record)
         self.records_written += 1
+        self._next_index += 1
         return len(record)
 
     def close(self) -> None:
@@ -161,9 +194,8 @@ class WriteAheadLog:
 def replay_file(
     path: str, seq: int = 0, sealer: StorageSealer | None = None
 ) -> list[tuple[dict[bytes, bytes], set[bytes]]]:
-    """Recover a WAL file read-only (used by ``repro db verify``)."""
-    wal = WriteAheadLog(path, seq=seq, sealer=sealer)
-    try:
-        return list(wal.recovered)
-    finally:
-        wal.close()
+    """Recover a WAL file read-only (used by ``repro db verify``):
+    a torn tail is skipped, not truncated, and the file is never opened
+    for writing, so verifying a live WAL cannot mutate it."""
+    wal = WriteAheadLog(path, seq=seq, sealer=sealer, read_only=True)
+    return list(wal.recovered)

@@ -77,7 +77,10 @@ class TestWriteAheadLog:
                 f.write(full[:cut])
             batches = replay_file(torn)
             assert len(batches) == complete_at(cut), f"cut at byte {cut}"
-            # Recovery truncated the file back to the record boundary.
+            # replay_file is read-only: the torn tail is left in place.
+            assert os.path.getsize(torn) == cut
+            # A writable open truncates back to the record boundary.
+            WriteAheadLog(torn).close()
             assert os.path.getsize(torn) == boundaries[complete_at(cut)]
 
     def test_bit_rot_drops_tail(self, tmp_path):
@@ -107,6 +110,68 @@ class TestWriteAheadLog:
             replay_file(path, seq=4, sealer=sealer)
         # The right sequence opens fine.
         assert replay_file(path, seq=3, sealer=sealer) == [({b"a": b"1"}, set())]
+
+    def _sealed_records(self, tmp_path, count=3):
+        """A sealed WAL plus the byte span of each record."""
+        sealer = StorageSealer(b"k" * 16, identity=b"t")
+        path = _wal_path(tmp_path)
+        wal = WriteAheadLog(path, seq=1, sealer=sealer)
+        sizes = [wal.append({f"k{i}".encode(): bytes([i])}) for i in range(count)]
+        wal.close()
+        with open(path, "rb") as f:
+            data = f.read()
+        records, offset = [], 0
+        for size in sizes:
+            records.append(data[offset:offset + size])
+            offset += size
+        return sealer, path, records
+
+    def test_sealed_wal_rejects_reordered_records(self, tmp_path):
+        """The seal AAD binds each record's index, so a host swapping
+        two interior records within one generation is caught."""
+        sealer, path, records = self._sealed_records(tmp_path)
+        with open(path, "wb") as f:
+            f.write(records[1] + records[0] + records[2])
+        with pytest.raises(StorageError, match="authentication"):
+            replay_file(path, seq=1, sealer=sealer)
+
+    def test_sealed_wal_rejects_dropped_and_duplicated_records(self, tmp_path):
+        sealer, path, records = self._sealed_records(tmp_path)
+        with open(path, "wb") as f:  # interior record silently dropped
+            f.write(records[0] + records[2])
+        with pytest.raises(StorageError, match="authentication"):
+            replay_file(path, seq=1, sealer=sealer)
+        with open(path, "wb") as f:  # interior record replayed twice
+            f.write(records[0] + records[1] + records[1] + records[2])
+        with pytest.raises(StorageError, match="authentication"):
+            replay_file(path, seq=1, sealer=sealer)
+
+    def test_sealed_wal_append_after_recovery_keeps_indices(self, tmp_path):
+        """Reopening a sealed WAL continues the record index where the
+        recovered prefix ended, so the whole generation replays."""
+        sealer, path, _ = self._sealed_records(tmp_path, count=2)
+        wal = WriteAheadLog(path, seq=1, sealer=sealer)
+        assert len(wal.recovered) == 2
+        wal.append({b"later": b"3"})
+        wal.close()
+        assert len(replay_file(path, seq=1, sealer=sealer)) == 3
+
+    def test_replay_file_is_read_only(self, tmp_path):
+        """`repro db verify` must not mutate the WAL it inspects: a
+        torn tail is skipped during replay, never truncated."""
+        path = _wal_path(tmp_path)
+        wal = WriteAheadLog(path)
+        wal.append({b"a": b"1"})
+        wal.close()
+        with open(path, "ab") as f:
+            f.write(b"\xde\xad\xbe")  # torn tail
+        size = os.path.getsize(path)
+        assert replay_file(path) == [({b"a": b"1"}, set())]
+        assert os.path.getsize(path) == size
+        # And a read-only log refuses writes outright.
+        ro = WriteAheadLog(path, read_only=True)
+        with pytest.raises(StorageError, match="read-only"):
+            ro.append({b"x": b"y"})
 
 
 class TestSSTable:
@@ -246,6 +311,61 @@ class TestLsmKV:
         sst_files = [n for n in os.listdir(str(tmp_path)) if n.endswith(".sst")]
         assert len(sst_files) == kv.live_segments
         kv.close()
+
+    def test_tombstone_not_resurrected_across_tiers(self, tmp_path):
+        """Tombstone GC soundness: a tier-0 merge must keep a tombstone
+        whose deleted value still lives in an older tier-1 segment."""
+        kv = LsmKV(str(tmp_path), memtable_bytes=1000,
+                   compaction_fanin=4, auto_compact=False)
+        kv.put(b"filler0", b"x")
+        kv.flush()                       # tier-0 segment, oldest
+        kv.put(b"big", b"v" * 3000)      # auto-flushes into tier 1
+        kv.delete(b"big")
+        kv.flush()                       # tombstone in a tier-0 segment
+        for name in (b"f4", b"f5", b"f6"):
+            kv.put(name, b"x")
+            kv.flush()
+        assert kv.compact()              # merges a tier-0 run
+        assert kv.get(b"big") is None    # tombstone still shadows tier 1
+        assert b"big" not in dict(kv.items())
+        kv.close()
+        reopened = LsmKV(str(tmp_path))
+        assert reopened.get(b"big") is None
+        reopened.close()
+
+    def test_compaction_output_does_not_shadow_newer_segment(self, tmp_path):
+        """A merge output carries a fresh segment id but OLD content; it
+        must not outrank an unmerged newer segment on reads."""
+        kv = LsmKV(str(tmp_path), memtable_bytes=1 << 20,
+                   compaction_fanin=4, auto_compact=False)
+        kv.put(b"k", b"old")
+        kv.flush()
+        for i in range(3):
+            kv.put(f"f{i}".encode(), b"x")
+            kv.flush()
+        kv.put(b"k", b"new")
+        kv.flush()                       # newest segment, not merged
+        assert kv.compact()              # merges the 4 oldest segments
+        assert kv.get(b"k") == b"new"
+        assert dict(kv.items())[b"k"] == b"new"
+        kv.close()
+        reopened = LsmKV(str(tmp_path))
+        assert reopened.get(b"k") == b"new"
+        reopened.close()
+
+    def test_sync_durability_roundtrip(self, tmp_path):
+        """sync=True (file + directory fsync on every rename/creation)
+        must compose with flush, compaction, and reopen."""
+        d = str(tmp_path)
+        kv = LsmKV(d, sync=True, memtable_bytes=256, auto_compact=False)
+        _fill(kv, 40)
+        while kv.compact():
+            pass
+        expected = dict(kv.items())
+        kv.close()
+        reopened = LsmKV(d, sync=True)
+        assert dict(reopened.items()) == expected
+        reopened.close()
 
     def test_block_batch_atomic_over_crash(self, tmp_path):
         d = str(tmp_path)
@@ -585,6 +705,32 @@ class TestNodeOnPersistentStorage:
             [[k, v] for k, v in sorted(bad.items.items())],
         ]))
         with pytest.raises(ChainError, match="state root"):
+            fresh.state_sync_from(source_node)
+
+    def test_state_sync_rejects_forged_receipts(self, tmp_path):
+        """Adopted blocks' receipts must recompute to the header's
+        receipts root — a lying peer cannot feed forged receipts."""
+        from repro.chain.node import build_consortium
+        from repro.lang import compile_source
+        from repro.workloads import Client
+
+        nodes, _ = build_consortium(2)
+        source_node, fresh = nodes
+        client = Client.from_seed(b"forged-receipts")
+        artifact = compile_source(
+            "fn main() { let v = alloc(8); store64(v, 1); output(v, 8); }",
+            "wasm",
+        )
+        tx, _ = client.confidential_deploy(source_node.pk_tx, artifact)
+        source_node.receive_transaction(tx)
+        source_node.preverify_pending()
+        source_node.apply_transactions(
+            source_node.draft_block(max_bytes=1 << 20))
+        source_node.write_snapshot()
+        forged = [b"forged-receipt"] * len(
+            source_node.receipt_blobs_at(1))
+        source_node._receipt_blobs_by_height[1] = forged
+        with pytest.raises(ChainError, match="receipts root"):
             fresh.state_sync_from(source_node)
 
 
