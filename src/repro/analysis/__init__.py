@@ -1,19 +1,40 @@
-"""Deploy-time static analysis (taint + bytecode verification).
+"""Deploy-time static analysis (taint + bytecode verification + flow).
 
-Two cooperating passes guard deploy admission:
+Three cooperating passes guard deploy admission:
 
-- :mod:`repro.analysis.taint` — confidentiality information-flow
+- :mod:`repro.analysis.taint` — Pass 1: confidentiality information-flow
   analysis over CWScript source (paper §4's ``confidential`` promise,
   enforced on the *code*);
-- :mod:`repro.analysis.verifier` — structural verification of untrusted
-  WASM/EVM artifacts (the compile-time ``validate_module`` guarantees,
-  re-established against byzantine deploy blobs).
+- :mod:`repro.analysis.verifier` — Pass 2: structural verification of
+  untrusted WASM/EVM artifacts (the compile-time ``validate_module``
+  guarantees, re-established against byzantine deploy blobs);
+- :mod:`repro.analysis.bytecode_flow` — Pass 3: confidentiality-flow
+  abstract interpretation over the artifacts themselves, so sourceless
+  deploys still get leak analysis (plus static resource bounds and the
+  ``PathConstraints`` fuzzer hook).
 
-Run them from the CLI with ``repro analyze``; the engines run them
-automatically inside deploy admission (see ``core/engine.py``).
+Run them from the CLI with ``repro analyze`` (``--bytecode`` for
+Pass 2+3 standalone); the engines run them automatically inside deploy
+admission (see ``core/engine.py``).
 """
 
+from repro.analysis.bytecode_flow import (
+    BytecodeFlowResult,
+    PathConstraint,
+    PathConstraints,
+    analyze_artifact,
+    analyze_evm_bytecode,
+    analyze_wasm_module,
+    build_bytecode_policy,
+    flow_verify_artifact,
+)
 from repro.analysis.report import (
+    FLOW_CALL_CONTRACT,
+    FLOW_KINDS,
+    FLOW_LOG,
+    FLOW_OUTPUT,
+    FLOW_REVERT,
+    FLOW_STORAGE_SET,
     KIND_BYTECODE,
     SINK_CALL_CONTRACT,
     SINK_LOG,
@@ -23,6 +44,7 @@ from repro.analysis.report import (
     AnalysisReport,
     Declassification,
     Finding,
+    FunctionResources,
 )
 from repro.analysis.taint import (
     CCLE_PREFIX,
@@ -45,11 +67,21 @@ from repro.errors import AnalysisError
 __all__ = [
     "AnalysisError",
     "AnalysisReport",
+    "BytecodeFlowResult",
     "CCLE_PREFIX",
     "Declassification",
+    "FLOW_CALL_CONTRACT",
+    "FLOW_KINDS",
+    "FLOW_LOG",
+    "FLOW_OUTPUT",
+    "FLOW_REVERT",
+    "FLOW_STORAGE_SET",
     "Finding",
+    "FunctionResources",
     "HOST_WHITELIST",
     "KIND_BYTECODE",
+    "PathConstraint",
+    "PathConstraints",
     "Policy",
     "SINK_CALL_CONTRACT",
     "SINK_LOG",
@@ -57,11 +89,16 @@ __all__ = [
     "SINK_QUERY_RETURN",
     "SINK_STORAGE_SET",
     "TaintAnalyzer",
+    "analyze_artifact",
+    "analyze_evm_bytecode",
     "analyze_program",
     "analyze_source",
+    "analyze_wasm_module",
+    "build_bytecode_policy",
     "build_policy",
     "check_artifact",
     "extract_directives",
+    "flow_verify_artifact",
     "verify_artifact",
     "verify_evm",
     "verify_module",

@@ -20,31 +20,69 @@ SINK_QUERY_RETURN = "query_return"
 #: finding kind produced by the bytecode verifier
 KIND_BYTECODE = "bytecode"
 
+#: finding kinds produced by the bytecode confidentiality-flow pass
+#: (Pass 3) — one per public sink, so fixtures pin exact leak classes.
+FLOW_STORAGE_SET = "flow_storage_set"
+FLOW_LOG = "flow_log"
+FLOW_OUTPUT = "flow_output"
+FLOW_REVERT = "flow_revert"
+FLOW_CALL_CONTRACT = "flow_call_contract"
+
+FLOW_KINDS = (
+    FLOW_STORAGE_SET, FLOW_LOG, FLOW_OUTPUT, FLOW_REVERT,
+    FLOW_CALL_CONTRACT,
+)
+
 
 @dataclass(frozen=True)
 class Finding:
     """One confidential-to-public flow or structural defect."""
 
-    kind: str            # sink kind or 'bytecode'
+    kind: str            # sink kind, flow kind, or 'bytecode'
     message: str
     function: str = ""   # CWScript function containing the sink
     line: int = 0
     column: int = 0
     detail: str = ""     # e.g. the static storage-key prefix
+    # Bytecode-level context (source-pass findings leave the defaults):
+    pc: int = -1         # instruction index (wasm) / byte offset (evm)
+    window: str = ""     # rendered instruction window around ``pc``
 
     def location(self) -> str:
         if self.line:
             return f"{self.function or '?'} (line {self.line}, col {self.column})"
+        if self.pc >= 0:
+            return f"{self.function or 'artifact'} (pc {self.pc})"
         return self.function or "artifact"
 
 
 @dataclass(frozen=True)
 class Declassification:
-    """An audited ``declassify(...)`` escape hatch the analyzer honoured."""
+    """An audited ``declassify(...)`` escape hatch the analyzer honoured.
+
+    Source-pass sites carry (line, column); bytecode-pass sites carry the
+    instruction index in ``line`` with ``column`` left at 0.
+    """
 
     function: str
     line: int
     column: int
+
+
+@dataclass(frozen=True)
+class FunctionResources:
+    """Static resource bounds for one bytecode function (Pass 3).
+
+    ``cycle_estimate`` is the worst-case acyclic-path cost under the
+    CycleAccountant cost table; when ``has_loops`` is set it bounds one
+    iteration of the widest loop-free path, not the whole execution.
+    """
+
+    function: str
+    max_stack: int
+    memory_high_water: int  # highest statically-reachable byte address
+    cycle_estimate: int
+    has_loops: bool
 
 
 @dataclass
@@ -57,6 +95,7 @@ class AnalysisReport:
     sources_seen: list[str] = field(default_factory=list)  # conf key prefixes hit
     functions_analyzed: int = 0
     verifier_checks: int = 0
+    resources: list[FunctionResources] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -70,6 +109,7 @@ class AnalysisReport:
                 self.sources_seen.append(src)
         self.functions_analyzed += other.functions_analyzed
         self.verifier_checks += other.verifier_checks
+        self.resources.extend(other.resources)
 
     def to_dict(self) -> dict:
         return {
@@ -80,6 +120,7 @@ class AnalysisReport:
             "sources_seen": list(self.sources_seen),
             "functions_analyzed": self.functions_analyzed,
             "verifier_checks": self.verifier_checks,
+            "resources": [asdict(r) for r in self.resources],
         }
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from repro.analysis.report import KIND_BYTECODE, AnalysisReport, Finding
 from repro.errors import AnalysisError, VMError
 from repro.vm import host as host_mod
+from repro.vm.disasm import evm_instruction_window, wasm_instruction_window
 from repro.vm.evm import opcodes as evm_op
 from repro.vm.wasm import opcodes as op
 from repro.vm.wasm.module import Module, decode_module, validate_module
@@ -86,8 +87,10 @@ for _o in _STORE_OPS:
     STACK_EFFECTS[_o] = (2, 0)
 
 
-def _finding(message: str, detail: str = "") -> Finding:
-    return Finding(kind=KIND_BYTECODE, message=message, detail=detail)
+def _finding(message: str, detail: str = "", function: str = "",
+             pc: int = -1, window: str = "") -> Finding:
+    return Finding(kind=KIND_BYTECODE, message=message, detail=detail,
+                   function=function, pc=pc, window=window)
 
 
 # -- CONFIDE-VM (wasm) --------------------------------------------------------
@@ -98,13 +101,20 @@ def _verify_wasm_function(module: Module, fidx: int) -> list[Finding]:
     code = func.code
     size = len(code)
     findings: list[Finding] = []
+    exports = {index: name for name, index in module.exports.items()}
+    label = exports.get(fidx, f"func_{fidx}")
     where = f"function {fidx}"
     if func.nresults not in (0, 1):
-        return [_finding(f"{where}: nresults must be 0 or 1, got {func.nresults}")]
+        return [_finding(f"{where}: nresults must be 0 or 1, got {func.nresults}",
+                         function=label)]
     if func.nparams + func.nlocals > MAX_FUNCTION_VARS:
-        return [_finding(f"{where}: too many locals")]
+        return [_finding(f"{where}: too many locals", function=label)]
     if size > MAX_FUNCTION_INSTRS:
-        return [_finding(f"{where}: body too large")]
+        return [_finding(f"{where}: body too large", function=label)]
+
+    def here(index: int, message: str) -> Finding:
+        return _finding(message, function=label, pc=index,
+                        window=wasm_instruction_window(code, index))
 
     depths: dict[int, int] = {0: 0}
     work = [0]
@@ -115,8 +125,9 @@ def _verify_wasm_function(module: Module, fidx: int) -> list[Finding]:
         at = f"{where} instr {index} ({op.NAMES.get(opcode, opcode)})"
         if opcode == op.RETURN:
             if depth < func.nresults:
-                findings.append(_finding(
-                    f"{at}: RETURN with stack depth {depth} < {func.nresults}"
+                findings.append(here(
+                    index,
+                    f"{at}: RETURN with stack depth {depth} < {func.nresults}",
                 ))
             continue
         if opcode == op.UNREACHABLE:
@@ -130,12 +141,12 @@ def _verify_wasm_function(module: Module, fidx: int) -> list[Finding]:
         else:
             effect = STACK_EFFECTS.get(opcode)
             if effect is None:
-                findings.append(_finding(f"{at}: no stack effect defined"))
+                findings.append(here(index, f"{at}: no stack effect defined"))
                 continue
             pops, pushes = effect
         if depth < pops:
-            findings.append(_finding(
-                f"{at}: stack underflow (depth {depth}, pops {pops})"
+            findings.append(here(
+                index, f"{at}: stack underflow (depth {depth}, pops {pops})"
             ))
             continue
         after = depth - pops + pushes
@@ -149,8 +160,8 @@ def _verify_wasm_function(module: Module, fidx: int) -> list[Finding]:
             successors.append(index + 1)
         for succ in successors:
             if succ >= size:
-                findings.append(_finding(
-                    f"{at}: control falls off the end of the body"
+                findings.append(here(
+                    index, f"{at}: control falls off the end of the body"
                 ))
                 break
             known = depths.get(succ)
@@ -158,9 +169,10 @@ def _verify_wasm_function(module: Module, fidx: int) -> list[Finding]:
                 depths[succ] = after
                 work.append(succ)
             elif known != after:
-                findings.append(_finding(
+                findings.append(here(
+                    succ,
                     f"{where} instr {succ}: inconsistent stack depth at "
-                    f"join ({known} vs {after})"
+                    f"join ({known} vs {after})",
                 ))
                 break
     return findings
@@ -218,7 +230,8 @@ def verify_evm(code: bytes, entries: dict[str, int]) -> list[Finding]:
             break
         if opcode not in evm_op.NAMES:
             findings.append(_finding(
-                f"invalid EVM opcode 0x{opcode:02x} at offset {pos}"
+                f"invalid EVM opcode 0x{opcode:02x} at offset {pos}",
+                pc=pos, window=evm_instruction_window(code, pos),
             ))
             return findings
         starts.add(pos)
@@ -226,7 +239,8 @@ def verify_evm(code: bytes, entries: dict[str, int]) -> list[Finding]:
             width = opcode - evm_op.PUSH1 + 1
             if pos + width >= len(code):
                 findings.append(_finding(
-                    f"truncated PUSH{width} immediate at offset {pos}"
+                    f"truncated PUSH{width} immediate at offset {pos}",
+                    pc=pos, window=evm_instruction_window(code, pos),
                 ))
                 return findings
             pushes[pos] = int.from_bytes(code[pos + 1 : pos + 1 + width], "big")
@@ -241,7 +255,8 @@ def verify_evm(code: bytes, entries: dict[str, int]) -> list[Finding]:
                 ):
                     findings.append(_finding(
                         f"static jump at offset {pos} targets {target}, "
-                        "which is not a JUMPDEST"
+                        "which is not a JUMPDEST",
+                        pc=pos, window=evm_instruction_window(code, pos),
                     ))
             next_pos = pos + 1
         prev_pos = pos
@@ -251,7 +266,8 @@ def verify_evm(code: bytes, entries: dict[str, int]) -> list[Finding]:
         if entry >= code_end or entry not in starts:
             findings.append(_finding(
                 f"entry '{name}' at offset {entry} is not an instruction "
-                "boundary in the code region"
+                "boundary in the code region",
+                function=name, pc=entry,
             ))
     return findings
 

@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING
 from repro.chain.scheduler import Wave, build_waves
 from repro.chain.transaction import Transaction
 from repro.core.preprocessor import TxProfile
-from repro.core.receipts import KIND_ANALYSIS
+from repro.core.receipts import ANALYSIS_SOURCE_BYTECODE, KIND_ANALYSIS
 from repro.errors import ChainError
 from repro.obs.collect import block_metrics_snapshot
 from repro.obs.trace import get_tracer
@@ -55,6 +55,11 @@ class BlockExecutionReport:
     lanes: int = 1
     conflict_edges: int = 0
     analysis_rejections: int = 0  # deploys refused by the static verifier
+    # Split of analysis_rejections by admission mode: did the rejected
+    # deploy carry source (Pass 1 ran) or was it bytecode-only (Pass 2+3
+    # were the only line of defense)?
+    analysis_rejections_source: int = 0
+    analysis_rejections_bytecode_only: int = 0
     # Real-dispatch facts (workers > 1; zeros on the serial path).
     workers: int = 0
     waves: int = 0
@@ -176,6 +181,10 @@ class BlockExecutor:
         report.serial_duration_s += outcome.duration
         if outcome.receipt.kind == KIND_ANALYSIS:
             report.analysis_rejections += 1
+            if outcome.receipt.analysis_mode == ANALYSIS_SOURCE_BYTECODE:
+                report.analysis_rejections_source += 1
+            else:
+                report.analysis_rejections_bytecode_only += 1
 
     def _execute_parallel(self, transactions: list[Transaction],
                           report: BlockExecutionReport) -> None:

@@ -10,6 +10,10 @@ Commands:
 - ``analyze <file.cws> [--schema file.ccle] [--target ...] [--json]`` —
   run the deploy-time static analyses (confidentiality taint analysis
   plus the untrusted-bytecode verifier); exits non-zero on findings.
+- ``analyze --bytecode <artifact.bin> [--schema file.ccle]
+  [--confidential-prefix P] [--json]`` — run the bytecode verifier and
+  the bytecode confidentiality-flow pass standalone on a compiled
+  artifact (both VM formats) — what sourceless deploy admission runs.
 - ``demo [--trace out.json]`` — run the quickstart flow (single
   confidential node), optionally writing a Chrome trace of it.
 - ``bench [--quick]`` — print the paper's tables/figures from a quick
@@ -71,6 +75,8 @@ def cmd_histogram(args) -> int:
 def cmd_analyze(args) -> int:
     from repro.analysis import analyze_source, check_artifact
 
+    if args.bytecode:
+        return _analyze_bytecode(args)
     source = _read_source(args.file)
     schema_source = _read_source(args.schema) if args.schema else ""
     report = analyze_source(source, schema_source, contract_name=args.file)
@@ -83,6 +89,47 @@ def cmd_analyze(args) -> int:
         for declass in report.declassifications:
             print(f"  declassify in {declass.function} "
                   f"(line {declass.line}, col {declass.column})")
+    return 0 if report.clean else 1
+
+
+def _analyze_bytecode(args) -> int:
+    """``analyze --bytecode``: Pass 2 + Pass 3 over a compiled artifact
+    (either VM format), exactly what sourceless deploy admission runs."""
+    import json
+
+    from repro.analysis import analyze_artifact, check_artifact
+    from repro.ccle import parse_schema
+    from repro.lang.compiler import ContractArtifact
+
+    with open(args.file, "rb") as f:
+        artifact = ContractArtifact.decode(f.read())
+    schema = (parse_schema(_read_source(args.schema))
+              if args.schema else None)
+    report = check_artifact(artifact, contract_name=args.file)
+    result = analyze_artifact(
+        artifact, schema=schema, contract_name=args.file,
+        extra_confidential=tuple(args.confidential_prefix or ()),
+    )
+    report.merge(result.report)
+    if args.json:
+        payload = report.to_dict()
+        payload["target"] = artifact.target
+        payload["path_constraints"] = result.constraints.to_list()
+        print(json.dumps(payload, indent=2, sort_keys=False))
+    else:
+        print(f"target: {artifact.target}")
+        print(report.summary())
+        for finding in report.findings:
+            if finding.window:
+                for line in finding.window.splitlines():
+                    print(f"    {line}")
+        for res in report.resources:
+            loops = " (has loops)" if res.has_loops else ""
+            print(f"  {res.function}: stack<={res.max_stack} "
+                  f"mem<={res.memory_high_water} "
+                  f"cycles<={res.cycle_estimate}{loops}")
+        n = len(result.constraints.constraints)
+        print(f"  {n} branch constraint(s) recovered")
     return 0 if report.clean else 1
 
 
@@ -389,10 +436,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "analyze", help="run the deploy-time static analyses"
     )
-    p.add_argument("file")
+    p.add_argument("file", help="CWScript source, or a compiled artifact "
+                   "binary with --bytecode")
     p.add_argument("--schema", help="CCLe schema whose confidential "
-                   "fields seed the taint analysis")
+                   "fields seed the analysis policies")
     p.add_argument("--target", choices=("wasm", "evm"), default="wasm")
+    p.add_argument("--bytecode", action="store_true",
+                   help="treat FILE as a compiled artifact and run the "
+                   "bytecode verifier + confidentiality-flow passes "
+                   "(what sourceless deploy admission runs)")
+    p.add_argument("--confidential-prefix", action="append", default=[],
+                   metavar="PREFIX",
+                   help="extra confidential storage-key prefix for "
+                   "--bytecode mode (repeatable)")
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON")
     p.set_defaults(func=cmd_analyze)

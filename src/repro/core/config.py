@@ -33,6 +33,12 @@ class EngineConfig:
     # source — confidentiality taint analysis.
     use_deploy_verification: bool = True
     use_taint_analysis: bool = True
+    # Pass 3: bytecode-level confidentiality-flow analysis — runs on the
+    # artifact itself, so sourceless deploys still get leak analysis.
+    # Its policy is seeded from the bound CCLe schema's confidential key
+    # classes plus these extra key prefixes (bytes-decodable strings).
+    use_bytecode_flow: bool = True
+    bytecode_confidential_prefixes: tuple = ()
     code_cache_capacity: int = 64
     # Parallel pipeline (docs/parallelism.md).  Zero keeps both stages
     # serial — the default, and what the deterministic simulator pins.

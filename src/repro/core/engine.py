@@ -40,6 +40,8 @@ from repro.core.d_protocol import StateAad, StateCipher
 from repro.core.kmm import KMEnclave
 from repro.core.preprocessor import PreProcessor, PreverifiedRecord
 from repro.core.receipts import (
+    ANALYSIS_BYTECODE_ONLY,
+    ANALYSIS_SOURCE_BYTECODE,
     KIND_ANALYSIS,
     KIND_BAD_SIGNATURE,
     KIND_REVERT,
@@ -49,8 +51,11 @@ from repro.core.receipts import (
 from repro.core.sdm import SecureDataModule
 from repro.core.stats import (
     ARTIFACT_VERIFY,
+    BYTECODE_FLOW,
     CONTRACT_CALL,
     DEPLOY_REJECT,
+    DEPLOY_REJECT_BYTECODE,
+    DEPLOY_REJECT_SOURCE,
     GET_STORAGE,
     OperationStats,
     SET_STORAGE,
@@ -122,6 +127,10 @@ class _TxScope:
     # speculative execution leaves zero footprint until it commits.
     nonce_updates: dict[bytes, bytes] = field(default_factory=dict)
     success: bool = False
+    # Set on deploy/upgrade: which static-analysis mode admitted the
+    # artifact ("source+bytecode" / "bytecode-only"); surfaced on the
+    # receipt.
+    analysis_mode: str = ""
 
 
 @dataclass(frozen=True)
@@ -209,6 +218,12 @@ class _CallContext(HostContext):
 class _BaseEngine:
     """Machinery shared by the public and confidential engines."""
 
+    # Whether this engine's receipts (output, revert payload) travel in
+    # plaintext.  Drives the bytecode-flow pass's sink model: in the
+    # Confidential-Engine receipts are sealed under k_tx, so return data
+    # and revert payloads are not public sinks at deploy admission.
+    receipts_public = True
+
     def __init__(self, kv: KVStore, config: EngineConfig = DEFAULT_CONFIG):
         self.kv = kv
         self.config = config
@@ -274,21 +289,38 @@ class _BaseEngine:
         artifact: ContractArtifact,
         schema: Schema | None,
         source: str,
-    ) -> None:
+    ) -> str:
         """Deploy admission: re-establish compile-time guarantees on an
-        untrusted artifact (always), and run the confidentiality taint
+        untrusted artifact (always), run the confidentiality taint
         analysis when the deploy carries source (§4: the ``confidential``
-        promise, enforced on the code).  Raises :class:`AnalysisError`.
+        promise, enforced on the code), and run the bytecode-level
+        confidentiality-flow pass on the artifact either way — a
+        sourceless blob gossiped by a byzantine peer gets leak analysis
+        too.  Returns the analysis mode that admitted the artifact
+        (``source+bytecode`` / ``bytecode-only``); raises
+        :class:`AnalysisError` (carrying that mode in
+        ``exc.analysis_mode``) on rejection.
         """
+        from repro.analysis.bytecode_flow import flow_verify_artifact
         from repro.analysis.taint import analyze_source
         from repro.analysis.verifier import verify_artifact
+
+        mode = ANALYSIS_SOURCE_BYTECODE if source else ANALYSIS_BYTECODE_ONLY
+
+        def reject(exc: AnalysisError) -> None:
+            exc.analysis_mode = mode
+            self.stats.record(DEPLOY_REJECT, 0.0)
+            self.stats.record(
+                DEPLOY_REJECT_SOURCE if source else DEPLOY_REJECT_BYTECODE,
+                0.0,
+            )
 
         if self.config.use_deploy_verification:
             started = time.perf_counter()
             try:
                 verify_artifact(artifact)
-            except AnalysisError:
-                self.stats.record(DEPLOY_REJECT, 0.0)
+            except AnalysisError as exc:
+                reject(exc)
                 raise
             finally:
                 self.stats.record(ARTIFACT_VERIFY,
@@ -311,14 +343,32 @@ class _BaseEngine:
                         f"{first.message}{suffix}",
                         tuple(report.findings),
                     )
-            except AnalysisError:
-                self.stats.record(DEPLOY_REJECT, 0.0)
+            except AnalysisError as exc:
+                reject(exc)
                 raise
             finally:
                 self.stats.record(TAINT_ANALYZE,
                                   time.perf_counter() - started)
+        if self.config.use_bytecode_flow:
+            started = time.perf_counter()
+            try:
+                flow_verify_artifact(
+                    artifact,
+                    schema=schema,
+                    extra_confidential=(
+                        self.config.bytecode_confidential_prefixes
+                    ),
+                    public_outputs=self.receipts_public,
+                )
+            except AnalysisError as exc:
+                reject(exc)
+                raise
+            finally:
+                self.stats.record(BYTECODE_FLOW,
+                                  time.perf_counter() - started)
+        return mode
 
-    def _upgrade(self, raw: RawTransaction) -> bytes:
+    def _upgrade(self, raw: RawTransaction, scope: _TxScope) -> bytes:
         """Replace a contract's code, bumping its security version.
 
         Only the owner may upgrade (the paper's rule-update path:
@@ -334,7 +384,7 @@ class _BaseEngine:
         code_blob, _vm, schema_source, source = parse_deploy_args(raw.args)
         artifact = ContractArtifact.decode(code_blob)
         schema = parse_schema(schema_source) if schema_source else None
-        self._admit_artifact(artifact, schema, source)
+        scope.analysis_mode = self._admit_artifact(artifact, schema, source)
         upgraded = _DeployedContract(
             record.address, record.owner, artifact, schema, schema_source,
             record.security_version + 1,
@@ -461,7 +511,9 @@ class _BaseEngine:
                 artifact = ContractArtifact.decode(code_blob)
                 address = contract_address(raw.sender, raw.nonce)
                 schema = parse_schema(schema_source) if schema_source else None
-                self._admit_artifact(artifact, schema, source)
+                scope.analysis_mode = self._admit_artifact(
+                    artifact, schema, source
+                )
                 record = _DeployedContract(
                     address, raw.sender, artifact, schema, schema_source
                 )
@@ -470,7 +522,7 @@ class _BaseEngine:
                 span.set("vm", artifact.target)
             return address
         if raw.method == UPGRADE_METHOD:
-            return self._upgrade(raw)
+            return self._upgrade(raw, scope)
         return self._call(
             raw.contract, raw.method, raw.args,
             caller=raw.sender, scope=scope, depth=1,
@@ -576,6 +628,7 @@ class PublicEngine(_BaseEngine):
                     storage_reads=scope.storage_reads,
                     storage_writes=scope.storage_writes,
                     sender=raw.sender, contract=raw.contract,
+                    analysis_mode=scope.analysis_mode,
                 )
                 span.set("outcome", "ok")
             except ReproError as exc:
@@ -586,7 +639,9 @@ class PublicEngine(_BaseEngine):
                         else KIND_REVERT)
                 receipt = Receipt(tx.tx_hash, False, error=str(exc),
                                   sender=raw.sender, contract=raw.contract,
-                                  kind=kind)
+                                  kind=kind,
+                                  analysis_mode=getattr(
+                                      exc, "analysis_mode", ""))
             outcome = ExecutionOutcome(
                 receipt, None, time.perf_counter() - started,
                 frozenset(scope.read_set), frozenset(scope.write_set),
@@ -697,6 +752,8 @@ class CSEnclave(Enclave):
 
 class ConfidentialEngine(_BaseEngine):
     """CONFIDE's Confidential-Engine."""
+
+    receipts_public = False  # receipts sealed under k_tx (T-Protocol)
 
     def __init__(
         self,
@@ -986,6 +1043,7 @@ class ConfidentialEngine(_BaseEngine):
                     storage_reads=scope.storage_reads,
                     storage_writes=scope.storage_writes,
                     sender=raw.sender, contract=raw.contract,
+                    analysis_mode=scope.analysis_mode,
                 )
                 span.set("outcome", "ok")
             except ReproError as exc:
@@ -996,7 +1054,9 @@ class ConfidentialEngine(_BaseEngine):
                         else KIND_REVERT)
                 receipt = Receipt(tx.tx_hash, False, error=str(exc),
                                   sender=raw.sender, contract=raw.contract,
-                                  kind=kind)
+                                  kind=kind,
+                                  analysis_mode=getattr(
+                                      exc, "analysis_mode", ""))
             sealed = t_protocol.seal_receipt(processed.k_tx, receipt.encode())
             outcome = ExecutionOutcome(
                 receipt, sealed, time.perf_counter() - started,

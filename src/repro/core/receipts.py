@@ -45,6 +45,12 @@ RECEIPT_KINDS = (
     KIND_UNDECRYPTABLE,
 )
 
+# Which static-analysis configuration admitted (or rejected) a deploy:
+# Pass 1 only runs when the deploy carries CWScript source; Passes 2+3
+# run on the artifact either way.  Empty for non-deploy transactions.
+ANALYSIS_SOURCE_BYTECODE = "source+bytecode"
+ANALYSIS_BYTECODE_ONLY = "bytecode-only"
+
 
 @dataclass(frozen=True)
 class Receipt:
@@ -62,6 +68,9 @@ class Receipt:
     sender: bytes = b""
     contract: bytes = b""
     kind: str = KIND_OK  # one of RECEIPT_KINDS; "" for success
+    # For deploy/upgrade transactions: which analysis mode admitted or
+    # rejected the artifact ("source+bytecode" / "bytecode-only").
+    analysis_mode: str = ""
 
     def encode(self) -> bytes:
         return rlp.encode(
@@ -78,14 +87,16 @@ class Receipt:
                 self.sender,
                 self.contract,
                 self.kind.encode(),
+                self.analysis_mode.encode(),
             ]
         )
 
     @classmethod
     def decode(cls, data: bytes) -> "Receipt":
         items = rlp.decode(data)
-        # 11-item receipts predate the structured ``kind`` field.
-        if not isinstance(items, list) or len(items) not in (11, 12):
+        # 11-item receipts predate the structured ``kind`` field, and
+        # 12-item receipts predate ``analysis_mode``.
+        if not isinstance(items, list) or len(items) not in (11, 12, 13):
             raise ChainError("malformed receipt")
         return cls(
             tx_hash=items[0],
@@ -99,7 +110,8 @@ class Receipt:
             storage_writes=rlp.decode_int(items[8]),
             sender=items[9],
             contract=items[10],
-            kind=items[11].decode() if len(items) == 12 else KIND_OK,
+            kind=items[11].decode() if len(items) >= 12 else KIND_OK,
+            analysis_mode=items[12].decode() if len(items) == 13 else "",
         )
 
 

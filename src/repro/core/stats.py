@@ -26,7 +26,12 @@ TX_DECRYPT = "Transaction Decryption"
 # deploy, off the per-transaction hot path).
 ARTIFACT_VERIFY = "Artifact Verify"
 TAINT_ANALYZE = "Taint Analysis"
+BYTECODE_FLOW = "Bytecode Flow Analysis"
 DEPLOY_REJECT = "Deploy Rejected"
+# DEPLOY_REJECT stays the total; these two split it by which admission
+# mode rejected: source present (Pass 1 saw the code) vs bytecode-only.
+DEPLOY_REJECT_SOURCE = "Deploy Rejected: source+bytecode"
+DEPLOY_REJECT_BYTECODE = "Deploy Rejected: bytecode-only"
 
 TABLE1_ORDER = (CONTRACT_CALL, GET_STORAGE, SET_STORAGE, TX_VERIFY, TX_DECRYPT)
 

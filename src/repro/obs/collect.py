@@ -57,6 +57,7 @@ MONITOR_RING_DROPPED = "confide_monitor_ring_dropped_total"
 TRACE_RING_DROPPED = "confide_trace_ring_dropped_total"
 TRACE_SPANS_BUFFERED = "confide_trace_spans_buffered"
 ANALYSIS_REJECTIONS = "confide_analysis_rejections_total"
+ANALYSIS_REJECTIONS_BY_MODE = "confide_analysis_rejections_by_mode_total"
 STORAGE_WAL_BYTES = "confide_storage_wal_bytes_total"
 STORAGE_WAL_RECORDS = "confide_storage_wal_records_total"
 STORAGE_WAL_TRUNCATED_BYTES = "confide_storage_wal_truncated_bytes_total"
@@ -248,7 +249,11 @@ def collect_executor(registry: MetricsRegistry, executor) -> None:
 def collect_engine(registry: MetricsRegistry, engine,
                    label: str = "confidential") -> None:
     """Absorb everything one execution engine exposes."""
-    from repro.core.stats import DEPLOY_REJECT
+    from repro.core.stats import (
+        DEPLOY_REJECT,
+        DEPLOY_REJECT_BYTECODE,
+        DEPLOY_REJECT_SOURCE,
+    )
 
     collect_operation_stats(registry, engine.stats, engine=label)
     collect_code_cache(registry, engine.code_cache, engine=label)
@@ -256,6 +261,15 @@ def collect_engine(registry: MetricsRegistry, engine,
         ANALYSIS_REJECTIONS, "deploys refused by the static verifier",
         ("engine",),
     ).set_total(engine.stats.count(DEPLOY_REJECT), engine=label)
+    by_mode = registry.counter(
+        ANALYSIS_REJECTIONS_BY_MODE,
+        "deploys refused by static analysis, split by admission mode",
+        ("engine", "mode"),
+    )
+    by_mode.set_total(engine.stats.count(DEPLOY_REJECT_SOURCE),
+                      engine=label, mode="source+bytecode")
+    by_mode.set_total(engine.stats.count(DEPLOY_REJECT_BYTECODE),
+                      engine=label, mode="bytecode-only")
     platform = getattr(engine, "platform", None)
     if platform is not None:
         collect_accountant(registry, platform.accountant)

@@ -43,6 +43,8 @@ ALLOWED_STR_FIELDS = frozenset(
         "error_kind",
         "kind",
         "le",
+        # analysis admission mode: "source+bytecode" / "bytecode-only"
+        "mode",
         "method",
         "op",
         "outcome",

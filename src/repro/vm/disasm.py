@@ -74,6 +74,72 @@ def disassemble_evm(code: bytes, entries: dict[str, int] | None = None) -> str:
     return "\n".join(lines)
 
 
+def wasm_instruction_window(code, pc: int, context: int = 2) -> str:
+    """Rendered instruction window around ``pc`` in one function body.
+
+    ``code`` is a decoded instruction list (possibly fused); the line at
+    ``pc`` is marked with ``>``.  Used to attach disassembly context to
+    analysis findings.
+    """
+    lines: list[str] = []
+    lo = max(0, pc - context)
+    hi = min(len(code), pc + context + 1)
+    for index in range(lo, hi):
+        opcode, a, b = code[index]
+        name = wasm_op.NAMES.get(opcode, f"OP_{opcode}")
+        n_imm = wasm_op.IMMEDIATES.get(opcode, 0)
+        if n_imm == 0:
+            operand = ""
+        elif n_imm == 1:
+            operand = f" {a}"
+        else:
+            operand = f" {a}, {b}"
+        marker = ">" if index == pc else " "
+        lines.append(f"{marker}{index:4d}: {name}{operand}")
+    return "\n".join(lines)
+
+
+def evm_instruction_window(code: bytes, pc: int, context: int = 2) -> str:
+    """Rendered instruction window around byte offset ``pc``.
+
+    Linear-sweeps from the start so PUSH immediates stay aligned, then
+    keeps ``context`` instructions either side of the one containing
+    ``pc``; that line is marked with ``>``.
+    """
+    rows: list[tuple[int, str]] = []
+    offset = 0
+    size = len(code)
+    while offset < size:
+        opcode = code[offset]
+        name = evm_op.NAMES.get(opcode)
+        if name is None:
+            rows.append((offset, f"DB 0x{opcode:02x}"))
+            offset += 1
+            continue
+        if evm_op.PUSH1 <= opcode <= evm_op.PUSH1 + 31:
+            width = opcode - evm_op.PUSH1 + 1
+            imm = code[offset + 1 : offset + 1 + width]
+            rows.append((offset, f"{name} 0x{imm.hex()}"))
+            offset += 1 + width
+        else:
+            rows.append((offset, name))
+            offset += 1
+    center = 0
+    for index, (start, _text) in enumerate(rows):
+        if start <= pc:
+            center = index
+        else:
+            break
+    lo = max(0, center - context)
+    hi = min(len(rows), center + context + 1)
+    lines = []
+    for index in range(lo, hi):
+        start, text = rows[index]
+        marker = ">" if index == center else " "
+        lines.append(f"{marker}{start:6d}: {text}")
+    return "\n".join(lines)
+
+
 def disassemble_artifact(artifact: ContractArtifact, fuse: bool = False) -> str:
     """Disassemble a compiled contract for its own target."""
     if artifact.target == "wasm":

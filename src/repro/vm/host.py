@@ -99,6 +99,11 @@ HOST_TABLE: tuple[HostImport, ...] = (
     HostImport("call_contract", 8, 1),
     HostImport("caller", 1, 0),
     HostImport("abort", 2, 0),
+    # Audited declassification marker (appended: earlier indices are
+    # wire-stable).  At runtime it is a no-op; the bytecode-level
+    # confidentiality analyzer treats the named memory region as
+    # deliberately made public (mirroring source-level ``declassify``).
+    HostImport("declassify", 2, 0),
 )
 
 HOST_INDEX: dict[str, int] = {imp.name: i for i, imp in enumerate(HOST_TABLE)}
@@ -243,6 +248,12 @@ class HostBridge:
         self._count("abort")
         message = self._mem_read(ptr, length).decode(errors="replace")
         raise AbortExecution(message)
+
+    def declassify(self, ptr: int, length: int) -> None:
+        """Audit marker: the region [ptr, ptr+length) is deliberately
+        public.  Validates the range like any host access, else no-op."""
+        self._count("declassify")
+        self._mem_read(ptr, length)
 
     def dispatch_table(self) -> list:
         """Host callables indexed per HOST_TABLE."""
