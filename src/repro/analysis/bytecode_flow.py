@@ -124,6 +124,51 @@ def render_sym(sym) -> str:
     return "?"
 
 
+def sym_to_json(sym) -> dict | None:
+    """Structured (JSON-stable) form of a symbolic expression tree.
+
+    This is the machine-readable companion to :func:`render_sym`: one
+    record per node with an explicit ``op`` discriminator, so the
+    fuzzer's constraint solver and external tools consume the same
+    format ``repro analyze --bytecode --json`` emits.
+    """
+    if sym is None:
+        return None
+    tag = sym[0]
+    if tag == "const":
+        return {"op": "const", "value": sym[1]}
+    if tag == "input":
+        return {"op": "input", "offset": sym[1], "len": sym[2]}
+    if tag == "input_size":
+        return {"op": "input_size"}
+    if tag == "storage":
+        return {"op": "storage", "tag": sym[1], "offset": sym[2],
+                "len": sym[3]}
+    if tag == "storage_len":
+        return {"op": "storage_len", "tag": sym[1]}
+    if tag == "caller":
+        return {"op": "caller"}
+    if tag == "bin":
+        return {"op": "bin", "fn": sym[1],
+                "args": [sym_to_json(sym[2]), sym_to_json(sym[3])]}
+    if tag == "cmp":
+        return {"op": "cmp", "kind": sym[1],
+                "args": [sym_to_json(sym[2]), sym_to_json(sym[3])]}
+    return {"op": "unknown"}
+
+
+def sym_input_bytes(sym) -> set[tuple[int, int]]:
+    """All ``(offset, length)`` input-byte ranges a sym tree reads."""
+    if sym is None:
+        return set()
+    tag = sym[0]
+    if tag == "input":
+        return {(sym[1], sym[2])}
+    if tag in ("bin", "cmp"):
+        return sym_input_bytes(sym[2]) | sym_input_bytes(sym[3])
+    return set()
+
+
 _CMP_KIND_NAMES = {
     op.CMP_EQ: "eq", op.CMP_NE: "ne",
     op.CMP_LT_S: "lt_s", op.CMP_LT_U: "lt_u",
@@ -145,8 +190,10 @@ class PathConstraint:
 
     ``lhs``/``rhs`` are symbolic operand renderings traced back to the
     inputs that produced them (``input[0:8]``, ``const``s, storage
-    reads) — exactly what a coverage-guided fuzzer needs to solve for
-    the branch.
+    reads); ``lhs_sym``/``rhs_sym`` carry the raw symbolic trees —
+    exactly what a coverage-guided fuzzer needs to solve for the
+    branch.  ``kind`` always describes the relation that holds on the
+    *taken* edge (JMP_IFZ kinds arrive pre-inverted).
     """
 
     function: str
@@ -156,6 +203,27 @@ class PathConstraint:
     rhs: str
     taken: int        # branch-taken target (instr index / byte offset)
     fallthrough: int
+    lhs_sym: tuple | None = None
+    rhs_sym: tuple | None = None
+
+    def input_bytes(self) -> list[tuple[int, int]]:
+        """Sorted ``(offset, length)`` input ranges both sides read."""
+        return sorted(sym_input_bytes(self.lhs_sym)
+                      | sym_input_bytes(self.rhs_sym))
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "pc": self.pc,
+            "kind": self.kind,
+            "lhs": self.lhs,
+            "rhs": self.rhs,
+            "taken": self.taken,
+            "fallthrough": self.fallthrough,
+            "lhs_sym": sym_to_json(self.lhs_sym),
+            "rhs_sym": sym_to_json(self.rhs_sym),
+            "input_bytes": [list(r) for r in self.input_bytes()],
+        }
 
 
 @dataclass
@@ -168,9 +236,7 @@ class PathConstraints:
         return [c for c in self.constraints if c.function == function]
 
     def to_list(self) -> list[dict]:
-        from dataclasses import asdict
-
-        return [asdict(c) for c in self.constraints]
+        return [c.to_dict() for c in self.constraints]
 
 
 # ---------------------------------------------------------------------------
@@ -698,6 +764,7 @@ class _WasmAnalyzer:
                 function=label, pc=pc, kind=kind,
                 lhs=render_sym(lhs.sym), rhs=render_sym(rhs.sym),
                 taken=a, fallthrough=pc + 1,
+                lhs_sym=lhs.sym, rhs_sym=rhs.sym,
             ))
             if lhs.taint or rhs.taint:
                 state.pc_taint = state.pc_taint | lhs.taint | rhs.taint
@@ -1040,15 +1107,17 @@ class _WasmAnalyzer:
         sym = cond.sym
         if sym is not None and sym[0] == "cmp":
             kind = sym[1]
-            lhs, rhs = render_sym(sym[2]), render_sym(sym[3])
+            lhs_sym, rhs_sym = sym[2], sym[3]
         else:
             kind = "truthy"
-            lhs, rhs = render_sym(sym), "0"
+            lhs_sym, rhs_sym = sym, ("const", 0)
         if opcode == op.JMP_IFZ:
             kind = _CMP_INVERT_NAMES.get(kind, kind)
         self.ctx.constraint(PathConstraint(
-            function=label, pc=pc, kind=kind, lhs=lhs, rhs=rhs,
+            function=label, pc=pc, kind=kind,
+            lhs=render_sym(lhs_sym), rhs=render_sym(rhs_sym),
             taken=taken, fallthrough=fallthrough,
+            lhs_sym=lhs_sym, rhs_sym=rhs_sym,
         ))
 
 
@@ -1555,15 +1624,17 @@ class _EvmAnalyzer:
         sym = cond.sym
         if sym is not None and sym[0] == "cmp":
             kind = sym[1]
-            lhs, rhs = render_sym(sym[2]), render_sym(sym[3])
+            lhs_sym, rhs_sym = sym[2], sym[3]
         else:
             kind = "truthy"
-            lhs, rhs = render_sym(sym), "0"
+            lhs_sym, rhs_sym = sym, ("const", 0)
         taken = dest.const()
         self.ctx.constraint(PathConstraint(
-            function=label, pc=pc, kind=kind, lhs=lhs, rhs=rhs,
+            function=label, pc=pc, kind=kind,
+            lhs=render_sym(lhs_sym), rhs=render_sym(rhs_sym),
             taken=taken if taken is not None else -1,
             fallthrough=fallthrough,
+            lhs_sym=lhs_sym, rhs_sym=rhs_sym,
         ))
 
 

@@ -409,6 +409,94 @@ def cmd_sim(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import json as _json
+
+    from repro.fuzz import FuzzConfig, replay, run_fuzz, target_names
+
+    if args.list_targets:
+        for name in target_names():
+            print(name)
+        return 0
+
+    targets = tuple(args.target) or ("greeter",)
+
+    if args.replay is not None:
+        if len(targets) != 1:
+            print("--replay needs exactly one --target", file=sys.stderr)
+            return 2
+        findings = replay(targets[0], args.replay)
+        for finding in findings:
+            print(f"{finding.kind}: {finding.detail}")
+        if args.expect:
+            if any(f.kind == args.expect for f in findings):
+                print(f"expected finding kind '{args.expect}': detected")
+                return 0
+            print(f"expected finding kind '{args.expect}' NOT detected",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    config = FuzzConfig(
+        targets=targets,
+        seed=args.seed,
+        max_execs=args.max_execs,
+        time_budget_s=args.time_budget,
+        corpus_dir=args.corpus,
+        solver=not args.no_solver,
+    )
+    result = run_fuzz(config)
+    if args.verify_determinism:
+        second = run_fuzz(config)
+        first_text = _json.dumps(result.to_dict(), sort_keys=True)
+        second_text = _json.dumps(second.to_dict(), sort_keys=True)
+        if first_text != second_text:
+            print("DETERMINISM FAILURE: two campaigns with seed "
+                  f"{config.seed} diverged", file=sys.stderr)
+            return 1
+        print(f"determinism verified: two campaigns of seed {config.seed} "
+              "produced byte-identical reports")
+
+    if args.report:
+        with open(args.report, "w") as f:
+            _json.dump(result.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote finding report to {args.report}")
+
+    if args.json:
+        print(_json.dumps(result.to_dict(include_timing=True), indent=2,
+                          sort_keys=True))
+    else:
+        for name, stats in sorted(result.stats.items()):
+            hits = {k: v for k, v in stats.findings.items() if v}
+            print(f"{name}: execs={stats.execs} "
+                  f"edges(wasm/evm)={stats.edges_wasm}/{stats.edges_evm} "
+                  f"corpus={stats.corpus_entries} "
+                  f"flips={stats.constraint_flips} "
+                  f"findings={hits or 'none'}")
+        for finding in result.findings:
+            print(f"  {finding.kind} @{finding.target}: {finding.line()}")
+            print(f"    {finding.detail}")
+
+    if args.metrics:
+        from repro.obs.collect import collect_fuzz
+        from repro.obs.export import prometheus_text
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        collect_fuzz(registry, result)
+        print(prometheus_text(registry), end="")
+
+    if args.expect:
+        if any(f.kind == args.expect for f in result.findings):
+            print(f"expected finding kind '{args.expect}': detected")
+            return 0
+        print(f"expected finding kind '{args.expect}' NOT detected",
+              file=sys.stderr)
+        return 1
+    return 1 if (args.fail_on_findings and result.findings) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CONFIDE reproduction toolkit"
@@ -516,6 +604,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify-determinism", action="store_true",
                    help="run twice and require byte-identical event logs")
     p.set_defaults(func=cmd_sim)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided differential fuzzing of CWScript contracts",
+    )
+    p.add_argument("--target", action="append", default=[],
+                   metavar="NAME|FILE",
+                   help="builtin target name or .cws path (repeatable; "
+                        "default greeter)")
+    p.add_argument("--seed", type=int, default=20260807)
+    p.add_argument("--max-execs", type=int, default=200, metavar="N",
+                   help="differential executions per target — the "
+                        "deterministic budget (default 200)")
+    p.add_argument("--time-budget", type=float, default=None, metavar="S",
+                   help="optional wall-clock cap in seconds (ending a "
+                        "run early sacrifices replay identity)")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="persistent corpus directory (one subdir per "
+                        "target)")
+    p.add_argument("--no-solver", action="store_true",
+                   help="disable the path-constraint assist (pure "
+                        "random mutation)")
+    p.add_argument("--replay", metavar="LINE",
+                   help="re-execute one sequence line against the "
+                        "single --target and print oracle findings")
+    p.add_argument("--expect", metavar="KIND",
+                   choices=("divergence", "canary", "resource", "crash"),
+                   help="exit 1 unless a finding of this kind is "
+                        "detected")
+    p.add_argument("--report", metavar="FILE",
+                   help="write the deterministic finding report JSON "
+                        "here")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report (with timing) as JSON")
+    p.add_argument("--metrics", action="store_true",
+                   help="print confide_fuzz_* Prometheus metrics")
+    p.add_argument("--verify-determinism", action="store_true",
+                   help="run the campaign twice and require "
+                        "byte-identical reports")
+    p.add_argument("--fail-on-findings", action="store_true",
+                   help="exit 1 if any finding was recorded")
+    p.add_argument("--list-targets", action="store_true")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "db", help="inspect or maintain an LSM storage directory"

@@ -1,0 +1,30 @@
+"""Hybrid coverage-guided fuzzer for CWScript contracts.
+
+Generates deploy+call sequences, executes them differentially on
+CONFIDE-VM and the EVM under branch coverage, cracks hard branches
+with the bytecode analyzer's path constraints, and judges every run
+with divergence / confidentiality-canary / resource oracles.  See
+``docs/fuzzing.md``.
+"""
+
+from repro.fuzz.abi import ArgField, ContractAbi, MethodSpec, infer_abi
+from repro.fuzz.corpus import (CallStep, Corpus, decode_sequence,
+                               encode_sequence)
+from repro.fuzz.executor import DifferentialExecutor, FuzzHost
+from repro.fuzz.harness import (FuzzConfig, FuzzResult, TargetStats,
+                                replay, run_fuzz)
+from repro.fuzz.minimize import minimize
+from repro.fuzz.mutate import Mutator
+from repro.fuzz.oracles import Finding, OracleSuite
+from repro.fuzz.solver import solve_constraint
+from repro.fuzz.targets import (BUILTIN_TARGETS, FuzzTarget, load_target,
+                                target_names)
+
+__all__ = [
+    "ArgField", "ContractAbi", "MethodSpec", "infer_abi",
+    "CallStep", "Corpus", "decode_sequence", "encode_sequence",
+    "DifferentialExecutor", "FuzzHost",
+    "FuzzConfig", "FuzzResult", "TargetStats", "replay", "run_fuzz",
+    "minimize", "Mutator", "Finding", "OracleSuite", "solve_constraint",
+    "BUILTIN_TARGETS", "FuzzTarget", "load_target", "target_names",
+]

@@ -1,0 +1,156 @@
+"""Typed argument model for fuzzed contract methods.
+
+CWScript methods take one flat byte blob (calldata); contracts slice it
+themselves with ``input_read``/``load64``.  The fuzzer still wants
+*types* — a u64 shipment id mutates usefully as a u64, not as eight
+unrelated bytes — so each target carries a :class:`ContractAbi`
+describing every method's field layout, plus which fields hold
+**secret** values (those become confidentiality canaries: the oracle
+plants high-entropy bytes there and scans every public surface for
+them).
+
+For contracts fuzzed without a hand-written ABI, :func:`infer_abi`
+recovers a workable layout from the bytecode analyzer's
+``PathConstraints``: ``input_size`` comparisons pin the expected blob
+size, which is then split into word fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Values worth trying verbatim in any word-sized field: boundaries of
+# the masks, shifts and counters CWScript arithmetic actually uses.
+INTERESTING_U64: tuple[int, ...] = (
+    0, 1, 2, 7, 8, 9, 15, 16, 31, 32, 63, 64, 65, 100, 127, 128, 255,
+    256, 1023, 1024, (1 << 16) - 1, 1 << 16, (1 << 31) - 1, 1 << 31,
+    (1 << 32) - 1, 1 << 32, (1 << 63) - 1, 1 << 63, (1 << 64) - 1,
+)
+
+_KINDS = ("u64", "i64", "bytes")
+
+
+@dataclass(frozen=True)
+class ArgField:
+    """One field in a method's calldata layout."""
+
+    name: str
+    kind: str = "u64"       # u64 | i64 | bytes
+    size: int = 8           # byte width (for bytes: the default width)
+    secret: bool = False    # confidential value -> canary site
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown field kind '{self.kind}'")
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Calldata layout of one exported method."""
+
+    name: str
+    fields: tuple[ArgField, ...] = ()
+    # When True the final field may grow/shrink (length-prefixed blobs,
+    # trailing payloads); fixed layouts reject resizing mutations.
+    variable: bool = False
+
+    @property
+    def min_size(self) -> int:
+        return sum(f.size for f in self.fields)
+
+    def offsets(self) -> list[tuple[ArgField, int]]:
+        """``(field, byte offset)`` pairs in layout order."""
+        out, off = [], 0
+        for f in self.fields:
+            out.append((f, off))
+            off += f.size
+        return out
+
+    def min_args(self) -> bytes:
+        return bytes(self.min_size)
+
+    def random_args(self, rng) -> bytes:
+        """Typed random calldata: word fields draw from the interesting
+        set or small ranges, bytes fields draw printable junk."""
+        blob = bytearray()
+        for f in self.fields:
+            if f.kind == "bytes":
+                size = f.size
+                if self.variable:
+                    size = rng.choice((0, 1, f.size, f.size + 8))
+                blob += bytes(rng.randrange(256) for _ in range(size))
+            else:
+                choice = rng.randrange(4)
+                if choice == 0:
+                    v = rng.choice(INTERESTING_U64)
+                elif choice == 1:
+                    v = rng.randrange(16)
+                elif choice == 2:
+                    v = rng.getrandbits(f.size * 8)
+                else:
+                    v = rng.randrange(1 << 16)
+                blob += (v & ((1 << (f.size * 8)) - 1)).to_bytes(
+                    f.size, "big")
+        return bytes(blob)
+
+    def secret_ranges(self) -> list[tuple[int, int]]:
+        """``(offset, size)`` of every secret-marked field."""
+        return [(off, f.size) for f, off in self.offsets() if f.secret]
+
+
+@dataclass(frozen=True)
+class ContractAbi:
+    """All fuzzable methods of one contract."""
+
+    methods: tuple[MethodSpec, ...] = ()
+
+    def spec(self, name: str) -> MethodSpec | None:
+        for m in self.methods:
+            if m.name == name:
+                return m
+        return None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.methods)
+
+
+def _size_hint(constraints, function: str) -> int:
+    """Smallest input size that satisfies every ``input_size`` guard the
+    analyzer recovered for one function (best effort)."""
+    best = 0
+    for c in constraints.for_function(function):
+        for sym, const in ((c.lhs_sym, c.rhs_sym), (c.rhs_sym, c.lhs_sym)):
+            if (sym is not None and sym[0] == "input_size"
+                    and const is not None and const[0] == "const"):
+                value = const[1]
+                if 0 < value <= 4096:
+                    best = max(best, value)
+    return best
+
+
+def infer_abi(artifact, constraints=None) -> ContractAbi:
+    """Recover a workable ABI for a contract with no hand-written spec.
+
+    Input sizes come from the analyzer's ``input_size`` path constraints
+    when available; the blob is then split into 8-byte words plus a
+    trailing bytes field.  Nothing is marked secret — canary planting
+    needs explicit knowledge of which fields hold confidential values.
+    """
+    if constraints is None:
+        from repro.analysis.bytecode_flow import analyze_artifact
+
+        constraints = analyze_artifact(artifact).constraints
+    methods = []
+    for name in artifact.methods:
+        size = _size_hint(constraints, name)
+        fields: list[ArgField] = [
+            ArgField(f"w{i}", "u64", 8) for i in range(size // 8)
+        ]
+        rem = size % 8
+        if rem:
+            fields.append(ArgField("tail", "bytes", rem))
+        if not fields:
+            fields.append(ArgField("blob", "bytes", 8))
+        methods.append(MethodSpec(name, tuple(fields),
+                                  variable=(size == 0)))
+    return ContractAbi(tuple(methods))

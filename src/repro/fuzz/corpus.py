@@ -1,0 +1,138 @@
+"""Corpus of coverage-increasing call sequences, with a stable text form.
+
+One corpus entry is a deploy-to-date **call sequence** — a tuple of
+:class:`CallStep` — encoded on a single line as::
+
+    method:hexargs;method:hexargs;...
+
+The line format is the unit of reproducibility: every finding report,
+pinned fixture, CI artifact and ``repro fuzz --replay`` argument uses
+it, so a finding can be re-executed from nothing but its line and the
+target name.  On disk a corpus directory holds one ``.seq`` file per
+entry, named by content hash, so merging two corpora is a file copy.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+
+
+@dataclass(frozen=True)
+class CallStep:
+    """One method invocation in a fuzzed sequence."""
+
+    method: str
+    args: bytes = b""
+
+    def line(self) -> str:
+        return f"{self.method}:{self.args.hex()}"
+
+
+Sequence = tuple  # tuple[CallStep, ...]
+
+
+def encode_sequence(sequence) -> str:
+    return ";".join(step.line() for step in sequence)
+
+
+def decode_sequence(line: str) -> tuple:
+    """Inverse of :func:`encode_sequence`; raises ValueError on junk."""
+    steps = []
+    line = line.strip()
+    if not line:
+        return ()
+    for part in line.split(";"):
+        method, sep, hexargs = part.partition(":")
+        if not sep or not method:
+            raise ValueError(f"bad sequence step {part!r}")
+        steps.append(CallStep(method, bytes.fromhex(hexargs)))
+    return tuple(steps)
+
+
+def entry_name(sequence) -> str:
+    return sha256(encode_sequence(sequence).encode())[:8].hex()
+
+
+class Corpus:
+    """Ordered, deduplicated set of sequences (insertion order is part
+    of determinism: the mutation scheduler indexes into it)."""
+
+    def __init__(self, directory: str | None = None):
+        self.directory = directory
+        self.entries: list[tuple] = []
+        self._seen: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, sequence) -> bool:
+        """Insert if new; persists to the corpus directory when set."""
+        if not sequence:
+            return False
+        line = encode_sequence(sequence)
+        if line in self._seen:
+            return False
+        self._seen.add(line)
+        self.entries.append(tuple(sequence))
+        if self.directory is not None:
+            os.makedirs(self.directory, exist_ok=True)
+            path = os.path.join(
+                self.directory, f"seq-{entry_name(sequence)}.seq")
+            with open(path, "w") as f:
+                f.write(line + "\n")
+        return True
+
+    def load(self) -> int:
+        """Read every ``.seq`` file from the directory (sorted by name,
+        so load order is deterministic).  Returns entries added."""
+        if self.directory is None or not os.path.isdir(self.directory):
+            return 0
+        added = 0
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(".seq"):
+                continue
+            with open(os.path.join(self.directory, name)) as f:
+                for line in f:
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    try:
+                        sequence = decode_sequence(line)
+                    except ValueError:
+                        continue
+                    if sequence and encode_sequence(sequence) not in self._seen:
+                        self._seen.add(encode_sequence(sequence))
+                        self.entries.append(sequence)
+                        added += 1
+        return added
+
+    def choice(self, rng) -> tuple:
+        return self.entries[rng.randrange(len(self.entries))]
+
+
+def parse_finding_file(path: str) -> dict:
+    """Read one pinned ``.finding`` fixture.
+
+    The format is ``key: value`` lines (``#`` comments ignored); the
+    ``sequence`` value is a sequence line as produced by
+    :func:`encode_sequence`.  Returns the fields with ``sequence``
+    decoded into call steps.
+    """
+    fields: dict = {}
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            key, sep, value = line.partition(":")
+            if not sep:
+                raise ValueError(f"{path}: bad finding line {raw!r}")
+            fields[key.strip()] = value.strip()
+    for required in ("kind", "target", "sequence"):
+        if required not in fields:
+            raise ValueError(f"{path}: missing '{required}' field")
+    fields["steps"] = decode_sequence(fields["sequence"])
+    return fields

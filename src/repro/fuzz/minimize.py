@@ -1,0 +1,70 @@
+"""Delta-debugging minimizer for fuzzer findings.
+
+Two greedy passes, both bounded by an execution budget so a pathological
+finding cannot stall the fuzz loop:
+
+1. **sequence level** — drop one call at a time, keeping the removal
+   whenever the finding (same kind, same target) still reproduces;
+2. **argument level** — for each surviving call, first try truncating
+   the calldata to the ABI minimum, then zero each byte left to right,
+   keeping every simplification that preserves the repro.
+
+The reproducer predicate re-runs the full oracle stack, so a minimized
+sequence is by construction still a finding — that is what gets pinned
+into ``tests/fixtures/fuzz/`` as a regression.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.corpus import CallStep
+
+
+def minimize(finding, reproduce, abi=None, budget: int = 200) -> tuple:
+    """Smallest sequence (under greedy search) still showing `finding`.
+
+    ``reproduce(sequence)`` must return True when the candidate still
+    triggers a finding of the same kind.
+    """
+    best = tuple(finding.sequence)
+    spent = 0
+
+    def attempt(candidate) -> bool:
+        nonlocal spent, best
+        spent += 1
+        if spent > budget or not candidate:
+            return False
+        if reproduce(tuple(candidate)):
+            best = tuple(candidate)
+            return True
+        return False
+
+    # Pass 1: drop calls, restarting after every successful removal.
+    shrunk = True
+    while shrunk and len(best) > 1 and spent < budget:
+        shrunk = False
+        for i in range(len(best) - 1, -1, -1):
+            candidate = best[:i] + best[i + 1:]
+            if attempt(candidate):
+                shrunk = True
+                break
+
+    # Pass 2: shrink and zero arguments call by call.
+    for i in range(len(best)):
+        step = best[i]
+        spec = abi.spec(step.method) if abi is not None else None
+        if spec is not None and len(step.args) > spec.min_size:
+            candidate = list(best)
+            candidate[i] = CallStep(step.method, step.args[:spec.min_size])
+            attempt(candidate)
+        step = best[i]
+        for off in range(len(step.args)):
+            if spent >= budget:
+                break
+            if step.args[off] == 0:
+                continue
+            zeroed = step.args[:off] + b"\x00" + step.args[off + 1:]
+            candidate = list(best)
+            candidate[i] = CallStep(step.method, zeroed)
+            attempt(candidate)
+            step = best[i]  # re-read: attempt may have accepted
+    return best

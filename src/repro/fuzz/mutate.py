@@ -1,0 +1,125 @@
+"""Deterministic mutation engine over call sequences.
+
+All randomness flows from one ``random.Random`` owned by the harness,
+so a seed replays the exact mutation stream.  Two layers:
+
+- **argument mutations** — AFL-style byte/bit havoc plus typed
+  word-field mutations driven by the target's ABI (interesting u64
+  boundary values, +/- deltas, field copies);
+- **sequence mutations** — append/drop/duplicate/swap calls and
+  *splicing* (crossover with another corpus entry), which is what
+  discovers stateful interactions like register-then-record.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.abi import INTERESTING_U64, ContractAbi, MethodSpec
+from repro.fuzz.corpus import CallStep
+
+
+class Mutator:
+    """One mutation source bound to an ABI and an rng."""
+
+    def __init__(self, rng, abi: ContractAbi, max_seq_len: int = 4):
+        self.rng = rng
+        self.abi = abi
+        self.max_seq_len = max_seq_len
+
+    # -- fresh generation ---------------------------------------------------
+
+    def fresh_step(self, spec: MethodSpec | None = None) -> CallStep:
+        if spec is None:
+            spec = self.abi.methods[self.rng.randrange(len(self.abi.methods))]
+        return CallStep(spec.name, spec.random_args(self.rng))
+
+    def fresh_sequence(self) -> tuple:
+        n = 1 + self.rng.randrange(self.max_seq_len)
+        return tuple(self.fresh_step() for _ in range(n))
+
+    # -- argument layer -----------------------------------------------------
+
+    def _mutate_word(self, blob: bytearray, off: int, size: int) -> None:
+        rng = self.rng
+        mask = (1 << (size * 8)) - 1
+        old = int.from_bytes(blob[off:off + size], "big")
+        roll = rng.randrange(4)
+        if roll == 0:
+            new = rng.choice(INTERESTING_U64) & mask
+        elif roll == 1:
+            new = (old + rng.choice((-64, -8, -1, 1, 8, 64))) & mask
+        elif roll == 2:
+            new = old ^ (1 << rng.randrange(size * 8))
+        else:
+            new = rng.getrandbits(size * 8)
+        blob[off:off + size] = new.to_bytes(size, "big")
+
+    def mutate_args(self, step: CallStep) -> CallStep:
+        rng = self.rng
+        spec = self.abi.spec(step.method)
+        blob = bytearray(step.args)
+        # Typed path: pick a field and mutate it as its kind.
+        if spec is not None and spec.fields and rng.randrange(4):
+            field, off = spec.offsets()[rng.randrange(len(spec.fields))]
+            if field.kind != "bytes" and off + field.size <= len(blob):
+                self._mutate_word(blob, off, field.size)
+                return CallStep(step.method, bytes(blob))
+        # Havoc path: raw byte ops; resizing only for variable layouts.
+        if not blob:
+            if spec is not None and not spec.variable:
+                return CallStep(step.method, spec.min_args())
+            return CallStep(step.method,
+                            bytes(rng.randrange(256)
+                                  for _ in range(1 + rng.randrange(8))))
+        roll = rng.randrange(6)
+        if roll == 0:
+            blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+        elif roll == 1:
+            blob[rng.randrange(len(blob))] = rng.choice(
+                (0x00, 0x01, 0x7F, 0x80, 0xFF))
+        elif roll == 2:
+            i, j = rng.randrange(len(blob)), rng.randrange(len(blob))
+            blob[i], blob[j] = blob[j], blob[i]
+        elif roll == 3 and len(blob) >= 8:
+            off = rng.randrange(len(blob) - 7)
+            self._mutate_word(blob, off, 8)
+        elif (spec is None or spec.variable) and roll == 4:
+            blob += bytes(rng.randrange(256)
+                          for _ in range(1 + rng.randrange(8)))
+        elif (spec is None or spec.variable) and roll == 5 and len(blob) > 1:
+            del blob[rng.randrange(len(blob)):]
+            if not blob:
+                blob.append(0)
+        else:
+            blob[rng.randrange(len(blob))] = rng.randrange(256)
+        return CallStep(step.method, bytes(blob))
+
+    # -- sequence layer -----------------------------------------------------
+
+    def mutate(self, sequence, corpus=None) -> tuple:
+        """One mutated child of ``sequence``.
+
+        Mostly argument havoc on one step; sometimes structural edits;
+        occasionally a splice with a random corpus sibling.
+        """
+        rng = self.rng
+        seq = list(sequence) or [self.fresh_step()]
+        roll = rng.randrange(10)
+        if roll < 6:  # argument mutation (the common case)
+            i = rng.randrange(len(seq))
+            seq[i] = self.mutate_args(seq[i])
+        elif roll == 6 and len(seq) < self.max_seq_len:
+            seq.insert(rng.randrange(len(seq) + 1), self.fresh_step())
+        elif roll == 7 and len(seq) > 1:
+            del seq[rng.randrange(len(seq))]
+        elif roll == 8 and len(seq) > 1:
+            i, j = rng.randrange(len(seq)), rng.randrange(len(seq))
+            seq[i], seq[j] = seq[j], seq[i]
+        elif roll == 9 and corpus is not None and len(corpus) > 1:
+            other = list(corpus.choice(rng))
+            cut_a = rng.randrange(len(seq) + 1)
+            cut_b = rng.randrange(len(other) + 1)
+            seq = (seq[:cut_a] + other[cut_b:])[:self.max_seq_len] or seq
+        else:
+            i = rng.randrange(len(seq))
+            seq[i] = self.mutate_args(seq[i])
+        return tuple(seq)

@@ -1,0 +1,214 @@
+"""Branch-flipping over PathConstraints — constant extraction and
+interval reasoning, no SMT.
+
+The bytecode analyzer (PR 6) traces every conditional branch to a
+comparison over symbolic operand trees (``input[8:16] < const``,
+``input_size() != 24``, affine combinations).  When the fuzzer sees a
+branch site where only one outcome has ever executed, it asks this
+module for concrete calldata that takes the other side:
+
+- ``input[off:len] REL const`` — pick the boundary value satisfying
+  REL and splice it into the blob (big-endian, matching the VM's
+  load/store byte order);
+- ``input_size() REL const`` — resize the blob;
+- affine wrappers ``(+ x k)``, ``(- x k)``, ``(* x k)``, ``(& x k)``
+  are unwrapped algebraically; nested ``cmp`` under truthy/falsy
+  recurses;
+- ``input == input`` two-operand comparisons copy one range onto the
+  other.
+
+Everything else returns no candidates — the mutation engine keeps
+those branches; this module only has to crack the magic-constant and
+size gates random bytes essentially never hit.
+"""
+
+from __future__ import annotations
+
+_INVERT = {
+    "eq": "ne", "ne": "eq", "lt_s": "ge_s", "lt_u": "ge_u",
+    "gt_s": "le_s", "gt_u": "le_u", "le_s": "gt_s", "le_u": "gt_u",
+    "ge_s": "lt_s", "ge_u": "lt_u", "truthy": "falsy", "falsy": "truthy",
+}
+
+# Relation -> candidate target values for `x REL c` (best-first).
+_MAX_INPUT = 4096
+
+
+def _targets(rel: str, c: int) -> list[int]:
+    if rel == "eq":
+        return [c]
+    if rel == "ne":
+        return [c + 1, 0] if c != 0 else [1]
+    if rel in ("lt_u", "lt_s"):
+        return [c - 1, 0] if rel == "lt_u" else [c - 1]
+    if rel in ("le_u", "le_s"):
+        return [c, 0] if rel == "le_u" else [c]
+    if rel in ("gt_u", "gt_s"):
+        return [c + 1]
+    if rel in ("ge_u", "ge_s"):
+        return [c]
+    if rel == "truthy":
+        return [1]
+    if rel == "falsy":
+        return [0]
+    return []
+
+
+def _encode(value: int, length: int) -> bytes | None:
+    """Two's-complement big-endian, or None when unrepresentable."""
+    bits = length * 8
+    if value < 0:
+        # Negative i64 values only exist for full-word fields; narrower
+        # loads zero-extend and can never read back negative.
+        if length != 8 or value < -(1 << 63):
+            return None
+        value &= (1 << 64) - 1
+    if value >= 1 << bits:
+        return None
+    return value.to_bytes(length, "big")
+
+
+def _patch(args: bytes, off: int, chunk: bytes) -> bytes:
+    blob = bytearray(args)
+    end = off + len(chunk)
+    if end > len(blob):
+        blob.extend(bytes(end - len(blob)))
+    blob[off:end] = chunk
+    return bytes(blob)
+
+
+def _resize(args: bytes, size: int) -> bytes | None:
+    if size < 0 or size > _MAX_INPUT:
+        return None
+    if size <= len(args):
+        return args[:size]
+    return args + bytes(size - len(args))
+
+
+def _unwrap(expr, rel: str, c: int):
+    """Reduce ``expr REL c`` toward a bare input/input_size leaf.
+
+    Returns ``(leaf, rel, c)`` or None when the algebra gives out.
+    """
+    for _ in range(8):
+        if expr is None:
+            return None
+        tag = expr[0]
+        if tag in ("input", "input_size"):
+            return expr, rel, c
+        if tag != "bin":
+            return None
+        op_name, a, b = expr[1], expr[2], expr[3]
+        if b is not None and b[0] == "const":
+            k, inner = b[1], a
+            if op_name == "+":
+                c, expr = c - k, inner
+            elif op_name == "-":
+                c, expr = c + k, inner
+            elif op_name == "*" and k > 0:
+                if rel == "eq" and c % k != 0:
+                    return None
+                c, expr = c // k, inner
+            elif op_name == "&" and rel in ("eq", "ne"):
+                if rel == "eq" and (c & ~k) != 0:
+                    return None  # masked bits can never equal c
+                expr = inner
+            elif op_name == "^" and rel in ("eq", "ne"):
+                c, expr = c ^ k, inner
+            else:
+                return None
+        elif a is not None and a[0] == "const":
+            k, inner = a[1], b
+            if op_name == "+":
+                c, expr = c - k, inner
+            elif op_name == "-":  # k - x REL c  <=>  x REL' k - c
+                c, expr, rel = k - c, inner, _flip_order(rel)
+            elif op_name == "*" and k > 0:
+                if rel == "eq" and c % k != 0:
+                    return None
+                c, expr = c // k, inner
+            elif op_name == "^" and rel in ("eq", "ne"):
+                c, expr = c ^ k, inner
+            else:
+                return None
+        else:
+            return None
+    return None
+
+
+def _flip_order(rel: str) -> str:
+    return {"lt_s": "gt_s", "lt_u": "gt_u", "gt_s": "lt_s",
+            "gt_u": "lt_u", "le_s": "ge_s", "le_u": "ge_u",
+            "ge_s": "le_s", "ge_u": "le_u"}.get(rel, rel)
+
+
+def _solve_rel(lhs, rel: str, rhs, args: bytes) -> list[bytes]:
+    """Candidates making ``lhs REL rhs`` hold over ``args``."""
+    # Nested comparison under a truthiness test: (cmp k a b) REL 0/1.
+    if lhs is not None and lhs[0] == "cmp" and rel in ("truthy", "falsy"):
+        inner = lhs[1] if rel == "truthy" else _INVERT.get(lhs[1], lhs[1])
+        return _solve_rel(lhs[2], inner, lhs[3], args)
+    lc = rhs[1] if rhs is not None and rhs[0] == "const" else None
+    if lc is None and lhs is not None and lhs[0] == "const":
+        # const REL expr  <=>  expr REL' const
+        return _solve_rel(rhs, _flip_order(rel), lhs, args)
+    if rel in ("truthy", "falsy") and rhs is None:
+        rhs, lc = ("const", 0), 0
+        rel = "ne" if rel == "truthy" else "eq"
+    elif rel == "truthy":
+        rel, lc = "ne", 0 if lc is None else lc
+    elif rel == "falsy":
+        rel, lc = "eq", 0 if lc is None else lc
+
+    if lc is not None:
+        reduced = _unwrap(lhs, rel, lc)
+        if reduced is None:
+            return []
+        leaf, rel, c = reduced
+        out = []
+        if leaf[0] == "input_size":
+            for v in _targets(rel, c):
+                resized = _resize(args, v)
+                if resized is not None:
+                    out.append(resized)
+            return out
+        off, length = leaf[1], leaf[2]
+        for v in _targets(rel, c):
+            chunk = _encode(v, length)
+            if chunk is not None:
+                out.append(_patch(args, off, chunk))
+        return out
+
+    # input-vs-input comparison: make both ranges equal (or not).
+    if (lhs is not None and rhs is not None
+            and lhs[0] == "input" and rhs[0] == "input"
+            and lhs[2] == rhs[2]):
+        src = args[lhs[1]:lhs[1] + lhs[2]].ljust(lhs[2], b"\x00")
+        if rel == "eq":
+            return [_patch(args, rhs[1], src)]
+        if rel == "ne":
+            flipped = bytes([src[0] ^ 0xFF]) + src[1:]
+            return [_patch(args, rhs[1], flipped)]
+    return []
+
+
+def solve_constraint(constraint, want_taken: bool, args: bytes,
+                     max_candidates: int = 4) -> list[bytes]:
+    """Calldata candidates steering ``constraint`` to the wanted edge.
+
+    ``constraint.kind`` describes the relation on the *taken* edge;
+    ``want_taken=False`` solves the inverse to reach the fallthrough.
+    """
+    rel = constraint.kind
+    if not want_taken:
+        rel = _INVERT.get(rel, rel)
+    candidates = _solve_rel(constraint.lhs_sym, rel, constraint.rhs_sym, args)
+    # Dedup preserving order; drop no-op candidates.
+    seen, out = set(), []
+    for cand in candidates:
+        if cand != args and cand not in seen:
+            seen.add(cand)
+            out.append(cand)
+        if len(out) >= max_candidates:
+            break
+    return out

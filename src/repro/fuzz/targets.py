@@ -1,0 +1,147 @@
+"""Fuzz target registry: contract source + ABI + confidentiality model.
+
+A :class:`FuzzTarget` is everything the harness needs to fuzz one
+contract: its CWScript source, the typed calldata layout of each
+method (with secret-field marks for canary planting), which storage
+key prefixes the engine seals, and whether receipts travel in
+plaintext (Public-Engine) or sealed under ``k_tx`` (the default
+Confidential-Engine model, matching ``analyze_artifact``'s
+``public_outputs=False`` admission mode).
+
+Built-ins cover the example contracts plus the planted-bug fixtures
+under ``tests/fixtures/fuzz/contracts/``; any other ``.cws`` path is
+loaded with an ABI inferred from its path constraints.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.fuzz.abi import ArgField, ContractAbi, MethodSpec, infer_abi
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))))
+_EXAMPLES = os.path.join(_REPO_ROOT, "examples", "contracts")
+_FIXTURES = os.path.join(_REPO_ROOT, "tests", "fixtures", "fuzz",
+                         "contracts")
+
+
+@dataclass(frozen=True)
+class FuzzTarget:
+    """One contract under fuzz, with its confidentiality model."""
+
+    name: str
+    source: str
+    abi: ContractAbi
+    confidential_prefixes: tuple = ()
+    receipts_public: bool = False
+
+
+def _read(directory: str, filename: str) -> str:
+    with open(os.path.join(directory, filename)) as f:
+        return f.read()
+
+
+def _greeter() -> FuzzTarget:
+    abi = ContractAbi((
+        MethodSpec("greet", (ArgField("pad", "bytes", 0),), variable=True),
+        MethodSpec("total", (ArgField("pad", "bytes", 0),), variable=True),
+    ))
+    return FuzzTarget("greeter", _read(_EXAMPLES, "greeter.cws"), abi)
+
+
+def _coldchain() -> FuzzTarget:
+    abi = ContractAbi((
+        MethodSpec("register", (
+            ArgField("sid", "u64"),
+            ArgField("min_temp", "i64", secret=True),
+            ArgField("max_temp", "i64", secret=True),
+        )),
+        MethodSpec("record", (
+            ArgField("sid", "u64"),
+            ArgField("temp", "i64", secret=True),
+            ArgField("sensor", "u64"),
+        )),
+        MethodSpec("status", (ArgField("sid", "u64"),)),
+        MethodSpec("history", (ArgField("sid", "u64"),)),
+    ))
+    return FuzzTarget("coldchain", _read(_EXAMPLES, "coldchain.cws"), abi,
+                      confidential_prefixes=(b"cfg.", b"rd"))
+
+
+def _gates() -> FuzzTarget:
+    abi = ContractAbi((
+        MethodSpec("open", (
+            ArgField("key_a", "u64"),
+            ArgField("key_b", "u64"),
+            ArgField("amount", "u64"),
+        )),
+        MethodSpec("probe", (ArgField("candidate", "u64"),)),
+    ))
+    return FuzzTarget("gates", _read(_EXAMPLES, "gates.cws"), abi)
+
+
+def _div_shift() -> FuzzTarget:
+    abi = ContractAbi((
+        MethodSpec("mix", (ArgField("value", "u64"),
+                           ArgField("shift", "u64"))),
+        MethodSpec("stir", (ArgField("value", "u64"),)),
+    ))
+    return FuzzTarget("div_shift", _read(_FIXTURES, "div_shift.cws"), abi)
+
+
+def _leaky_log() -> FuzzTarget:
+    abi = ContractAbi((
+        MethodSpec("put", (ArgField("id", "u64"),
+                           ArgField("note", "u64", secret=True))),
+        MethodSpec("peek", (ArgField("id", "u64"),)),
+    ))
+    return FuzzTarget("leaky_log", _read(_FIXTURES, "leaky_log.cws"), abi,
+                      confidential_prefixes=(b"note.",))
+
+
+def _spin() -> FuzzTarget:
+    abi = ContractAbi((
+        MethodSpec("burn", (ArgField("rounds", "u64"),)),
+        MethodSpec("tick", (ArgField("pad", "bytes", 0),), variable=True),
+    ))
+    return FuzzTarget("spin", _read(_FIXTURES, "spin.cws"), abi)
+
+
+BUILTIN_TARGETS = {
+    "greeter": _greeter,
+    "coldchain": _coldchain,
+    "gates": _gates,
+    "div_shift": _div_shift,
+    "leaky_log": _leaky_log,
+    "spin": _spin,
+}
+
+
+def target_names() -> list[str]:
+    return sorted(BUILTIN_TARGETS)
+
+
+def load_target(name_or_path: str,
+                confidential_prefixes: tuple = (),
+                receipts_public: bool = False) -> FuzzTarget:
+    """A builtin by name, or any ``.cws`` path with an inferred ABI."""
+    factory = BUILTIN_TARGETS.get(name_or_path)
+    if factory is not None:
+        return factory()
+    if not os.path.isfile(name_or_path):
+        raise FileNotFoundError(
+            f"unknown fuzz target '{name_or_path}' "
+            f"(builtins: {', '.join(target_names())})")
+    with open(name_or_path) as f:
+        source = f.read()
+    from repro.lang.compiler import compile_source
+
+    artifact = compile_source(source, "wasm")
+    name = os.path.splitext(os.path.basename(name_or_path))[0]
+    return FuzzTarget(name, source, infer_abi(artifact),
+                      confidential_prefixes=tuple(
+                          p.encode() if isinstance(p, str) else bytes(p)
+                          for p in confidential_prefixes),
+                      receipts_public=receipts_public)

@@ -72,6 +72,13 @@ STORAGE_CACHE_HIT_RATE = "confide_storage_block_cache_hit_rate"
 STORAGE_RECOVERY_SECONDS = "confide_storage_recovery_seconds"
 STORAGE_SEGMENTS_LIVE = "confide_storage_segments_live"
 STORAGE_MANIFEST_EPOCH = "confide_storage_manifest_epoch"
+FUZZ_EXECS = "confide_fuzz_execs_total"
+FUZZ_COVERAGE_EDGES = "confide_fuzz_coverage_edges"
+FUZZ_CORPUS_ENTRIES = "confide_fuzz_corpus_entries"
+FUZZ_FINDINGS = "confide_fuzz_findings_total"
+FUZZ_SOLVER_ATTEMPTS = "confide_fuzz_solver_attempts_total"
+FUZZ_CONSTRAINT_FLIPS = "confide_fuzz_constraint_flips_total"
+FUZZ_EXECS_PER_SECOND = "confide_fuzz_execs_per_second"
 
 
 def collect_operation_stats(registry: MetricsRegistry, stats,
@@ -339,6 +346,41 @@ def collect_storage(registry: MetricsRegistry, kv) -> None:
     registry.gauge(
         STORAGE_MANIFEST_EPOCH, "current sealed manifest epoch"
     ).set(snap["manifest_epoch"])
+
+
+def collect_fuzz(registry: MetricsRegistry, result) -> None:
+    """Absorb a :class:`~repro.fuzz.harness.FuzzResult` campaign."""
+    execs = registry.counter(
+        FUZZ_EXECS, "differential executions performed", ("target",))
+    edges = registry.gauge(
+        FUZZ_COVERAGE_EDGES, "distinct branch edges covered",
+        ("target", "vm"))
+    corpus = registry.gauge(
+        FUZZ_CORPUS_ENTRIES, "sequences retained in the corpus",
+        ("target",))
+    findings = registry.counter(
+        FUZZ_FINDINGS, "oracle findings", ("target", "kind"))
+    attempts = registry.counter(
+        FUZZ_SOLVER_ATTEMPTS, "constraint-solver candidate executions",
+        ("target",))
+    flips = registry.counter(
+        FUZZ_CONSTRAINT_FLIPS, "branches flipped by the solver",
+        ("target",))
+    total_execs = 0
+    for name, stats in sorted(result.stats.items()):
+        execs.set_total(stats.execs + stats.minimize_execs, target=name)
+        total_execs += stats.execs + stats.minimize_execs
+        edges.set(stats.edges_wasm, target=name, vm="wasm")
+        edges.set(stats.edges_evm, target=name, vm="evm")
+        corpus.set(stats.corpus_entries, target=name)
+        attempts.set_total(stats.solver_attempts, target=name)
+        flips.set_total(stats.constraint_flips, target=name)
+        for kind, count in sorted(stats.findings.items()):
+            findings.set_total(count, target=name, kind=kind)
+    if result.elapsed_s:
+        registry.gauge(
+            FUZZ_EXECS_PER_SECOND, "campaign throughput"
+        ).set(round(total_execs / result.elapsed_s, 1))
 
 
 def collect_node(registry: MetricsRegistry, node) -> None:

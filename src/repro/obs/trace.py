@@ -22,6 +22,19 @@ counts may cross; payload bytes raise
 
 Tracing is off by default and the disabled fast path is a single
 attribute check returning a shared no-op span.
+
+**Coverage-only mode.**  The fuzzer needs per-branch coverage from the
+same VM hook points the tracer instruments, but at fuzzing throughput a
+full span per executed branch would drown the ring (and the span
+machinery itself would dominate the measurement).  A
+:class:`CoverageMap` installed on ``tracer.coverage`` is therefore an
+independent, much lighter sink: the interpreters consult it with one
+attribute check per *branch* instruction (never per instruction) and
+record bare ``(context, site, outcome)`` edges into a set — no span
+objects, no ring buffer, no timestamps — and it works with span
+recording entirely disabled (``tracer.enabled`` stays False).
+Coverage sites are instruction indices, never payload bytes, so the
+confidentiality guard has nothing to guard.
 """
 
 from __future__ import annotations
@@ -98,12 +111,55 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+class CoverageMap:
+    """Branch-edge coverage sink for the VM hook points.
+
+    One edge is ``(context, site, outcome)``:
+
+    - ``context`` — whatever the harness set on :attr:`context` before
+      the run (e.g. ``("coldchain", "wasm")``); lets one map span many
+      contracts without cross-talk;
+    - ``site`` — the branch location: ``(fidx, pc)`` for CONFIDE-VM,
+      the instruction byte offset for EVM;
+    - ``outcome`` — True/False for conditional branches (True means the
+      jump was taken), or the concrete destination for computed EVM
+      JUMPs, which makes every jump-table target its own edge.
+
+    The map is deliberately tiny: a set, two counters, no locking (the
+    fuzz loop is single-threaded and deterministic).  Install it with
+    ``get_tracer().coverage = cov``; remove it by setting None.
+    """
+
+    __slots__ = ("edges", "context", "branches")
+
+    def __init__(self):
+        self.edges: set = set()
+        self.context = None
+        self.branches = 0  # total branch executions (hits, not edges)
+
+    def branch(self, site, outcome) -> None:
+        """Record one executed branch edge."""
+        self.branches += 1
+        self.edges.add((self.context, site, outcome))
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def edges_for(self, context) -> set:
+        """Edges recorded under one context value."""
+        return {e for e in self.edges if e[0] == context}
+
+
 class Tracer:
     """Span factory + exit-less buffer for one tracing session."""
 
     def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY,
                  enabled: bool = False):
         self.enabled = enabled
+        # Coverage-only mode: a CoverageMap (or None).  Checked by the
+        # VM interpreters at branch instructions independently of
+        # ``enabled``, so fuzz coverage never pays for span recording.
+        self.coverage: CoverageMap | None = None
         self.ring = RingBuffer(capacity)
         # Modeled-cycle sampler (e.g. the platform accountant's running
         # total); spans record the delta across their lifetime.

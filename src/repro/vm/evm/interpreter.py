@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.crypto.hashes import keccak256, sha256
 from repro.errors import OutOfGasError, TrapError, VMError
+from repro.obs.trace import get_tracer
 from repro.vm import host as host_mod
 from repro.vm.host import ExecutionResult, HostBridge, HostContext
 from repro.vm.evm import opcodes as op
@@ -132,6 +133,10 @@ class EvmInstance:
     def run(self, entry_pc: int = 0) -> ExecutionResult:
         """Execute from `entry_pc` until STOP/RETURN; returns the result."""
         gas = self.gas_limit
+        # Coverage-only hook (obs/trace.py): sites are byte offsets;
+        # computed JUMPs record their destination so every jump-table
+        # target is a distinct edge.
+        cov = get_tracer().coverage
         code = self.code
         size = len(code)
         stack: list[int] = []
@@ -263,10 +268,14 @@ class EvmInstance:
                     dest = pop()
                     if dest not in self.jumpdests:
                         raise TrapError(f"invalid JUMP destination {dest}")
+                    if cov is not None:
+                        cov.branch(pc - 1, dest)
                     pc = dest
                 elif opcode == op.JUMPI:
                     dest = pop()
                     cond = pop()
+                    if cov is not None:
+                        cov.branch(pc - 1, bool(cond))
                     if cond:
                         if dest not in self.jumpdests:
                             raise TrapError(f"invalid JUMPI destination {dest}")

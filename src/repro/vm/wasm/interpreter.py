@@ -15,6 +15,7 @@ are reproduced.
 from __future__ import annotations
 
 from repro.errors import TrapError, VMError
+from repro.obs.trace import get_tracer
 from repro.vm.host import ExecutionResult, HostBridge, HostContext
 from repro.vm.wasm import opcodes as op
 from repro.vm.wasm.module import Module
@@ -60,6 +61,10 @@ class WasmInstance:
         self.steps_left = max_steps
         self._max_steps = max_steps
         self._depth = 0
+        # Coverage-only hook (obs/trace.py): a CoverageMap or None.
+        # Sampled once per instantiation; branch arms check it with a
+        # single ``is not None`` so the uninstrumented path stays hot.
+        self._coverage = get_tracer().coverage
 
     def run(self, export: str, args: list[int] | None = None) -> ExecutionResult:
         """Invoke an exported function; returns the execution result."""
@@ -82,13 +87,14 @@ class WasmInstance:
         if self._depth > _MAX_CALL_DEPTH:
             raise TrapError("call stack exhausted")
         try:
-            return _execute(self, func, args)
+            return _execute(self, fidx, func, args)
         finally:
             self._depth -= 1
 
 
-def _execute(self: WasmInstance, func, args: list[int]):
+def _execute(self: WasmInstance, fidx: int, func, args: list[int]):
     """The dispatch loop (module-level, flat, hand-ordered by heat)."""
+    cov = self._coverage
     code = func.code
     locals_ = [a & _M for a in args] + [0] * func.nlocals
     stack: list[int] = []
@@ -134,6 +140,8 @@ def _execute(self: WasmInstance, func, args: list[int]):
                     taken = _signed(lhs) >= _signed(rhs)
                 else:
                     taken = lhs >= rhs
+                if cov is not None:
+                    cov.branch((fidx, pc - 1), taken)
                 if taken:
                     pc = a
             elif opcode == 70:  # LOAD8_LOCAL
@@ -176,10 +184,16 @@ def _execute(self: WasmInstance, func, args: list[int]):
             elif opcode == 6:  # JMP
                 pc = a
             elif opcode == 8:  # JMP_IFZ
-                if not pop():
+                taken = not pop()
+                if cov is not None:
+                    cov.branch((fidx, pc - 1), taken)
+                if taken:
                     pc = a
             elif opcode == 7:  # JMP_IF
-                if pop():
+                taken = bool(pop())
+                if cov is not None:
+                    cov.branch((fidx, pc - 1), taken)
+                if taken:
                     pc = a
             elif opcode == 17:  # SUB
                 rhs = pop()

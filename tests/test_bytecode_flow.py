@@ -26,7 +26,7 @@ from bytecode_corpus import (
     _get_secret,
     _wasm_artifact,
 )
-from conftest import COUNTER_SOURCE
+from conftest import COUNTER_SOURCE, MockHost
 from repro.analysis import analyze_artifact, check_artifact, flow_verify_artifact
 from repro.ccle import parse_schema
 from repro.cli import main as cli_main
@@ -314,6 +314,190 @@ class TestPathConstraints:
         assert first == second
         keys = [(c["function"], c["pc"]) for c in first]
         assert keys == sorted(keys)
+
+
+MULTI_FUNCTION_SOURCE = """
+fn _clamp(v) -> i64 {
+    if (v > 100) { return 100; }
+    return v;
+}
+
+fn first() {
+    let buf = alloc(8);
+    input_read(buf, 0, 8);
+    let v = _clamp(load64(buf));
+    if (v == 7) { log("seven", 5); }
+    output(buf, 8);
+}
+
+fn second() {
+    let buf = alloc(8);
+    input_read(buf, 0, 8);
+    if (_clamp(load64(buf)) < 5) { log("small", 5); }
+    output(buf, 8);
+}
+"""
+
+LOOP_CARRIED_SOURCE = """
+fn walk() {
+    let buf = alloc(8);
+    input_read(buf, 0, 8);
+    let count = load64(buf);
+    let acc = 0;
+    let i = 0;
+    while (i < count) { acc = acc + i; i = i + 1; }
+    let out = alloc(8);
+    store64(out, acc);
+    output(out, 8);
+}
+"""
+
+MEMORY_OPERAND_SOURCE = """
+fn pick() {
+    let buf = alloc(16);
+    input_read(buf, 0, 16);
+    if (load64(buf + 8) == 42) { log("tail", 4); }
+    output(buf, 8);
+}
+"""
+
+STORAGE_OPERAND_SOURCE = """
+fn check() {
+    let buf = alloc(8);
+    let n = storage_get("cfg.x", 5, buf, 8);
+    let v = load64(buf);
+    if (v > 50) { log("hot", 3); }
+    let out = alloc(8);
+    store64(out, 0);
+    output(out, 8);
+}
+"""
+
+
+class TestPathConstraintProvenance:
+    """Constraint recovery beyond the two-branch smoke: call graphs,
+    loops, jump tables, and operands routed through memory."""
+
+    def test_helper_functions_get_their_own_constraints(self):
+        artifact = compile_source(MULTI_FUNCTION_SOURCE, "wasm")
+        constraints = analyze_artifact(artifact).constraints
+        # Both exported entry points branch on the helper's return
+        # value; the comparison value crossed a call boundary, so its
+        # provenance is opaque but the site (the fuzzer hook) remains.
+        for export in ("first", "second"):
+            sites = constraints.for_function(export)
+            assert sites, export
+            assert all(c.taken != c.fallthrough for c in sites)
+        # The helper itself is analyzed under its function-index label,
+        # and *its* branch traces straight back to the caller's input.
+        helpers = [c for c in constraints.constraints
+                   if c.function.startswith("func_")]
+        assert any(c.lhs_sym == ("input", 0, 8) and c.rhs == "100"
+                   for c in helpers), [dataclasses.asdict(c)
+                                       for c in helpers]
+
+    def test_multi_function_evm_entries_all_covered(self):
+        artifact = compile_source(MULTI_FUNCTION_SOURCE, "evm")
+        constraints = analyze_artifact(artifact).constraints
+        assert {c.function for c in constraints.constraints} >= \
+            {"first", "second"}
+
+    def test_loop_carried_comparison_keeps_input_provenance(self):
+        artifact = compile_source(LOOP_CARRIED_SOURCE, "wasm")
+        walk = analyze_artifact(artifact).constraints.for_function("walk")
+        # The `i < count` guard is visited twice: on entry (i is the
+        # constant 0) and around the back-edge (i is loop-carried and
+        # opaque).  Both visits must keep the input-derived bound, so a
+        # fuzzer solving for loop trip counts knows which bytes to aim
+        # at.
+        guards = [c for c in walk if c.rhs == "input[0:8]"]
+        assert len(guards) >= 2, [dataclasses.asdict(c) for c in walk]
+        assert {c.pc for c in guards} == {guards[0].pc}
+        assert all(c.input_bytes() == [(0, 8)] for c in guards)
+        assert any(c.lhs_sym == ("const", 0) for c in guards)
+
+    def test_evm_jump_table_targets_become_distinct_edges(self):
+        # Dispatch through pushed return labels: both entries funnel
+        # into one shared subroutine which returns via a computed JUMP.
+        # The coverage hook records computed JUMPs with their concrete
+        # destination, so each jump-table target is its own edge — the
+        # fuzzer can tell "reached via get" from "reached via probe".
+        from repro.obs.trace import CoverageMap, get_tracer
+        from repro.vm.evm.interpreter import EvmInstance
+
+        builder, _ = CORPUS["evm_leak_via_jump_table"]
+        artifact = builder()
+        tracer = get_tracer()
+        saved = tracer.coverage
+        tracer.coverage = cov = CoverageMap()
+        try:
+            for method in ("get", "probe"):
+                cov.context = method
+                host = MockHost()
+                host.store[b"ccle:vault:secret"] = b"\x05" * 8
+                EvmInstance(artifact.code, host).run(
+                    artifact.entry_for(method))
+        finally:
+            tracer.coverage = saved
+        dests_by_site: dict[int, set] = {}
+        for _context, site, outcome in cov.edges:
+            if isinstance(outcome, int) and not isinstance(outcome, bool):
+                dests_by_site.setdefault(site, set()).add(outcome)
+        assert dests_by_site, "computed JUMPs must be recorded"
+        # The shared subroutine's return JUMP resolves to a different
+        # label per entry point: one site, two target edges.
+        assert any(len(dests) >= 2 for dests in dests_by_site.values()), \
+            dests_by_site
+
+    def test_memory_routed_input_operand_keeps_offset(self):
+        artifact = compile_source(MEMORY_OPERAND_SOURCE, "wasm")
+        pick = analyze_artifact(artifact).constraints.for_function("pick")
+        # input_read fills 16 bytes; the branch loads the *second* word
+        # through memory, and the recovered operand must carry the 8..16
+        # byte window (this is what the fuzzer patches).
+        traced = [c for c in pick if c.lhs_sym == ("input", 8, 8)]
+        assert traced, [dataclasses.asdict(c) for c in pick]
+        assert traced[0].rhs == "42"
+        assert traced[0].input_bytes() == [(8, 8)]
+
+    def test_storage_routed_operand_marked_unsolvable(self):
+        artifact = compile_source(STORAGE_OPERAND_SOURCE, "wasm")
+        result = analyze_artifact(artifact, extra_confidential=("cfg.",))
+        check = result.constraints.for_function("check")
+        traced = [c for c in check
+                  if c.lhs_sym == ("storage", "cfg.x", 0, 8)]
+        assert traced, [dataclasses.asdict(c) for c in check]
+        # Storage-sourced operands carry no input bytes: the fuzzer's
+        # solver must refuse them rather than patch garbage.
+        assert traced[0].input_bytes() == []
+
+    def test_to_list_emits_structured_provenance(self):
+        artifact = compile_source(TWO_BRANCH_SOURCE, "wasm")
+        records = analyze_artifact(artifact).constraints.to_list()
+        gate = [r for r in records if r["function"] == "gate"
+                and r["lhs"] == "input[0:8]"]
+        assert gate
+        record = gate[0]
+        assert record["lhs_sym"] == {"op": "input", "offset": 0, "len": 8}
+        assert record["rhs_sym"] == {"op": "const", "value": 10}
+        assert record["input_bytes"] == [[0, 8]]
+
+    def test_cli_json_carries_provenance(self, capsys, tmp_path):
+        source_path = tmp_path / "two_branch.cws"
+        source_path.write_text(TWO_BRANCH_SOURCE)
+        artifact_path = str(tmp_path / "two_branch.bin")
+        assert cli_main(["compile", str(source_path),
+                         "-o", artifact_path]) == 0
+        capsys.readouterr()
+        assert cli_main(["analyze", "--bytecode", artifact_path,
+                         "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        records = payload["path_constraints"]
+        assert records
+        assert all({"lhs_sym", "rhs_sym", "input_bytes"} <= set(r)
+                   for r in records)
+        assert any(r["lhs_sym"] == {"op": "input", "offset": 0, "len": 8}
+                   for r in records)
 
 
 class TestResourceBounds:

@@ -1,0 +1,55 @@
+"""Pinned fuzzer findings replayed as regression tests.
+
+Every ``tests/fixtures/fuzz/*.finding`` file is a minimized,
+campaign-discovered bug with its reproduction line.  CI replays each
+one and fails if the oracle that caught it has gone blind — the
+fixtures are the fuzzer's own regression suite.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz import replay
+from repro.fuzz.corpus import parse_finding_file
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures", "fuzz")
+FINDING_FILES = sorted(glob.glob(os.path.join(FIXTURE_DIR, "*.finding")))
+
+
+def finding_id(path: str) -> str:
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+class TestPinnedFindings:
+    def test_fixture_set_is_nonempty(self):
+        # One planted bug per oracle: a VM divergence, a secret leak,
+        # and a resource-bound violation.
+        assert len(FINDING_FILES) >= 3
+        kinds = {parse_finding_file(p)["kind"] for p in FINDING_FILES}
+        assert {"divergence", "canary", "resource"} <= kinds
+
+    @pytest.mark.parametrize("path", FINDING_FILES, ids=finding_id)
+    def test_finding_is_well_formed(self, path):
+        fields = parse_finding_file(path)
+        assert fields["kind"] in ("divergence", "canary", "resource",
+                                  "crash")
+        assert fields["steps"], "pinned finding must have call steps"
+        assert int(fields["seed"]) >= 0
+        assert "detail" in fields
+
+    @pytest.mark.parametrize("path", FINDING_FILES, ids=finding_id)
+    def test_finding_replays_to_its_kind(self, path):
+        fields = parse_finding_file(path)
+        findings = replay(fields["target"], fields["sequence"])
+        kinds = {f.kind for f in findings}
+        assert fields["kind"] in kinds, (
+            f"{finding_id(path)}: replay produced {sorted(kinds) or 'no'} "
+            f"findings, expected {fields['kind']}")
+        matching = [f for f in findings if f.kind == fields["kind"]]
+        site = fields["detail"].split("|", 1)[0]
+        assert any(f.detail.split("|", 1)[0] == site for f in matching), (
+            f"{finding_id(path)}: kind replayed but at a different site")

@@ -7,7 +7,7 @@ import pytest
 from repro.errors import TelemetryError
 from repro.obs.guard import guard_field, guard_fields, guard_name
 from repro.obs.ring import RingBuffer
-from repro.obs.trace import NULL_SPAN, Tracer
+from repro.obs.trace import NULL_SPAN, CoverageMap, Tracer
 
 
 @pytest.fixture
@@ -155,3 +155,83 @@ class TestTracer:
             pass
         tracer.reset()
         assert tracer.drain() == []
+
+
+class TestCoverageMap:
+    def test_edges_dedup_but_branches_count_hits(self):
+        cov = CoverageMap()
+        for _ in range(5):
+            cov.branch((0, 12), True)
+        cov.branch((0, 12), False)
+        assert len(cov) == 2
+        assert cov.branches == 6
+
+    def test_context_separates_identical_sites(self):
+        cov = CoverageMap()
+        cov.context = ("gates", "wasm")
+        cov.branch((0, 12), True)
+        cov.context = ("gates", "evm")
+        cov.branch((0, 12), True)
+        assert len(cov) == 2
+        assert len(cov.edges_for(("gates", "wasm"))) == 1
+
+    def test_computed_jump_targets_are_distinct_edges(self):
+        cov = CoverageMap()
+        cov.branch(88, 120)   # EVM computed JUMP: outcome is the dest
+        cov.branch(88, 160)
+        cov.branch(88, True)  # a conditional at the same offset
+        assert len(cov) == 3
+
+    def test_coverage_works_with_tracing_disabled(self):
+        # Coverage-only mode: the fuzzer installs a CoverageMap on a
+        # disabled tracer — branch edges are recorded while the span
+        # path stays on NULL_SPAN and buffers nothing.
+        tracer = Tracer(enabled=False)
+        assert tracer.coverage is None  # off by default
+        tracer.coverage = cov = CoverageMap()
+        with tracer.span("vm.call") as span:
+            tracer.coverage.branch((1, 3), True)
+        assert span is NULL_SPAN
+        assert tracer.drain() == []
+        assert len(cov) == 1
+        tracer.coverage = None
+
+    def test_vm_hooks_record_wasm_and_evm_edges(self):
+        from repro.lang import compile_source
+        from repro.obs.trace import get_tracer
+        from repro.vm.evm.interpreter import EvmInstance
+        from repro.vm.wasm.interpreter import WasmInstance
+        from repro.vm.wasm.module import decode_module
+
+        source = """
+        fn gate() {
+            let buf = alloc(8);
+            input_read(buf, 0, 8);
+            if (load64(buf) == 7) { log("yes", 3); }
+            output(buf, 8);
+        }
+        """
+        shared = get_tracer()
+        saved = shared.coverage
+        shared.coverage = cov = CoverageMap()
+        try:
+            from conftest import MockHost
+
+            wasm = compile_source(source, "wasm")
+            cov.context = "wasm"
+            host = MockHost(input_data=(7).to_bytes(8, "big"))
+            WasmInstance(decode_module(wasm.code), host).run("gate")
+            evm = compile_source(source, "evm")
+            cov.context = "evm"
+            host = MockHost(input_data=(7).to_bytes(8, "big"))
+            EvmInstance(evm.code, host).run(evm.entry_for("gate"))
+        finally:
+            shared.coverage = saved
+        wasm_edges = cov.edges_for("wasm")
+        evm_edges = cov.edges_for("evm")
+        assert wasm_edges, "wasm conditional branches must be recorded"
+        assert evm_edges, "evm JUMPI/JUMP sites must be recorded"
+        # wasm sites are (function index, pc) pairs; EVM sites are
+        # bytecode offsets.
+        assert all(isinstance(site, tuple) for _c, site, _o in wasm_edges)
+        assert all(isinstance(site, int) for _c, site, _o in evm_edges)
