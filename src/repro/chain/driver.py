@@ -26,6 +26,20 @@ from repro.errors import ChainError
 from repro.obs.trace import get_tracer
 
 
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile over an unsorted sample (0 when empty).
+
+    Shared by the driver report and the serving load generator so the
+    p50/p95/p99 columns in BENCH_chain.json and BENCH_serving.json mean
+    the same thing.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
 @dataclass(frozen=True)
 class FaultWindow:
     """Nodes crashed during [start_s, end_s) of simulated time."""
@@ -88,11 +102,7 @@ class DriverReport:
         return sum(empty) / len(empty) * 1000 if empty else 0.0
 
     def latency_percentile(self, q: float) -> float:
-        if not self.tx_latencies_s:
-            return 0.0
-        ordered = sorted(self.tx_latencies_s)
-        index = min(int(q * len(ordered)), len(ordered) - 1)
-        return ordered[index]
+        return percentile(self.tx_latencies_s, q)
 
 
 class ClosedLoopDriver:

@@ -28,9 +28,15 @@ class TxPool:
         self._txs: OrderedDict[bytes, Transaction] = OrderedDict()
         self._capacity = capacity
         self._lock = threading.Lock()
-        # Drop counters (cumulative; absorbed by repro.obs.collect).
+        # Cumulative counters (absorbed by repro.obs.collect).
         self.rejected_full = 0
         self.dropped_oversized = 0
+        self.accepted_total = 0
+        self.depth_peak = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
 
     def add(self, tx: Transaction) -> bool:
         """Insert; returns False when the tx is a duplicate or the pool
@@ -43,6 +49,9 @@ class TxPool:
                 self.rejected_full += 1
                 return False
             self._txs[tx.tx_hash] = tx
+            self.accepted_total += 1
+            if len(self._txs) > self.depth_peak:
+                self.depth_peak = len(self._txs)
             return True
 
     def pop_batch(self, max_count: int | None = None,

@@ -131,6 +131,7 @@ class Node:
         lanes: int = 1,
         platform=None,
         data_dir: str | None = None,
+        mempool_capacity: int = 100_000,
     ):
         self.node_id = node_id
         self.zone = zone
@@ -162,8 +163,11 @@ class Node:
             mode=config.preverify_pool_mode,
         )
         self._worker_sk: bytes | None = None
-        self.unverified = TxPool()
-        self.verified = TxPool()
+        # The serving gateway sizes this down so ``TxPool.add -> False``
+        # becomes client-visible backpressure before memory does.
+        self.unverified = TxPool(capacity=mempool_capacity)
+        self.verified = TxPool(capacity=mempool_capacity)
+        self._closed = False
         self.chain: list[Block] = []
         self.receipts: dict[bytes, bytes] = {}  # tx hash -> receipt blob
         self._receipt_blobs_by_height: dict[int, list[bytes]] = {}
@@ -193,7 +197,14 @@ class Node:
         with get_tracer().span("chain.preverify") as span:
             moved = 0
             while len(self.unverified):
-                batch = self.unverified.pop_batch(max_count=64)
+                # Never out-run the verified pool: when it is full the
+                # backlog must stay in `unverified` — where admission
+                # control can see it and push back — rather than be
+                # popped and silently dropped by a failing `add`.
+                free = self.verified.capacity - len(self.verified)
+                if free <= 0:
+                    break
+                batch = self.unverified.pop_batch(max_count=min(64, free))
                 if self.preverify_pool.mode != "serial":
                     moved += self._preverify_batch_pooled(batch)
                     continue
@@ -237,13 +248,25 @@ class Node:
 
     def close(self, close_kv: bool = True) -> None:
         """Shut down the node's worker pools and (by default) cleanly
-        close the underlying KV store, releasing its file handles."""
+        close the underlying KV store, releasing its file handles.
+
+        Idempotent, and flips :attr:`closed` first so block production
+        racing a shutdown fails loudly (a block applied into a closing
+        store could leave a torn WAL tail) instead of corrupting state.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.preverify_pool.close()
         self.executor.close()
         if close_kv:
             closer = getattr(self.kv, "close", None)
             if closer is not None:
                 closer()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- block lifecycle --------------------------------------------------------
 
@@ -271,6 +294,8 @@ class Node:
         `proposer` is the consensus leader's id — part of the replicated
         header, identical on every node.
         """
+        if self._closed:
+            raise ChainError("node is closed; cannot apply a block")
         # Everything the block writes — every per-key state commit the
         # engines make during execution, plus the header/body/receipt
         # records below — lands in ONE atomic storage commit, so crash

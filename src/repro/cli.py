@@ -497,6 +497,143 @@ def cmd_fuzz(args) -> int:
     return 1 if (args.fail_on_findings and result.findings) else 0
 
 
+def _build_serving_node(args):
+    from repro.chain.node import Node
+    from repro.core.config import EngineConfig
+    from repro.core.k_protocol import bootstrap_founder
+
+    config = EngineConfig(storage_backend=args.storage)
+    node = Node(
+        0, config=config, data_dir=args.data_dir,
+        mempool_capacity=args.mempool_capacity,
+    )
+    bootstrap_founder(node.confidential.km)
+    node.confidential.provision_from_km()
+    return node
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import AsyncGatewayServer, Gateway, GatewayConfig
+
+    if args.storage != "memory" and not args.data_dir:
+        print("error: persistent --storage needs --data-dir",
+              file=sys.stderr)
+        return 2
+    node = _build_serving_node(args)
+    gateway = Gateway(node, GatewayConfig(
+        rate_per_s=args.rate,
+        burst=args.burst,
+        block_interval_s=args.block_interval,
+        max_block_bytes=args.max_block_bytes,
+        # The loadgen's provisioning/audit identities run as operator
+        # traffic, outside the per-client budget.
+        unlimited_clients=("setup", "auditor"),
+    ))
+    server = AsyncGatewayServer(gateway, args.host, args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await stop.wait()
+        finally:
+            print("draining in-flight requests...", flush=True)
+            await server.stop()
+            print("gateway closed", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _parse_weights(text: str) -> dict[str, float]:
+    weights: dict[str, float] = {}
+    for part in text.split(","):
+        if not part.strip():
+            continue
+        name, _, value = part.partition("=")
+        weights[name.strip()] = float(value)
+    return weights
+
+
+def cmd_loadtest(args) -> int:
+    import json as _json
+
+    from repro.serve.loadgen import (
+        LoadConfig,
+        run_http_load,
+        run_virtual_load,
+        write_bench,
+    )
+
+    config = LoadConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+        mode=args.mode,
+        arrival_rate_rps=args.arrival_rate,
+        think_time_s=args.think_time,
+        block_interval_s=args.block_interval,
+        max_block_bytes=args.max_block_bytes,
+        mempool_capacity=args.mempool_capacity,
+        rate_per_s=args.client_rate,
+        burst=args.burst,
+        **({"weights": _parse_weights(args.weights)} if args.weights else {}),
+    )
+    if args.url:
+        report = run_http_load(args.url, config)
+    else:
+        report = run_virtual_load(config)
+        if args.verify_determinism:
+            second = run_virtual_load(config)
+            first_text = _json.dumps(report.summary(), sort_keys=True)
+            second_text = _json.dumps(second.summary(), sort_keys=True)
+            if first_text != second_text:
+                print("DETERMINISM FAILURE: two load runs with seed "
+                      f"{config.seed} diverged", file=sys.stderr)
+                return 1
+            print(f"determinism verified: two load runs of seed "
+                  f"{config.seed} produced byte-identical summaries")
+    if args.out:
+        write_bench(args.out, config, report)
+        print(f"wrote {args.out}")
+    if args.json:
+        print(_json.dumps(report.to_dict(include_timing=True), indent=2,
+                          sort_keys=True))
+    else:
+        from repro.bench.reporting import format_serving
+
+        print(format_serving(report.summary(), report.transport))
+    if args.metrics:
+        from repro.obs.collect import collect_loadgen
+        from repro.obs.export import prometheus_text
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        collect_loadgen(registry, report)
+        print(prometheus_text(registry), end="")
+    if args.max_error_rate is not None:
+        errors = sum(report.errors_by_kind.values())
+        rate = errors / report.submitted if report.submitted else 0.0
+        if rate > args.max_error_rate:
+            print(f"error rate {rate:.4f} exceeds --max-error-rate "
+                  f"{args.max_error_rate}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CONFIDE reproduction toolkit"
@@ -647,6 +784,77 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 1 if any finding was recorded")
     p.add_argument("--list-targets", action="store_true")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the JSON-RPC serving gateway over one node",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8645,
+                   help="listen port (0 picks a free one; default 8645)")
+    p.add_argument("--storage", choices=("memory", "appendlog", "lsm"),
+                   default="memory")
+    p.add_argument("--data-dir", help="storage directory for persistent "
+                   "backends")
+    p.add_argument("--block-interval", type=float, default=0.030,
+                   metavar="S", help="block production cadence "
+                   "(default 0.030, the paper's 30 ms)")
+    p.add_argument("--max-block-bytes", type=int, default=1 << 14)
+    p.add_argument("--mempool-capacity", type=int, default=4096,
+                   help="unverified-pool depth before submissions get "
+                        "backpressure responses (default 4096)")
+    p.add_argument("--rate", type=float, default=0.0, metavar="RPS",
+                   help="per-client token-bucket refill; 0 disables "
+                        "rate limiting (default 0)")
+    p.add_argument("--burst", type=float, default=20.0,
+                   help="per-client token-bucket depth (default 20)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="sustained mixed-workload load against the gateway",
+    )
+    p.add_argument("--url", metavar="http://HOST:PORT",
+                   help="drive a live gateway over HTTP instead of the "
+                        "deterministic in-process virtual-time transport")
+    p.add_argument("--clients", type=int, default=1000,
+                   help="concurrent simulated clients (default 1000)")
+    p.add_argument("--requests", type=int, default=3,
+                   help="business transactions per client (default 3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="the in-process run is a pure function of this")
+    p.add_argument("--mode", choices=("open", "closed"), default="open",
+                   help="arrival model: open loop (rate-driven) or "
+                        "closed loop (think-time)")
+    p.add_argument("--arrival-rate", type=float, default=2500.0,
+                   metavar="RPS", help="open-loop aggregate arrival rate")
+    p.add_argument("--think-time", type=float, default=0.4, metavar="S",
+                   help="closed-loop mean per-client think time")
+    p.add_argument("--block-interval", type=float, default=0.030,
+                   metavar="S")
+    p.add_argument("--max-block-bytes", type=int, default=1 << 14)
+    p.add_argument("--mempool-capacity", type=int, default=512,
+                   help="small by default so the run demonstrates "
+                        "backpressure (default 512)")
+    p.add_argument("--client-rate", type=float, default=0.0, metavar="RPS",
+                   help="gateway per-client rate limit (0 = off)")
+    p.add_argument("--burst", type=float, default=20.0)
+    p.add_argument("--weights", metavar="W",
+                   help="traffic mix, e.g. scf=0.1,abs=0.3,coldchain=0.6")
+    p.add_argument("--out", metavar="FILE",
+                   help="write BENCH_serving.json here")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report (with timing) as JSON")
+    p.add_argument("--metrics", action="store_true",
+                   help="print confide_serve_load_* Prometheus metrics")
+    p.add_argument("--verify-determinism", action="store_true",
+                   help="run twice and require byte-identical summaries "
+                        "(in-process transport only)")
+    p.add_argument("--max-error-rate", type=float, default=None,
+                   metavar="FRAC",
+                   help="exit 1 if (non-backpressure) error responses "
+                        "exceed this fraction of submissions")
+    p.set_defaults(func=cmd_loadtest)
 
     p = sub.add_parser(
         "db", help="inspect or maintain an LSM storage directory"

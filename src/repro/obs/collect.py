@@ -79,6 +79,27 @@ FUZZ_FINDINGS = "confide_fuzz_findings_total"
 FUZZ_SOLVER_ATTEMPTS = "confide_fuzz_solver_attempts_total"
 FUZZ_CONSTRAINT_FLIPS = "confide_fuzz_constraint_flips_total"
 FUZZ_EXECS_PER_SECOND = "confide_fuzz_execs_per_second"
+TXPOOL_ACCEPTED = "confide_txpool_accepted_total"
+MEMPOOL_DEPTH_PEAK = "confide_mempool_depth_peak"
+SERVE_REQUESTS = "confide_serve_requests_total"
+SERVE_REQUEST_SECONDS = "confide_serve_request_seconds_total"
+SERVE_ACCEPTED = "confide_serve_accepted_total"
+SERVE_BACKPRESSURE = "confide_serve_backpressure_total"
+SERVE_RATE_LIMITED = "confide_serve_rate_limited_total"
+SERVE_DUPLICATES = "confide_serve_duplicates_total"
+SERVE_INVALID = "confide_serve_invalid_total"
+SERVE_INTERNAL_ERRORS = "confide_serve_internal_errors_total"
+SERVE_BLOCKS_PRODUCED = "confide_serve_blocks_produced_total"
+SERVE_TXS_COMMITTED = "confide_serve_txs_committed_total"
+SERVE_RECEIPTS_SERVED = "confide_serve_receipts_served_total"
+SERVE_RATELIMIT_CLIENTS = "confide_serve_ratelimit_clients"
+SERVE_LOAD_CLIENTS = "confide_serve_load_clients"
+SERVE_LOAD_REQUESTS = "confide_serve_load_requests_total"
+SERVE_LOAD_COMMITTED = "confide_serve_load_committed_total"
+SERVE_LOAD_BACKPRESSURE = "confide_serve_load_backpressure_total"
+SERVE_LOAD_ERRORS = "confide_serve_load_errors_total"
+SERVE_LOAD_LATENCY_SECONDS = "confide_serve_load_latency_seconds"
+SERVE_LOAD_TPS = "confide_serve_load_committed_tps"
 
 
 def collect_operation_stats(registry: MetricsRegistry, stats,
@@ -207,6 +228,12 @@ def collect_mempool(registry: MetricsRegistry, pool, name: str) -> None:
         "transactions dropped for exceeding the block byte budget alone",
         ("pool",),
     ).set_total(pool.dropped_oversized, pool=name)
+    registry.counter(
+        TXPOOL_ACCEPTED, "transactions admitted into a pool", ("pool",),
+    ).set_total(pool.accepted_total, pool=name)
+    registry.gauge(
+        MEMPOOL_DEPTH_PEAK, "highest depth a pool has reached", ("pool",),
+    ).set(pool.depth_peak, pool=name)
 
 
 def collect_preverify_pool(registry: MetricsRegistry, pool) -> None:
@@ -381,6 +408,92 @@ def collect_fuzz(registry: MetricsRegistry, result) -> None:
         registry.gauge(
             FUZZ_EXECS_PER_SECOND, "campaign throughput"
         ).set(round(total_execs / result.elapsed_s, 1))
+
+
+def collect_gateway(registry: MetricsRegistry, gateway) -> None:
+    """Absorb a serving :class:`~repro.serve.gateway.Gateway`'s counters.
+
+    Labels carry only gateway vocabulary (method names, outcome words) —
+    never client identities or payload-derived strings; the guard
+    enforces it.
+    """
+    requests = registry.counter(
+        SERVE_REQUESTS, "gateway requests by method and outcome",
+        ("method", "outcome"),
+    )
+    for (method, outcome), count in sorted(gateway.requests_total.items()):
+        requests.set_total(count, method=method, outcome=outcome)
+    seconds = registry.counter(
+        SERVE_REQUEST_SECONDS, "gateway request handling seconds by method",
+        ("method",),
+    )
+    for method, total in sorted(gateway.request_seconds_total.items()):
+        seconds.set_total(total, method=method)
+    registry.counter(
+        SERVE_ACCEPTED, "transactions admitted through the gateway"
+    ).set_total(gateway.accepted_total)
+    registry.counter(
+        SERVE_BACKPRESSURE,
+        "submissions refused because the unverified pool was full",
+    ).set_total(gateway.backpressure_total)
+    registry.counter(
+        SERVE_RATE_LIMITED, "requests refused by the per-client token bucket"
+    ).set_total(gateway.limiter.denied_total)
+    registry.counter(
+        SERVE_DUPLICATES, "resubmissions of already-known transactions"
+    ).set_total(gateway.duplicates_total)
+    registry.counter(
+        SERVE_INVALID, "malformed or invalid requests refused"
+    ).set_total(gateway.invalid_total)
+    registry.counter(
+        SERVE_INTERNAL_ERRORS, "requests that hit an internal error"
+    ).set_total(gateway.internal_errors_total)
+    registry.counter(
+        SERVE_BLOCKS_PRODUCED, "blocks cut by the gateway's producer"
+    ).set_total(gateway.blocks_produced)
+    registry.counter(
+        SERVE_TXS_COMMITTED, "transactions committed through the gateway"
+    ).set_total(gateway.txs_committed)
+    registry.counter(
+        SERVE_RECEIPTS_SERVED, "receipt lookups answered with a receipt"
+    ).set_total(gateway.receipts_served)
+    registry.gauge(
+        SERVE_RATELIMIT_CLIENTS, "client buckets tracked by the rate limiter"
+    ).set(len(gateway.limiter))
+    collect_node(registry, gateway.node)
+
+
+def collect_loadgen(registry: MetricsRegistry, report) -> None:
+    """Absorb a :class:`~repro.serve.loadgen.LoadReport` summary."""
+    registry.gauge(
+        SERVE_LOAD_CLIENTS, "concurrent simulated clients"
+    ).set(report.clients)
+    requests = registry.counter(
+        SERVE_LOAD_REQUESTS, "load-generator requests by workload",
+        ("workload",),
+    )
+    for workload, count in sorted(report.requests_by_workload.items()):
+        requests.set_total(count, workload=workload)
+    registry.counter(
+        SERVE_LOAD_COMMITTED, "transactions committed with a receipt"
+    ).set_total(report.committed)
+    registry.counter(
+        SERVE_LOAD_BACKPRESSURE, "submissions answered with backpressure"
+    ).set_total(report.backpressure)
+    errors = registry.counter(
+        SERVE_LOAD_ERRORS, "error responses by kind", ("kind",),
+    )
+    for kind, count in sorted(report.errors_by_kind.items()):
+        errors.set_total(count, kind=kind)
+    latency = registry.gauge(
+        SERVE_LOAD_LATENCY_SECONDS,
+        "commit latency quantiles over virtual time", ("quantile",),
+    )
+    for quantile, value in sorted(report.latency_quantiles_s.items()):
+        latency.set(value, quantile=quantile)
+    registry.gauge(
+        SERVE_LOAD_TPS, "committed transactions per virtual second"
+    ).set(report.committed_tps)
 
 
 def collect_node(registry: MetricsRegistry, node) -> None:

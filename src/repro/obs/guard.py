@@ -50,9 +50,13 @@ ALLOWED_STR_FIELDS = frozenset(
         "outcome",
         "phase",
         "pool",
+        # latency quantile labels on serving metrics: "p50" / "p95" / "p99"
+        "quantile",
         "target",
         "unit",
         "vm",
+        # traffic-mix component on serving metrics: "scf" / "abs" / ...
+        "workload",
     }
 )
 

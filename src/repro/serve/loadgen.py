@@ -1,0 +1,578 @@
+"""Sustained-load generator for the serving gateway.
+
+Two transports over the same traffic model (:class:`TrafficMix`):
+
+- **In-process virtual time** (the default, and the one BENCH_serving
+  numbers come from): thousands of simulated clients drive the *real*
+  gateway code path — JSON parsing, rate limiting, admission, block
+  production, receipt lookup — but time is a seeded discrete-event
+  clock.  Arrivals come from a ``random.Random``; blocks are cut at
+  fixed virtual intervals; a committed transaction's latency is
+  ``block-cut time + the PBFT ordering model's round latency − arrival
+  time``.  Nothing in the summary depends on the wall clock, so a fixed
+  seed reproduces BENCH_serving.json's summary byte-for-byte — the
+  determinism gate CI holds the serving path to.
+- **HTTP** (``repro loadtest --url``): real sockets against a live
+  ``repro serve`` process, one thread per client, latencies measured
+  submit→receipt on the wall clock.  Same invariants, no byte-identical
+  promise.
+
+Every response body is byte-scanned for the traffic mix's canary
+plaintext; any hit raises :class:`InvariantViolation` — a gateway
+response must never contain confidential payload bytes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.chain.consensus import PBFTOrderer
+from repro.chain.driver import percentile
+from repro.chain.network import NetworkModel
+from repro.chain.node import Node
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.k_protocol import bootstrap_founder
+from repro.errors import InvariantViolation, ReproError
+from repro.serve import jsonrpc
+from repro.serve.gateway import Gateway, GatewayConfig
+from repro.sim.invariants import ConfidentialityChecker
+from repro.workloads.mix import DEFAULT_WEIGHTS, TrafficMix
+
+_SETUP_ROUNDS = 64
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Knobs for one load run (CLI: ``repro loadtest``)."""
+
+    clients: int = 1000
+    requests_per_client: int = 3
+    seed: int = 0
+    mode: str = "open"  # "open" (rate-driven) | "closed" (think-time)
+    arrival_rate_rps: float = 2500.0  # open loop: aggregate arrivals
+    think_time_s: float = 0.4  # closed loop: mean per-client gap
+    block_interval_s: float = 0.030
+    max_block_bytes: int = 1 << 14
+    mempool_capacity: int = 512  # small enough to demonstrate backpressure
+    rate_per_s: float = 0.0  # per-client gateway rate limit (0 = off)
+    burst: float = 20.0
+    weights: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_WEIGHTS)
+    )
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests_per_client": self.requests_per_client,
+            "seed": self.seed,
+            "mode": self.mode,
+            "arrival_rate_rps": self.arrival_rate_rps,
+            "think_time_s": self.think_time_s,
+            "block_interval_s": self.block_interval_s,
+            "max_block_bytes": self.max_block_bytes,
+            "mempool_capacity": self.mempool_capacity,
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst,
+            "weights": dict(sorted(self.weights.items())),
+        }
+
+
+@dataclass
+class LoadReport:
+    """Outcome of a load run; ``summary()`` is the deterministic part."""
+
+    clients: int = 0
+    transport: str = "inproc"
+    requests_by_workload: dict[str, int] = field(default_factory=dict)
+    submitted: int = 0
+    accepted: int = 0
+    committed: int = 0
+    backpressure: int = 0
+    duplicates: int = 0
+    rate_limited: int = 0
+    errors_by_kind: dict[str, int] = field(default_factory=dict)
+    latencies_s: list[float] = field(default_factory=list)
+    blocks: int = 0
+    duration_s: float = 0.0  # virtual (inproc) or wall (http)
+    canary_scans: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def latency_quantiles_s(self) -> dict[str, float]:
+        return {
+            "p50": percentile(self.latencies_s, 0.50),
+            "p95": percentile(self.latencies_s, 0.95),
+            "p99": percentile(self.latencies_s, 0.99),
+        }
+
+    @property
+    def committed_tps(self) -> float:
+        return self.committed / self.duration_s if self.duration_s else 0.0
+
+    def summary(self) -> dict:
+        """Deterministic summary: fixed seed → byte-identical dict."""
+        quantiles = {
+            name: round(value, 6)
+            for name, value in self.latency_quantiles_s.items()
+        }
+        return {
+            "clients": self.clients,
+            "transport": self.transport,
+            "requests_by_workload": dict(
+                sorted(self.requests_by_workload.items())
+            ),
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "committed": self.committed,
+            "backpressure": self.backpressure,
+            "duplicates": self.duplicates,
+            "rate_limited": self.rate_limited,
+            "errors_by_kind": dict(sorted(self.errors_by_kind.items())),
+            "latency_s": quantiles,
+            "blocks": self.blocks,
+            "duration_s": round(self.duration_s, 6),
+            "committed_tps": round(self.committed_tps, 3),
+            "canary_scans": self.canary_scans,
+            "canary_hits": 0,  # a hit raises before any report exists
+        }
+
+    def to_dict(self, include_timing: bool = False) -> dict:
+        document = self.summary()
+        if include_timing:
+            document["timing"] = {"wall_seconds": round(self.wall_seconds, 3)}
+        return document
+
+    def count_request(self, workload: str) -> None:
+        self.requests_by_workload[workload] = (
+            self.requests_by_workload.get(workload, 0) + 1
+        )
+
+    def count_error(self, kind: str) -> None:
+        self.errors_by_kind[kind] = self.errors_by_kind.get(kind, 0) + 1
+
+
+def _error_kind(code: int) -> str:
+    name = jsonrpc.ERROR_NAMES.get(code, "unknown")
+    return name.replace(" ", "_")
+
+
+class VirtualTimeLoad:
+    """Discrete-event load run over an in-process gateway."""
+
+    def __init__(self, config: LoadConfig,
+                 engine_config: EngineConfig = DEFAULT_CONFIG):
+        self.config = config
+        self._now = 0.0
+        self.node = Node(
+            0, config=engine_config,
+            mempool_capacity=config.mempool_capacity,
+        )
+        bootstrap_founder(self.node.confidential.km)
+        self.node.confidential.provision_from_km()
+        self.gateway = Gateway(
+            self.node,
+            GatewayConfig(
+                rate_per_s=config.rate_per_s,
+                burst=config.burst,
+                block_interval_s=config.block_interval_s,
+                max_block_bytes=config.max_block_bytes,
+                # Provisioning and the receipt-conservation sweep are
+                # operator traffic, outside the per-client budget.
+                unlimited_clients=("setup", "auditor"),
+            ),
+            clock=lambda: self._now,
+        )
+        self.mix = TrafficMix(
+            self.node.pk_tx, seed=config.seed, weights=dict(config.weights)
+        )
+        self.checker = ConfidentialityChecker(self.mix.canary_needles)
+        # The paper's 4-node, 2-zone deployment provides the ordering
+        # latency model; execution runs on the one real node.
+        self.orderer = PBFTOrderer([0, 0, 1, 1], NetworkModel())
+        self.report = LoadReport(clients=config.clients)
+        self._submit_time: dict[bytes, float] = {}
+        self._commit_time: dict[bytes, float] = {}
+        self._accepted: list[bytes] = []
+        self._rejected: list[bytes] = []
+        self._next_block = config.block_interval_s
+        self._traffic_start = 0.0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _rpc(self, method: str, params: dict, client: str) -> dict:
+        body = json.dumps({
+            "jsonrpc": "2.0", "id": 1, "method": method, "params": params,
+        }).encode()
+        response_bytes = self.gateway.handle_raw(body, client)
+        self.checker.scan_wire(response_bytes, f"gateway response {method}")
+        self.report.canary_scans += 1
+        return json.loads(response_bytes)
+
+    def _cut_block(self, at_time: float) -> None:
+        self._now = at_time
+        applied = self.gateway.produce_block()
+        if applied is None:
+            return
+        self.report.blocks += 1
+        transactions = applied.block.transactions
+        block_bytes = sum(tx.wire_size for tx in transactions)
+        # Commit latency is fully modeled: the cut instant plus the PBFT
+        # ordering round for a block of this size.  Measured execution
+        # seconds never enter virtual time (they would break the
+        # fixed-seed byte-identical summary).
+        commit_at = at_time + self.orderer.round_latency(
+            block_bytes or 1
+        ).committed_s
+        for tx in transactions:
+            self._commit_time[tx.tx_hash] = commit_at
+        for blob in self.node.receipt_blobs_at(applied.block.header.height):
+            self.checker.scan_blobs([blob], "committed receipt blob")
+            self.report.canary_scans += 1
+
+    def _advance_blocks(self, up_to: float) -> None:
+        while self._next_block <= up_to:
+            self._cut_block(self._next_block)
+            self._next_block += self.config.block_interval_s
+
+    def _submit(self, workload: str, tx, client: str) -> None:
+        self.report.count_request(workload)
+        self.report.submitted += 1
+        response = self._rpc(
+            "submit_tx", {"tx": tx.encode().hex()}, client
+        )
+        error = response.get("error")
+        if error is None:
+            result = response["result"]
+            if result.get("duplicate"):
+                self.report.duplicates += 1
+            else:
+                self.report.accepted += 1
+                self._accepted.append(tx.tx_hash)
+                self._submit_time[tx.tx_hash] = self._now
+            return
+        code = error["code"]
+        if code == jsonrpc.BACKPRESSURE:
+            self.report.backpressure += 1
+            self._rejected.append(tx.tx_hash)
+        elif code == jsonrpc.RATE_LIMITED:
+            self.report.rate_limited += 1
+            self._rejected.append(tx.tx_hash)
+        else:
+            self.report.count_error(_error_kind(code))
+
+    # -- phases ------------------------------------------------------------
+
+    def _run_setup(self) -> None:
+        """Deploy + wire the contract suite through the gateway itself.
+
+        Setup traffic is counted per workload but kept out of the
+        submitted/accepted/latency books — the benchmark measures the
+        steady state, not the one-time provisioning burst.
+        """
+        for request in (self.mix.deploy_transactions()
+                        + self.mix.setup_transactions()):
+            self.report.count_request(request.workload)
+            response = self._rpc(
+                "submit_tx", {"tx": request.tx.encode().hex()}, "setup"
+            )
+            if "error" in response:
+                raise ReproError(
+                    f"setup transaction refused: {response['error']}"
+                )
+            # Deploys and setup calls are order-dependent (a setup call
+            # targets the contract the previous deploy created), so each
+            # gets its own block before the next is submitted.
+            self._advance_blocks(self._next_block)
+            if request.tx.tx_hash not in self._commit_time:
+                raise ReproError("setup transaction did not commit")
+
+    def _arrival_schedule(self) -> list[tuple[float, int, int]]:
+        """(time, seq, client) arrivals, fully determined by the seed."""
+        rng = random.Random(f"arrivals-{self.config.seed}")
+        total = self.config.clients * self.config.requests_per_client
+        events: list[tuple[float, int, int]] = []
+        if self.config.mode == "open":
+            now = 0.0
+            for seq in range(total):
+                now += rng.expovariate(self.config.arrival_rate_rps)
+                events.append((now, seq, rng.randrange(self.config.clients)))
+        elif self.config.mode == "closed":
+            seq = 0
+            for client in range(self.config.clients):
+                now = rng.uniform(0, self.config.think_time_s)
+                for _ in range(self.config.requests_per_client):
+                    events.append((now, seq, client))
+                    seq += 1
+                    now += rng.expovariate(1.0 / self.config.think_time_s)
+            heapq.heapify(events)
+            events = [heapq.heappop(events) for _ in range(len(events))]
+        else:
+            raise ReproError(f"unknown load mode '{self.config.mode}'")
+        return events
+
+    def _run_traffic(self) -> None:
+        # Arrivals start at the first block boundary after setup, so the
+        # virtual clock never runs backwards and setup time stays out of
+        # the measured window.
+        self._traffic_start = self._next_block
+        for at_time, _seq, client in self._arrival_schedule():
+            arrival = self._traffic_start + at_time
+            self._advance_blocks(arrival)
+            self._now = arrival
+            request = self.mix.next_request()
+            self._submit(request.workload, request.tx, f"client-{client}")
+        # Drain: keep the producer beating until the pools are empty.
+        for _ in range(_SETUP_ROUNDS * 16):
+            if not (len(self.node.unverified) or len(self.node.verified)):
+                break
+            self._advance_blocks(self._next_block)
+        if len(self.node.unverified) or len(self.node.verified):
+            raise ReproError("load run did not drain the mempool")
+
+    def _run_queries(self) -> None:
+        """Receipt sweep: conservation check + latency accounting."""
+        for tx_hash in self._accepted:
+            self.report.count_request("query")
+            response = self._rpc(
+                "get_receipt", {"tx_hash": tx_hash.hex()}, "auditor"
+            )
+            result = response.get("result")
+            if result is None or not result.get("found"):
+                raise InvariantViolation(
+                    f"accepted tx {tx_hash.hex()[:16]} has no receipt"
+                )
+            commit_at = self._commit_time.get(tx_hash)
+            if commit_at is None:
+                raise InvariantViolation(
+                    f"accepted tx {tx_hash.hex()[:16]} never committed"
+                )
+            self.report.committed += 1
+            self.report.latencies_s.append(
+                commit_at - self._submit_time[tx_hash]
+            )
+        for tx_hash in self._rejected:
+            self.report.count_request("query")
+            response = self._rpc(
+                "get_receipt", {"tx_hash": tx_hash.hex()}, "auditor"
+            )
+            result = response.get("result")
+            if result is not None and result.get("found"):
+                raise InvariantViolation(
+                    f"rejected tx {tx_hash.hex()[:16]} acquired a receipt"
+                )
+        for method in ("node_status", "chain_status"):
+            self.report.count_request("query")
+            response = self._rpc(method, {}, "auditor")
+            if "error" in response:
+                raise ReproError(f"{method} failed: {response['error']}")
+
+    def run(self) -> LoadReport:
+        wall_started = time.perf_counter()
+        try:
+            self._run_setup()
+            self._run_traffic()
+            self._run_queries()
+            # The mempool is drained, so every canary planted into the
+            # replicated store must be sealed: scan the KV store too.
+            self.checker.scan_kv(self.node.node_id, self.node.kv)
+            end = max([self._now] + list(self._commit_time.values()))
+            self.report.duration_s = end - self._traffic_start
+            self.report.wall_seconds = time.perf_counter() - wall_started
+            return self.report
+        finally:
+            self.gateway.close()
+
+
+def run_virtual_load(
+    config: LoadConfig,
+    engine_config: EngineConfig = DEFAULT_CONFIG,
+) -> LoadReport:
+    """One seeded in-process load run (the BENCH_serving path)."""
+    return VirtualTimeLoad(config, engine_config).run()
+
+
+# -- HTTP transport --------------------------------------------------------
+
+
+class _HttpClient:
+    """One keep-alive connection speaking JSON-RPC POSTs."""
+
+    def __init__(self, host: str, port: int, client_id: str):
+        import http.client
+
+        self.connection = http.client.HTTPConnection(host, port, timeout=30)
+        self.client_id = client_id
+
+    def request(self, method: str, params: dict) -> tuple[dict, bytes]:
+        body = json.dumps({
+            "jsonrpc": "2.0", "id": 1, "method": method, "params": params,
+        }).encode()
+        self.connection.request(
+            "POST", "/rpc", body=body,
+            headers={"Content-Length": str(len(body)),
+                     "X-Client-Id": self.client_id},
+        )
+        raw = self.connection.getresponse().read()
+        return json.loads(raw), raw
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def run_http_load(url: str, config: LoadConfig) -> LoadReport:
+    """Drive a live gateway over HTTP with one thread per client.
+
+    Latencies are wall-clock submit→receipt; the summary is *not*
+    byte-deterministic (that promise belongs to the virtual-time
+    transport), but every invariant — receipts conserved, rejected txs
+    receiptless, zero canary bytes in responses — is enforced the same.
+    """
+    import threading
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url)
+    host, port = parts.hostname, parts.port
+    if host is None or port is None:
+        raise ReproError(f"loadtest needs host:port in the url, got {url!r}")
+
+    wall_started = time.perf_counter()
+    report = LoadReport(clients=config.clients, transport="http")
+    setup_client = _HttpClient(host, port, "setup")
+    status, raw = setup_client.request("node_status", {})
+    pk_hex = status.get("result", {}).get("pk_tx")
+    if not pk_hex:
+        raise ReproError("gateway has no provisioned pk_tx")
+    from repro.crypto.ecc import decode_point
+
+    mix = TrafficMix(
+        decode_point(bytes.fromhex(pk_hex)),
+        seed=config.seed, weights=dict(config.weights),
+    )
+    checker = ConfidentialityChecker(mix.canary_needles)
+    lock = threading.Lock()
+
+    def scan(blob: bytes, context: str) -> None:
+        with lock:
+            checker.scan_wire(blob, context)
+            report.canary_scans += 1
+
+    def await_receipt(client: _HttpClient, tx_hash_hex: str,
+                      timeout_s: float = 60.0) -> bool:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            response, raw_bytes = client.request(
+                "get_receipt", {"tx_hash": tx_hash_hex}
+            )
+            scan(raw_bytes, "http get_receipt response")
+            result = response.get("result", {})
+            if result.get("found"):
+                return True
+            time.sleep(0.05)
+        return False
+
+    # Setup sequentially through the gateway, waiting out each commit.
+    for request in mix.deploy_transactions() + mix.setup_transactions():
+        report.count_request(request.workload)
+        report.submitted += 1
+        response, raw_bytes = setup_client.request(
+            "submit_tx", {"tx": request.tx.encode().hex()}
+        )
+        scan(raw_bytes, "http setup response")
+        if "error" in response:
+            raise ReproError(f"setup refused: {response['error']}")
+        report.accepted += 1
+        if not await_receipt(setup_client, request.tx.tx_hash.hex()):
+            raise ReproError("setup transaction did not commit in time")
+    setup_client.close()
+
+    # Pre-build every business transaction so worker threads never
+    # contend on the mix's RNG or pay signing costs mid-measurement.
+    plans: list[list] = [[] for _ in range(config.clients)]
+    for i in range(config.clients * config.requests_per_client):
+        plans[i % config.clients].append(mix.next_request())
+
+    rejected: list[str] = []
+    accepted: list[str] = []
+
+    def worker(index: int) -> None:
+        client = _HttpClient(host, port, f"client-{index}")
+        try:
+            for request in plans[index]:
+                with lock:
+                    report.count_request(request.workload)
+                    report.submitted += 1
+                started = time.monotonic()
+                tx_hash_hex = request.tx.tx_hash.hex()
+                response, raw_bytes = client.request(
+                    "submit_tx", {"tx": request.tx.encode().hex()}
+                )
+                scan(raw_bytes, "http submit response")
+                error = response.get("error")
+                if error is not None:
+                    with lock:
+                        code = error["code"]
+                        if code == jsonrpc.BACKPRESSURE:
+                            report.backpressure += 1
+                            rejected.append(tx_hash_hex)
+                        elif code == jsonrpc.RATE_LIMITED:
+                            report.rate_limited += 1
+                            rejected.append(tx_hash_hex)
+                        else:
+                            report.count_error(_error_kind(code))
+                    continue
+                with lock:
+                    if response["result"].get("duplicate"):
+                        report.duplicates += 1
+                        continue
+                    report.accepted += 1
+                    accepted.append(tx_hash_hex)
+                if await_receipt(client, tx_hash_hex):
+                    elapsed = time.monotonic() - started
+                    with lock:
+                        report.committed += 1
+                        report.latencies_s.append(elapsed)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(config.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # Conservation sweep: rejected submissions must stay receiptless.
+    audit = _HttpClient(host, port, "auditor")
+    for tx_hash_hex in rejected:
+        report.count_request("query")
+        response, raw_bytes = audit.request(
+            "get_receipt", {"tx_hash": tx_hash_hex}
+        )
+        scan(raw_bytes, "http audit response")
+        if response.get("result", {}).get("found"):
+            raise InvariantViolation(
+                f"rejected tx {tx_hash_hex[:16]} acquired a receipt"
+            )
+    audit.close()
+    report.wall_seconds = time.perf_counter() - wall_started
+    report.duration_s = report.wall_seconds
+    return report
+
+
+def write_bench(path: str, config: LoadConfig, report: LoadReport) -> dict:
+    """Write BENCH_serving.json: deterministic summary + wall timing."""
+    document = {
+        "config": config.to_dict(),
+        "summary": report.summary(),
+        "timing": {"wall_seconds": round(report.wall_seconds, 3)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return document

@@ -19,6 +19,13 @@ from repro.workloads.coldchain import (
     encode_reading,
     encode_register,
 )
+from repro.workloads.mix import (
+    CANARY_DEBTOR,
+    CANARY_TAG,
+    DEFAULT_WEIGHTS,
+    MixRequest,
+    TrafficMix,
+)
 from repro.workloads.scf import (
     CONTRACT_SOURCES,
     EXPECTED_CONTRACT_CALLS,
@@ -65,8 +72,13 @@ __all__ = [
     "encode_reading",
     "encode_register",
     "ABS_SCHEMA_SOURCE",
+    "CANARY_DEBTOR",
+    "CANARY_TAG",
     "CONTRACT_SOURCES",
     "Client",
+    "DEFAULT_WEIGHTS",
+    "MixRequest",
+    "TrafficMix",
     "EXPECTED_CONTRACT_CALLS",
     "EXPECTED_GET_STORAGE",
     "EXPECTED_SET_STORAGE",

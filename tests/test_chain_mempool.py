@@ -97,3 +97,80 @@ class TestPoolThreadSafety:
             t.join()
         assert len(pool) == 25
         assert pool.rejected_full == 75
+
+
+class TestPoolFullBoundaryProperty:
+    """Backpressure property: concurrent add/pop hammering a tiny pool
+    across its full boundary must neither lose nor duplicate a
+    transaction, and every refusal must be visible to its caller.
+
+    This is the serving gateway's admission contract: an ``add`` that
+    returned True is a promise (the tx will be drafted exactly once);
+    an ``add`` that returned False is backpressure the client heard
+    about.  There is no third outcome.
+    """
+
+    def test_no_loss_no_duplication_under_concurrency(self):
+        capacity = 16
+        num_producers, per_producer = 6, 120
+        pool = TxPool(capacity=capacity)
+        all_txs = {
+            worker: [make_tx(i, seed=b"prop-%d" % worker)
+                     for i in range(per_producer)]
+            for worker in range(num_producers)
+        }
+        verdicts: dict[int, list[bool]] = {}
+        popped: list = []
+        popped_lock = threading.Lock()
+        producing = threading.Event()
+        producing.set()
+        start = threading.Barrier(num_producers + 2)
+
+        def producer(worker: int):
+            start.wait()
+            results = []
+            for tx in all_txs[worker]:
+                results.append(pool.add(tx))
+            verdicts[worker] = results
+
+        def consumer():
+            # Keeps the pool crossing full->space->full the whole run.
+            start.wait()
+            while producing.is_set() or len(pool):
+                batch = pool.pop_batch(max_count=5)
+                with popped_lock:
+                    popped.extend(batch)
+
+        threads = [threading.Thread(target=producer, args=(w,))
+                   for w in range(num_producers)]
+        threads.append(threading.Thread(target=consumer))
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads[:-1]:
+            t.join()
+        producing.clear()
+        threads[-1].join()
+        popped.extend(pool.pop_batch())
+
+        accepted_hashes = {
+            tx.tx_hash
+            for worker, results in verdicts.items()
+            for tx, ok in zip(all_txs[worker], results)
+            if ok
+        }
+        rejected_count = sum(
+            results.count(False) for results in verdicts.values()
+        )
+        popped_hashes = [tx.tx_hash for tx in popped]
+        # Every accept drafted exactly once; every refusal was reported.
+        assert len(popped_hashes) == len(set(popped_hashes))
+        assert set(popped_hashes) == accepted_hashes
+        assert len(accepted_hashes) + rejected_count == (
+            num_producers * per_producer
+        )
+        # The counters the gateway exports agree with the callers' view.
+        assert pool.accepted_total == len(accepted_hashes)
+        assert pool.rejected_full == rejected_count
+        assert pool.depth_peak <= capacity
+        assert len(pool) == 0
