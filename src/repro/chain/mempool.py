@@ -88,7 +88,12 @@ class TxPool:
             self._txs.pop(tx_hash, None)
 
     def __len__(self) -> int:
-        return len(self._txs)
+        # Reading the OrderedDict while add/pop_batch mutate it can blow
+        # up with "dictionary changed size during iteration" under free
+        # concurrency — size/membership take the lock like every writer.
+        with self._lock:
+            return len(self._txs)
 
     def __contains__(self, tx_hash: bytes) -> bool:
-        return tx_hash in self._txs
+        with self._lock:
+            return tx_hash in self._txs

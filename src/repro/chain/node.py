@@ -88,6 +88,7 @@ def make_store(config: EngineConfig, directory: str, platform=None) -> KVStore:
         return LsmKV(
             directory, sealer=sealer, freshness=freshness,
             sync=config.storage_sync,
+            memtable_bytes=config.storage_memtable_bytes,
         )
     raise ChainError(f"unknown storage backend '{backend}'")
 

@@ -56,6 +56,10 @@ class EngineConfig:
     storage_backend: str = "memory"  # "memory" | "appendlog" | "lsm"
     storage_sync: bool = False  # fsync every commit (bench realism)
     storage_sealed: bool = True  # seal LSM files with a platform key
+    # LSM memtable freeze threshold; small values force frequent
+    # background flushes (the sim uses this to exercise crash-during-
+    # background-flush recovery).
+    storage_memtable_bytes: int = 256 * 1024
     snapshot_every: int = 0  # write a state snapshot every N blocks (0 = off)
 
     def without_optimizations(self) -> "EngineConfig":

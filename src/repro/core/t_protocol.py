@@ -27,7 +27,7 @@ from repro.chain.transaction import (
 from repro.crypto import ecies
 from repro.crypto.ecc import Point
 from repro.crypto.entropy import token_bytes
-from repro.crypto.gcm import NONCE_SIZE, AesGcm, deterministic_nonce
+from repro.crypto.gcm import NONCE_SIZE, deterministic_nonce, for_key
 from repro.crypto.keys import KeyPair, SymmetricKey
 from repro.errors import ProtocolError
 from repro.storage import rlp
@@ -48,7 +48,7 @@ def seal_transaction(
     k_tx = derive_tx_key(user_root_key, raw.tx_hash)
     key_blob = ecies.encrypt(pk_tx, k_tx, _ENVELOPE_AAD)
     nonce = token_bytes(NONCE_SIZE)
-    body = nonce + AesGcm(k_tx).seal(nonce, raw.encode(), _ENVELOPE_AAD)
+    body = nonce + for_key(k_tx).seal(nonce, raw.encode(), _ENVELOPE_AAD)
     envelope = rlp.encode([key_blob, body])
     return Transaction(TX_CONFIDENTIAL, envelope)
 
@@ -74,7 +74,7 @@ def open_body(k_tx: bytes, body: bytes) -> RawTransaction:
     if len(body) < NONCE_SIZE:
         raise ProtocolError("envelope body too short")
     nonce, sealed = body[:NONCE_SIZE], body[NONCE_SIZE:]
-    raw_bytes = AesGcm(k_tx).open(nonce, sealed, _ENVELOPE_AAD)
+    raw_bytes = for_key(k_tx).open(nonce, sealed, _ENVELOPE_AAD)
     return RawTransaction.decode(raw_bytes)
 
 
@@ -100,7 +100,7 @@ def seal_receipt(k_tx: bytes, receipt_bytes: bytes) -> bytes:
     receipts root.
     """
     nonce = deterministic_nonce(k_tx, receipt_bytes, _RECEIPT_AAD)
-    return nonce + AesGcm(k_tx).seal(nonce, receipt_bytes, _RECEIPT_AAD)
+    return nonce + for_key(k_tx).seal(nonce, receipt_bytes, _RECEIPT_AAD)
 
 
 def open_receipt(k_tx: bytes, sealed: bytes) -> bytes:
@@ -108,4 +108,4 @@ def open_receipt(k_tx: bytes, sealed: bytes) -> bytes:
     if len(sealed) < NONCE_SIZE:
         raise ProtocolError("sealed receipt too short")
     nonce, body = sealed[:NONCE_SIZE], sealed[NONCE_SIZE:]
-    return AesGcm(k_tx).open(nonce, body, _RECEIPT_AAD)
+    return for_key(k_tx).open(nonce, body, _RECEIPT_AAD)

@@ -173,3 +173,95 @@ class AES:
             + out2.to_bytes(4, "big")
             + out3.to_bytes(4, "big")
         )
+
+    def ctr_keystream(self, j0: int, nblocks: int) -> bytes:
+        """GCM-style CTR keystream: blocks for inc32(j0)..inc32^n(j0).
+
+        Byte-identical to encrypting each counter block with
+        :meth:`encrypt_block`, but the per-block bytes round-trips and the
+        round-1 terms fed by the constant high 96 counter bits are hoisted
+        out of the loop — this is the hot path of every GCM call.
+        """
+        rk = self._rk
+        te0, te1, te2, te3 = _TE0, _TE1, _TE2, _TE3
+        sbox = _SBOX
+        inner_rounds = self._rounds - 2
+        # The high 96 bits of the counter block never change; only the low
+        # 32-bit word is incremented (mod 2^32).  Pre-mix the constant
+        # words with round key 0 and fold their round-1 table lookups.
+        s0 = ((j0 >> 96) & 0xFFFFFFFF) ^ rk[0]
+        s1 = ((j0 >> 64) & 0xFFFFFFFF) ^ rk[1]
+        s2 = ((j0 >> 32) & 0xFFFFFFFF) ^ rk[2]
+        rk3 = rk[3]
+        c0 = te0[(s0 >> 24) & 0xFF] ^ te1[(s1 >> 16) & 0xFF] ^ te2[(s2 >> 8) & 0xFF] ^ rk[4]
+        c1 = te0[(s1 >> 24) & 0xFF] ^ te1[(s2 >> 16) & 0xFF] ^ te3[s0 & 0xFF] ^ rk[5]
+        c2 = te0[(s2 >> 24) & 0xFF] ^ te2[(s0 >> 8) & 0xFF] ^ te3[s1 & 0xFF] ^ rk[6]
+        c3 = te1[(s0 >> 16) & 0xFF] ^ te2[(s1 >> 8) & 0xFF] ^ te3[s2 & 0xFF] ^ rk[7]
+        ctr = j0 & 0xFFFFFFFF
+        out = []
+        append = out.append
+        for _ in range(nblocks):
+            ctr = (ctr + 1) & 0xFFFFFFFF
+            s3 = ctr ^ rk3
+            a0 = c0 ^ te3[s3 & 0xFF]
+            a1 = c1 ^ te2[(s3 >> 8) & 0xFF]
+            a2 = c2 ^ te1[(s3 >> 16) & 0xFF]
+            a3 = c3 ^ te0[(s3 >> 24) & 0xFF]
+            k = 8
+            for _ in range(inner_rounds):
+                b0 = (
+                    te0[(a0 >> 24) & 0xFF]
+                    ^ te1[(a1 >> 16) & 0xFF]
+                    ^ te2[(a2 >> 8) & 0xFF]
+                    ^ te3[a3 & 0xFF]
+                    ^ rk[k]
+                )
+                b1 = (
+                    te0[(a1 >> 24) & 0xFF]
+                    ^ te1[(a2 >> 16) & 0xFF]
+                    ^ te2[(a3 >> 8) & 0xFF]
+                    ^ te3[a0 & 0xFF]
+                    ^ rk[k + 1]
+                )
+                b2 = (
+                    te0[(a2 >> 24) & 0xFF]
+                    ^ te1[(a3 >> 16) & 0xFF]
+                    ^ te2[(a0 >> 8) & 0xFF]
+                    ^ te3[a1 & 0xFF]
+                    ^ rk[k + 2]
+                )
+                b3 = (
+                    te0[(a3 >> 24) & 0xFF]
+                    ^ te1[(a0 >> 16) & 0xFF]
+                    ^ te2[(a1 >> 8) & 0xFF]
+                    ^ te3[a2 & 0xFF]
+                    ^ rk[k + 3]
+                )
+                a0, a1, a2, a3 = b0, b1, b2, b3
+                k += 4
+            o0 = (
+                (sbox[(a0 >> 24) & 0xFF] << 24)
+                | (sbox[(a1 >> 16) & 0xFF] << 16)
+                | (sbox[(a2 >> 8) & 0xFF] << 8)
+                | sbox[a3 & 0xFF]
+            ) ^ rk[k]
+            o1 = (
+                (sbox[(a1 >> 24) & 0xFF] << 24)
+                | (sbox[(a2 >> 16) & 0xFF] << 16)
+                | (sbox[(a3 >> 8) & 0xFF] << 8)
+                | sbox[a0 & 0xFF]
+            ) ^ rk[k + 1]
+            o2 = (
+                (sbox[(a2 >> 24) & 0xFF] << 24)
+                | (sbox[(a3 >> 16) & 0xFF] << 16)
+                | (sbox[(a0 >> 8) & 0xFF] << 8)
+                | sbox[a1 & 0xFF]
+            ) ^ rk[k + 2]
+            o3 = (
+                (sbox[(a3 >> 24) & 0xFF] << 24)
+                | (sbox[(a0 >> 16) & 0xFF] << 16)
+                | (sbox[(a1 >> 8) & 0xFF] << 8)
+                | sbox[a2 & 0xFF]
+            ) ^ rk[k + 3]
+            append((((((o0 << 32) | o1) << 32) | o2) << 32 | o3).to_bytes(16, "big"))
+        return b"".join(out)

@@ -8,6 +8,7 @@ single modular inversion at the end.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.errors import CryptoError
@@ -146,18 +147,79 @@ def add(p1: Point, p2: Point) -> Point:
     return _from_jacobian(_jacobian_add(_to_jacobian(p1), _to_jacobian(p2)))
 
 
+# Fixed-base acceleration for the generator: every signature, key
+# generation, ECIES envelope and half of every verification computes k*G,
+# so precompute T[w][d-1] = d * 16^w * G for 4-bit windows w = 0..63.
+# k*G then costs at most 64 additions instead of ~256 doubles + adds.
+# Built lazily on first use (a few ms), guarded for concurrent callers.
+_g_table: list[list[tuple[int, int, int]]] | None = None
+_g_table_lock = threading.Lock()
+
+
+def _fixed_base_table() -> list[list[tuple[int, int, int]]]:
+    global _g_table
+    table = _g_table
+    if table is None:
+        with _g_table_lock:
+            table = _g_table
+            if table is None:
+                table = []
+                base = _to_jacobian(G)
+                for _ in range(64):
+                    row = [base]
+                    cur = base
+                    for _ in range(14):
+                        cur = _jacobian_add(cur, base)
+                        row.append(cur)
+                    table.append(row)
+                    for _ in range(4):
+                        base = _jacobian_double(base)
+                _g_table = table
+    return table
+
+
 def scalar_mult(k: int, point: Point = G) -> Point:
     """Compute k * point with double-and-add over Jacobian coordinates."""
     k %= N
     if k == 0 or point.is_infinity:
         return INFINITY
+    if point.x == GX and point.y == GY:
+        table = _fixed_base_table()
+        result = (0, 1, 0)
+        w = 0
+        while k:
+            d = k & 15
+            if d:
+                result = _jacobian_add(result, table[w][d - 1])
+            k >>= 4
+            w += 1
+        return _from_jacobian(result)
+    # Arbitrary point: 4-bit fixed windows, msb-first.  The 15-entry
+    # multiples table costs 1 double + 13 adds up front and then each
+    # window is 4 doubles + at most 1 add — fewer additions overall than
+    # plain double-and-add once k has more than a handful of set bits.
+    base = _to_jacobian(point)
+    multiples = [base]
+    cur = _jacobian_double(base)
+    multiples.append(cur)
+    for _ in range(13):
+        cur = _jacobian_add(cur, base)
+        multiples.append(cur)
     result = (0, 1, 0)
-    addend = _to_jacobian(point)
-    while k:
-        if k & 1:
-            result = _jacobian_add(result, addend)
-        addend = _jacobian_double(addend)
-        k >>= 1
+    started = False
+    for shift in range(((k.bit_length() + 3) // 4 - 1) * 4, -1, -4):
+        if started:
+            result = _jacobian_double(result)
+            result = _jacobian_double(result)
+            result = _jacobian_double(result)
+            result = _jacobian_double(result)
+        d = (k >> shift) & 15
+        if d:
+            if started:
+                result = _jacobian_add(result, multiples[d - 1])
+            else:
+                result = multiples[d - 1]
+                started = True
     return _from_jacobian(result)
 
 

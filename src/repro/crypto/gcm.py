@@ -1,9 +1,10 @@
 """AES-GCM authenticated encryption (NIST SP 800-38D).
 
 This is the AEAD used by CONFIDE's D-Protocol for contract states/code and
-by the T-Protocol digital envelope.  GHASH uses Shoup's 4-bit table method
-for a usable pure-Python speed; the table is precomputed per key, so reuse
-an :class:`AesGcm` instance when encrypting many payloads under one key.
+by the T-Protocol digital envelope.  GHASH uses Shoup's table method with
+8-bit windows for a usable pure-Python speed; the table is precomputed per
+key, so reuse an :class:`AesGcm` instance when encrypting many payloads
+under one key (or let :func:`for_key` do the reuse for you).
 
 Replicated-state determinism
 ----------------------------
@@ -21,6 +22,8 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import threading
+from collections import OrderedDict
 
 from repro.crypto.aes import AES
 from repro.crypto.entropy import token_bytes
@@ -41,18 +44,18 @@ def _mulx(v: int) -> int:
 
 
 def _build_reduction_table() -> list[int]:
-    # red4[j] == mulx(mulx(mulx(mulx(j)))) for the low 4 bits j; combined
-    # with a plain >>4 this gives a one-step "multiply by x^4".
+    # red8[j] == mulx applied 8 times to the low byte j; combined with a
+    # plain >>8 this gives a one-step "multiply by x^8".
     table = []
-    for j in range(16):
+    for j in range(256):
         v = j
-        for _ in range(4):
+        for _ in range(8):
             v = _mulx(v)
         table.append(v)
     return table
 
 
-_RED4 = _build_reduction_table()
+_RED8 = _build_reduction_table()
 
 
 def _gf_mult_slow(x: int, y: int) -> int:
@@ -67,52 +70,52 @@ def _gf_mult_slow(x: int, y: int) -> int:
 
 
 class _Ghash:
-    """GHASH keyed by H, with a 16-entry Shoup table."""
+    """GHASH keyed by H, with a 256-entry Shoup table."""
 
     def __init__(self, h: int):
-        # T[n] = H * (b3 + b2*x + b1*x^2 + b0*x^3) for nibble n = b3b2b1b0.
-        t = [0] * 16
-        t[8] = h
-        t[4] = _mulx(h)
-        t[2] = _mulx(t[4])
-        t[1] = _mulx(t[2])
-        for n in range(16):
-            acc = 0
-            if n & 8:
-                acc ^= t[8]
-            if n & 4:
-                acc ^= t[4]
-            if n & 2:
-                acc ^= t[2]
-            if n & 1:
-                acc ^= t[1]
-            t[n] = acc
+        # T[n] = H * (polynomial of byte n) in GCM's reflected bit order:
+        # the high bit of n carries H itself, each lower bit one more
+        # multiply-by-x.  Powers of two come from repeated _mulx; the rest
+        # from one XOR of the top set bit's entry with the remainder's.
+        t = [0] * 256
+        t[0x80] = h
+        bit = 0x40
+        while bit:
+            t[bit] = _mulx(t[bit << 1])
+            bit >>= 1
+        for n in range(2, 256):
+            top = 1 << (n.bit_length() - 1)
+            if n != top:
+                t[n] = t[top] ^ t[n ^ top]
         self._table = t
 
     def _mult_h(self, y: int) -> int:
-        """Return y * H using 32 nibble steps (Horner in the GCM field)."""
-        # In GCM's reflected bit order the *low* nibble of y carries the
+        """Return y * H using 16 byte-wide steps (Horner in the GCM field)."""
+        # In GCM's reflected bit order the *low* byte of y carries the
         # highest power of x, so Horner evaluation walks from bit 0 upward.
         table = self._table
-        red4 = _RED4
-        z = table[y & 0xF]
-        shift = 4
-        for _ in range(31):
-            z = (z >> 4) ^ red4[z & 0xF]
-            z ^= table[(y >> shift) & 0xF]
-            shift += 4
+        red8 = _RED8
+        z = table[y & 0xFF]
+        shift = 8
+        for _ in range(15):
+            z = (z >> 8) ^ red8[z & 0xFF]
+            z ^= table[(y >> shift) & 0xFF]
+            shift += 8
         return z
 
     def digest(self, aad: bytes, ciphertext: bytes) -> int:
+        mult_h = self._mult_h
+        from_bytes = int.from_bytes
         y = 0
         for data in (aad, ciphertext):
-            for off in range(0, len(data), 16):
-                block = data[off : off + 16]
-                if len(block) < 16:
-                    block = block + b"\x00" * (16 - len(block))
-                y = self._mult_h(y ^ int.from_bytes(block, "big"))
+            full = len(data) & ~15
+            for off in range(0, full, 16):
+                y = mult_h(y ^ from_bytes(data[off : off + 16], "big"))
+            if full != len(data):
+                tail = data[full:] + b"\x00" * (16 - (len(data) - full))
+                y = mult_h(y ^ from_bytes(tail, "big"))
         lengths = ((len(aad) * 8) << 64) | (len(ciphertext) * 8)
-        return self._mult_h(y ^ lengths)
+        return mult_h(y ^ lengths)
 
 
 class AesGcm:
@@ -125,13 +128,9 @@ class AesGcm:
         self._ghash = _Ghash(h)
 
     def _ctr_stream(self, j0: int, length: int) -> bytes:
-        encrypt = self._aes.encrypt_block
-        blocks = []
-        counter = j0
-        for _ in range((length + 15) // 16):
-            counter = (counter & ~0xFFFFFFFF) | ((counter + 1) & 0xFFFFFFFF)
-            blocks.append(encrypt(counter.to_bytes(16, "big")))
-        return b"".join(blocks)[:length]
+        if not length:
+            return b""
+        return self._aes.ctr_keystream(j0, (length + 15) // 16)[:length]
 
     def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Encrypt and authenticate; returns ciphertext || 16-byte tag."""
@@ -186,6 +185,31 @@ def deterministic_nonce(key: bytes, plaintext: bytes, aad: bytes = b"") -> bytes
 def random_nonce() -> bytes:
     """A fresh random 12-byte nonce (for non-replicated uses)."""
     return token_bytes(NONCE_SIZE)
+
+
+# Bounded per-key instance cache: the T-Protocol touches one k_tx several
+# times per transaction (open body, seal receipt) and key-schedule + GHASH
+# table setup dominate small-payload GCM calls in pure Python.  Keys here
+# are already resident in enclave memory, so caching the derived tables
+# leaks nothing new.
+_FOR_KEY_CACHE_MAX = 64
+_for_key_cache: OrderedDict[bytes, AesGcm] = OrderedDict()
+_for_key_lock = threading.Lock()
+
+
+def for_key(key: bytes) -> AesGcm:
+    """A cached :class:`AesGcm` for ``key`` (LRU-bounded, thread-safe)."""
+    k = bytes(key)
+    with _for_key_lock:
+        inst = _for_key_cache.get(k)
+        if inst is not None:
+            _for_key_cache.move_to_end(k)
+            return inst
+        inst = AesGcm(k)
+        _for_key_cache[k] = inst
+        while len(_for_key_cache) > _FOR_KEY_CACHE_MAX:
+            _for_key_cache.popitem(last=False)
+        return inst
 
 
 def seal(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:

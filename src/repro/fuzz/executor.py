@@ -25,6 +25,7 @@ SLOAD/SSTORE — so the recorder sees *all* storage traffic.)
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import ContractError, OutOfGasError, TrapError, VMError
@@ -169,6 +170,13 @@ class DifferentialExecutor:
         self.gas_limit = gas_limit
         self.wasm_artifact = compile_source(target.source, "wasm")
         self.evm_artifact = compile_source(target.source, "evm")
+        patch = getattr(target, "evm_patch", None)
+        if patch is not None:
+            # Planted-bug fixtures transform the compiled bytecode to
+            # re-introduce a since-fixed miscompilation (see targets.py).
+            self.evm_artifact = dataclasses.replace(
+                self.evm_artifact, code=patch(self.evm_artifact.code)
+            )
         # Decode+validate+fuse once; every call shares the module (the
         # same pipeline the analyzer uses, so coverage pcs line up with
         # PathConstraint pcs).

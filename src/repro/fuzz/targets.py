@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.fuzz.abi import ArgField, ContractAbi, MethodSpec, infer_abi
 
@@ -36,6 +37,11 @@ class FuzzTarget:
     abi: ContractAbi
     confidential_prefixes: tuple = ()
     receipts_public: bool = False
+    # Optional post-compile transform of the EVM bytecode.  Planted-bug
+    # fixtures use it to re-introduce historical miscompilations the
+    # compiler has since fixed, so the divergence oracle keeps a live
+    # true positive to regress against.
+    evm_patch: Callable[[bytes], bytes] | None = None
 
 
 def _read(directory: str, filename: str) -> str:
@@ -82,13 +88,32 @@ def _gates() -> FuzzTarget:
     return FuzzTarget("gates", _read(_EXAMPLES, "gates.cws"), abi)
 
 
+def _unmask_shift_amounts(code: bytes) -> bytes:
+    """Replant the historical shift miscompilation (planted bug).
+
+    The EVM codegen used to emit bare 256-bit SHL/SHR for CWScript
+    ``<<``/``>>``, diverging from CONFIDE-VM's wasm-style mod-64 shifts
+    for amounts >= 64; it now masks the amount with ``PUSH1 63; AND``
+    first.  This patch strips that prelude (replaced with JUMPDEST
+    no-ops, so jump targets keep their offsets) to give the divergence
+    oracle a guaranteed true positive to find.
+    """
+    import repro.vm.evm.opcodes as op
+    prelude = bytes([op.PUSH1, 63, op.AND])
+    nops = bytes([op.JUMPDEST] * len(prelude))
+    return (code
+            .replace(prelude + bytes([op.SHL]), nops + bytes([op.SHL]))
+            .replace(prelude + bytes([op.SHR]), nops + bytes([op.SHR])))
+
+
 def _div_shift() -> FuzzTarget:
     abi = ContractAbi((
         MethodSpec("mix", (ArgField("value", "u64"),
                            ArgField("shift", "u64"))),
         MethodSpec("stir", (ArgField("value", "u64"),)),
     ))
-    return FuzzTarget("div_shift", _read(_FIXTURES, "div_shift.cws"), abi)
+    return FuzzTarget("div_shift", _read(_FIXTURES, "div_shift.cws"), abi,
+                      evm_patch=_unmask_shift_amounts)
 
 
 def _leaky_log() -> FuzzTarget:

@@ -435,9 +435,18 @@ class EvmCodegen:
         elif operator == "^":
             asm.op(op.XOR)
         elif operator == "<<":
+            # CWScript shifts take the amount mod 64 (wasm i64 semantics,
+            # what CONFIDE-VM executes); EVM SHL/SHR zero the result for
+            # amounts >= 256 and shift literally below that, so the
+            # amount must be masked before the opcode or `x << 64`
+            # diverges between the two targets.
+            asm.push(63)
+            asm.op(op.AND)
             asm.op(op.SHL)
             self._mask()
         elif operator == ">>":
+            asm.push(63)
+            asm.op(op.AND)
             asm.op(op.SHR)
         elif operator == "==":
             asm.op(op.EQ)

@@ -61,7 +61,12 @@ ANALYSIS_REJECTIONS_BY_MODE = "confide_analysis_rejections_by_mode_total"
 STORAGE_WAL_BYTES = "confide_storage_wal_bytes_total"
 STORAGE_WAL_RECORDS = "confide_storage_wal_records_total"
 STORAGE_WAL_TRUNCATED_BYTES = "confide_storage_wal_truncated_bytes_total"
+STORAGE_WAL_FSYNCS = "confide_storage_wal_fsyncs_total"
 STORAGE_FLUSHES = "confide_storage_flushes_total"
+STORAGE_FREEZES = "confide_storage_freezes_total"
+STORAGE_FLUSH_STALL_SECONDS = "confide_storage_flush_stall_seconds_total"
+STORAGE_FLUSH_PENDING = "confide_storage_flush_pending"
+STORAGE_WARMED_BLOCKS = "confide_storage_warmed_blocks_total"
 STORAGE_FLUSH_BYTES = "confide_storage_flush_bytes_total"
 STORAGE_COMPACTIONS = "confide_storage_compactions_total"
 STORAGE_COMPACTED_BYTES = "confide_storage_compacted_bytes_total"
@@ -341,8 +346,26 @@ def collect_storage(registry: MetricsRegistry, kv) -> None:
         "torn-tail bytes discarded during WAL recovery",
     ).set_total(snap["wal_truncated_bytes"])
     registry.counter(
+        STORAGE_WAL_FSYNCS, "WAL fsyncs issued (group-commit coalesced)"
+    ).set_total(snap["wal_fsyncs"])
+    registry.counter(
         STORAGE_FLUSHES, "memtable flushes into SSTable segments"
     ).set_total(snap["flushes"])
+    registry.counter(
+        STORAGE_FREEZES, "memtable freezes handed to the background worker"
+    ).set_total(snap["freezes"])
+    registry.counter(
+        STORAGE_FLUSH_STALL_SECONDS,
+        "seconds commits stalled waiting for a busy flush slot",
+    ).set_total(snap["flush_stall_seconds"])
+    registry.gauge(
+        STORAGE_FLUSH_PENDING,
+        "frozen memtables awaiting the background worker",
+    ).set(snap["flush_pending"])
+    registry.counter(
+        STORAGE_WARMED_BLOCKS,
+        "blocks pre-loaded into the cache from the persisted warm set",
+    ).set_total(snap["warmed_blocks"])
     registry.counter(
         STORAGE_FLUSH_BYTES, "segment bytes written by flushes"
     ).set_total(snap["flush_bytes"])

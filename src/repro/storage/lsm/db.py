@@ -1,13 +1,34 @@
 """The LSM key-value store behind the :class:`KVStore` interface.
 
-Write path: WAL append (durable, one framed record per batch) →
-memtable.  When the memtable passes its threshold it flushes into an
-immutable SSTable segment, the manifest commits a new epoch naming the
-segment set + a fresh WAL generation, old WAL files are removed, and
-size-tiered compaction runs if a tier overflowed.
+Write path: WAL append (one framed record per batch, group-committed
+fsyncs — see :mod:`repro.storage.lsm.wal`) → memtable.  When the
+memtable passes its threshold it is **frozen**: the store swaps in a
+fresh memtable + a fresh WAL generation and hands the frozen one to a
+background worker, so commits never stall behind an SSTable seal or a
+compaction merge.  The worker writes the segment, commits a manifest
+epoch naming it (+ the new WAL generation), deletes superseded WAL
+files, and runs size-tiered compaction — all off the commit path.
 
-Read path: active block buffer → memtable → segments newest-to-oldest
-(bloom filter, then block index, through the shared block cache).
+Ordering rules for the background pipeline:
+
+- at most ONE frozen memtable exists; a commit that needs to freeze
+  while a flush is in flight blocks (natural backpressure, counted in
+  ``flush_stall_seconds``);
+- the frozen WAL generation stays on disk until the manifest epoch that
+  covers its contents lands, so a crash at ANY point replays the
+  contiguous run of WAL generations ``>= manifest.wal_seq`` in order —
+  recovery still lands exactly on a block boundary;
+- a background failure is sticky and **fail-closed**: the error is
+  re-raised by the next commit/flush/close, never swallowed;
+- a simulated :meth:`crash` drains the worker, which aborts *before*
+  publishing a manifest, leaving the directory exactly as the last
+  committed WAL record/manifest epoch wrote it.
+
+Read path: active block buffer → memtable → frozen memtable → segments
+newest-to-oldest (bloom filter, then block index, through the shared
+thread-safe block cache).  At clean shutdown the hot block-key set is
+persisted in the manifest's ``extra`` next to the application binding,
+and pre-loaded on reopen (block-cache warming).
 
 **Atomic block commits** (:meth:`block_batch`): everything a node writes
 while applying one block — every SDM ``kv_set`` ocall, the engine's
@@ -24,6 +45,7 @@ from __future__ import annotations
 
 import glob
 import os
+import re
 import threading
 import time
 from contextlib import contextmanager
@@ -36,8 +58,11 @@ from repro.storage.lsm.cache import BlockCache
 from repro.storage.lsm.compaction import merge_entries, plan_compaction
 from repro.storage.lsm.manifest import (
     MANIFEST_NAME,
+    MAX_WARM_ENTRIES,
     RootManifest,
     SegmentRecord,
+    decode_extra,
+    encode_extra,
     read_manifest,
     verify_segments,
     write_manifest,
@@ -48,6 +73,8 @@ from repro.storage.lsm.sstable import SSTableReader, write_sstable
 from repro.storage.lsm.wal import WriteAheadLog, replay_file
 
 _WAL_PATTERN = "wal-*.log"
+_WAL_RE = re.compile(r"^wal-(\d{8})\.log$")
+_SEG_PATTERN = "seg-*.sst"
 
 
 def _wal_path(directory: str, seq: int) -> str:
@@ -66,11 +93,15 @@ class LsmStats:
     wal_records_written: int = 0
     wal_truncated_bytes: int = 0
     wal_recovered_batches: int = 0
+    wal_fsyncs: int = 0
     flushes: int = 0
     flush_bytes: int = 0
+    freezes: int = 0
+    flush_stall_seconds: float = 0.0
     compactions: int = 0
     compacted_bytes: int = 0
     recovery_seconds: float = 0.0
+    warmed_blocks: int = 0
     gets: int = 0
     puts: int = 0
     block_commits: int = 0
@@ -122,9 +153,20 @@ class LsmKV(KVStore):
         self.stats = LsmStats()
         self.cache = BlockCache(cache_bytes)
         self._lock = threading.RLock()
+        self._bg_cond = threading.Condition(self._lock)
         self._memtable = Memtable()
         self._buffer: _BlockBuffer | None = None
         self._closed = False
+        self._closing = False  # close() in progress: final flush only
+        # Background flush/compaction worker state.
+        self._frozen: Memtable | None = None
+        self._frozen_wal: WriteAheadLog | None = None
+        self._bg_thread: threading.Thread | None = None
+        self._bg_busy = False
+        self._bg_stop = False
+        self._bg_error: BaseException | None = None
+        self._crashed = False
+        self._retired_wal_fsyncs = 0
         os.makedirs(directory, exist_ok=True)
 
         started = time.perf_counter()
@@ -135,6 +177,7 @@ class LsmKV(KVStore):
         else:
             verify_segments(directory, manifest)
         self._manifest = manifest
+        self._binding, warm_keys = decode_extra(manifest.extra)
         self._readers: dict[int, SSTableReader] = {}
         for record in manifest.segments:
             self._readers[record.segment_id] = SSTableReader(
@@ -143,21 +186,74 @@ class LsmKV(KVStore):
         self._next_segment_id = 1 + max(
             (r.segment_id for r in manifest.segments), default=0
         )
-        # Recover the current WAL generation into the memtable; stray WAL
-        # files from other generations (a crash between manifest commit
-        # and unlink) are removed — their contents are already in
-        # segments or belong to an uncommitted future.
-        for stray in glob.glob(os.path.join(directory, _WAL_PATTERN)):
-            if stray != _wal_path(directory, manifest.wal_seq):
+        # Stray segment files not named by the manifest are leftovers of a
+        # crash between a background SSTable write and its manifest commit
+        # (or between a compaction commit and the old-file unlink).
+        live_files = {record.filename for record in manifest.segments}
+        for stray in glob.glob(os.path.join(directory, _SEG_PATTERN)):
+            if os.path.basename(stray) not in live_files:
                 os.remove(stray)
+        for stray in glob.glob(os.path.join(directory, _SEG_PATTERN + ".tmp")):
+            os.remove(stray)
+
+        # WAL recovery.  With rotate-at-freeze there can be several live
+        # generations: the frozen one(s) whose flush never committed, plus
+        # the generation commits moved on to.  Replay the contiguous run
+        # starting at manifest.wal_seq, oldest first; generations below it
+        # are fully covered by segments and are deleted.
+        wal_seqs: list[int] = []
+        for path in glob.glob(os.path.join(directory, _WAL_PATTERN)):
+            match = _WAL_RE.match(os.path.basename(path))
+            if match is None:
+                os.remove(path)
+                continue
+            seq = int(match.group(1))
+            if seq < manifest.wal_seq:
+                os.remove(path)
+            else:
+                wal_seqs.append(seq)
+        wal_seqs.sort()
+        if wal_seqs:
+            expected = list(range(manifest.wal_seq, manifest.wal_seq + len(wal_seqs)))
+            if wal_seqs != expected:
+                raise StorageError(
+                    f"WAL generation gap: found {wal_seqs}, manifest expects a "
+                    f"contiguous run from {manifest.wal_seq}; refusing partial "
+                    "recovery"
+                )
+        live_seq = wal_seqs[-1] if wal_seqs else manifest.wal_seq
+        recovered_batches = 0
+        for seq in wal_seqs[:-1]:
+            interior = WriteAheadLog(
+                _wal_path(directory, seq), seq=seq, sealer=sealer,
+                read_only=True,
+            )
+            if interior.truncated_bytes:
+                raise StorageError(
+                    f"WAL generation {seq} has a torn tail but later "
+                    "generations exist; refusing mid-sequence data loss"
+                )
+            for puts, deletes in interior.recovered:
+                self._memtable.apply(puts, deletes)
+            recovered_batches += len(interior.recovered)
         self._wal = WriteAheadLog(
-            _wal_path(directory, manifest.wal_seq),
-            seq=manifest.wal_seq, sync=sync, sealer=sealer,
+            _wal_path(directory, live_seq),
+            seq=live_seq, sync=sync, sealer=sealer,
         )
         for puts, deletes in self._wal.recovered:
             self._memtable.apply(puts, deletes)
-        self.stats.wal_recovered_batches = len(self._wal.recovered)
+        self.stats.wal_recovered_batches = (
+            recovered_batches + len(self._wal.recovered)
+        )
         self.stats.wal_truncated_bytes = self._wal.truncated_bytes
+        # Block-cache warming: pre-load the hot set the last clean close
+        # persisted (LRU→MRU so recency ordering survives the restart).
+        warmed = 0
+        for segment_id, offset in reversed(warm_keys):
+            reader = self._readers.get(segment_id)
+            if reader is not None and reader.warm(offset):
+                warmed += 1
+        self.stats.warmed_blocks = warmed
         self.stats.recovery_seconds = time.perf_counter() - started
 
     # -- properties ------------------------------------------------------
@@ -178,6 +274,12 @@ class LsmKV(KVStore):
         if self._closed:
             raise StorageError("LSM store is closed")
 
+    def _raise_bg_error(self) -> None:
+        if self._bg_error is not None:
+            raise StorageError(
+                f"background flush/compaction failed: {self._bg_error}"
+            ) from self._bg_error
+
     # -- KVStore interface -----------------------------------------------
 
     def get(self, key: bytes) -> bytes | None:
@@ -193,6 +295,10 @@ class LsmKV(KVStore):
             present, value = self._memtable.get(key)
             if present:
                 return value if value is not TOMBSTONE else None
+            if self._frozen is not None:
+                present, value = self._frozen.get(key)
+                if present:
+                    return value if value is not TOMBSTONE else None
             # Manifest order is age order; segment ids are not (a merge
             # output has a fresh id but old content).
             for record in reversed(self._manifest.segments):
@@ -208,7 +314,8 @@ class LsmKV(KVStore):
             if self._buffer is not None:
                 self._buffer.put(key, value)
                 return
-            self._commit({bytes(key): bytes(value)}, set())
+            token = self._commit({bytes(key): bytes(value)}, set())
+        self._await_durable(token)
 
     def delete(self, key: bytes) -> None:
         with self._lock:
@@ -216,7 +323,8 @@ class LsmKV(KVStore):
             if self._buffer is not None:
                 self._buffer.delete(key)
                 return
-            self._commit({}, {bytes(key)})
+            token = self._commit({}, {bytes(key)})
+        self._await_durable(token)
 
     def write_batch(self, puts: dict[bytes, bytes], deletes: set[bytes] = frozenset()) -> None:
         with self._lock:
@@ -228,10 +336,11 @@ class LsmKV(KVStore):
                 for key, value in puts.items():
                     self._buffer.put(key, value)
                 return
-            self._commit(
+            token = self._commit(
                 {bytes(k): bytes(v) for k, v in puts.items()},
                 {bytes(k) for k in deletes},
             )
+        self._await_durable(token)
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         with self._lock:
@@ -239,6 +348,9 @@ class LsmKV(KVStore):
             merged: dict[bytes, bytes | None] = {}
             for record in self._manifest.segments:  # oldest first
                 for key, value in self._readers[record.segment_id].items():
+                    merged[key] = value
+            if self._frozen is not None:
+                for key, value in self._frozen.items():
                     merged[key] = value
             for key, value in self._memtable.items():
                 merged[key] = value
@@ -272,53 +384,226 @@ class LsmKV(KVStore):
                 self._buffer = None
             raise
         else:
+            token = None
             with self._lock:
                 buffer, self._buffer = self._buffer, None
                 if buffer.puts or buffer.deletes:
-                    self._commit(buffer.puts, buffer.deletes)
+                    token = self._commit(buffer.puts, buffer.deletes)
                     self.stats.block_commits += 1
+            self._await_durable(token)
 
     # -- write machinery -------------------------------------------------
 
-    def _commit(self, puts: dict[bytes, bytes], deletes: set[bytes]) -> None:
-        appended = self._wal.append(puts, deletes)
-        self.stats.wal_bytes_written += appended
+    def _commit(
+        self, puts: dict[bytes, bytes], deletes: set[bytes]
+    ) -> tuple[WriteAheadLog, int] | None:
+        """Append + apply one batch (caller holds the lock).  Returns a
+        durability token to be awaited OUTSIDE the lock, so concurrent
+        commits group-commit their fsyncs."""
+        self._raise_bg_error()
+        wal = self._wal
+        ticket, nbytes = wal.append_async(puts, deletes)
+        self.stats.wal_bytes_written += nbytes
         self.stats.wal_records_written += 1
         self._memtable.apply(puts, deletes)
         if self._memtable.approximate_bytes >= self._memtable_bytes:
-            self.flush()
+            self._freeze_locked()
+            return None  # freeze closed `wal` with a final fsync
+        return (wal, ticket) if self._sync else None
 
-    def flush(self) -> bool:
-        """Flush the memtable into a new segment + manifest epoch."""
-        with self._lock:
-            self._require_open()
-            if not len(self._memtable):
-                return False
-            segment_id = self._next_segment_id
-            self._next_segment_id += 1
-            meta = write_sstable(
-                _segment_path(self.directory, segment_id), segment_id,
-                self._memtable.items_sorted(), self._sealer, self._block_bytes,
-                sync=self._sync,
+    def _await_durable(self, token: tuple[WriteAheadLog, int] | None) -> None:
+        if token is not None:
+            wal, ticket = token
+            wal.ensure_durable(ticket)
+
+    def _freeze_locked(self) -> None:
+        """Swap the memtable + WAL generation and hand the frozen pair to
+        the background worker.  Blocks while a previous flush is still in
+        flight (single-slot backpressure)."""
+        if not len(self._memtable):
+            return
+        stall_started = None
+        while (self._frozen is not None and self._bg_error is None
+               and not self._crashed and not self._closed):
+            if stall_started is None:
+                stall_started = time.perf_counter()
+            self._bg_cond.wait()
+        if stall_started is not None:
+            self.stats.flush_stall_seconds += (
+                time.perf_counter() - stall_started
             )
+        self._require_open()
+        self._raise_bg_error()
+        old_wal = self._wal
+        old_wal.close()  # final fsync (when sync): frozen records durable
+        self._frozen = self._memtable
+        self._frozen_wal = old_wal
+        self._memtable = Memtable()
+        new_seq = old_wal.seq + 1
+        self._wal = WriteAheadLog(
+            _wal_path(self.directory, new_seq),
+            seq=new_seq, sync=self._sync, sealer=self._sealer,
+        )
+        self.stats.freezes += 1
+        self._ensure_bg_thread()
+        self._bg_cond.notify_all()
+
+    def _ensure_bg_thread(self) -> None:
+        if self._bg_thread is None or not self._bg_thread.is_alive():
+            self._bg_thread = threading.Thread(
+                target=self._bg_loop,
+                name=f"lsm-bg-{os.path.basename(self.directory)}",
+                daemon=True,
+            )
+            self._bg_thread.start()
+
+    def _bg_loop(self) -> None:
+        while True:
+            with self._bg_cond:
+                while (self._frozen is None and not self._bg_stop
+                       and not self._crashed):
+                    self._bg_cond.wait()
+                if self._crashed or self._frozen is None:
+                    self._bg_busy = False
+                    self._bg_cond.notify_all()
+                    return
+                self._bg_busy = True
+                frozen = self._frozen
+                frozen_wal = self._frozen_wal
+                segment_id = self._next_segment_id
+                self._next_segment_id += 1
+            error: BaseException | None = None
+            try:
+                published = self._bg_flush(frozen, frozen_wal, segment_id)
+                # No auto-compaction during close(): compaction rewrites
+                # the segment set and drops its cache entries, which would
+                # empty the hot set right before close persists it for
+                # warming.  The next open compacts in the background.
+                if published and self._auto_compact and not self._closing:
+                    self._bg_compact()
+            except BaseException as exc:  # noqa: BLE001 - sticky fail-closed
+                error = exc
+            with self._bg_cond:
+                self._bg_busy = False
+                if error is not None and not self._crashed:
+                    self._bg_error = error
+                self._bg_cond.notify_all()
+
+    def _bg_flush(
+        self, frozen: Memtable, frozen_wal: WriteAheadLog, segment_id: int
+    ) -> bool:
+        """Worker half of a flush: seal the segment OUTSIDE the lock,
+        publish the manifest under it.  Returns False on crash-abort."""
+        path = _segment_path(self.directory, segment_id)
+        meta = write_sstable(
+            path, segment_id, frozen.items_sorted(),
+            self._sealer, self._block_bytes, sync=self._sync,
+        )
+        with self._bg_cond:
+            if self._crashed:
+                # Never publish past a simulated crash: the directory must
+                # look exactly as the committed WAL/manifest left it.
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                return False
             segments = tuple(self._manifest.segments) + (
                 SegmentRecord.from_meta(meta),
             )
-            self._commit_manifest(segments, self._manifest.wal_seq + 1)
+            self._publish_manifest(segments, frozen_wal.seq + 1)
+            self._retired_wal_fsyncs += frozen_wal.fsyncs
             self._readers[segment_id] = SSTableReader(
-                _segment_path(self.directory, segment_id),
-                self._sealer, self.cache,
+                path, self._sealer, self.cache,
             )
-            self._memtable.clear()
+            self._frozen = None
+            self._frozen_wal = None
             self.stats.flushes += 1
             self.stats.flush_bytes += meta.size
-            if self._auto_compact:
-                self.compact()
-            return True
+            self._bg_cond.notify_all()
+        return True
 
-    def _commit_manifest(self, segments: tuple[SegmentRecord, ...],
-                         wal_seq: int, extra: bytes | None = None) -> None:
-        old_wal = self._wal
+    def _bg_compact(self) -> None:
+        """Size-tiered compaction rounds, merge work outside the lock.
+
+        Only the background worker mutates the segment set, so the plan
+        taken under the lock stays valid across the unlocked merge."""
+        while True:
+            with self._bg_cond:
+                if (self._crashed or self._closed or self._closing
+                        or self._bg_error is not None):
+                    return
+                plan = plan_compaction(
+                    list(self._manifest.segments), self._memtable_bytes,
+                    self._compaction_fanin,
+                )
+                if plan is None:
+                    return
+                chosen = {
+                    chosen_id: self._readers[chosen_id]
+                    for chosen_id in plan.segment_ids
+                }
+                segment_id = self._next_segment_id
+                self._next_segment_id += 1
+                merged_bytes = sum(r.size for r in chosen.values())
+            readers = [
+                (rank, chosen[chosen_id].items())
+                for rank, chosen_id in enumerate(plan.segment_ids)
+            ]
+            path = _segment_path(self.directory, segment_id)
+            meta = write_sstable(
+                path, segment_id,
+                merge_entries(readers, plan.drop_tombstones),
+                self._sealer, self._block_bytes, sync=self._sync,
+            )
+            with self._bg_cond:
+                if self._crashed:
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+                    return
+                # The merged output takes the run's slot in the manifest
+                # order, keeping the list sorted oldest-to-newest.
+                old = self._manifest.segments
+                survivors = (
+                    old[:plan.position]
+                    + (SegmentRecord.from_meta(meta),)
+                    + old[plan.position + len(plan.segment_ids):]
+                )
+                self._publish_manifest(survivors, self._manifest.wal_seq)
+                for stale_id in plan.segment_ids:
+                    self._readers.pop(stale_id)
+                    self.cache.drop_segment(stale_id)
+                    os.remove(_segment_path(self.directory, stale_id))
+                self._readers[segment_id] = SSTableReader(
+                    path, self._sealer, self.cache,
+                )
+                self.stats.compactions += 1
+                self.stats.compacted_bytes += merged_bytes
+
+    def flush(self) -> bool:
+        """Freeze the memtable and wait for the background worker to land
+        it (and any follow-on compaction).  Synchronous from the caller's
+        point of view, exactly like the historical inline flush."""
+        with self._bg_cond:
+            self._require_open()
+            self._raise_bg_error()
+            pending = self._frozen is not None or self._bg_busy
+            froze = False
+            if len(self._memtable):
+                self._freeze_locked()
+                froze = True
+            while ((self._frozen is not None or self._bg_busy)
+                   and self._bg_error is None and not self._crashed):
+                self._bg_cond.wait()
+            self._raise_bg_error()
+            return froze or pending
+
+    def _publish_manifest(self, segments: tuple[SegmentRecord, ...],
+                          wal_seq: int, extra: bytes | None = None) -> None:
+        """Commit one manifest epoch (caller holds the lock) and delete
+        WAL generations it supersedes."""
         manifest = RootManifest(
             epoch=self._manifest.epoch + 1,
             wal_seq=wal_seq,
@@ -328,18 +613,16 @@ class LsmKV(KVStore):
         write_manifest(self.directory, manifest, self._sealer,
                        self._freshness, sync=self._sync)
         self._manifest = manifest
-        if wal_seq != old_wal.seq:
-            old_wal.close()
-            self._wal = WriteAheadLog(
-                _wal_path(self.directory, wal_seq),
-                seq=wal_seq, sync=self._sync, sealer=self._sealer,
-            )
-            os.remove(old_wal.path)
+        for path in glob.glob(os.path.join(self.directory, _WAL_PATTERN)):
+            match = _WAL_RE.match(os.path.basename(path))
+            if match is not None and int(match.group(1)) < wal_seq:
+                os.remove(path)
 
     def note_state_root(self, state_root: bytes) -> None:
         """Record the chain state root to bind into the next manifest
         commit (surfaces in ``repro db stats``)."""
         with self._lock:
+            self._binding = bytes(state_root)
             self._manifest = RootManifest(
                 self._manifest.epoch, self._manifest.wal_seq,
                 self._manifest.segments, bytes(state_root),
@@ -347,64 +630,53 @@ class LsmKV(KVStore):
 
     @property
     def manifest_extra(self) -> bytes:
-        return self._manifest.extra
+        return self._binding
 
     def compact(self) -> bool:
-        """Run one size-tiered compaction round if a tier overflowed."""
-        with self._lock:
+        """Run compaction to quiescence; returns True if anything merged."""
+        with self._bg_cond:
             self._require_open()
-            plan = plan_compaction(
-                list(self._manifest.segments), self._memtable_bytes,
-                self._compaction_fanin,
-            )
-            if plan is None:
-                return False
-            readers = [
-                (rank, self._readers[chosen_id].items())
-                for rank, chosen_id in enumerate(plan.segment_ids)
-            ]
-            segment_id = self._next_segment_id
-            self._next_segment_id += 1
-            merged_bytes = sum(
-                self._readers[s].size for s in plan.segment_ids
-            )
-            meta = write_sstable(
-                _segment_path(self.directory, segment_id), segment_id,
-                merge_entries(readers, plan.drop_tombstones),
-                self._sealer, self._block_bytes, sync=self._sync,
-            )
-            # The merged output takes the run's slot in the manifest
-            # order, keeping the list sorted oldest-to-newest.
-            old = self._manifest.segments
-            survivors = (
-                old[:plan.position]
-                + (SegmentRecord.from_meta(meta),)
-                + old[plan.position + len(plan.segment_ids):]
-            )
-            self._commit_manifest(survivors, self._manifest.wal_seq)
-            for stale_id in plan.segment_ids:
-                self._readers.pop(stale_id)
-                self.cache.drop_segment(stale_id)
-                os.remove(_segment_path(self.directory, stale_id))
-            self._readers[segment_id] = SSTableReader(
-                _segment_path(self.directory, segment_id),
-                self._sealer, self.cache,
-            )
-            self.stats.compactions += 1
-            self.stats.compacted_bytes += merged_bytes
-            return True
+            self._raise_bg_error()
+            before = self.stats.compactions
+        self._bg_compact()
+        with self._bg_cond:
+            self._raise_bg_error()
+            return self.stats.compactions > before
 
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
         """Clean shutdown: flush the memtable so reopen skips WAL replay,
-        then release every file handle."""
-        with self._lock:
+        persist the hot cache-key set for warming, release every handle."""
+        with self._bg_cond:
             if self._closed:
                 return
             if self._buffer is not None:
                 raise StorageError("cannot close inside a block_batch")
-            self.flush()
+            self._closing = True
+        self.flush()
+        with self._bg_cond:
+            self._bg_stop = True
+            self._bg_cond.notify_all()
+            thread = self._bg_thread
+        if thread is not None:
+            thread.join()
+        with self._bg_cond:
+            self._raise_bg_error()
+            if self._manifest.segments and len(self.cache):
+                live = {r.segment_id for r in self._manifest.segments}
+                warm = [
+                    (segment_id, offset)
+                    for segment_id, offset in self.cache.hot_keys(
+                        MAX_WARM_ENTRIES)
+                    if segment_id in live
+                ]
+                extra = encode_extra(self._binding, warm)
+                if extra != self._manifest.extra:
+                    self._publish_manifest(
+                        self._manifest.segments, self._manifest.wal_seq,
+                        extra=extra,
+                    )
             self._wal.close()
             self._closed = True
 
@@ -412,12 +684,24 @@ class LsmKV(KVStore):
         """Simulated process death: drop handles, flush *nothing*.
 
         The directory is left exactly as the last committed WAL record /
-        manifest epoch wrote it; a fresh :class:`LsmKV` recovers from it.
+        manifest epoch wrote it: the background worker is drained and
+        aborts before any manifest publish; a segment file it was mid-way
+        through writing is removed.  A fresh :class:`LsmKV` recovers from
+        the directory (replaying every surviving WAL generation).
         """
-        with self._lock:
-            self._wal.crash()
-            self._buffer = None
+        with self._bg_cond:
+            self._crashed = True
             self._closed = True
+            self._bg_stop = True
+            self._buffer = None
+            self._bg_cond.notify_all()
+            thread = self._bg_thread
+        if thread is not None:
+            thread.join()
+        with self._bg_cond:
+            self._wal.crash()
+            if self._frozen_wal is not None:
+                self._frozen_wal.crash()
 
     def __enter__(self) -> "LsmKV":
         return self
@@ -448,7 +732,11 @@ class LsmKV(KVStore):
     def stats_snapshot(self) -> dict[str, float]:
         with self._lock:
             snap = self.stats.snapshot()
+            fsyncs = self._retired_wal_fsyncs + self._wal.fsyncs
+            if self._frozen_wal is not None:
+                fsyncs += self._frozen_wal.fsyncs
             snap.update({
+                "wal_fsyncs": fsyncs,
                 "manifest_epoch": self._manifest.epoch,
                 "segments_live": len(self._readers),
                 "segment_bytes": sum(
@@ -456,6 +744,7 @@ class LsmKV(KVStore):
                 ),
                 "memtable_bytes": self._memtable.approximate_bytes,
                 "memtable_entries": len(self._memtable),
+                "flush_pending": int(self._frozen is not None),
                 "cache_hits": self.cache.hits,
                 "cache_misses": self.cache.misses,
                 "cache_evictions": self.cache.evictions,

@@ -197,19 +197,24 @@ class EpcAllocator:
         with self._lock:
             return dict(self._evicted_bytes)
 
+    def _swap_gcm(self):
+        from repro.crypto.gcm import for_key
+
+        return for_key(self._swap_key)
+
     def _swap_seal(self, handle: int, plaintext: bytes) -> bytes:
-        from repro.crypto.gcm import AesGcm, deterministic_nonce
+        from repro.crypto.gcm import deterministic_nonce
 
         aad = b"epc-page:" + handle.to_bytes(8, "big")
         nonce = deterministic_nonce(self._swap_key, plaintext, aad)
-        return nonce + AesGcm(self._swap_key).seal(nonce, plaintext, aad)
+        return nonce + self._swap_gcm().seal(nonce, plaintext, aad)
 
     def _swap_open(self, handle: int, blob: bytes) -> bytes:
-        from repro.crypto.gcm import NONCE_SIZE, AesGcm
+        from repro.crypto.gcm import NONCE_SIZE
 
         aad = b"epc-page:" + handle.to_bytes(8, "big")
         nonce, body = blob[:NONCE_SIZE], blob[NONCE_SIZE:]
-        return AesGcm(self._swap_key).open(nonce, body, aad)
+        return self._swap_gcm().open(nonce, body, aad)
 
     # -- paging -------------------------------------------------------------
 

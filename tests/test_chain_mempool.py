@@ -81,6 +81,30 @@ class TestPoolThreadSafety:
         assert len({tx.tx_hash for tx in popped}) == len(popped)
         assert len(pool) == 0
 
+    def test_len_and_contains_take_the_lock(self):
+        # Regression: __len__/__contains__ used to read the OrderedDict
+        # without the lock, racing pop_batch's in-place mutation.  They
+        # must synchronize with writers: while a writer holds the lock,
+        # a reader blocks instead of observing the dict mid-mutation.
+        pool = TxPool()
+        tx = make_tx(0, seed=b"locked")
+        pool.add(tx)
+        results: list[object] = []
+
+        def reader():
+            results.append(len(pool))
+            results.append(tx.tx_hash in pool)
+
+        with pool._lock:
+            t = threading.Thread(target=reader)
+            t.start()
+            t.join(timeout=0.3)
+            assert t.is_alive(), "reader must block while the lock is held"
+            assert results == []
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert results == [1, True]
+
     def test_concurrent_adds_respect_capacity(self):
         pool = TxPool(capacity=25)
         txs = [make_tx(i, seed=b"cap") for i in range(100)]

@@ -158,6 +158,38 @@ class TestControlFlowDifferential:
                 got = int.from_bytes(result.output[8 * i : 8 * i + 8], "big")
                 assert got == env[name], (target, name, source)
 
+    def test_shift_amounts_mod_64_on_both_targets(self):
+        # Regression for the div_shift fuzzer finding: the EVM codegen
+        # compiled `<<`/`>>` to bare 256-bit SHL/SHR (masking only the
+        # result), so `v << 64` returned 0 on the EVM while CONFIDE-VM —
+        # wasm semantics — takes shift amounts mod 64 and returned `v`.
+        # The agreed semantics are wasm's: amount mod 64, both targets.
+        amounts = (0, 1, 31, 63, 64, 65, 127, 128, 200, 253, 255, 1 << 40)
+        value = 0xF2
+        source = "\n".join(
+            ["fn main() {",
+             f"    let v = {value};",
+             f"    let out = alloc({16 * len(amounts)});"]
+            + [f"    store64(out + {16 * i}, v << {amount});\n"
+               f"    store64(out + {16 * i + 8}, v >> {amount});"
+               for i, amount in enumerate(amounts)]
+            + [f"    output(out, {16 * len(amounts)});", "}"]
+        )
+        outputs = {}
+        for target in ("wasm", "evm"):
+            artifact = compile_source(source, target)
+            outputs[target] = execute(artifact, "main", MockHost()).output
+        for i, amount in enumerate(amounts):
+            expected_shl = (value << (amount % 64)) & _M
+            expected_shr = value >> (amount % 64)
+            for target in ("wasm", "evm"):
+                out = outputs[target]
+                shl = int.from_bytes(out[16 * i : 16 * i + 8], "big")
+                shr = int.from_bytes(out[16 * i + 8 : 16 * i + 16], "big")
+                assert shl == expected_shl, (target, amount)
+                assert shr == expected_shr, (target, amount)
+        assert outputs["wasm"] == outputs["evm"]
+
     @given(program=_programs)
     @settings(max_examples=15, deadline=None)
     def test_fusion_preserves_random_programs(self, program):

@@ -124,6 +124,36 @@ class TestModeSelection:
             assert pool.run([]) == []
 
 
+class TestAdaptiveChunking:
+    def test_serial_runs_one_submission(self):
+        pool = PreverifyPool(workers=0)
+        assert pool._effective_chunk_size(500) == 500
+
+    def test_parallel_targets_two_chunks_per_worker(self):
+        pool = PreverifyPool(workers=4, mode="thread")
+        # 400 txs / (4 workers * 2) = 50 per chunk.
+        assert pool._effective_chunk_size(400) == 50
+
+    def test_small_batches_keep_a_floor(self):
+        # Sub-floor chunks pay more in dispatch than they win in overlap.
+        pool = PreverifyPool(workers=8, mode="thread")
+        assert pool._effective_chunk_size(10) == 4
+
+    def test_explicit_chunk_size_honored(self):
+        pool = PreverifyPool(workers=4, mode="thread", chunk_size=2)
+        assert pool._effective_chunk_size(400) == 2
+
+    def test_adaptive_chunks_bound_dispatch_count(self, rig):
+        txs = [rig.make_tx(i) for i in range(12)]
+        sk = rig.engine.export_worker_keys()
+        with PreverifyPool(workers=2, mode="thread") as pool:
+            records = pool.run(txs, sk)
+        # ceil(12 / 4-per-chunk-floor) bounded by 2*workers submissions.
+        assert pool.stats.queue_depth_peak <= 4
+        assert [r.tx_hash for r in records] == [tx.tx_hash for tx in txs]
+        assert all(r.verified for r in records)
+
+
 class TestNodePooledPath:
     def test_pooled_node_admits_same_set_as_serial(self, rig):
         config = replace(

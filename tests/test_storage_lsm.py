@@ -754,3 +754,322 @@ class TestSimOnLsm:
         second = run_sim(config)
         assert first.event_log_text == second.event_log_text
         assert first.final_state_roots == second.final_state_roots
+
+    def test_background_flush_under_sim_faults(self):
+        # A tiny memtable makes every node freeze + background-flush
+        # constantly, so the crash/torn faults land inside (or right
+        # after) in-flight flushes.  Convergence and determinism must
+        # survive: crash() drains the worker before the directory is
+        # attacked, and recovery replays the surviving generations.
+        from dataclasses import replace as dc_replace
+
+        from repro.core.config import DEFAULT_CONFIG
+        from repro.sim import SimConfig, run_sim
+
+        engine_config = dc_replace(DEFAULT_CONFIG,
+                                   storage_memtable_bytes=2048)
+        config = SimConfig(seed=23, steps=50,
+                           faults=frozenset({"crash", "torn"}),
+                           num_nodes=4, storage="lsm",
+                           engine_config=engine_config)
+        first = run_sim(config)
+        assert first.ok, first.failure_report()
+        assert len(set(first.final_state_roots.values())) == 1
+        second = run_sim(config)
+        assert first.event_log_text == second.event_log_text
+        assert first.final_state_roots == second.final_state_roots
+
+
+class TestBlockCacheConcurrency:
+    def test_multithread_hammer_accounting_stays_exact(self):
+        # Regression: BlockCache mutated its OrderedDict with no lock, so
+        # concurrent readers + drop_segment corrupted the LRU and the
+        # byte accounting.  Hammer it from many threads and check the
+        # books afterwards.
+        import threading as _threading
+
+        cache = BlockCache(capacity_bytes=2048)
+        errors: list[BaseException] = []
+        start = _threading.Barrier(9)
+
+        def reader(worker: int):
+            rng = __import__("random").Random(worker)
+            try:
+                start.wait()
+                for i in range(2000):
+                    seg = rng.randrange(4)
+                    off = rng.randrange(16) * 64
+                    block = cache.get_or_load(
+                        seg, off, lambda s=seg, o=off: ((s, o), 64))
+                    assert block == (seg, off)
+                    if i % 500 == 499:
+                        cache.drop_segment(rng.randrange(4))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [_threading.Thread(target=reader, args=(w,))
+                   for w in range(8)]
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join()
+        assert errors == []
+        with cache._lock:
+            assert cache.used_bytes == sum(
+                size for _, size in cache._entries.values()
+            )
+            assert cache.used_bytes <= cache.capacity_bytes
+        assert cache.hits + cache.misses == 8 * 2000
+
+    def test_drop_segment_counts_evictions(self):
+        cache = BlockCache(capacity_bytes=4096)
+        for off in (0, 64, 128):
+            cache.get_or_load(7, off, lambda o=off: (o, 32))
+        cache.get_or_load(8, 0, lambda: ("other", 32))
+        before = cache.evictions
+        cache.drop_segment(7)
+        assert cache.evictions == before + 3
+        assert len(cache) == 1
+        assert cache.used_bytes == 32
+
+
+class TestLsmBackgroundFlush:
+    def test_concurrent_reads_during_freezes(self, tmp_path):
+        # Readers race commits that freeze + background-flush; every
+        # read must return either "not yet written" or the exact value
+        # written for that key — never a torn or stale-after-write one.
+        import threading as _threading
+
+        kv = LsmKV(str(tmp_path / "db"), memtable_bytes=1024)
+        written: dict[bytes, bytes] = {}
+        stop = _threading.Event()
+        errors: list[BaseException] = []
+
+        def reader(worker: int):
+            rng = __import__("random").Random(worker)
+            try:
+                while not stop.is_set():
+                    i = rng.randrange(400)
+                    key = b"k%03d" % i
+                    value = kv.get(key)
+                    expected = written.get(key)
+                    assert value is None or value == b"v%03d" % i, (
+                        key, value, expected)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [_threading.Thread(target=reader, args=(w,))
+                   for w in range(4)]
+        for t in threads:
+            t.start()
+        for i in range(400):
+            key, value = b"k%03d" % i, b"v%03d" % i
+            kv.put(key, value)
+            written[key] = value
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert kv.stats.freezes > 0, "threshold never hit; test is vacuous"
+        for key, value in written.items():
+            assert kv.get(key) == value
+        kv.close()
+
+    def test_commits_do_not_wait_for_flush(self, tmp_path, monkeypatch):
+        # The tentpole claim: a commit that freezes hands off to the
+        # worker and returns while the SSTable seal is still running.
+        import threading as _threading
+
+        import repro.storage.lsm.db as db_mod
+
+        real_write = db_mod.write_sstable
+        flushing = _threading.Event()
+        release = _threading.Event()
+
+        def slow_write(*args, **kwargs):
+            flushing.set()
+            assert release.wait(timeout=10)
+            return real_write(*args, **kwargs)
+
+        monkeypatch.setattr(db_mod, "write_sstable", slow_write)
+        kv = LsmKV(str(tmp_path / "db"), memtable_bytes=512)
+        for i in range(40):
+            kv.put(b"k%02d" % i, b"x" * 64)
+            if flushing.wait(timeout=0.02):
+                break
+        assert flushing.is_set(), "no freeze triggered"
+        # The flush is in flight (blocked); commits must still land.
+        kv.put(b"during-flush", b"ok")
+        assert kv.get(b"during-flush") == b"ok"
+        release.set()
+        kv.close()
+        reopened = LsmKV(str(tmp_path / "db"))
+        assert reopened.get(b"during-flush") == b"ok"
+        reopened.close()
+
+    def test_background_failure_is_sticky_and_fail_closed(
+            self, tmp_path, monkeypatch):
+        import repro.storage.lsm.db as db_mod
+
+        def explode(*args, **kwargs):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(db_mod, "write_sstable", explode)
+        kv = LsmKV(str(tmp_path / "db"), memtable_bytes=256)
+        with pytest.raises(StorageError, match="background"):
+            for i in range(200):
+                kv.put(b"k%03d" % i, b"x" * 64)
+            kv.flush()  # at the latest, the explicit flush must raise
+        # ... and the error is sticky: later commits refuse too.
+        with pytest.raises(StorageError, match="background"):
+            kv.put(b"after", b"y")
+
+
+class TestCrashDuringBackgroundFlush:
+    def test_crash_races_inflight_flushes_never_loses_commits(
+            self, tmp_path):
+        # Nondeterministic race on purpose: crash() lands at whatever
+        # point the worker happens to be.  Whatever that point was, every
+        # committed block batch must survive recovery in full.
+        for round_no in range(3):
+            directory = str(tmp_path / f"db{round_no}")
+            kv = LsmKV(directory, sync=True, memtable_bytes=1024)
+            expected: dict[bytes, bytes] = {}
+            for block in range(12):
+                with kv.block_batch() as batch:
+                    for i in range(6):
+                        key = b"b%02d-%d" % (block, i)
+                        value = b"v" * 48
+                        batch.put(key, value)
+                        expected[key] = value
+            kv.crash()
+            reopened = LsmKV(directory, sync=True, memtable_bytes=1024)
+            for key, value in expected.items():
+                assert reopened.get(key) == value, key
+            reopened.close()
+
+    def test_crash_while_worker_blocked_recovers_from_wal_generations(
+            self, tmp_path, monkeypatch):
+        # Deterministic version: freeze happened (WAL rotated), the
+        # worker is mid-SSTable-write, and the process dies.  Nothing
+        # was published, so recovery must replay BOTH generations —
+        # the frozen one and the live one — in order.
+        import threading as _threading
+
+        import repro.storage.lsm.db as db_mod
+
+        real_write = db_mod.write_sstable
+        flushing = _threading.Event()
+        release = _threading.Event()
+
+        def slow_write(*args, **kwargs):
+            flushing.set()
+            assert release.wait(timeout=10)
+            return real_write(*args, **kwargs)
+
+        monkeypatch.setattr(db_mod, "write_sstable", slow_write)
+        directory = str(tmp_path / "db")
+        kv = LsmKV(directory, sync=True, memtable_bytes=512)
+        with kv.block_batch() as batch:
+            for i in range(20):
+                batch.put(b"frozen-%02d" % i, b"x" * 64)
+        assert flushing.wait(timeout=10), "no freeze triggered"
+        with kv.block_batch() as batch:
+            batch.put(b"live", b"after-rotation")
+
+        crasher = _threading.Thread(target=kv.crash)
+        crasher.start()
+        while not kv._crashed:  # crash flags land before the join
+            pass
+        release.set()  # worker resumes, sees the crash, aborts publish
+        crasher.join(timeout=10)
+        assert not crasher.is_alive()
+
+        wals = sorted(os.listdir(directory))
+        assert [n for n in wals if n.startswith("wal-")] == [
+            "wal-00000000.log", "wal-00000001.log"
+        ]
+        assert not [n for n in wals if n.startswith("seg-")], (
+            "aborted flush must not leave a segment file")
+        reopened = LsmKV(directory, sync=True)
+        for i in range(20):
+            assert reopened.get(b"frozen-%02d" % i) == b"x" * 64
+        assert reopened.get(b"live") == b"after-rotation"
+        assert reopened.stats.wal_recovered_batches == 2
+        reopened.close()
+
+    def test_wal_generation_gap_refused(self, tmp_path, monkeypatch):
+        import threading as _threading
+
+        import repro.storage.lsm.db as db_mod
+
+        real_write = db_mod.write_sstable
+        flushing = _threading.Event()
+        release = _threading.Event()
+
+        def slow_write(*args, **kwargs):
+            flushing.set()
+            assert release.wait(timeout=10)
+            return real_write(*args, **kwargs)
+
+        monkeypatch.setattr(db_mod, "write_sstable", slow_write)
+        directory = str(tmp_path / "db")
+        kv = LsmKV(directory, sync=True, memtable_bytes=512)
+        with kv.block_batch() as batch:
+            for i in range(20):
+                batch.put(b"g%02d" % i, b"y" * 64)
+        assert flushing.wait(timeout=10)
+        crasher = _threading.Thread(target=kv.crash)
+        crasher.start()
+        while not kv._crashed:
+            pass
+        release.set()
+        crasher.join(timeout=10)
+        generations = sorted(
+            n for n in os.listdir(directory) if n.startswith("wal-")
+        )
+        assert len(generations) == 2
+        # Deleting the generation the manifest starts at leaves a hole:
+        # its records are gone but never made it into a segment.
+        os.remove(os.path.join(directory, generations[0]))
+        with pytest.raises(StorageError, match="generation gap"):
+            LsmKV(directory, sync=True)
+
+    def test_torn_interior_generation_refused(self, tmp_path, monkeypatch):
+        import threading as _threading
+
+        import repro.storage.lsm.db as db_mod
+
+        real_write = db_mod.write_sstable
+        flushing = _threading.Event()
+        release = _threading.Event()
+
+        def slow_write(*args, **kwargs):
+            flushing.set()
+            assert release.wait(timeout=10)
+            return real_write(*args, **kwargs)
+
+        monkeypatch.setattr(db_mod, "write_sstable", slow_write)
+        directory = str(tmp_path / "db")
+        kv = LsmKV(directory, sync=True, memtable_bytes=512)
+        with kv.block_batch() as batch:
+            for i in range(20):
+                batch.put(b"frozen-%02d" % i, b"x" * 64)
+        assert flushing.wait(timeout=10)
+        with kv.block_batch() as batch:
+            batch.put(b"live", b"tail")
+        crasher = _threading.Thread(target=kv.crash)
+        crasher.start()
+        while not kv._crashed:
+            pass
+        release.set()
+        crasher.join(timeout=10)
+        # Tear the INTERIOR (frozen) generation: a torn tail there means
+        # records between the generations went missing — that is data
+        # loss, not a crash tail, and recovery must refuse it.
+        interior = os.path.join(directory, "wal-00000000.log")
+        with open(interior, "r+b") as f:
+            f.truncate(os.path.getsize(interior) - 3)
+        with pytest.raises(StorageError, match="torn tail"):
+            LsmKV(directory, sync=True)
