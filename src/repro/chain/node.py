@@ -172,6 +172,12 @@ class Node:
         self.chain: list[Block] = []
         self.receipts: dict[bytes, bytes] = {}  # tx hash -> receipt blob
         self._receipt_blobs_by_height: dict[int, list[bytes]] = {}
+        # tx hash -> (height, success): the in-process plaintext outcome
+        # index cross-shard attestation reads (core/xshard).  Only
+        # populated by local execution — a node restored from sealed
+        # storage cannot reconstruct it, which is exactly when the
+        # quorum-cert fallback path takes over.
+        self.tx_outcomes: dict[bytes, tuple[int, bool]] = {}
 
     # -- key agreement helpers ---------------------------------------------
 
@@ -317,7 +323,12 @@ class Node:
                     else outcome.receipt.encode()
                 )
                 receipt_blobs.append(blob)
-                self.receipts[tx.tx_hash] = blob
+                # First write wins: a transaction resubmitted after it
+                # already committed (a crash-recovering cross-shard
+                # coordinator, a confused client) re-executes into a
+                # replay rejection — the original outcome must stay
+                # authoritative for receipt queries and attestation.
+                self.receipts.setdefault(tx.tx_hash, blob)
 
             state_root = compute_state_root(consensus_state(self.kv))
             header = BlockHeader(
@@ -348,6 +359,10 @@ class Node:
 
         self.chain.append(block)
         self._receipt_blobs_by_height[header.height] = receipt_blobs
+        for tx, outcome in zip(transactions, report.outcomes):
+            self.tx_outcomes.setdefault(
+                tx.tx_hash, (header.height, outcome.receipt.success)
+            )
         noter = getattr(self.kv, "note_state_root", None)
         if noter is not None:
             noter(state_root)

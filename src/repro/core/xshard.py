@@ -1,0 +1,296 @@
+"""Attested cross-shard receipts (TrustCross-style relay evidence).
+
+A cross-shard commit needs the remote side to *prove* what its shard
+decided about one transaction without revealing the transaction's
+content.  Two evidence formats are supported, both binding the same
+canonical payload:
+
+- **Attested receipt** — one CS enclave on the deciding shard produces
+  an SGX-style quote whose report data locks the payload fingerprint
+  (the exact mechanism K-Protocol uses to bind ``pk_tx``, §3.2.2).  The
+  verifier checks the quote against the consortium's attestation
+  service and the expected CS measurement, so only a genuine CONFIDE
+  enclave on a registered platform can vouch for an outcome.
+
+- **Quorum certificate** — the 2PC fallback when no single enclave
+  quote is available (e.g. the serving node restarted and lost its
+  in-memory outcome index, or its quote fails verification): ``2f+1``
+  distinct platforms on the deciding shard each emit a vote quote over
+  the same payload.  Agreement among a Byzantine quorum of replicas
+  substitutes for the single enclave's word.
+
+The payload never carries plaintext: the receipt content is referenced
+only by the digest of its *sealed* blob, so relay evidence is safe to
+log, persist, and canary-scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+from repro.errors import AttestationError, ShardError
+from repro.storage import rlp
+from repro.tee.attestation import AttestationService, Quote, create_quote
+from repro.tee.enclave import Measurement
+
+# Domain-separated report-data bindings: a receipt quote can never be
+# replayed as a vote or vice versa.
+RECEIPT_CONTEXT = b"xshard-receipt:"
+VOTE_CONTEXT = b"xshard-vote:"
+
+
+def receipt_payload(shard_id: int, height: int, tx_hash: bytes,
+                    success: bool, receipt_digest: bytes) -> bytes:
+    """The canonical bytes every piece of cross-shard evidence signs."""
+    return rlp.encode([
+        rlp.encode_int(shard_id),
+        rlp.encode_int(height),
+        bytes(tx_hash),
+        b"\x01" if success else b"",
+        bytes(receipt_digest),
+    ])
+
+
+def _encode_quote(quote: Quote) -> bytes:
+    return rlp.encode([
+        quote.measurement.digest,
+        quote.report_data,
+        quote.platform_id.encode(),
+        quote.signature.encode(),
+    ])
+
+
+def _decode_quote(blob: bytes) -> Quote:
+    from repro.crypto import ecdsa
+
+    fields = rlp.decode(blob)
+    if not isinstance(fields, list) or len(fields) != 4:
+        raise ShardError("malformed cross-shard quote encoding")
+    return Quote(
+        measurement=Measurement(fields[0]),
+        report_data=fields[1],
+        platform_id=fields[2].decode(),
+        signature=ecdsa.Signature.decode(fields[3]),
+    )
+
+
+@dataclass(frozen=True)
+class AttestedReceipt:
+    """One enclave's attested word on a transaction's shard outcome."""
+
+    shard_id: int
+    height: int
+    tx_hash: bytes
+    success: bool
+    receipt_digest: bytes  # sha256 of the *sealed* receipt blob
+    quote: Quote
+
+    def payload(self) -> bytes:
+        return receipt_payload(self.shard_id, self.height, self.tx_hash,
+                               self.success, self.receipt_digest)
+
+    def encode(self) -> bytes:
+        return rlp.encode([self.payload(), _encode_quote(self.quote)])
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "AttestedReceipt":
+        fields = rlp.decode(blob)
+        if not isinstance(fields, list) or len(fields) != 2:
+            raise ShardError("malformed attested receipt encoding")
+        shard_id, height, tx_hash, success, digest = _decode_payload(fields[0])
+        return cls(shard_id, height, tx_hash, success, digest,
+                   _decode_quote(fields[1]))
+
+
+@dataclass(frozen=True)
+class QuorumCert:
+    """2PC fallback evidence: ``2f+1`` matching platform votes."""
+
+    shard_id: int
+    height: int
+    tx_hash: bytes
+    success: bool
+    receipt_digest: bytes
+    votes: tuple[Quote, ...]
+
+    def payload(self) -> bytes:
+        return receipt_payload(self.shard_id, self.height, self.tx_hash,
+                               self.success, self.receipt_digest)
+
+    def encode(self) -> bytes:
+        return rlp.encode([
+            self.payload(),
+            [_encode_quote(vote) for vote in self.votes],
+        ])
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "QuorumCert":
+        fields = rlp.decode(blob)
+        if not isinstance(fields, list) or len(fields) != 2:
+            raise ShardError("malformed quorum certificate encoding")
+        shard_id, height, tx_hash, success, digest = _decode_payload(fields[0])
+        votes = tuple(_decode_quote(v) for v in fields[1])
+        return cls(shard_id, height, tx_hash, success, digest, votes)
+
+
+def _decode_payload(blob: bytes) -> tuple[int, int, bytes, bool, bytes]:
+    fields = rlp.decode(blob)
+    if not isinstance(fields, list) or len(fields) != 5:
+        raise ShardError("malformed cross-shard receipt payload")
+    return (
+        rlp.decode_int(fields[0]),
+        rlp.decode_int(fields[1]),
+        fields[2],
+        fields[3] == b"\x01",
+        fields[4],
+    )
+
+
+def quorum_size(num_nodes: int) -> int:
+    """``2f+1`` for an ``n = 3f+1``-style group (works for any n >= 1)."""
+    f = (num_nodes - 1) // 3
+    return 2 * f + 1
+
+
+# -- producing evidence (deciding-shard side) ---------------------------------
+
+
+def make_attested_receipt(node, shard_id: int,
+                          tx_hash: bytes) -> AttestedReceipt | None:
+    """Ask one node's CS enclave to attest a transaction's outcome.
+
+    Returns None when the node has no record of the transaction — not
+    yet committed, or the node rebuilt its chain from sealed storage and
+    cannot read the plaintext outcome (the quorum fallback covers that).
+    """
+    sealed = node.receipts.get(tx_hash)
+    outcome = node.tx_outcomes.get(tx_hash)
+    if sealed is None or outcome is None:
+        return None
+    height, success = outcome
+    payload = receipt_payload(shard_id, height, tx_hash, success,
+                              sha256(sealed))
+    quote = create_quote(node.confidential.cs,
+                         sha256(RECEIPT_CONTEXT + payload)[:32])
+    return AttestedReceipt(shard_id, height, tx_hash, success,
+                           sha256(sealed), quote)
+
+
+def make_vote(node, shard_id: int, tx_hash: bytes) -> Quote | None:
+    """One replica's vote quote for the 2PC fallback path."""
+    sealed = node.receipts.get(tx_hash)
+    outcome = node.tx_outcomes.get(tx_hash)
+    if sealed is None or outcome is None:
+        return None
+    height, success = outcome
+    payload = receipt_payload(shard_id, height, tx_hash, success,
+                              sha256(sealed))
+    return create_quote(node.confidential.cs,
+                        sha256(VOTE_CONTEXT + payload)[:32])
+
+
+def make_quorum_cert(nodes, shard_id: int, tx_hash: bytes,
+                     quorum: int) -> QuorumCert | None:
+    """Collect matching votes from a shard's replicas until quorum.
+
+    Votes are only counted when the replica's view of (height, success,
+    sealed-receipt digest) matches the first voter's — replicas that
+    diverge simply do not contribute, exactly like a 2PC participant
+    answering "unknown".
+    """
+    reference: tuple[int, bool, bytes] | None = None
+    votes: list[Quote] = []
+    for node in nodes:
+        sealed = node.receipts.get(tx_hash)
+        outcome = node.tx_outcomes.get(tx_hash)
+        if sealed is None or outcome is None:
+            continue
+        view = (outcome[0], outcome[1], sha256(sealed))
+        if reference is None:
+            reference = view
+        if view != reference:
+            continue
+        vote = make_vote(node, shard_id, tx_hash)
+        if vote is not None:
+            votes.append(vote)
+        if len(votes) >= quorum:
+            height, success, digest = reference
+            return QuorumCert(shard_id, height, tx_hash, success, digest,
+                              tuple(votes[:quorum]))
+    return None
+
+
+# -- verifying evidence (relay / remote-shard side) ---------------------------
+
+
+def verify_attested_receipt(
+    receipt: AttestedReceipt,
+    attestation: AttestationService,
+    cs_measurement: Measurement,
+    expected_tx_hash: bytes | None = None,
+    expected_shard: int | None = None,
+) -> None:
+    """Accept only a genuine CS enclave's quote over this exact payload."""
+    if expected_tx_hash is not None and receipt.tx_hash != expected_tx_hash:
+        raise ShardError("attested receipt names a different transaction")
+    if expected_shard is not None and receipt.shard_id != expected_shard:
+        raise ShardError(
+            f"attested receipt claims shard {receipt.shard_id}, "
+            f"expected {expected_shard}"
+        )
+    binding = sha256(RECEIPT_CONTEXT + receipt.payload())[:32]
+    if receipt.quote.report_data[:32] != binding:
+        raise ShardError("attested receipt quote is not bound to its payload")
+    try:
+        attestation.verify(receipt.quote, expected_measurement=cs_measurement)
+    except AttestationError as exc:
+        raise ShardError(f"attested receipt quote rejected: {exc}") from exc
+
+
+def verify_quorum_cert(
+    cert: QuorumCert,
+    attestation: AttestationService,
+    cs_measurement: Measurement,
+    quorum: int,
+    expected_tx_hash: bytes | None = None,
+    expected_shard: int | None = None,
+) -> None:
+    """Accept only ``quorum`` distinct-platform votes over this payload."""
+    if expected_tx_hash is not None and cert.tx_hash != expected_tx_hash:
+        raise ShardError("quorum certificate names a different transaction")
+    if expected_shard is not None and cert.shard_id != expected_shard:
+        raise ShardError(
+            f"quorum certificate claims shard {cert.shard_id}, "
+            f"expected {expected_shard}"
+        )
+    binding = sha256(VOTE_CONTEXT + cert.payload())[:32]
+    platforms_seen: set[str] = set()
+    for vote in cert.votes:
+        if vote.report_data[:32] != binding:
+            raise ShardError("quorum vote is not bound to the certificate")
+        try:
+            attestation.verify(vote, expected_measurement=cs_measurement)
+        except AttestationError as exc:
+            raise ShardError(f"quorum vote rejected: {exc}") from exc
+        platforms_seen.add(vote.platform_id)
+    if len(platforms_seen) < quorum:
+        raise ShardError(
+            f"quorum certificate has {len(platforms_seen)} distinct "
+            f"platforms, needs {quorum}"
+        )
+
+
+__all__ = [
+    "AttestedReceipt",
+    "QuorumCert",
+    "RECEIPT_CONTEXT",
+    "VOTE_CONTEXT",
+    "make_attested_receipt",
+    "make_quorum_cert",
+    "make_vote",
+    "quorum_size",
+    "receipt_payload",
+    "verify_attested_receipt",
+    "verify_quorum_cert",
+]

@@ -1,0 +1,364 @@
+"""The cross-shard commit coordinator.
+
+Drives each :class:`~repro.shard.relay.CrossShardBundle` through a
+deterministic state machine::
+
+    INIT ── prepare submitted ──▶ PREPARE_SUBMITTED
+    PREPARE_SUBMITTED ── evidence: success ──▶ PREPARED
+                      ── evidence: failure ──▶ ABORTED   (nothing escrowed)
+                      ── deadline passed ───▶ abort path
+    PREPARED ── apply submitted ─▶ APPLY_SUBMITTED
+             ── deadline passed (remote unreachable) ─▶ abort path
+    APPLY_SUBMITTED ── evidence: success ─▶ COMMITTED
+                    ── evidence: failure ─▶ abort path  (escrow released)
+    abort path: ABORT_PENDING (home unreachable) ─▶ ABORT_SUBMITTED ─▶ ABORTED
+
+Decisions are **monotone**: once the abort path is entered the apply
+leg is never submitted, even if prepare evidence surfaces later — and
+the abort leg's higher nonce fences a resurfacing prepare out at the
+engine (see :mod:`repro.shard.relay`).  Conversely, once the apply leg
+is submitted the bundle never times out into an abort: evidence of the
+remote outcome decides it, so a partition can delay exactly this
+bundle but can never split it.  That asymmetry is what makes a
+partitioned shard unable to wedge the others: every other bundle and
+every other shard keeps progressing, and this bundle resolves
+deterministically once the partition heals.
+
+Every transition is journaled *before* the action it precedes, in a KV
+store that survives the coordinator process (the classic write-ahead
+2PC coordinator log).  A restarted coordinator reloads the journal,
+re-verifies outcomes through the relay rather than trusting its own
+last word, and resubmits only legs for which the deciding shard holds
+no receipt — resubmission is safe anyway: pending duplicates dedupe in
+the mempool and committed ones are replay-fenced by the nonce check.
+"""
+
+from __future__ import annotations
+
+from repro.chain.transaction import Transaction
+from repro.errors import ShardError
+from repro.shard.relay import CrossShardBundle, ReceiptRelay
+from repro.storage import rlp
+from repro.storage.kv import KVStore, MemoryKV
+
+_BUNDLE_PREFIX = b"xb:"
+_ROUND_KEY = b"xmeta:round"
+
+# Journal states.
+INIT = b"init"
+PREPARE_SUBMITTED = b"prepare-submitted"
+PREPARED = b"prepared"
+APPLY_SUBMITTED = b"apply-submitted"
+ABORT_PENDING = b"abort-pending"
+ABORT_SUBMITTED = b"abort-submitted"
+COMMITTED = b"committed"
+ABORTED = b"aborted"
+
+TERMINAL_STATES = (COMMITTED, ABORTED)
+
+
+class JournalRecord:
+    """One bundle's durable coordinator state."""
+
+    def __init__(self, bundle: CrossShardBundle, state: bytes = INIT,
+                 deadline: int = 0, detail: bytes = b""):
+        self.bundle = bundle
+        self.state = state
+        self.deadline = deadline
+        self.detail = detail
+
+    def encode(self) -> bytes:
+        b = self.bundle
+        return rlp.encode([
+            self.state,
+            rlp.encode_int(b.home_shard),
+            rlp.encode_int(b.remote_shard),
+            b.prepare.encode(),
+            b.apply.encode(),
+            b.abort.encode(),
+            rlp.encode_int(self.deadline),
+            self.detail,
+        ])
+
+    @classmethod
+    def decode(cls, bundle_id: bytes, blob: bytes) -> "JournalRecord":
+        fields = rlp.decode(blob)
+        if not isinstance(fields, list) or len(fields) != 8:
+            raise ShardError("malformed coordinator journal record")
+        bundle = CrossShardBundle(
+            bundle_id=bundle_id,
+            home_shard=rlp.decode_int(fields[1]),
+            remote_shard=rlp.decode_int(fields[2]),
+            prepare=Transaction.decode(fields[3]),
+            apply=Transaction.decode(fields[4]),
+            abort=Transaction.decode(fields[5]),
+        )
+        return cls(bundle, state=fields[0],
+                   deadline=rlp.decode_int(fields[6]), detail=fields[7])
+
+
+class CoordinatorJournal:
+    """Write-ahead journal over any KV store (MemoryKV survives a
+    coordinator object's crash the way a disk survives a process)."""
+
+    def __init__(self, kv: KVStore | None = None):
+        self.kv = kv if kv is not None else MemoryKV()
+
+    def write(self, record: JournalRecord) -> None:
+        self.kv.put(_BUNDLE_PREFIX + record.bundle.bundle_id, record.encode())
+
+    def load(self) -> dict[bytes, JournalRecord]:
+        records: dict[bytes, JournalRecord] = {}
+        for key, blob in self.kv.items():
+            if key.startswith(_BUNDLE_PREFIX):
+                bundle_id = key[len(_BUNDLE_PREFIX):]
+                records[bundle_id] = JournalRecord.decode(bundle_id, blob)
+        return records
+
+    def write_round(self, round_no: int) -> None:
+        self.kv.put(_ROUND_KEY, rlp.encode_int(round_no))
+
+    def load_round(self) -> int:
+        blob = self.kv.get(_ROUND_KEY)
+        return rlp.decode_int(blob) if blob is not None else 0
+
+    def blobs(self) -> list[bytes]:
+        """Everything persisted, for confidentiality canary scans."""
+        return [value for _, value in self.kv.items()]
+
+
+class ShardCoordinator:
+    """Drives cross-shard bundles to a terminal state, one step at a
+    time (a *step* is one consensus round's worth of coordinator work —
+    deadlines are counted in steps, never wall time)."""
+
+    def __init__(self, consortium, relay: ReceiptRelay | None = None,
+                 journal: CoordinatorJournal | None = None,
+                 timeout_rounds: int = 8):
+        if timeout_rounds < 1:
+            raise ShardError("coordinator timeout must be at least 1 round")
+        self.consortium = consortium
+        self.relay = relay if relay is not None else ReceiptRelay(consortium)
+        self.journal = journal if journal is not None else CoordinatorJournal()
+        self.timeout_rounds = timeout_rounds
+        self.records: dict[bytes, JournalRecord] = {}
+        self.round = 0
+        # Lifetime counters (absorbed by repro.obs.collect).
+        self.submitted_total = 0
+        self.committed_total = 0
+        self.aborted_total = 0
+        self.timeouts_total = 0
+        self.recovered_total = 0
+
+    # -- intake ----------------------------------------------------------
+
+    def submit(self, bundle: CrossShardBundle) -> None:
+        """Journal the intent, then try to place the prepare leg."""
+        if bundle.bundle_id in self.records:
+            raise ShardError("bundle already submitted")
+        if bundle.home_shard == bundle.remote_shard:
+            raise ShardError("bundle is not cross-shard")
+        record = JournalRecord(bundle, state=INIT,
+                               deadline=self.round + self.timeout_rounds)
+        self.records[bundle.bundle_id] = record
+        self.journal.write(record)
+        self.submitted_total += 1
+        self._try_submit_prepare(record)
+
+    # -- state machine ---------------------------------------------------
+
+    def step(self) -> None:
+        """Advance every in-flight bundle once; call after each round."""
+        self.round += 1
+        self.journal.write_round(self.round)
+        for bundle_id in sorted(self.records):
+            record = self.records[bundle_id]
+            if record.state in TERMINAL_STATES:
+                continue
+            self._advance(record)
+
+    def pending(self) -> int:
+        return sum(1 for r in self.records.values()
+                   if r.state not in TERMINAL_STATES)
+
+    def state_of(self, bundle_id: bytes) -> bytes:
+        record = self.records.get(bundle_id)
+        if record is None:
+            raise ShardError("unknown bundle")
+        return record.state
+
+    def run_to_quiescence(self, max_rounds: int = 200) -> int:
+        """Alternate consensus rounds and coordinator steps until every
+        bundle is terminal (test/bench convenience; the sim interleaves
+        the two itself)."""
+        rounds = 0
+        while self.pending() and rounds < max_rounds:
+            self.consortium.run_round()
+            self.step()
+            rounds += 1
+        if self.pending():
+            raise ShardError(
+                f"{self.pending()} bundles still in flight "
+                f"after {max_rounds} rounds"
+            )
+        return rounds
+
+    def _advance(self, record: JournalRecord) -> None:
+        state = record.state
+        if state == INIT:
+            self._try_submit_prepare(record)
+        elif state == PREPARE_SUBMITTED:
+            self._await_prepare(record)
+        elif state == PREPARED:
+            self._try_submit_apply(record)
+        elif state == APPLY_SUBMITTED:
+            self._await_apply(record)
+        elif state == ABORT_PENDING:
+            self._try_submit_abort(record)
+        elif state == ABORT_SUBMITTED:
+            self._await_abort(record)
+        else:
+            raise ShardError(f"corrupt coordinator state {state!r}")
+
+    def _transition(self, record: JournalRecord, state: bytes,
+                    detail: bytes = b"", reset_deadline: bool = False) -> None:
+        record.state = state
+        if detail:
+            record.detail = detail
+        if reset_deadline:
+            record.deadline = self.round + self.timeout_rounds
+        self.journal.write(record)
+        if state == COMMITTED:
+            self.committed_total += 1
+        elif state == ABORTED:
+            self.aborted_total += 1
+
+    def _try_submit_prepare(self, record: JournalRecord) -> None:
+        bundle = record.bundle
+        if self.consortium.submit_to(bundle.home_shard, bundle.prepare):
+            self._transition(record, PREPARE_SUBMITTED, reset_deadline=True)
+        elif self.round >= record.deadline:
+            # Nothing was ever escrowed anywhere: abort is a no-op.
+            self.timeouts_total += 1
+            self._transition(record, ABORTED, detail=b"timeout-before-prepare")
+
+    def _await_prepare(self, record: JournalRecord) -> None:
+        bundle = record.bundle
+        evidence = self.relay.fetch_evidence(
+            bundle.home_shard, bundle.prepare.tx_hash
+        )
+        if evidence is not None:
+            if evidence.success:
+                self._transition(record, PREPARED, reset_deadline=True)
+                self._try_submit_apply(record)
+            else:
+                # Prepare itself failed — nothing escrowed, terminal.
+                self._transition(record, ABORTED, detail=b"prepare-failed")
+            return
+        if self.round >= record.deadline:
+            # The home shard may or may not have executed prepare; the
+            # abort leg resolves both cases (released escrow, or a
+            # nonce fence ahead of a resurfacing prepare).
+            self.timeouts_total += 1
+            self._enter_abort_path(record, b"prepare-timeout")
+
+    def _try_submit_apply(self, record: JournalRecord) -> None:
+        bundle = record.bundle
+        if self.consortium.submit_to(bundle.remote_shard, bundle.apply):
+            self._transition(record, APPLY_SUBMITTED)
+        elif self.round >= record.deadline:
+            self.timeouts_total += 1
+            self._enter_abort_path(record, b"remote-unreachable")
+
+    def _await_apply(self, record: JournalRecord) -> None:
+        bundle = record.bundle
+        evidence = self.relay.fetch_evidence(
+            bundle.remote_shard, bundle.apply.tx_hash
+        )
+        if evidence is None:
+            # No timeout here, by design: the apply leg is in the
+            # remote shard's hands and may still commit — aborting now
+            # could split the bundle.  The bundle waits for the heal.
+            return
+        if evidence.success:
+            self._transition(record, COMMITTED)
+        else:
+            self._enter_abort_path(record, b"apply-failed")
+
+    def _enter_abort_path(self, record: JournalRecord,
+                          detail: bytes) -> None:
+        # Journal the decision BEFORE acting on it: a coordinator that
+        # crashes here must come back abort-bound, not apply-curious.
+        self._transition(record, ABORT_PENDING, detail=detail)
+        self._try_submit_abort(record)
+
+    def _try_submit_abort(self, record: JournalRecord) -> None:
+        bundle = record.bundle
+        if self.consortium.submit_to(bundle.home_shard, bundle.abort):
+            self._transition(record, ABORT_SUBMITTED)
+
+    def _await_abort(self, record: JournalRecord) -> None:
+        bundle = record.bundle
+        evidence = self.relay.fetch_evidence(
+            bundle.home_shard, bundle.abort.tx_hash
+        )
+        if evidence is not None:
+            # Success or not, the abort leg is committed on-chain: its
+            # nonce now fences the prepare leg, the escrow (if any) is
+            # released, and the bundle is terminally aborted.
+            self._transition(record, ABORTED)
+
+    # -- crash recovery --------------------------------------------------
+
+    @classmethod
+    def recover(cls, consortium, journal: CoordinatorJournal,
+                relay: ReceiptRelay | None = None,
+                timeout_rounds: int = 8) -> "ShardCoordinator":
+        """Rebuild a coordinator from its journal after a crash.
+
+        In-flight submissions are reconciled against shard receipts
+        through the relay: a leg whose outcome is already decided moves
+        the record forward, a leg the deciding shard never saw is
+        resubmitted (safe — mempool dedupe + nonce fencing make
+        duplicates harmless).
+        """
+        coordinator = cls(consortium, relay=relay, journal=journal,
+                          timeout_rounds=timeout_rounds)
+        coordinator.records = journal.load()
+        coordinator.round = journal.load_round()
+        for count_state in coordinator.records.values():
+            coordinator.submitted_total += 1
+            if count_state.state == COMMITTED:
+                coordinator.committed_total += 1
+            elif count_state.state == ABORTED:
+                coordinator.aborted_total += 1
+        for bundle_id in sorted(coordinator.records):
+            record = coordinator.records[bundle_id]
+            if record.state in TERMINAL_STATES:
+                continue
+            coordinator.recovered_total += 1
+            # The journal only ever runs *behind* reality (write-ahead):
+            # re-running the state handler re-fetches evidence, finds
+            # any outcome that landed mid-crash, and resubmits any leg
+            # that never arrived.
+            if record.state in (PREPARE_SUBMITTED, PREPARED,
+                                APPLY_SUBMITTED, ABORT_PENDING,
+                                ABORT_SUBMITTED, INIT):
+                coordinator._advance(record)
+        return coordinator
+
+
+__all__ = [
+    "ABORTED",
+    "ABORT_PENDING",
+    "ABORT_SUBMITTED",
+    "APPLY_SUBMITTED",
+    "COMMITTED",
+    "INIT",
+    "PREPARED",
+    "PREPARE_SUBMITTED",
+    "TERMINAL_STATES",
+    "CoordinatorJournal",
+    "JournalRecord",
+    "ShardCoordinator",
+]

@@ -1,0 +1,211 @@
+"""Shard groups and sharded-consortium assembly.
+
+A *shard group* is a full PBFT group — its own nodes, engines, stores,
+leader rotation — reusing :class:`repro.chain.node.Consortium`
+unchanged.  :func:`build_sharded_consortium` stands up N of them inside
+**one K-Protocol key domain**: a single attestation service knows every
+platform, the founder enclave (shard 0, node 0) runs
+``mutual_attested_provision`` with every other node across all shards,
+and every engine therefore shares the same ``pk_tx`` / state keys.
+Clients seal once; a sealed envelope or receipt is meaningful on
+whichever shard it lands on, so the cross-shard relay only ever carries
+ciphertext.
+
+Partitions are modeled at the shard boundary: a group marked
+unreachable keeps its internal consensus machinery intact but the
+router, relay, and coordinator cannot talk to it — the coordinator's
+deterministic timeout/abort path (:mod:`repro.shard.coordinator`) is
+what keeps the remaining shards unwedged.
+"""
+
+from __future__ import annotations
+
+from repro.chain.node import (
+    DEFAULT_BLOCK_BYTES,
+    AppliedBlock,
+    Consortium,
+    Node,
+)
+from repro.chain.transaction import Transaction
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.k_protocol import bootstrap_founder, mutual_attested_provision
+from repro.core.xshard import quorum_size
+from repro.errors import ShardError
+from repro.shard.router import ALL_SHARDS, RoutingPreprocessor, ShardRouter
+from repro.tee.attestation import AttestationService
+
+
+class ShardGroup:
+    """One shard: an independent consortium plus shard-level identity."""
+
+    def __init__(self, shard_id: int, nodes: list[Node]):
+        self.shard_id = shard_id
+        self.consortium = Consortium(nodes)
+        # Flipped by the fault injector: an unreachable shard cannot be
+        # submitted to or queried by the relay/coordinator.
+        self.reachable = True
+
+    @property
+    def nodes(self) -> list[Node]:
+        return self.consortium.nodes
+
+    @property
+    def height(self) -> int:
+        return self.consortium.height
+
+    @property
+    def quorum(self) -> int:
+        return quorum_size(len(self.nodes))
+
+    def pending(self) -> int:
+        return sum(
+            len(node.unverified) + len(node.verified) for node in self.nodes
+        )
+
+    def submit(self, tx: Transaction) -> bool:
+        if not self.reachable:
+            return False
+        self.consortium.broadcast(tx)
+        return True
+
+    def run_round(self, max_bytes: int = DEFAULT_BLOCK_BYTES) -> AppliedBlock:
+        return self.consortium.run_round(max_bytes=max_bytes)
+
+    def run_until_empty(self, max_rounds: int = 1000,
+                        max_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+        return self.consortium.run_until_empty(
+            max_rounds=max_rounds, max_bytes=max_bytes
+        )
+
+    def close(self) -> None:
+        for node in self.nodes:
+            node.close()
+
+
+class ShardedConsortium:
+    """N shard groups behind one router, one key domain."""
+
+    def __init__(self, groups: list[ShardGroup],
+                 attestation: AttestationService):
+        if not groups:
+            raise ShardError("a sharded consortium needs shard groups")
+        self.groups = groups
+        self.attestation = attestation
+        self.router = ShardRouter(len(groups))
+        founder = groups[0].nodes[0]
+        self.cs_measurement = founder.confidential.cs.measurement
+        self.preprocessor = RoutingPreprocessor(
+            self.router, founder.confidential.export_worker_keys()
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.groups)
+
+    @property
+    def pk_tx(self) -> bytes:
+        return self.groups[0].nodes[0].confidential.pk_tx
+
+    def group(self, shard_id: int) -> ShardGroup:
+        if not 0 <= shard_id < len(self.groups):
+            raise ShardError(f"no shard {shard_id}")
+        return self.groups[shard_id]
+
+    # -- intake ----------------------------------------------------------
+
+    def submit(self, tx: Transaction) -> list[int]:
+        """Route a wire transaction to its shard(s); returns the shard
+        ids that accepted it (unreachable shards simply miss out and
+        catch up through normal chain sync once healed)."""
+        verdict = self.preprocessor.route(tx)
+        targets = (range(self.num_shards) if verdict == ALL_SHARDS
+                   else (verdict,))
+        return [sid for sid in targets if self.groups[sid].submit(tx)]
+
+    def submit_to(self, shard_id: int, tx: Transaction) -> bool:
+        """Explicit placement — cross-shard legs carry their shard
+        assignment in the bundle instead of re-deriving it."""
+        return self.group(shard_id).submit(tx)
+
+    # -- consensus -------------------------------------------------------
+
+    def run_round(self, max_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+        """One consensus round on every reachable shard with pending
+        work; returns the number of blocks cut."""
+        blocks = 0
+        for group in self.groups:
+            if group.reachable and group.pending():
+                group.run_round(max_bytes=max_bytes)
+                blocks += 1
+        return blocks
+
+    def run_until_empty(self, max_rounds: int = 1000,
+                        max_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+        rounds = 0
+        for group in self.groups:
+            if group.reachable and group.pending():
+                rounds += group.run_until_empty(
+                    max_rounds=max_rounds, max_bytes=max_bytes
+                )
+        return rounds
+
+    def close(self) -> None:
+        for group in self.groups:
+            group.close()
+
+    def __enter__(self) -> "ShardedConsortium":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def build_sharded_consortium(
+    num_shards: int,
+    nodes_per_shard: int = 4,
+    config: EngineConfig = DEFAULT_CONFIG,
+    lanes: int = 1,
+    data_dirs: list[list[str]] | None = None,
+) -> ShardedConsortium:
+    """Stand up N shard groups sharing one K-Protocol key domain.
+
+    Node ids are globally unique (``shard * nodes_per_shard + index``)
+    so evidence and telemetry can name a node without shard context.
+    """
+    if num_shards < 1:
+        raise ShardError("need at least one shard")
+    if nodes_per_shard < 1:
+        raise ShardError("need at least one node per shard")
+    attestation = AttestationService()
+    groups: list[ShardGroup] = []
+    all_nodes: list[Node] = []
+    for shard_id in range(num_shards):
+        nodes = [
+            Node(
+                shard_id * nodes_per_shard + i,
+                config=config,
+                lanes=lanes,
+                data_dir=(data_dirs[shard_id][i] if data_dirs else None),
+            )
+            for i in range(nodes_per_shard)
+        ]
+        for node in nodes:
+            attestation.register_platform(node.confidential.platform)
+        groups.append(ShardGroup(shard_id, nodes))
+        all_nodes.extend(nodes)
+    founder = all_nodes[0]
+    bootstrap_founder(founder.confidential.km)
+    for joiner in all_nodes[1:]:
+        mutual_attested_provision(
+            founder.confidential.km, joiner.confidential.km, attestation
+        )
+    for node in all_nodes:
+        node.confidential.provision_from_km()
+    return ShardedConsortium(groups, attestation)
+
+
+__all__ = [
+    "ShardGroup",
+    "ShardedConsortium",
+    "build_sharded_consortium",
+]

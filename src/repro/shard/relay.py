@@ -1,0 +1,234 @@
+"""Cross-shard bundles and the TEE-attested receipt relay.
+
+A cross-shard transaction is a *bundle* of three client-pre-sealed legs
+sharing one bundle id (the prepare leg's tx hash):
+
+- **prepare** (home shard): escrow the effect under the bundle id.
+- **apply** (remote shard): materialize the effect, submitted only
+  after the relay verified attested evidence that prepare committed.
+- **abort** (home shard): release the escrow.  Because the three legs
+  consume consecutive nonces from one sender counter and the engine's
+  replay check rejects any nonce ≤ the last committed one, a committed
+  abort is also a *fence*: a stale prepare resurfacing afterwards can
+  never commit.
+
+The client seals all three legs up front under the consortium-wide
+``pk_tx`` (one key domain across shards, see :mod:`repro.shard.group`),
+so nothing on the coordinator/relay path can open them — the relay
+moves ciphertext and attestation evidence only, which is why its wire
+log can be byte-scanned for canaries.
+
+The relay fetches outcome evidence from the deciding shard: first a
+single enclave's attested receipt (TrustCross-style), and when that is
+unavailable or fails verification, the 2PC fallback — a quorum
+certificate of ``2f+1`` distinct platform votes (:mod:`repro.core.
+xshard`).  Evidence that verifies is logged and returned; evidence that
+does not is counted and dropped, never trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.transaction import Transaction
+from repro.core.xshard import (
+    AttestedReceipt,
+    QuorumCert,
+    make_attested_receipt,
+    make_quorum_cert,
+    verify_attested_receipt,
+    verify_quorum_cert,
+)
+from repro.crypto.ecc import Point
+from repro.errors import ShardError
+from repro.workloads.clients import Client
+
+# Escrow-contract entry points every shard's copy of a cross-shard
+# contract is expected to export.
+PREPARE_METHOD = "xs_prepare"
+APPLY_METHOD = "xs_apply"
+ABORT_METHOD = "xs_abort"
+
+_BUNDLE_TAG_BYTES = 8
+
+# The reference escrow contract (CWScript) the sim, bench, and tests
+# deploy on every shard.  The input's first 8 bytes are the bundle tag;
+# prepare escrows the payload under key (1, tag), apply materializes it
+# under (2, tag), abort overwrites the escrow with a zero marker —
+# released — and, through its higher nonce, fences any resurfacing
+# prepare leg out of the chain.
+ESCROW_CONTRACT_SOURCE = """
+fn xs_prepare() {
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+    let ek = alloc(16);
+    store64(ek, 1);
+    store64(ek + 8, load64(buf));
+    storage_set(ek, 16, buf, n);
+    let out = alloc(8);
+    store64(out, n);
+    output(out, 8);
+}
+fn xs_apply() {
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+    let ak = alloc(16);
+    store64(ak, 2);
+    store64(ak + 8, load64(buf));
+    storage_set(ak, 16, buf, n);
+    let out = alloc(8);
+    store64(out, n);
+    output(out, 8);
+}
+fn xs_abort() {
+    let buf = alloc(8);
+    input_read(buf, 0, 8);
+    let ek = alloc(16);
+    store64(ek, 1);
+    store64(ek + 8, load64(buf));
+    let z = alloc(8);
+    store64(z, 0);
+    storage_set(ek, 16, z, 8);
+    output(z, 8);
+}
+fn put() {
+    let n = input_size();
+    let buf = alloc(n);
+    input_read(buf, 0, n);
+    let key = "secret";
+    storage_set(key, 6, buf, n);
+    let out = alloc(8);
+    store64(out, n);
+    output(out, 8);
+}
+fn bump() {
+    let key = "count";
+    let buf = alloc(8);
+    let n = storage_get(key, 5, buf, 8);
+    let v = 0;
+    if (n == 8) { v = load64(buf); }
+    store64(buf, v + 1);
+    storage_set(key, 5, buf, 8);
+    output(buf, 8);
+}
+"""
+
+
+@dataclass(frozen=True)
+class CrossShardBundle:
+    """One cross-shard transaction, fully sealed at build time."""
+
+    bundle_id: bytes  # the prepare leg's tx hash
+    home_shard: int
+    remote_shard: int
+    prepare: Transaction
+    apply: Transaction
+    abort: Transaction
+
+    @property
+    def legs(self) -> tuple[Transaction, Transaction, Transaction]:
+        return (self.prepare, self.apply, self.abort)
+
+
+def build_cross_shard_bundle(
+    client: Client,
+    pk_tx: Point,
+    contract: bytes,
+    home_shard: int,
+    remote_shard: int,
+    payload: bytes,
+    tag: bytes | None = None,
+) -> CrossShardBundle:
+    """Seal the three legs of one cross-shard transaction.
+
+    ``tag`` is the 8-byte escrow key the contract files the transfer
+    under; it defaults to a value derived from the client's next nonce
+    so concurrent bundles from one client never collide.
+    """
+    if home_shard == remote_shard:
+        raise ShardError("a cross-shard bundle needs two distinct shards")
+    if tag is None:
+        tag = (client.nonce + 1).to_bytes(_BUNDLE_TAG_BYTES, "big")
+    if len(tag) != _BUNDLE_TAG_BYTES:
+        raise ShardError(f"bundle tag must be {_BUNDLE_TAG_BYTES} bytes")
+    prepare_raw = client.call_raw(contract, PREPARE_METHOD, tag + payload)
+    apply_raw = client.call_raw(contract, APPLY_METHOD, tag + payload)
+    abort_raw = client.call_raw(contract, ABORT_METHOD, tag)
+    return CrossShardBundle(
+        bundle_id=prepare_raw.tx_hash,
+        home_shard=home_shard,
+        remote_shard=remote_shard,
+        prepare=client.seal(pk_tx, prepare_raw),
+        apply=client.seal(pk_tx, apply_raw),
+        abort=client.seal(pk_tx, abort_raw),
+    )
+
+
+class ReceiptRelay:
+    """Moves verified outcome evidence between shard groups."""
+
+    def __init__(self, consortium):
+        self.consortium = consortium
+        self.attestation = consortium.attestation
+        self.cs_measurement = consortium.cs_measurement
+        # Every blob that crossed a shard boundary, in order — the
+        # surface the confidentiality canary scan reads.
+        self.wire_log: list[bytes] = []
+        self.attested_served = 0
+        self.quorum_served = 0
+        self.rejected = 0
+
+    def fetch_evidence(
+        self, shard_id: int, tx_hash: bytes
+    ) -> AttestedReceipt | QuorumCert | None:
+        """Verified evidence of ``tx_hash``'s outcome on ``shard_id``,
+        or None when the shard is unreachable or has not decided yet.
+
+        The attested single-enclave receipt is preferred; the 2PC
+        quorum certificate is the fallback when the serving node cannot
+        produce one (e.g. it was rebuilt from sealed storage) or its
+        quote fails verification.
+        """
+        group = self.consortium.group(shard_id)
+        if not group.reachable:
+            return None
+        receipt = make_attested_receipt(group.nodes[0], shard_id, tx_hash)
+        if receipt is not None:
+            try:
+                verify_attested_receipt(
+                    receipt, self.attestation, self.cs_measurement,
+                    expected_tx_hash=tx_hash, expected_shard=shard_id,
+                )
+            except ShardError:
+                self.rejected += 1
+            else:
+                self.attested_served += 1
+                self.wire_log.append(receipt.encode())
+                return receipt
+        cert = make_quorum_cert(group.nodes, shard_id, tx_hash, group.quorum)
+        if cert is None:
+            return None
+        try:
+            verify_quorum_cert(
+                cert, self.attestation, self.cs_measurement, group.quorum,
+                expected_tx_hash=tx_hash, expected_shard=shard_id,
+            )
+        except ShardError:
+            self.rejected += 1
+            return None
+        self.quorum_served += 1
+        self.wire_log.append(cert.encode())
+        return cert
+
+
+__all__ = [
+    "ABORT_METHOD",
+    "APPLY_METHOD",
+    "ESCROW_CONTRACT_SOURCE",
+    "PREPARE_METHOD",
+    "CrossShardBundle",
+    "ReceiptRelay",
+    "build_cross_shard_bundle",
+]

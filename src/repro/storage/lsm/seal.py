@@ -27,7 +27,7 @@ deterministic simulator relies on.
 
 from __future__ import annotations
 
-from repro.crypto.gcm import NONCE_SIZE, AesGcm, deterministic_nonce
+from repro.crypto.gcm import NONCE_SIZE, TAG_SIZE, AesGcm, deterministic_nonce
 from repro.crypto.hkdf import hkdf
 from repro.errors import AuthenticationError, StorageError
 
@@ -67,6 +67,31 @@ class StorageSealer:
         aad = self._aad(context)
         nonce = deterministic_nonce(self._key, plaintext, aad)
         return nonce + self._gcm.seal(nonce, plaintext, aad)
+
+    def seal_many(
+        self, blobs: list[bytes], contexts: list[bytes]
+    ) -> list[bytes]:
+        """Seal a batch in one pass, byte-identical to per-blob
+        :meth:`seal` calls (the nonce is a pure function of key, AAD and
+        plaintext, so batching cannot change the output).  Hoists the
+        per-call key/identity setup, which is where the constant cost of
+        sealing many small blocks goes.
+        """
+        if len(blobs) != len(contexts):
+            raise StorageError("seal_many needs one context per blob")
+        key, gcm, identity = self._key, self._gcm, self.identity
+        sealed: list[bytes] = []
+        for blob, context in zip(blobs, contexts):
+            aad = identity + b"|" + context
+            nonce = deterministic_nonce(key, blob, aad)
+            sealed.append(nonce + gcm.seal(nonce, blob, aad))
+        return sealed
+
+    @staticmethod
+    def sealed_size(plaintext_len: int) -> int:
+        """On-disk size of a sealed blob: nonce + ciphertext + tag.
+        Deterministic, so writers can lay out offsets before sealing."""
+        return NONCE_SIZE + plaintext_len + TAG_SIZE
 
     def open(self, sealed: bytes, context: bytes) -> bytes:
         if len(sealed) < NONCE_SIZE:

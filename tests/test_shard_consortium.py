@@ -1,0 +1,281 @@
+"""Cross-shard confidential commits: evidence, coordinator, atomicity.
+
+Covers the tentpole protocol end to end on a live two-shard consortium:
+attested receipts and their forgery rejection, the 2PC quorum fallback,
+the deterministic timeout/abort path under a partitioned shard, the
+write-ahead journal crash recovery, and the nonce fence that keeps a
+resurfacing prepare leg out of the chain after an abort committed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.xshard import (
+    make_attested_receipt,
+    make_quorum_cert,
+    quorum_size,
+    verify_attested_receipt,
+    verify_quorum_cert,
+)
+from repro.crypto.ecc import decode_point
+from repro.errors import ShardError
+from repro.lang import compile_source
+from repro.shard.coordinator import (
+    ABORTED,
+    APPLY_SUBMITTED,
+    COMMITTED,
+    CoordinatorJournal,
+    ShardCoordinator,
+)
+from repro.shard.group import build_sharded_consortium
+from repro.shard.relay import (
+    ESCROW_CONTRACT_SOURCE,
+    ReceiptRelay,
+    build_cross_shard_bundle,
+)
+from repro.workloads.clients import Client
+
+
+class ShardEnv:
+    """A two-shard consortium with the escrow contract deployed."""
+
+    def __init__(self):
+        self.consortium = build_sharded_consortium(2, nodes_per_shard=4)
+        self.pk = decode_point(self.consortium.pk_tx)
+        artifact = compile_source(ESCROW_CONTRACT_SOURCE, "wasm")
+        deployer = Client.from_seed(b"shard-env-deployer")
+        deploy, self.contract = deployer.confidential_deploy(self.pk, artifact)
+        assert self.consortium.submit(deploy) == [0, 1]
+        self.consortium.run_until_empty()
+
+    def client(self, seed: bytes) -> tuple[Client, int, int]:
+        """(client, home shard, remote shard)."""
+        client = Client.from_seed(seed)
+        home = self.consortium.router.shard_for_sender(client.address)
+        return client, home, (home + 1) % 2
+
+    def bundle(self, seed: bytes, payload: bytes = b"xs-payload"):
+        client, home, remote = self.client(seed)
+        return build_cross_shard_bundle(
+            client, self.pk, self.contract, home, remote, payload
+        ), home, remote
+
+    def close(self) -> None:
+        self.consortium.close()
+
+
+@pytest.fixture
+def env():
+    environment = ShardEnv()
+    yield environment
+    environment.close()
+
+
+def commit_on_shard(env: ShardEnv, shard_id: int, tx) -> None:
+    assert env.consortium.submit_to(shard_id, tx)
+    env.consortium.group(shard_id).run_until_empty()
+
+
+class TestEvidence:
+    """Attested receipts and the quorum fallback, including forgeries."""
+
+    def _decided(self, env):
+        """Commit one prepare leg and return (group, tx_hash)."""
+        bundle, home, _ = env.bundle(b"evidence-client")
+        commit_on_shard(env, home, bundle.prepare)
+        return env.consortium.group(home), home, bundle.prepare.tx_hash
+
+    def test_attested_receipt_verifies(self, env):
+        group, home, tx_hash = self._decided(env)
+        receipt = make_attested_receipt(group.nodes[0], home, tx_hash)
+        assert receipt is not None and receipt.success
+        verify_attested_receipt(
+            receipt, env.consortium.attestation, env.consortium.cs_measurement,
+            expected_tx_hash=tx_hash, expected_shard=home,
+        )
+        # Decode/encode survives the wire.
+        assert receipt.decode(receipt.encode()) == receipt
+
+    def test_undecided_tx_has_no_evidence(self, env):
+        group = env.consortium.group(0)
+        assert make_attested_receipt(group.nodes[0], 0, b"\xee" * 32) is None
+        assert make_quorum_cert(group.nodes, 0, b"\xee" * 32,
+                                group.quorum) is None
+
+    def test_forged_outcome_bit_rejected(self, env):
+        group, home, tx_hash = self._decided(env)
+        receipt = make_attested_receipt(group.nodes[0], home, tx_hash)
+        forged = dataclasses.replace(receipt, success=not receipt.success)
+        with pytest.raises(ShardError):
+            verify_attested_receipt(
+                forged, env.consortium.attestation,
+                env.consortium.cs_measurement,
+                expected_tx_hash=tx_hash, expected_shard=home,
+            )
+
+    def test_receipt_bound_to_tx_and_shard(self, env):
+        group, home, tx_hash = self._decided(env)
+        receipt = make_attested_receipt(group.nodes[0], home, tx_hash)
+        attestation = env.consortium.attestation
+        measurement = env.consortium.cs_measurement
+        with pytest.raises(ShardError):
+            verify_attested_receipt(receipt, attestation, measurement,
+                                    expected_tx_hash=b"\x01" * 32,
+                                    expected_shard=home)
+        with pytest.raises(ShardError):
+            verify_attested_receipt(receipt, attestation, measurement,
+                                    expected_tx_hash=tx_hash,
+                                    expected_shard=home + 1)
+
+    def test_quorum_cert_needs_distinct_platforms(self, env):
+        group, home, tx_hash = self._decided(env)
+        cert = make_quorum_cert(group.nodes, home, tx_hash, group.quorum)
+        assert cert is not None
+        assert len(cert.votes) >= quorum_size(len(group.nodes))
+        verify_quorum_cert(
+            cert, env.consortium.attestation, env.consortium.cs_measurement,
+            group.quorum, expected_tx_hash=tx_hash, expected_shard=home,
+        )
+        # One platform voting three times is not a quorum.
+        stuffed = dataclasses.replace(
+            cert, votes=(cert.votes[0],) * len(cert.votes)
+        )
+        with pytest.raises(ShardError):
+            verify_quorum_cert(
+                stuffed, env.consortium.attestation,
+                env.consortium.cs_measurement, group.quorum,
+                expected_tx_hash=tx_hash, expected_shard=home,
+            )
+
+    def test_relay_prefers_attested_falls_back_to_quorum(self, env):
+        group, home, tx_hash = self._decided(env)
+        relay = ReceiptRelay(env.consortium)
+        evidence = relay.fetch_evidence(home, tx_hash)
+        assert evidence is not None
+        assert relay.attested_served == 1 and relay.quorum_served == 0
+        # A node rebuilt from sealed storage has no in-process outcome
+        # table; the relay must fall back to the vote quorum.
+        group.nodes[0].tx_outcomes.clear()
+        fallback = relay.fetch_evidence(home, tx_hash)
+        assert fallback is not None and fallback.success
+        assert relay.quorum_served == 1
+
+    def test_unreachable_shard_serves_nothing(self, env):
+        group, home, tx_hash = self._decided(env)
+        relay = ReceiptRelay(env.consortium)
+        group.reachable = False
+        assert relay.fetch_evidence(home, tx_hash) is None
+
+
+class TestCrossShardCommit:
+    def test_happy_path_commits_atomically(self, env):
+        bundle, home, remote = env.bundle(b"happy-client")
+        coordinator = ShardCoordinator(env.consortium, timeout_rounds=4)
+        coordinator.submit(bundle)
+        coordinator.run_to_quiescence()
+        assert coordinator.state_of(bundle.bundle_id) == COMMITTED
+        assert coordinator.committed_total == 1
+        home_node = env.consortium.group(home).nodes[0]
+        remote_node = env.consortium.group(remote).nodes[0]
+        assert home_node.tx_outcomes[bundle.prepare.tx_hash][1]
+        assert remote_node.tx_outcomes[bundle.apply.tx_hash][1]
+        # The abort leg never ran.
+        assert bundle.abort.tx_hash not in home_node.tx_outcomes
+
+    def test_partitioned_remote_times_out_without_wedging(self, env):
+        bundle, home, remote = env.bundle(b"partition-client")
+        env.consortium.group(remote).reachable = False
+        coordinator = ShardCoordinator(env.consortium, timeout_rounds=2)
+        coordinator.submit(bundle)
+        # Single-shard traffic on the healthy shard keeps flowing while
+        # the cross-shard bundle waits out its deadline.
+        other_client, other_home, _ = env.client(b"partition-bystander")
+        while other_home != home:  # want a sender on the healthy shard
+            other_client, other_home, _ = env.client(
+                b"partition-bystander-%d" % id(other_client)
+            )
+        height_before = env.consortium.group(home).height
+        env.consortium.submit(other_client.confidential_call(
+            env.pk, env.contract, "put", b"bystander"
+        ))
+        coordinator.run_to_quiescence()
+        assert coordinator.state_of(bundle.bundle_id) == ABORTED
+        assert coordinator.timeouts_total >= 1
+        assert env.consortium.group(home).height > height_before
+        # The apply leg never reached the partitioned shard.
+        remote_node = env.consortium.group(remote).nodes[0]
+        assert bundle.apply.tx_hash not in remote_node.tx_outcomes
+        # ... and the escrow was released on the home shard.
+        home_node = env.consortium.group(home).nodes[0]
+        assert home_node.tx_outcomes[bundle.abort.tx_hash][1]
+        env.consortium.group(remote).reachable = True
+
+    def test_coordinator_crash_recovers_from_journal(self, env):
+        bundle, home, remote = env.bundle(b"crash-client")
+        journal = CoordinatorJournal()
+        coordinator = ShardCoordinator(env.consortium, journal=journal,
+                                       timeout_rounds=4)
+        coordinator.submit(bundle)
+        # Drive until the apply leg is submitted, then "crash".
+        for _ in range(10):
+            if coordinator.state_of(bundle.bundle_id) == APPLY_SUBMITTED:
+                break
+            env.consortium.run_round()
+            coordinator.step()
+        assert coordinator.state_of(bundle.bundle_id) == APPLY_SUBMITTED
+        recovered = ShardCoordinator.recover(env.consortium, journal,
+                                             timeout_rounds=4)
+        assert recovered.recovered_total == 1
+        recovered.run_to_quiescence()
+        assert recovered.state_of(bundle.bundle_id) == COMMITTED
+        remote_node = env.consortium.group(remote).nodes[0]
+        assert remote_node.tx_outcomes[bundle.apply.tx_hash][1]
+
+    def test_recovery_resubmission_is_first_write_wins(self, env):
+        """Resubmitting an already-committed leg after recovery must not
+        flip its receipt or outcome (the crash-replay hazard)."""
+        bundle, home, remote = env.bundle(b"replay-client")
+        journal = CoordinatorJournal()
+        coordinator = ShardCoordinator(env.consortium, journal=journal,
+                                       timeout_rounds=4)
+        coordinator.submit(bundle)
+        coordinator.run_to_quiescence()
+        assert coordinator.state_of(bundle.bundle_id) == COMMITTED
+        remote_node = env.consortium.group(remote).nodes[0]
+        outcome = remote_node.tx_outcomes[bundle.apply.tx_hash]
+        receipt = remote_node.receipts[bundle.apply.tx_hash]
+        # Resubmit the committed apply leg as a recovering coordinator
+        # would; the nonce check fails it, but first-write-wins keeps
+        # the original outcome and receipt authoritative.
+        env.consortium.submit_to(remote, bundle.apply)
+        env.consortium.group(remote).run_until_empty()
+        assert remote_node.tx_outcomes[bundle.apply.tx_hash] == outcome
+        assert remote_node.receipts[bundle.apply.tx_hash] == receipt
+
+    def test_committed_abort_fences_stale_prepare(self, env):
+        """The nonce fence: once the abort leg (nonce k+2) commits, a
+        resurfacing prepare leg (nonce k) can never commit."""
+        bundle, home, _ = env.bundle(b"fence-client")
+        commit_on_shard(env, home, bundle.abort)
+        home_node = env.consortium.group(home).nodes[0]
+        assert home_node.tx_outcomes[bundle.abort.tx_hash][1]
+        commit_on_shard(env, home, bundle.prepare)
+        prepared = home_node.tx_outcomes[bundle.prepare.tx_hash]
+        assert prepared[1] is False  # fenced: nonce replay
+
+    def test_bundle_needs_two_shards(self, env):
+        client, home, _ = env.client(b"same-shard-client")
+        with pytest.raises(ShardError):
+            build_cross_shard_bundle(
+                client, env.pk, env.contract, home, home, b"x"
+            )
+
+    def test_duplicate_submission_refused(self, env):
+        bundle, _, _ = env.bundle(b"dup-client")
+        coordinator = ShardCoordinator(env.consortium)
+        coordinator.submit(bundle)
+        with pytest.raises(ShardError):
+            coordinator.submit(bundle)

@@ -1,0 +1,115 @@
+"""The multi-shard fault simulator: acceptance scenario + determinism.
+
+The issue's acceptance configuration partitions a shard mid
+cross-shard commit *and* crash-restarts the coordinator from its
+journal in one run, then requires atomicity, convergence after the
+heal, and a byte-identical digest on seeded replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.scenarios import (
+    SHARD_SCENARIOS,
+    shard_acceptance_scenario,
+    shard_clean_scenario,
+    shard_partition_scenario,
+)
+from repro.sim.shardsim import (
+    SHARD_FAULT_KINDS,
+    ShardSimConfig,
+    parse_shard_faults,
+    run_shard_sim,
+)
+
+ACCEPTANCE_SEED = 7
+
+
+class TestParseShardFaults:
+    def test_known_kinds(self):
+        assert parse_shard_faults("partition,coordinator_crash") == \
+            frozenset(SHARD_FAULT_KINDS)
+        assert parse_shard_faults("") == frozenset()
+        assert parse_shard_faults("none") == frozenset()
+
+    def test_unknown_kind_refused(self):
+        with pytest.raises(ValueError, match="unknown shard fault"):
+            parse_shard_faults("gremlins")
+
+
+class TestShardScenarios:
+    def test_registry_complete(self):
+        assert set(SHARD_SCENARIOS) == {
+            "shard-clean", "shard-partition", "shard-acceptance",
+        }
+
+    def test_clean_run_converges_all_committed(self):
+        result = run_shard_sim(shard_clean_scenario(3, steps=30))
+        assert result.converged, result.summary()
+        assert not result.violations
+        assert result.bundles_submitted > 0
+        # Fault-free: every bundle commits, nothing aborts.
+        assert result.bundles_committed == result.bundles_submitted
+        assert result.bundles_aborted == 0
+
+    def test_partition_scenario_keeps_other_shards_alive(self):
+        result = run_shard_sim(shard_partition_scenario(5, steps=42))
+        assert result.converged, result.summary()
+        assert not result.violations
+        assert result.partitions == 1
+        # Every shard made progress despite the partition window.
+        assert all(h > 0 for h in result.heights.values())
+
+
+class TestAcceptanceScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_shard_sim(
+            shard_acceptance_scenario(ACCEPTANCE_SEED, steps=42)
+        )
+
+    def test_converged_with_no_violations(self, result):
+        assert result.converged, result.summary()
+        assert result.violations == []
+
+    def test_both_fault_kinds_fired(self, result):
+        assert result.partitions == 1
+        assert result.coordinator_crashes == 1
+
+    def test_every_bundle_reached_a_terminal_state(self, result):
+        assert result.bundles_submitted > 0
+        assert (result.bundles_committed + result.bundles_aborted
+                == result.bundles_submitted)
+        # The partition forces at least one deterministic abort — the
+        # "timeout keeps others unwedged" path actually ran.
+        assert result.bundles_aborted >= 1
+        assert result.bundles_committed >= 1
+
+    def test_relay_served_verified_evidence(self, result):
+        assert result.relay_attested + result.relay_quorum > 0
+
+    def test_seeded_replay_is_byte_identical(self, result):
+        replay = run_shard_sim(
+            shard_acceptance_scenario(ACCEPTANCE_SEED, steps=42)
+        )
+        assert replay.digest == result.digest
+        assert replay.summary() == result.summary()
+
+    def test_different_seed_diverges(self, result):
+        other = run_shard_sim(
+            shard_acceptance_scenario(ACCEPTANCE_SEED + 1, steps=42)
+        )
+        assert other.digest != result.digest
+
+
+class TestFourShards:
+    def test_wider_consortium_converges(self):
+        config = ShardSimConfig(
+            seed=11, steps=24, shards=3, nodes_per_shard=4,
+            faults=frozenset({"partition"}),
+        )
+        result = run_shard_sim(config)
+        assert result.converged, result.summary()
+        assert not result.violations
+        assert len(result.heights) == 3

@@ -206,6 +206,43 @@ class TestSSTable:
         with pytest.raises(StorageError):
             SSTableReader(path, StorageSealer(b"s" * 16, identity=b"other"))
 
+    def test_seal_many_matches_per_blob_seal(self):
+        """The batched seal is byte-identical to per-blob calls — the
+        property write_sstable's one-pass sealing rests on."""
+        sealer = StorageSealer(b"s" * 16, identity=b"node")
+        blobs = [bytes([i]) * (i * 7 + 1) for i in range(20)]
+        contexts = [b"ctx:%d" % i for i in range(20)]
+        batched = sealer.seal_many(blobs, contexts)
+        assert batched == [sealer.seal(b, c)
+                           for b, c in zip(blobs, contexts)]
+        for blob, sealed in zip(blobs, batched):
+            assert len(sealed) == StorageSealer.sealed_size(len(blob))
+        with pytest.raises(StorageError):
+            sealer.seal_many(blobs, contexts[:-1])
+
+    def test_batched_writer_bytes_match_per_block_sealing(
+            self, tmp_path, monkeypatch):
+        """Equivalence pin for the seal-batching change: a segment
+        written through seal_many is byte-for-byte the segment written
+        by sealing each block individually (old writer behavior)."""
+        sealer = StorageSealer(b"s" * 16, identity=b"node")
+        entries = [(b"key-%04d" % i, os.urandom(1 + i % 90))
+                   for i in range(300)]
+        entries[17] = (entries[17][0], None)  # keep a tombstone in play
+        batched_path = os.path.join(str(tmp_path), "batched.sst")
+        write_sstable(batched_path, 9, entries, sealer, block_bytes=256)
+
+        def one_at_a_time(self, blobs, contexts):
+            return [self.seal(blob, context)
+                    for blob, context in zip(blobs, contexts)]
+
+        monkeypatch.setattr(StorageSealer, "seal_many", one_at_a_time)
+        serial_path = os.path.join(str(tmp_path), "serial.sst")
+        write_sstable(serial_path, 9, entries, sealer, block_bytes=256)
+        with open(batched_path, "rb") as a, open(serial_path, "rb") as b:
+            assert a.read() == b.read()
+        assert list(SSTableReader(batched_path, sealer).items()) == entries
+
     def test_block_cache_hits(self, tmp_path):
         entries = [(f"k{i:03d}".encode(), bytes([i])) for i in range(40)]
         path, _ = self._write(tmp_path, entries)
